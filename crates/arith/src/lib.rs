@@ -1,0 +1,22 @@
+//! Exact arbitrary-precision arithmetic for hypertree decomposition widths.
+//!
+//! Fractional hypertree widths are rational numbers and the paper's
+//! correctness arguments (e.g. Lemmas 3.5/3.6) rely on exact ties between
+//! fractional edge weights, so every width and every LP pivot in this
+//! workspace is computed over [`Rational`] — never floating point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod rational;
+
+pub use bigint::BigInt;
+pub use rational::Rational;
+
+/// Convenience constructor: the rational `p/q`.
+///
+/// Panics if `q == 0`.
+pub fn rat(p: i64, q: i64) -> Rational {
+    Rational::from_frac(p, q)
+}

@@ -1,0 +1,393 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! Values are kept normalized: the denominator is strictly positive and
+//! `gcd(|num|, den) == 1` (zero is `0/1`), so structural equality and hashing
+//! coincide with numeric equality.
+
+use crate::bigint::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// This is the width type of the library: fractional hypertree widths are
+/// genuinely rational (e.g. `fhw(C3) = 3/2`, `rho*` of Example 5.1 is
+/// `2 - 1/n`) and the NP-hardness analysis of the paper depends on exact
+/// ties between fractional weights, so floating point is not an option.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// Builds a rational from numerator and denominator, normalizing.
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let g = num.gcd(&den);
+        if g.is_zero() || g == BigInt::one() {
+            Rational { num, den }
+        } else {
+            Rational { num: &num / &g, den: &den / &g }
+        }
+    }
+
+    /// `p/q` from machine integers. Panics if `q == 0`.
+    pub fn from_frac(p: i64, q: i64) -> Self {
+        Rational::new(BigInt::from(p), BigInt::from(q))
+    }
+
+    /// The integer `v` as a rational.
+    pub fn from_int(v: i64) -> Self {
+        Rational { num: BigInt::from(v), den: BigInt::one() }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Rational::from_int(0)
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Rational::from_int(1)
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if self.num.is_negative() && !r.is_zero() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        -((-self).floor())
+    }
+
+    /// Approximate `f64` value (for reporting only — never for decisions).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// The smaller of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Self {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<usize> for Rational {
+    fn from(v: usize) -> Self {
+        Rational { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Rational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| &acc + x)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Rational {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((p, q)) => {
+                let num: BigInt = p.trim().parse()?;
+                let den: BigInt = q.trim().parse()?;
+                if den.is_zero() {
+                    return Err("zero denominator".into());
+                }
+                Ok(Rational::new(num, den))
+            }
+            None => Ok(Rational::from(s.trim().parse::<BigInt>()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: i64, q: i64) -> Rational {
+        Rational::from_frac(p, q)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 7), Rational::zero());
+        assert_eq!(r(0, 7).denom(), &BigInt::one());
+    }
+
+    #[test]
+    fn field_operations() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        assert_eq!(r(1, 2).recip(), r(2, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rational::one());
+        assert!(r(2, 1).max(r(3, 2)) == r(2, 1));
+        assert!(r(2, 1).min(r(3, 2)) == r(3, 2));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(4, 2).floor(), BigInt::from(2i64));
+        assert_eq!(r(4, 2).ceil(), BigInt::from(2i64));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), r(3, 4));
+        assert_eq!("-6/8".parse::<Rational>().unwrap(), r(-3, 4));
+        assert_eq!("5".parse::<Rational>().unwrap(), r(5, 1));
+        assert_eq!(r(3, 4).to_string(), "3/4");
+        assert_eq!(r(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    fn sums() {
+        // Example 5.1: n edges of weight 1/n plus one of weight 1 - 1/n
+        // total 2 - 1/n.
+        let n = 7i64;
+        let total: Rational = (0..n)
+            .map(|_| r(1, n))
+            .chain(std::iter::once(Rational::one() - r(1, n)))
+            .sum();
+        assert_eq!(total, Rational::from_int(2) - r(1, n));
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r(-22, 7).to_f64() + 22.0 / 7.0).abs() < 1e-12);
+    }
+}

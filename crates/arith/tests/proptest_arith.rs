@@ -1,0 +1,97 @@
+//! Property-based tests: ring/field axioms and agreement with i128 arithmetic.
+
+use arith::{rat, BigInt, Rational};
+use proptest::prelude::*;
+
+fn big(v: i64) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = big(a) + big(b);
+        prop_assert_eq!(sum.to_string(), (a as i128 + b as i128).to_string());
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let prod = big(a) * big(b);
+        prop_assert_eq!(prod.to_string(), (a as i128 * b as i128).to_string());
+    }
+
+    #[test]
+    fn bigint_div_rem_invariant(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert_eq!(&q * &big(b) + &r, big(a));
+        prop_assert!(r.abs() < big(b).abs());
+        // Remainder carries the dividend's sign (or is zero).
+        prop_assert!(r.is_zero() || r.is_negative() == big(a).is_negative());
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in any::<i32>(), b in any::<i32>()) {
+        let g = big(a as i64).gcd(&big(b as i64));
+        if !g.is_zero() {
+            prop_assert!((big(a as i64) % &g).is_zero());
+            prop_assert!((big(b as i64) % &g).is_zero());
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn bigint_parse_round_trip(a in any::<i128>()) {
+        let v = BigInt::from(a);
+        let parsed: BigInt = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn rational_field_axioms(
+        p1 in -1000i64..1000, q1 in 1i64..60,
+        p2 in -1000i64..1000, q2 in 1i64..60,
+        p3 in -1000i64..1000, q3 in 1i64..60,
+    ) {
+        let a = rat(p1, q1);
+        let b = rat(p2, q2);
+        let c = rat(p3, q3);
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a);
+        }
+    }
+
+    #[test]
+    fn rational_ordering_total(
+        p1 in -100i64..100, q1 in 1i64..30,
+        p2 in -100i64..100, q2 in 1i64..30,
+    ) {
+        let a = rat(p1, q1);
+        let b = rat(p2, q2);
+        let diff = &a - &b;
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(diff.is_negative()),
+            std::cmp::Ordering::Equal => prop_assert!(diff.is_zero()),
+            std::cmp::Ordering::Greater => prop_assert!(diff.is_positive()),
+        }
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(p in -5000i64..5000, q in 1i64..200) {
+        let x = rat(p, q);
+        let fl = Rational::from(x.floor());
+        let ce = Rational::from(x.ceil());
+        prop_assert!(fl <= x && x <= ce);
+        prop_assert!(&ce - &fl <= Rational::one());
+        if x.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+}

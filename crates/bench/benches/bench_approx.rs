@@ -1,0 +1,64 @@
+//! E10–E12: the Section 6 approximation algorithms — the BIP `k + ε`
+//! pipeline, the PTAAS binary search, and the O(k·log k) GHD conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertree_core::arith::rat;
+use hypertree_core::fhd::{self, CoverMode};
+use hypertree_core::hypergraph::generators;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_approx_bip(c: &mut Criterion) {
+    let h = generators::cycle(3);
+    c.benchmark_group("approx/theorem_6_1")
+        .sample_size(10)
+        .bench_function("triangle_k_eps", |b| {
+            b.iter(|| fhd::approx_fhd_bip(&h, &rat(3, 2), &rat(1, 2), Some(3)).is_some())
+        });
+}
+
+fn bench_ptaas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approx/ptaas");
+    for (p, q) in [(1i64, 1i64), (1, 4)] {
+        let eps = rat(p, q);
+        let h = generators::cycle(5);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps={p}/{q}")),
+            &(h, eps),
+            |b, (h, eps)| {
+                b.iter(|| {
+                    fhd::fhw_approximation(h, &rat(4, 1), eps, fhd::exact_oracle)
+                        .unwrap()
+                        .iterations
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_kloglog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approx/theorem_6_23");
+    for (name, h) in [
+        ("clique6", generators::clique(6)),
+        ("example_5_1(5)", generators::example_5_1(5)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, h| {
+            b.iter(|| fhd::approx_ghw_via_fhw(h, CoverMode::Greedy).unwrap().1.width())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_approx_bip, bench_ptaas, bench_kloglog
+}
+criterion_main!(benches);

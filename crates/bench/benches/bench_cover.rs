@@ -1,0 +1,65 @@
+//! E7/E9: edge covers — `rho` (branch-and-bound), `rho*` (exact LP),
+//! transversals, duality, and the Example 5.1 unbounded-support family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertree_core::cover;
+use hypertree_core::hypergraph::{dual, generators};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_cliques(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cover/cliques");
+    for n in [6usize, 10, 14] {
+        let h = generators::clique(n);
+        g.bench_with_input(BenchmarkId::new("rho", n), &h, |b, h| {
+            b.iter(|| cover::rho(h).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("rho_star", n), &h, |b, h| {
+            b.iter(|| cover::rho_star(h).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_example_5_1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cover/example_5_1");
+    for n in [8usize, 16, 32] {
+        let h = generators::example_5_1(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                let cov = cover::fractional_cover(h, &h.all_vertices()).unwrap();
+                assert_eq!(cov.support().len(), n + 1);
+                cov.weight
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_duality(c: &mut Criterion) {
+    let h = generators::random_bip(12, 9, 2, 4, 3);
+    let d = dual::dual(&h);
+    c.benchmark_group("cover/duality")
+        .sample_size(10)
+        .bench_function("rho_star_vs_tau_star", |b| {
+            b.iter(|| {
+                let lhs = cover::rho_star(&h).unwrap();
+                let rhs = cover::tau_star(&d);
+                assert_eq!(lhs, rhs);
+                lhs
+            })
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_cliques, bench_example_5_1, bench_duality
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E6: Check(FHD, k) under bounded degree (Theorem 5.2) and Algorithm 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertree_core::arith::{rat, Rational};
+use hypertree_core::fhd::{self, FracDecompParams, HdkParams};
+use hypertree_core::hypergraph::generators;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_bdp_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fhd_bdp/check");
+    for n in [4usize, 5, 6] {
+        let h = generators::cycle(n);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("cycle{n}")), &h, |b, h| {
+            b.iter(|| fhd::check_fhd_bdp(h, &Rational::from(2usize), HdkParams::default()).is_yes())
+        });
+    }
+    let tri = generators::cycle(3);
+    g.bench_function("triangle_at_3/2", |b| {
+        b.iter(|| fhd::check_fhd_bdp(&tri, &rat(3, 2), HdkParams::default()).is_yes())
+    });
+    g.finish();
+}
+
+fn bench_frac_decomp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fhd_bdp/frac_decomp");
+    for n in [3usize, 4, 5] {
+        let h = generators::cycle(n);
+        let params = FracDecompParams {
+            k: rat(2, 1),
+            eps: rat(1, 2),
+            c: 2,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(format!("cycle{n}")), &h, |b, h| {
+            b.iter(|| fhd::frac_decomp(h, &params).is_some())
+        });
+    }
+    g.finish();
+}
+
+fn bench_intersection_forest(c: &mut Criterion) {
+    let h = generators::random_bounded_degree(12, 9, 3, 3, 5);
+    let xi: Vec<Vec<usize>> = (0..4)
+        .map(|i| vec![i % h.num_edges(), (i + 2) % h.num_edges()])
+        .collect();
+    c.benchmark_group("fhd_bdp/algorithm_2")
+        .sample_size(20)
+        .bench_function("intersection_forest", |b| {
+            b.iter(|| fhd::intersection_forest(&h, &xi).size())
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_bdp_check, bench_frac_decomp, bench_intersection_forest
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E5: Check(GHD, k) under the BIP (Theorems 4.11/4.15) — subedge
+//! generation and the full check across growing 1-BIP instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertree_core::ghd::{self, SubedgeLimits};
+use hypertree_core::hypergraph::generators;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_subedges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ghd_bip/subedges");
+    for cols in [4usize, 6, 8] {
+        let h = generators::grid(2, cols);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("grid2x{cols}")), &h, |b, h| {
+            b.iter(|| ghd::bip_subedges(h, 2, SubedgeLimits::default()).subedges.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ghd_bip/check_k2");
+    for cols in [3usize, 4, 5] {
+        let h = generators::grid(2, cols);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("grid2x{cols}")), &h, |b, h| {
+            b.iter(|| ghd::check_ghd_bip(h, 2, SubedgeLimits::default()).is_yes())
+        });
+    }
+    {
+        let seed = 1u64;
+        let h = generators::random_bip(10, 7, 2, 3, seed);
+        g.bench_with_input(BenchmarkId::from_parameter("rand_bip10"), &h, |b, h| {
+            b.iter(|| ghd::check_ghd_bip(h, 2, SubedgeLimits::default()).is_yes())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_subedges, bench_check
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E1–E3: the Section 3 reduction — construction, Table 1 witness building
+//! + validation, and the Lemma 3.5/3.6 LP certificates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertree_core::decomp::validate;
+use hypertree_core::reduction::{self, Cnf};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction/build");
+    for (n, m) in [(3usize, 2usize), (4, 4), (5, 6)] {
+        let (cnf, _) = Cnf::random_planted(n, m, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("n{n}m{m}")), &cnf, |b, cnf| {
+            b.iter(|| reduction::build(cnf))
+        });
+    }
+    g.finish();
+}
+
+fn bench_witness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction/witness+validate");
+    for (n, m) in [(3usize, 2usize), (4, 4)] {
+        let (cnf, plant) = Cnf::random_planted(n, m, 7);
+        let r = reduction::build(&cnf);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}m{m}")),
+            &(r, plant),
+            |b, (r, plant)| {
+                b.iter(|| {
+                    let d = reduction::witness_ghd(r, plant);
+                    assert!(validate::validate_ghd(&r.hypergraph, &d).is_ok());
+                    d.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lemma_lps(c: &mut Criterion) {
+    let r = reduction::build(&Cnf::example_3_3());
+    let classes = reduction::complementary_classes(&r);
+    c.benchmark_group("reduction/lemma-LPs")
+        .sample_size(10)
+        .bench_function("lemma_3_5_one_class", |b| {
+            b.iter(|| reduction::lemma_3_5_max_imbalance(&r, &classes[0]))
+        })
+        .bench_function("claim_d", |b| b.iter(|| reduction::claim_d_min_weight(&r)));
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_construction, bench_witness, bench_lemma_lps
+}
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Integral edge covers `rho` (Definition 2.1) by branch-and-bound over the
+//! covering ILP, plus the greedy ln(n)-approximation used for the
+//! O(k·log k) pipeline of Theorem 6.23.
+
+use hypergraph::{Hypergraph, VertexSet};
+
+/// An (optimal) integral edge cover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntegralCover {
+    /// Indices of the chosen edges (`λ(e) = 1`).
+    pub edges: Vec<usize>,
+}
+
+impl IntegralCover {
+    /// `weight(λ)` = number of chosen edges.
+    pub fn weight(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `B(λ)`: union of the chosen edges.
+    pub fn covered_set(&self, h: &Hypergraph) -> VertexSet {
+        h.union_of_edges(self.edges.iter().copied())
+    }
+}
+
+/// Minimum-cardinality set of edges covering `target`. Exact
+/// branch-and-bound (the problem is NP-hard in general; bags are small).
+/// Returns `None` if some target vertex lies in no edge.
+pub fn integral_cover(h: &Hypergraph, target: &VertexSet) -> Option<IntegralCover> {
+    integral_cover_bounded(h, target, usize::MAX)
+}
+
+/// As [`integral_cover`] but abandons branches of size >= `limit`;
+/// returns `None` if no cover smaller than `limit` exists.
+pub fn integral_cover_bounded(
+    h: &Hypergraph,
+    target: &VertexSet,
+    limit: usize,
+) -> Option<IntegralCover> {
+    for v in target.iter() {
+        if h.incident_edges(v).is_empty() {
+            return None;
+        }
+    }
+    // Greedy upper bound to prime the search.
+    let mut best: Option<Vec<usize>> = greedy_cover(h, target).map(|c| c.edges);
+    if let Some(b) = &best {
+        if b.len() >= limit {
+            best = None;
+        }
+    }
+    let mut chosen = Vec::new();
+    branch(h, target.clone(), &mut chosen, &mut best, limit);
+    best.map(|edges| IntegralCover { edges })
+}
+
+fn branch(
+    h: &Hypergraph,
+    uncovered: VertexSet,
+    chosen: &mut Vec<usize>,
+    best: &mut Option<Vec<usize>>,
+    limit: usize,
+) {
+    let bound = best.as_ref().map_or(limit, |b| b.len().min(limit));
+    if chosen.len() >= bound {
+        return;
+    }
+    let Some(v) = pick_most_constrained(h, &uncovered) else {
+        // Everything covered: record improvement.
+        *best = Some(chosen.clone());
+        return;
+    };
+    for &e in h.incident_edges(v) {
+        chosen.push(e);
+        let mut rest = uncovered.clone();
+        rest.difference_with(h.edge(e));
+        branch(h, rest, chosen, best, limit);
+        chosen.pop();
+    }
+}
+
+/// The uncovered vertex with the fewest covering edges (fail-first order).
+fn pick_most_constrained(h: &Hypergraph, uncovered: &VertexSet) -> Option<usize> {
+    uncovered
+        .iter()
+        .min_by_key(|&v| h.incident_edges(v).len())
+}
+
+/// `rho(H)`: the edge cover number. `None` if `H` has isolated vertices.
+pub fn rho(h: &Hypergraph) -> Option<usize> {
+    integral_cover(h, &h.all_vertices()).map(|c| c.weight())
+}
+
+/// Greedy set cover of `target`: repeatedly pick the edge covering the most
+/// still-uncovered target vertices. Classical `H_n <= ln n + 1`
+/// approximation — this is the integrality-gap side of Theorem 6.23.
+pub fn greedy_cover(h: &Hypergraph, target: &VertexSet) -> Option<IntegralCover> {
+    let mut uncovered = target.clone();
+    let mut edges = Vec::new();
+    while !uncovered.is_empty() {
+        let best = (0..h.num_edges())
+            .max_by_key(|&e| h.edge(e).intersection(&uncovered).len())?;
+        let gain = h.edge(best).intersection(&uncovered).len();
+        if gain == 0 {
+            return None; // some vertex is uncoverable
+        }
+        edges.push(best);
+        uncovered.difference_with(h.edge(best));
+    }
+    Some(IntegralCover { edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::generators;
+
+    #[test]
+    fn lemma_2_3_integral_side() {
+        // rho(K_2n) = n: a perfect matching.
+        for n in 1..5usize {
+            let h = generators::clique(2 * n);
+            assert_eq!(rho(&h), Some(n));
+        }
+    }
+
+    #[test]
+    fn odd_cliques_round_up() {
+        for m in [3usize, 5, 7] {
+            let h = generators::clique(m);
+            assert_eq!(rho(&h), Some(m.div_ceil(2)));
+        }
+    }
+
+    #[test]
+    fn integral_at_least_fractional() {
+        use crate::fractional::rho_star;
+        for h in [
+            generators::cycle(5),
+            generators::clique(5),
+            generators::example_5_1(4),
+            generators::example_4_3(),
+        ] {
+            let frac = rho_star(&h).unwrap();
+            let int = rho(&h).unwrap();
+            assert!(arith::Rational::from(int) >= frac);
+        }
+    }
+
+    #[test]
+    fn greedy_is_a_cover_and_not_much_worse() {
+        for seed in 0..5u64 {
+            let h = generators::random_bip(12, 8, 2, 4, seed);
+            let target = h.all_vertices();
+            let g = greedy_cover(&h, &target).unwrap();
+            assert!(target.is_subset(&g.covered_set(&h)));
+            let opt = integral_cover(&h, &target).unwrap();
+            assert!(g.weight() >= opt.weight());
+            // ln(12) + 1 < 3.5
+            assert!(g.weight() <= opt.weight() * 4);
+        }
+    }
+
+    #[test]
+    fn bounded_search_cuts_off() {
+        let h = generators::clique(6); // rho = 3
+        assert!(integral_cover_bounded(&h, &h.all_vertices(), 3).is_none());
+        assert!(integral_cover_bounded(&h, &h.all_vertices(), 4).is_some());
+    }
+
+    #[test]
+    fn empty_target_is_free() {
+        let h = generators::cycle(4);
+        let c = integral_cover(&h, &VertexSet::new()).unwrap();
+        assert_eq!(c.weight(), 0);
+    }
+
+    #[test]
+    fn uncoverable_vertex_detected() {
+        let h = hypergraph::Hypergraph::from_edges(3, vec![vec![0, 1]]);
+        assert_eq!(integral_cover(&h, &VertexSet::from_iter([2])), None);
+        assert_eq!(greedy_cover(&h, &VertexSet::from_iter([2])), None);
+    }
+
+    #[test]
+    fn example_4_3_needs_three_edges_for_everything() {
+        // The 10 vertices of H0 can be covered by 3 edges... actually the
+        // 8-ring plus hubs: each edge has <= 3 vertices, 10 vertices need
+        // >= 4 edges.
+        let h = generators::example_4_3();
+        let c = integral_cover(&h, &h.all_vertices()).unwrap();
+        assert_eq!(c.weight(), 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Bounded supports (Section 5): Füredi's theorem, Corollary 5.5 and the
+//! Lemma 5.6 transformation that rewrites any fractional edge cover into one
+//! with `|supp(γ)| <= k·d` covering at least the same vertices.
+
+use crate::fractional::{covered_vertices, fractional_cover, FractionalCover};
+use arith::Rational;
+use hypergraph::{properties, Hypergraph, VertexSet};
+use std::collections::HashMap;
+
+/// Lemma 5.6, one node's worth: given an edge-weight function `γ` on `h`
+/// (arbitrary, with `B(γ)` possibly large), produce `γ'` with
+///
+/// * `B(γ) ⊆ B(γ')`,
+/// * `weight(γ') <= weight(γ)`, and
+/// * `|supp(γ')| <= weight(γ) · degree(H_u)` where `H_u` is the
+///   subhypergraph induced by `B(γ)` on `supp(γ)` — in particular
+///   `<= k·d` when `weight(γ) <= k` and `degree(H) <= d`.
+///
+/// The construction follows the paper: restrict the support edges to
+/// `B(γ)`, merge duplicate restrictions ("originators"), solve the covering
+/// LP optimally on the reduced subhypergraph (the simplex optimum is basic,
+/// so Füredi's bound applies), then push each weight back to one originator.
+pub fn bound_support(h: &Hypergraph, weights: &[Rational]) -> FractionalCover {
+    let b_gamma = covered_vertices(h, weights);
+    if b_gamma.is_empty() {
+        return FractionalCover {
+            weight: Rational::zero(),
+            weights: vec![Rational::zero(); h.num_edges()],
+        };
+    }
+    let support: Vec<usize> = weights
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| !w.is_zero())
+        .map(|(e, _)| e)
+        .collect();
+
+    // Build H_u = (B(γ), {e ∩ B(γ) | e ∈ supp(γ)}) with originator tracking.
+    let mut restriction_of: HashMap<VertexSet, usize> = HashMap::new();
+    let mut restricted_edges: Vec<Vec<usize>> = Vec::new();
+    let mut originator: Vec<usize> = Vec::new();
+    let renumber: HashMap<usize, usize> = b_gamma
+        .iter()
+        .enumerate()
+        .map(|(new, old)| (old, new))
+        .collect();
+    for &e in &support {
+        let restricted = h.edge(e).intersection(&b_gamma);
+        if restricted.is_empty() {
+            continue;
+        }
+        let next = restricted_edges.len();
+        let idx = *restriction_of.entry(restricted.clone()).or_insert(next);
+        if idx == next {
+            restricted_edges.push(restricted.iter().map(|v| renumber[&v]).collect());
+            originator.push(e);
+        }
+    }
+    let hu = Hypergraph::from_edges(b_gamma.len(), restricted_edges);
+    let optimal = fractional_cover(&hu, &hu.all_vertices())
+        .expect("B(γ) is covered by supp(γ) restrictions by construction");
+
+    // Push weights back to one originator per reduced edge.
+    let mut out = vec![Rational::zero(); h.num_edges()];
+    for (reduced, w) in optimal.weights.iter().enumerate() {
+        if !w.is_zero() {
+            out[originator[reduced]] = w.clone();
+        }
+    }
+    FractionalCover {
+        weight: optimal.weight,
+        weights: out,
+    }
+}
+
+/// Checks the Füredi/Corollary 5.5 inequality for a cover of `target`:
+/// `|supp(γ)| <= d · rho*` where `d` is the degree of the induced
+/// subhypergraph. Returns `(support_size, bound)`.
+pub fn furedi_bound(h: &Hypergraph, target: &VertexSet) -> Option<(usize, Rational)> {
+    let cover = fractional_cover(h, target)?;
+    let (induced, _, _) = h.induced(target);
+    let d = properties::degree(&induced);
+    let bound = Rational::from(d) * cover.weight.clone();
+    Some((cover.support().len(), bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arith::rat;
+    use hypergraph::generators;
+
+    #[test]
+    fn bound_support_preserves_coverage_and_weight() {
+        for seed in 0..6u64 {
+            let h = generators::random_bounded_degree(12, 9, 3, 4, seed);
+            // Start from a deliberately wasteful cover: weight 1 on every edge.
+            let silly = vec![Rational::one(); h.num_edges()];
+            let covered_before = covered_vertices(&h, &silly);
+            let improved = bound_support(&h, &silly);
+            let covered_after = improved.covered_set(&h);
+            assert!(covered_before.is_subset(&covered_after), "seed {seed}");
+            let before: Rational = silly.iter().sum();
+            assert!(improved.weight <= before);
+            let d = hypergraph::properties::degree(&h);
+            let bound = Rational::from(d) * improved.weight.clone();
+            assert!(
+                Rational::from(improved.support().len()) <= bound,
+                "seed {seed}: support {} > d*rho* {}",
+                improved.support().len(),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn furedi_bound_on_example_5_1() {
+        // degree d = n (vertex v0), rho* = 2 - 1/n, support = n + 1
+        // and indeed n + 1 <= n * (2 - 1/n) = 2n - 1 for n >= 2.
+        for n in 2..7usize {
+            let h = generators::example_5_1(n);
+            let (supp, bound) = furedi_bound(&h, &h.all_vertices()).unwrap();
+            assert_eq!(supp, n + 1);
+            assert_eq!(bound, Rational::from(n) * (Rational::from(2usize) - rat(1, n as i64)));
+            assert!(Rational::from(supp) <= bound);
+        }
+    }
+
+    #[test]
+    fn zero_cover_stays_zero() {
+        let h = generators::cycle(4);
+        let zero = vec![Rational::zero(); h.num_edges()];
+        let out = bound_support(&h, &zero);
+        assert!(out.weight.is_zero());
+        assert!(out.support().is_empty());
+    }
+}

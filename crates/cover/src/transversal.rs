@@ -1,0 +1,210 @@
+//! Transversals (hitting sets) and fractional transversals
+//! (Definitions 5.3 and 6.22): `tau`, `tau*`, and the duality
+//! `rho*(H) = tau*(H^d)` that powers Corollary 5.5 and Theorem 6.23.
+
+use arith::Rational;
+use hypergraph::{Hypergraph, VertexSet};
+use lp::{Cmp, LinearProgram, LpResult};
+
+/// A fractional vertex cover (fractional transversal): one weight per vertex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FractionalTransversal {
+    /// Total weight `Σ_v w(v)`.
+    pub weight: Rational,
+    /// `w(v)` per vertex index.
+    pub weights: Vec<Rational>,
+}
+
+impl FractionalTransversal {
+    /// `vsupp(w)`: vertices with non-zero weight (Definition 5.3).
+    pub fn support(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.is_zero())
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+/// `tau*(H)`: minimum-weight fractional vertex cover (every edge receives
+/// total weight >= 1). Always feasible because edges are non-empty.
+pub fn fractional_transversal(h: &Hypergraph) -> FractionalTransversal {
+    let mut prog = LinearProgram::minimize(h.num_vertices());
+    for v in 0..h.num_vertices() {
+        prog.set_objective(v, Rational::one());
+    }
+    for e in h.edges() {
+        let coeffs = e.iter().map(|v| (v, Rational::one())).collect();
+        prog.add_constraint(coeffs, Cmp::Ge, Rational::one());
+    }
+    match prog.solve() {
+        LpResult::Optimal { value, solution } => FractionalTransversal {
+            weight: value,
+            weights: solution,
+        },
+        other => unreachable!("transversal LP cannot be {other:?}"),
+    }
+}
+
+/// `tau*(H)` as a value.
+pub fn tau_star(h: &Hypergraph) -> Rational {
+    fractional_transversal(h).weight
+}
+
+/// `tau(H)`: minimum-cardinality transversal by branch-and-bound.
+pub fn tau(h: &Hypergraph) -> usize {
+    let mut best = greedy_transversal(h).len();
+    let alive: Vec<usize> = (0..h.num_edges()).collect();
+    let mut chosen = Vec::new();
+    branch(h, &alive, &mut chosen, &mut best);
+    best
+}
+
+fn greedy_transversal(h: &Hypergraph) -> Vec<usize> {
+    let mut hit = vec![false; h.num_edges()];
+    let mut out = Vec::new();
+    loop {
+        let Some((_, v)) = (0..h.num_vertices())
+            .map(|v| {
+                let gain = h
+                    .incident_edges(v)
+                    .iter()
+                    .filter(|&&e| !hit[e])
+                    .count();
+                (gain, v)
+            })
+            .filter(|&(gain, _)| gain > 0)
+            .max()
+        else {
+            return out;
+        };
+        out.push(v);
+        for &e in h.incident_edges(v) {
+            hit[e] = true;
+        }
+    }
+}
+
+fn branch(h: &Hypergraph, alive: &[usize], chosen: &mut Vec<usize>, best: &mut usize) {
+    if chosen.len() >= *best {
+        return;
+    }
+    // Pick the smallest un-hit edge and branch on its vertices.
+    let Some(&e) = alive.iter().min_by_key(|&&e| h.edge(e).len()) else {
+        *best = chosen.len();
+        return;
+    };
+    for v in h.edge(e).iter() {
+        chosen.push(v);
+        let rest: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|&e2| !h.edge(e2).contains(v))
+            .collect();
+        branch(h, &rest, chosen, best);
+        chosen.pop();
+    }
+}
+
+/// A transversal as a vertex set, exact minimum.
+pub fn minimum_transversal(h: &Hypergraph) -> VertexSet {
+    // Re-run the branch-and-bound keeping the witness.
+    let mut best_set: Option<Vec<usize>> = Some(greedy_transversal(h));
+    let mut best = best_set.as_ref().map_or(usize::MAX, |s| s.len());
+    fn rec(
+        h: &Hypergraph,
+        alive: &[usize],
+        chosen: &mut Vec<usize>,
+        best: &mut usize,
+        best_set: &mut Option<Vec<usize>>,
+    ) {
+        if chosen.len() >= *best {
+            return;
+        }
+        let Some(&e) = alive.iter().min_by_key(|&&e| h.edge(e).len()) else {
+            *best = chosen.len();
+            *best_set = Some(chosen.clone());
+            return;
+        };
+        for v in h.edge(e).iter() {
+            chosen.push(v);
+            let rest: Vec<usize> = alive
+                .iter()
+                .copied()
+                .filter(|&e2| !h.edge(e2).contains(v))
+                .collect();
+            rec(h, &rest, chosen, best, best_set);
+            chosen.pop();
+        }
+    }
+    let alive: Vec<usize> = (0..h.num_edges()).collect();
+    rec(h, &alive, &mut Vec::new(), &mut best, &mut best_set);
+    VertexSet::from_iter(best_set.unwrap_or_default())
+}
+
+/// The transversal integrality gap `tigap(H) = tau(H)/tau*(H)`
+/// (Definition 6.22).
+pub fn tigap(h: &Hypergraph) -> Rational {
+    Rational::from(tau(h)) / tau_star(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fractional::rho_star;
+    use arith::rat;
+    use hypergraph::{dual, generators};
+
+    #[test]
+    fn triangle_transversals() {
+        let h = generators::cycle(3);
+        assert_eq!(tau(&h), 2);
+        assert_eq!(tau_star(&h), rat(3, 2));
+        assert_eq!(tigap(&h), rat(4, 3));
+    }
+
+    #[test]
+    fn star_needs_only_center() {
+        let h = generators::star(6);
+        assert_eq!(tau(&h), 1);
+        assert_eq!(tau_star(&h), Rational::one());
+        let t = minimum_transversal(&h);
+        assert_eq!(t.to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn duality_rho_star_equals_tau_star_of_dual() {
+        // rho*(H) = tau*(H^d) — exercised exactly on several families.
+        for h in [
+            generators::cycle(5),
+            generators::clique(5),
+            generators::example_4_3(),
+            generators::example_5_1(4),
+            generators::random_bip(10, 7, 2, 4, 3),
+        ] {
+            let d = dual::dual(&h);
+            assert_eq!(rho_star(&h).unwrap(), tau_star(&d));
+        }
+    }
+
+    #[test]
+    fn transversal_weight_below_integral() {
+        for seed in 0..4u64 {
+            let h = generators::random_bounded_degree(10, 8, 3, 3, seed);
+            assert!(tau_star(&h) <= Rational::from(tau(&h)));
+        }
+    }
+
+    #[test]
+    fn minimum_transversal_hits_everything() {
+        for seed in 0..4u64 {
+            let h = generators::random_bip(10, 8, 2, 4, seed);
+            let t = minimum_transversal(&h);
+            assert_eq!(t.len(), tau(&h));
+            for e in h.edges() {
+                assert!(e.intersects(&t));
+            }
+        }
+    }
+}

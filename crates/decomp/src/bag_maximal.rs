@@ -1,0 +1,141 @@
+//! Bag-maximality (Definition 4.5 / Lemma 4.6): vertices already covered by
+//! a node's weight function are pulled into the bag whenever that keeps the
+//! connectedness condition intact. Subedge-function arguments (Lemma 4.9,
+//! Lemma 5.12) only hold for bag-maximal decompositions.
+
+use crate::types::Decomposition;
+use hypergraph::Hypergraph;
+
+/// Exhaustively applies the Lemma 4.6 transformation. The result covers the
+/// same hypergraph, has the same tree and weight functions (hence the same
+/// width), and is bag-maximal.
+pub fn make_bag_maximal(h: &Hypergraph, d: &Decomposition) -> Decomposition {
+    let mut out = d.clone();
+    loop {
+        let mut changed = false;
+        for u in 0..out.len() {
+            let candidates = out.node(u).covered_set(h).difference(&out.node(u).bag);
+            for v in candidates.iter() {
+                if addition_keeps_connectedness(&out, u, v) {
+                    out.node_mut(u).bag.insert(v);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
+/// True iff the decomposition is bag-maximal (no legal addition remains).
+pub fn is_bag_maximal(h: &Hypergraph, d: &Decomposition) -> bool {
+    for u in 0..d.len() {
+        let candidates = d.node(u).covered_set(h).difference(&d.node(u).bag);
+        for v in candidates.iter() {
+            if addition_keeps_connectedness(d, u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Would inserting `v` into `B_u` keep `nodes(v)` connected? The new holder
+/// set is the old one plus `u`, so the addition is legal iff `v` occurs
+/// nowhere else, or `u` is adjacent to (or part of) the existing subtree.
+fn addition_keeps_connectedness(d: &Decomposition, u: usize, v: usize) -> bool {
+    let holders: Vec<usize> = (0..d.len())
+        .filter(|&n| d.node(n).bag.contains(v))
+        .collect();
+    if holders.is_empty() || holders.contains(&u) {
+        return true;
+    }
+    // u must touch the holder subtree: its parent or one of its children is
+    // a holder.
+    if let Some(p) = d.parent(u) {
+        if holders.contains(&p) {
+            return true;
+        }
+    }
+    d.children(u).iter().any(|c| holders.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Node;
+    use crate::validate;
+    use hypergraph::{generators, VertexSet};
+
+    /// Figure 6(a) of the paper: a width-2 GHD of Example 4.3's H0 that is
+    /// *not* bag-maximal at node u' (bag {v3,v6,v9,v10}).
+    fn figure_6a() -> (Hypergraph, Decomposition) {
+        let h = generators::example_4_3();
+        let v = |name: &str| h.vertex_by_name(name).unwrap();
+        let e = |name: &str| h.edge_by_name(name).unwrap();
+        let bag = |names: &[&str]| VertexSet::from_iter(names.iter().map(|n| v(n)));
+        // u0 (root), children u' and u1; u1 -> u2; u' -> u''.
+        let mut d = Decomposition::new(Node::integral(
+            bag(&["v3", "v6", "v7", "v9", "v10"]),
+            [e("e2"), e("e6")],
+        ));
+        let u_prime = d.add_child(
+            0,
+            Node::integral(bag(&["v3", "v6", "v9", "v10"]), [e("e3"), e("e5")]),
+        );
+        d.add_child(
+            u_prime,
+            Node::integral(bag(&["v3", "v4", "v5", "v6", "v9", "v10"]), [e("e3"), e("e5")]),
+        );
+        let u1 = d.add_child(
+            0,
+            Node::integral(bag(&["v3", "v7", "v8", "v9", "v10"]), [e("e3"), e("e7")]),
+        );
+        d.add_child(
+            u1,
+            Node::integral(
+                bag(&["v1", "v2", "v3", "v8", "v9", "v10"]),
+                [e("e2"), e("e8")],
+            ),
+        );
+        (h, d)
+    }
+
+    use hypergraph::Hypergraph;
+
+    #[test]
+    fn figure_6a_is_a_valid_width_2_ghd_but_not_bag_maximal() {
+        let (h, d) = figure_6a();
+        assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+        assert_eq!(d.width(), arith::Rational::from(2usize));
+        assert!(!is_bag_maximal(&h, &d));
+    }
+
+    #[test]
+    fn example_4_7_maximalization_adds_v4_v5_to_u_prime() {
+        let (h, d) = figure_6a();
+        let m = make_bag_maximal(&h, &d);
+        assert!(is_bag_maximal(&h, &m));
+        assert_eq!(validate::validate_ghd(&h, &m), Ok(()));
+        assert_eq!(m.width(), d.width());
+        // u' (node 1) gained v4 and v5, becoming equal to its child's bag.
+        let v4 = h.vertex_by_name("v4").unwrap();
+        let v5 = h.vertex_by_name("v5").unwrap();
+        assert!(m.node(1).bag.contains(v4));
+        assert!(m.node(1).bag.contains(v5));
+        assert_eq!(m.node(1).bag, m.node(2).bag);
+        // Example 4.7: v2 must NOT be addable to the root (u0): it appears
+        // in u2 but not in u1, so adding it at the root breaks connectedness.
+        let v2 = h.vertex_by_name("v2").unwrap();
+        assert!(!m.node(0).bag.contains(v2));
+    }
+
+    #[test]
+    fn maximalization_is_idempotent() {
+        let (h, d) = figure_6a();
+        let once = make_bag_maximal(&h, &d);
+        let twice = make_bag_maximal(&h, &once);
+        assert_eq!(once, twice);
+    }
+}

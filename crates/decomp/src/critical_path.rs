@@ -1,0 +1,149 @@
+//! Critical paths (Definitions 4.8 and 5.11) and the Lemma 4.9 / 5.12
+//! equality `e ∩ B_u = e ∩ ⋂_i B(λ_{u_i})` — the structural fact behind
+//! every subedge function in the paper.
+
+use crate::bag_maximal::is_bag_maximal;
+use crate::types::Decomposition;
+use hypergraph::{Hypergraph, VertexSet};
+
+/// The critical path `critp(u, e)`: the path from `u` to the closest node
+/// `u*` with `e ⊆ B_{u*}` (as node ids, starting at `u`). Returns `None`
+/// when no node covers `e` (then the input violates condition 1).
+pub fn critical_path(d: &Decomposition, h: &Hypergraph, u: usize, e: usize) -> Option<Vec<usize>> {
+    let edge = h.edge(e);
+    let mut best: Option<Vec<usize>> = None;
+    for target in 0..d.len() {
+        if !edge.is_subset(&d.node(target).bag) {
+            continue;
+        }
+        let path = d.path_between(u, target);
+        if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+            best = Some(path);
+        }
+    }
+    best
+}
+
+/// Evaluates both sides of the Lemma 4.9 equality along `critp(u, e)`:
+/// returns `(e ∩ B_u, e ∩ ⋂_{i=1..l} B(λ_{u_i}))`. For bag-maximal
+/// decompositions the two sets are equal.
+pub fn lemma_4_9_sides(
+    d: &Decomposition,
+    h: &Hypergraph,
+    u: usize,
+    e: usize,
+) -> Option<(VertexSet, VertexSet)> {
+    let path = critical_path(d, h, u, e)?;
+    let lhs = h.edge(e).intersection(&d.node(u).bag);
+    let mut rhs = h.edge(e).clone();
+    for &ui in path.iter().skip(1) {
+        rhs.intersect_with(&d.node(ui).covered_set(h));
+    }
+    Some((lhs, rhs))
+}
+
+/// Checks the Lemma 4.9 invariant at every `(u, e ∈ λ_u)` pair with
+/// `e ⊄ B_u`; intended for bag-maximal decompositions (the lemma's
+/// hypothesis — see [`is_bag_maximal`]).
+pub fn lemma_4_9_holds(d: &Decomposition, h: &Hypergraph) -> bool {
+    debug_assert!(is_bag_maximal(h, d), "Lemma 4.9 presumes bag-maximality");
+    for u in 0..d.len() {
+        for e in d.node(u).support() {
+            if h.edge(e).is_subset(&d.node(u).bag) {
+                continue;
+            }
+            match lemma_4_9_sides(d, h, u, e) {
+                Some((lhs, rhs)) => {
+                    if lhs != rhs {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag_maximal::make_bag_maximal;
+    use crate::types::Node;
+    use hypergraph::generators;
+
+    /// Figure 6(b): the bag-maximal width-2 GHD of Example 4.3's H0.
+    fn figure_6b() -> (Hypergraph, Decomposition) {
+        let h = generators::example_4_3();
+        let v = |name: &str| h.vertex_by_name(name).unwrap();
+        let e = |name: &str| h.edge_by_name(name).unwrap();
+        let bag = |names: &[&str]| VertexSet::from_iter(names.iter().map(|n| v(n)));
+        let mut d = Decomposition::new(Node::integral(
+            bag(&["v3", "v6", "v7", "v9", "v10"]),
+            [e("e2"), e("e6")],
+        ));
+        d.add_child(
+            0,
+            Node::integral(bag(&["v3", "v4", "v5", "v6", "v9", "v10"]), [e("e3"), e("e5")]),
+        );
+        let u1 = d.add_child(
+            0,
+            Node::integral(bag(&["v3", "v7", "v8", "v9", "v10"]), [e("e3"), e("e7")]),
+        );
+        d.add_child(
+            u1,
+            Node::integral(
+                bag(&["v1", "v2", "v3", "v8", "v9", "v10"]),
+                [e("e2"), e("e8")],
+            ),
+        );
+        (h, d)
+    }
+
+    #[test]
+    fn example_4_10_critical_path() {
+        // critp(u, e2) = (u, u1, u2): e2 = {v2,v3,v9} is covered at u2.
+        let (h, d) = figure_6b();
+        let e2 = h.edge_by_name("e2").unwrap();
+        let path = critical_path(&d, &h, 0, e2).unwrap();
+        assert_eq!(path, vec![0, 2, 3]); // u0 -> u1 -> u2 in our ids
+    }
+
+    #[test]
+    fn example_4_10_lemma_4_9_equality() {
+        // e2 ∩ B_u = e2 ∩ (e3 ∪ e7) ∩ (e8 ∪ e2) = {v3, v9}.
+        let (h, d) = figure_6b();
+        let e2 = h.edge_by_name("e2").unwrap();
+        let (lhs, rhs) = lemma_4_9_sides(&d, &h, 0, e2).unwrap();
+        let expected: VertexSet = ["v3", "v9"]
+            .iter()
+            .map(|n| h.vertex_by_name(n).unwrap())
+            .collect();
+        assert_eq!(lhs, expected);
+        assert_eq!(rhs, expected);
+    }
+
+    #[test]
+    fn lemma_4_9_on_the_whole_decomposition() {
+        let (h, d) = figure_6b();
+        assert!(crate::bag_maximal::is_bag_maximal(&h, &d), "Figure 6(b) is bag-maximal");
+        assert!(lemma_4_9_holds(&d, &h));
+    }
+
+    #[test]
+    fn lemma_4_9_after_maximalization_of_arbitrary_ghds() {
+        // Take exact GHDs... build simple ones by hand: cycle with two bags.
+        let h = generators::cycle(4);
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1, 2]), [0, 1]));
+        d.add_child(0, Node::integral(VertexSet::from_iter([0, 2, 3]), [2, 3]));
+        let m = make_bag_maximal(&h, &d);
+        assert!(lemma_4_9_holds(&m, &h));
+    }
+
+    #[test]
+    fn covered_edge_has_trivial_path() {
+        let (h, d) = figure_6b();
+        let e6 = h.edge_by_name("e6").unwrap(); // covered at the root itself
+        assert_eq!(critical_path(&d, &h, 0, e6).unwrap(), vec![0]);
+    }
+}

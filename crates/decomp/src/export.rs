@@ -1,0 +1,89 @@
+//! Graphviz (DOT) export of decompositions — the visualization format used
+//! by the `detkdecomp`/HyperBench tool family, so decompositions produced
+//! here can be rendered alongside theirs.
+
+use crate::types::Decomposition;
+use arith::Rational;
+use hypergraph::Hypergraph;
+use std::fmt::Write;
+
+/// Renders the decomposition as a Graphviz `digraph`: one record node per
+/// bag showing `B_u` and the cover `λ_u`/`γ_u` with weights.
+pub fn to_dot(h: &Hypergraph, d: &Decomposition) -> String {
+    let mut out = String::from("digraph decomposition {\n  node [shape=record];\n");
+    for u in 0..d.len() {
+        let node = d.node(u);
+        let bag: Vec<&str> = node.bag.iter().map(|v| h.vertex_name(v)).collect();
+        let cover: Vec<String> = node
+            .weights
+            .iter()
+            .map(|(e, w)| {
+                if w == &Rational::one() {
+                    h.edge_name(*e).to_string()
+                } else {
+                    format!("{}={}", h.edge_name(*e), w)
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  n{u} [label=\"{{{{{}}}|{{{}}}}}\"];",
+            escape(&bag.join(", ")),
+            escape(&cover.join(", "))
+        );
+    }
+    for u in 0..d.len() {
+        for &c in d.children(u) {
+            let _ = writeln!(out, "  n{u} -> n{c};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('{', "\\{")
+        .replace('}', "\\}")
+        .replace('|', "\\|")
+        .replace('<', "\\<")
+        .replace('>', "\\>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Node;
+    use hypergraph::{generators, VertexSet};
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let h = generators::cycle(4);
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1, 2]), [0, 1]));
+        d.add_child(0, Node::integral(VertexSet::from_iter([0, 2, 3]), [2, 3]));
+        let dot = to_dot(&h, &d);
+        assert!(dot.starts_with("digraph decomposition {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("v0, v1, v2"));
+        assert_eq!(dot.matches("[label=").count(), 2);
+    }
+
+    #[test]
+    fn fractional_weights_are_shown() {
+        let h = generators::cycle(3);
+        let node = Node {
+            bag: VertexSet::from_iter([0, 1, 2]),
+            weights: (0..3).map(|e| (e, arith::rat(1, 2))).collect(),
+        };
+        let d = Decomposition::new(node);
+        let dot = to_dot(&h, &d);
+        assert!(dot.contains("e0=1/2"));
+    }
+
+    #[test]
+    fn special_characters_escaped() {
+        assert_eq!(escape("a|b{c}"), "a\\|b\\{c\\}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Transformation into fractional normal form (Definition 5.20,
+//! Theorem A.3), following the proof of Theorem 5.4 in Gottlob–Leone–
+//! Scarcello \[27\] lifted to FHDs.
+//!
+//! The transformation preserves the weight functions (hence the width) and
+//! validity; it only re-arranges the tree and shrinks/extends bags:
+//!
+//! 1. subtrees entirely inside the parent bag are spliced away,
+//! 2. a child subtree spanning several `[B_r]`-components is split into one
+//!    subtree per component, restricting each bag to `B_n ∩ (C ∪ B_r)`,
+//! 3. covered parent-bag vertices are pulled into child bags
+//!    (`B(γ_s) ∩ B_r ⊆ B_s`).
+
+use crate::types::{Decomposition, Node};
+use hypergraph::{components, Hypergraph, VertexSet};
+
+/// An owned subtree used during reconstruction.
+struct SubTree {
+    node: Node,
+    kids: Vec<SubTree>,
+}
+
+impl SubTree {
+    fn from_decomposition(d: &Decomposition, u: usize) -> SubTree {
+        SubTree {
+            node: d.node(u).clone(),
+            kids: d
+                .children(u)
+                .iter()
+                .map(|&c| SubTree::from_decomposition(d, c))
+                .collect(),
+        }
+    }
+
+    fn vertices(&self, acc: &mut VertexSet) {
+        acc.union_with(&self.node.bag);
+        for k in &self.kids {
+            k.vertices(acc);
+        }
+    }
+}
+
+/// Transforms a valid FHD into an FHD in fractional normal form of the same
+/// width (Theorem A.3). Also correct for GHDs/HDs, whose weights are a
+/// special case; the weak special condition is preserved (Lemma 6.6).
+pub fn to_fnf(h: &Hypergraph, d: &Decomposition) -> Decomposition {
+    let root = SubTree::from_decomposition(d, d.root());
+    let mut new_root_node = root.node.clone();
+    // The root has no parent, so only its children need work.
+    let kids: Vec<SubTree> = root
+        .kids
+        .into_iter()
+        .flat_map(|k| normalize(h, &new_root_node.bag, k))
+        .collect();
+    // Condition 3 cannot apply to the root; leave its bag as-is.
+    new_root_node = root_cleanup(new_root_node);
+    let mut out = Decomposition::new(new_root_node);
+    for k in kids {
+        attach(&mut out, 0, k);
+    }
+    out
+}
+
+fn root_cleanup(n: Node) -> Node {
+    n
+}
+
+/// Normalizes the subtree `t` against its parent's bag `br`, returning the
+/// (possibly several) replacement subtrees to attach under the parent.
+fn normalize(h: &Hypergraph, br: &VertexSet, t: SubTree) -> Vec<SubTree> {
+    let mut vts = VertexSet::new();
+    t.vertices(&mut vts);
+    let w = vts.difference(br);
+    if w.is_empty() {
+        // V(T_s) ⊆ B_r: splice s out, normalizing its children against the
+        // same parent bag (their content is also inside B_r or below).
+        return t
+            .kids
+            .into_iter()
+            .flat_map(|k| normalize(h, br, k))
+            .collect();
+    }
+    // Split by [B_r]-components intersecting the subtree.
+    let comps: Vec<VertexSet> = components::components(h, br)
+        .into_iter()
+        .filter(|c| c.intersects(&w))
+        .collect();
+    let mut out = Vec::new();
+    for c in &comps {
+        let scope = c.union(br);
+        let mut roots = Vec::new();
+        clone_filtered(&t, c, &scope, &mut roots);
+        for mut s_prime in roots {
+            // FNF condition 3: pull covered parent-bag vertices into B_s'.
+            let covered = s_prime.node.covered_set(h);
+            let pull = covered.intersection(br);
+            s_prime.node.bag.union_with(&pull);
+            // Recurse: normalize the rebuilt children against the new bag.
+            let bag = s_prime.node.bag.clone();
+            let kids = std::mem::take(&mut s_prime.kids);
+            s_prime.kids = kids
+                .into_iter()
+                .flat_map(|k| normalize(h, &bag, k))
+                .collect();
+            out.push(s_prime);
+        }
+    }
+    out
+}
+
+/// Copies the nodes of `t` whose bag intersects component `c`, restricting
+/// bags to `scope = c ∪ br`. For valid inputs `nodes(c)` induces a connected
+/// subtree (Lemma A.2), so this yields a single root; we nevertheless return
+/// every maximal kept subtree for robustness.
+fn clone_filtered(t: &SubTree, c: &VertexSet, scope: &VertexSet, roots: &mut Vec<SubTree>) {
+    if t.node.bag.intersects(c) {
+        let mut copy = SubTree {
+            node: Node {
+                bag: t.node.bag.intersection(scope),
+                weights: t.node.weights.clone(),
+            },
+            kids: Vec::new(),
+        };
+        for k in &t.kids {
+            clone_filtered(k, c, scope, &mut copy.kids);
+        }
+        roots.push(copy);
+    } else {
+        // Dropped node: descend looking for kept subtrees (none exist for
+        // valid inputs below a dropped node, by Lemma A.2).
+        for k in &t.kids {
+            clone_filtered(k, c, scope, roots);
+        }
+    }
+}
+
+fn attach(d: &mut Decomposition, parent: usize, t: SubTree) {
+    let id = d.add_child(parent, t.node);
+    for k in t.kids {
+        attach(d, id, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use arith::Rational;
+    use hypergraph::generators;
+
+    /// A deliberately messy width-2 GHD of the 6-cycle: one child subtree
+    /// covers two different [B_root]-components, and a middle node's bag is
+    /// a subset of its parent's.
+    fn messy_cycle6() -> (Hypergraph, Decomposition) {
+        use crate::types::Node;
+        let h = generators::cycle(6); // e_i = {i, i+1 mod 6}
+        // Root bag {0, 3} covered by e0 ∪ e3 -> wait e0={0,1}, e3={3,4}.
+        let mut d = Decomposition::new(Node::integral(
+            VertexSet::from_iter([0, 1, 3, 4]),
+            [0, 3],
+        ));
+        // A redundant middle node (same bag as the root) whose subtree spans
+        // both [B_root]-components {2} and {5} — valid, but far from FNF.
+        let mid = d.add_child(
+            0,
+            Node::integral(VertexSet::from_iter([0, 1, 3, 4]), [0, 3]),
+        );
+        d.add_child(mid, Node::integral(VertexSet::from_iter([1, 2, 3]), [1, 2]));
+        d.add_child(mid, Node::integral(VertexSet::from_iter([4, 5, 0]), [4, 5]));
+        (h, d)
+    }
+
+    use hypergraph::Hypergraph;
+
+    #[test]
+    fn messy_input_is_valid_but_not_fnf() {
+        let (h, d) = messy_cycle6();
+        assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+        assert!(validate::validate_fnf(&h, &d).is_err());
+    }
+
+    #[test]
+    fn fnf_transformation_repairs_and_preserves_width() {
+        let (h, d) = messy_cycle6();
+        let f = to_fnf(&h, &d);
+        assert_eq!(validate::validate_ghd(&h, &f), Ok(()), "{}", f.render(&h));
+        assert_eq!(validate::validate_fnf(&h, &f), Ok(()), "{}", f.render(&h));
+        assert!(f.width() <= d.width());
+    }
+
+    #[test]
+    fn fnf_is_idempotent_on_normal_inputs() {
+        let (h, d) = messy_cycle6();
+        let f1 = to_fnf(&h, &d);
+        let f2 = to_fnf(&h, &f1);
+        assert_eq!(validate::validate_fnf(&h, &f2), Ok(()));
+        assert_eq!(f1.len(), f2.len());
+    }
+
+    #[test]
+    fn lemma_6_9_node_count_bound() {
+        // |nodes(T)| <= |V(H)| for FNF decompositions.
+        let (h, d) = messy_cycle6();
+        let f = to_fnf(&h, &d);
+        assert!(f.len() <= h.num_vertices());
+    }
+
+    #[test]
+    fn splice_case_removes_redundant_child() {
+        use crate::types::Node;
+        // Child bag inside the root bag entirely.
+        let h = generators::path(3); // e0={0,1}, e1={1,2}
+        let mut d = Decomposition::new(Node::integral(
+            VertexSet::from_iter([0, 1, 2]),
+            [0, 1],
+        ));
+        d.add_child(0, Node::integral(VertexSet::from_iter([1, 2]), [1]));
+        let f = to_fnf(&h, &d);
+        assert_eq!(f.len(), 1);
+        assert_eq!(validate::validate_fnf(&h, &f), Ok(()));
+    }
+
+    #[test]
+    fn width_never_increases_across_corpus() {
+        use crate::types::Node;
+        for seed in 0..4u64 {
+            let h = generators::random_acyclic(6, 3, seed);
+            // A lazy one-bag-per-edge path decomposition (valid? needs
+            // connectedness) — use a single fat root instead plus leaves.
+            let all = h.all_vertices();
+            let cover: Vec<usize> = (0..h.num_edges()).collect();
+            let mut d = Decomposition::new(Node::integral(all, cover));
+            for e in 0..h.num_edges() {
+                d.add_child(0, Node::integral(h.edge(e).clone(), [e]));
+            }
+            assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+            let f = to_fnf(&h, &d);
+            assert_eq!(validate::validate_ghd(&h, &f), Ok(()));
+            assert_eq!(validate::validate_fnf(&h, &f), Ok(()));
+            assert!(f.width() <= Rational::from(h.num_edges()));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Decomposition trees (Definitions 2.4–2.6).
+//!
+//! One representation serves HDs, GHDs and FHDs: every node carries a bag
+//! `B_u` and a sparse edge-weight function (`λ_u` when all weights are 1,
+//! `γ_u` in general). Which *conditions* hold — and therefore which kind of
+//! decomposition this is — is checked by the validators in
+//! [`crate::validate`].
+
+use arith::Rational;
+use hypergraph::{Hypergraph, VertexSet};
+use std::fmt;
+
+/// A node of a decomposition: a bag plus an edge-weight function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// The bag `B_u ⊆ V(H)`.
+    pub bag: VertexSet,
+    /// Sparse weights `γ_u` (edge index, weight), weights in `(0, 1]`.
+    pub weights: Vec<(usize, Rational)>,
+}
+
+impl Node {
+    /// Builds a node with integral weights (`λ_u` as an edge set).
+    pub fn integral(bag: VertexSet, edges: impl IntoIterator<Item = usize>) -> Self {
+        Node {
+            bag,
+            weights: edges.into_iter().map(|e| (e, Rational::one())).collect(),
+        }
+    }
+
+    /// Total weight of the node's cover function.
+    pub fn weight(&self) -> Rational {
+        self.weights.iter().map(|(_, w)| w.clone()).sum()
+    }
+
+    /// `supp(γ_u)`: edges with non-zero weight.
+    pub fn support(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .filter(|(_, w)| !w.is_zero())
+            .map(|(e, _)| *e)
+            .collect()
+    }
+
+    /// True iff every weight is exactly 1 (an integral `λ_u`).
+    pub fn is_integral(&self) -> bool {
+        self.weights.iter().all(|(_, w)| w == &Rational::one() || w.is_zero())
+    }
+
+    /// `B(γ_u)`: vertices receiving total weight >= 1.
+    pub fn covered_set(&self, h: &Hypergraph) -> VertexSet {
+        let mut out = VertexSet::new();
+        for v in 0..h.num_vertices() {
+            let total: Rational = self
+                .weights
+                .iter()
+                .filter(|(e, _)| h.edge(*e).contains(v))
+                .map(|(_, w)| w.clone())
+                .sum();
+            if total >= Rational::one() {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// `B(γ_u |_R)` for a sub-support `R` (Definition 6.2 machinery).
+    pub fn covered_set_restricted(&self, h: &Hypergraph, r: &[usize]) -> VertexSet {
+        let mut out = VertexSet::new();
+        for v in 0..h.num_vertices() {
+            let total: Rational = self
+                .weights
+                .iter()
+                .filter(|(e, _)| r.contains(e) && h.edge(*e).contains(v))
+                .map(|(_, w)| w.clone())
+                .sum();
+            if total >= Rational::one() {
+                out.insert(v);
+            }
+        }
+        out
+    }
+}
+
+/// A rooted decomposition tree. Node 0 is always the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decomposition {
+    nodes: Vec<Node>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Decomposition {
+    /// Starts a decomposition from its root node.
+    pub fn new(root: Node) -> Self {
+        Decomposition {
+            nodes: vec![root],
+            parent: vec![None],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// Adds a node under `parent`; returns the new node id.
+    pub fn add_child(&mut self, parent: usize, node: Node) -> usize {
+        assert!(parent < self.nodes.len());
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.parent.push(Some(parent));
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the decomposition has no nodes (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, u: usize) -> &Node {
+        &self.nodes[u]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, u: usize) -> &mut Node {
+        &mut self.nodes[u]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Parent of `u` (`None` for the root).
+    pub fn parent(&self, u: usize) -> Option<usize> {
+        self.parent[u]
+    }
+
+    /// Children of `u`.
+    pub fn children(&self, u: usize) -> &[usize] {
+        &self.children[u]
+    }
+
+    /// The width: maximum total node weight (Definition 2.6).
+    pub fn width(&self) -> Rational {
+        self.nodes
+            .iter()
+            .map(Node::weight)
+            .max()
+            .unwrap_or_else(Rational::zero)
+    }
+
+    /// Node ids of the subtree rooted at `u` (preorder).
+    pub fn subtree(&self, u: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![u];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children[n].iter().copied());
+        }
+        out
+    }
+
+    /// `V(T_u)`: the union of bags in the subtree rooted at `u`.
+    pub fn subtree_vertices(&self, u: usize) -> VertexSet {
+        let mut out = VertexSet::new();
+        for n in self.subtree(u) {
+            out.union_with(&self.nodes[n].bag);
+        }
+        out
+    }
+
+    /// `nodes(V', D)`: ids of nodes whose bag intersects `vs`.
+    pub fn nodes_intersecting(&self, vs: &VertexSet) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&u| self.nodes[u].bag.intersects(vs))
+            .collect()
+    }
+
+    /// The unique tree path from `a` to `b` (inclusive).
+    pub fn path_between(&self, a: usize, b: usize) -> Vec<usize> {
+        let ancestors = |mut u: usize| -> Vec<usize> {
+            let mut out = vec![u];
+            while let Some(p) = self.parent[u] {
+                out.push(p);
+                u = p;
+            }
+            out
+        };
+        let pa = ancestors(a);
+        let pb = ancestors(b);
+        // Find the lowest common ancestor.
+        let set_b: std::collections::HashSet<usize> = pb.iter().copied().collect();
+        let lca = *pa.iter().find(|u| set_b.contains(u)).expect("same tree");
+        let mut path: Vec<usize> = pa.iter().take_while(|&&u| u != lca).copied().collect();
+        path.push(lca);
+        let tail: Vec<usize> = pb.iter().take_while(|&&u| u != lca).copied().collect();
+        path.extend(tail.into_iter().rev());
+        path
+    }
+
+    /// Removes node `u` (not the root), attaching its children to its parent.
+    pub fn splice_out(&mut self, u: usize) {
+        let p = self.parent[u].expect("cannot splice out the root");
+        let kids = std::mem::take(&mut self.children[u]);
+        for &k in &kids {
+            self.parent[k] = Some(p);
+        }
+        self.children[p].retain(|&c| c != u);
+        self.children[p].extend(kids);
+        // Mark the node dead by emptying it; ids stay stable.
+        self.nodes[u].bag.clear();
+        self.nodes[u].weights.clear();
+        self.parent[u] = None;
+        self.compact(u);
+    }
+
+    /// Removes a dead node id by swapping in the last node.
+    fn compact(&mut self, dead: usize) {
+        let last = self.nodes.len() - 1;
+        if dead != last {
+            self.nodes.swap(dead, last);
+            self.parent.swap(dead, last);
+            self.children.swap(dead, last);
+            // Rewire references to `last`.
+            let moved_parent = self.parent[dead];
+            if let Some(p) = moved_parent {
+                for c in self.children[p].iter_mut() {
+                    if *c == last {
+                        *c = dead;
+                    }
+                }
+            }
+            let kids = self.children[dead].clone();
+            for k in kids {
+                self.parent[k] = Some(dead);
+            }
+        }
+        self.nodes.pop();
+        self.parent.pop();
+        self.children.pop();
+    }
+
+    /// Pretty-prints the tree with bag and cover contents.
+    pub fn render(&self, h: &Hypergraph) -> String {
+        let mut out = String::new();
+        self.render_rec(h, self.root(), 0, &mut out);
+        out
+    }
+
+    fn render_rec(&self, h: &Hypergraph, u: usize, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let node = &self.nodes[u];
+        let bag: Vec<&str> = node.bag.iter().map(|v| h.vertex_name(v)).collect();
+        let cover: Vec<String> = node
+            .weights
+            .iter()
+            .map(|(e, w)| {
+                if w == &Rational::one() {
+                    h.edge_name(*e).to_string()
+                } else {
+                    format!("{}:{}", h.edge_name(*e), w)
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{}[{}] bag={{{}}} cover={{{}}}",
+            "  ".repeat(depth),
+            u,
+            bag.join(","),
+            cover.join(",")
+        );
+        for &c in &self.children[u] {
+            self.render_rec(h, c, depth + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for Decomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Decomposition({} nodes, width {})", self.len(), self.width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_tree() -> Decomposition {
+        // root(0) -> a(1) -> b(2); root -> c(3)
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1]), [0]));
+        let a = d.add_child(0, Node::integral(VertexSet::from_iter([1, 2]), [1]));
+        let _b = d.add_child(a, Node::integral(VertexSet::from_iter([2, 3]), [2]));
+        let _c = d.add_child(0, Node::integral(VertexSet::from_iter([0, 4]), [3]));
+        d
+    }
+
+    #[test]
+    fn structure_queries() {
+        let d = simple_tree();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.root(), 0);
+        assert_eq!(d.parent(1), Some(0));
+        assert_eq!(d.children(0), &[1, 3]);
+        assert_eq!(d.subtree(1), vec![1, 2]);
+        assert_eq!(d.subtree_vertices(1).to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn path_between_nodes() {
+        let d = simple_tree();
+        assert_eq!(d.path_between(2, 3), vec![2, 1, 0, 3]);
+        assert_eq!(d.path_between(1, 1), vec![1]);
+        assert_eq!(d.path_between(0, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn width_is_max_node_weight() {
+        let mut d = simple_tree();
+        assert_eq!(d.width(), Rational::one());
+        d.node_mut(2).weights.push((3, Rational::from_frac(1, 2)));
+        assert_eq!(d.width(), Rational::from_frac(3, 2));
+    }
+
+    #[test]
+    fn splice_out_preserves_tree() {
+        let mut d = simple_tree();
+        d.splice_out(1); // b should hang off the root now
+        assert_eq!(d.len(), 3);
+        // All remaining nodes reachable from root.
+        assert_eq!(d.subtree(0).len(), 3);
+        let subtree_bags: Vec<Vec<usize>> = d
+            .subtree(0)
+            .iter()
+            .map(|&u| d.node(u).bag.to_vec())
+            .collect();
+        assert!(subtree_bags.contains(&vec![2, 3]));
+        assert!(subtree_bags.contains(&vec![0, 4]));
+    }
+
+    #[test]
+    fn node_cover_sets() {
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let mut n = Node::integral(VertexSet::from_iter([0, 1]), [0]);
+        assert_eq!(n.covered_set(&h).to_vec(), vec![0, 1]);
+        assert!(n.is_integral());
+        n.weights = vec![(0, Rational::from_frac(1, 2)), (1, Rational::from_frac(1, 2))];
+        assert!(!n.is_integral());
+        // Only v1 gets total weight 1.
+        assert_eq!(n.covered_set(&h).to_vec(), vec![1]);
+        assert_eq!(n.weight(), Rational::one());
+    }
+}

@@ -1,0 +1,441 @@
+//! Validators for every decomposition condition in the paper.
+//!
+//! * conditions (1)–(3') of Definitions 2.4/2.6 — FHD validity,
+//! * integrality — GHD validity,
+//! * the special condition (4) of Definition 2.5 — HD validity,
+//! * the weak special condition (Definition 6.3),
+//! * `c`-bounded fractional part (Definition 6.2),
+//! * strictness (Definition 5.18) and fractional normal form
+//!   (Definition 5.20).
+//!
+//! Every algorithm in the workspace funnels its output through these checks
+//! in tests, so the validators are deliberately written straight from the
+//! definitions with no shortcuts shared with the solvers.
+
+use crate::types::Decomposition;
+use arith::Rational;
+use hypergraph::{components, Hypergraph, VertexSet};
+
+/// A violated decomposition condition, with enough context to debug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Condition 1: this edge is contained in no bag.
+    EdgeNotCovered {
+        /// The uncovered edge.
+        edge: usize,
+    },
+    /// Condition 2: the nodes containing this vertex are not connected.
+    DisconnectedVertex {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// Condition 3/3': the bag is not covered by the node's weight function.
+    BagNotCovered {
+        /// The node.
+        node: usize,
+        /// A bag vertex with total weight < 1.
+        vertex: usize,
+    },
+    /// A weight outside `[0, 1]`.
+    WeightOutOfRange {
+        /// The node.
+        node: usize,
+        /// The edge with the bad weight.
+        edge: usize,
+    },
+    /// A fractional weight where an integral one (0 or 1) is required.
+    NotIntegral {
+        /// The node.
+        node: usize,
+        /// The fractionally-weighted edge.
+        edge: usize,
+    },
+    /// Condition 4 (special condition): `V(T_u) ∩ B(λ_u) ⊄ B_u`.
+    SpecialConditionViolated {
+        /// The node `u`.
+        node: usize,
+        /// A vertex of `B(λ_u) ∩ V(T_u) \ B_u`.
+        vertex: usize,
+    },
+    /// Weak special condition (Definition 6.3) violated.
+    WeakSpecialConditionViolated {
+        /// The node `u`.
+        node: usize,
+        /// A vertex of `B(γ_u|_S) ∩ V(T_u) \ B_u`.
+        vertex: usize,
+    },
+    /// FNF condition 1: a child subtree spans zero or several components.
+    FnfComponentMismatch {
+        /// The child node `s`.
+        node: usize,
+    },
+    /// FNF condition 2: `B_s ∩ C_r = ∅`.
+    FnfEmptyComponentIntersection {
+        /// The child node `s`.
+        node: usize,
+    },
+    /// FNF condition 3: `B(γ_s) ∩ B_r ⊄ B_s`.
+    FnfCoveredParentVertexDropped {
+        /// The child node `s`.
+        node: usize,
+        /// The dropped vertex.
+        vertex: usize,
+    },
+}
+
+/// Checks conditions (1), (2), (3') of Definition 2.6 — i.e. that `d` is a
+/// valid **FHD** of `h` — plus the range condition `γ_u : E → [0,1]`.
+pub fn validate_fhd(h: &Hypergraph, d: &Decomposition) -> Result<(), Violation> {
+    // Weights in range.
+    for (u, node) in d.nodes().iter().enumerate() {
+        for (e, w) in &node.weights {
+            if w.is_negative() || w > &Rational::one() {
+                return Err(Violation::WeightOutOfRange { node: u, edge: *e });
+            }
+        }
+    }
+    // Condition 1: every edge inside some bag.
+    for e in 0..h.num_edges() {
+        if !(0..d.len()).any(|u| h.edge(e).is_subset(&d.node(u).bag)) {
+            return Err(Violation::EdgeNotCovered { edge: e });
+        }
+    }
+    // Condition 2: connectedness of every vertex's node set.
+    for v in 0..h.num_vertices() {
+        if !vertex_nodes_connected(d, v) {
+            return Err(Violation::DisconnectedVertex { vertex: v });
+        }
+    }
+    // Condition 3': B_u ⊆ B(γ_u).
+    for (u, node) in d.nodes().iter().enumerate() {
+        let covered = node.covered_set(h);
+        if let Some(v) = node.bag.iter().find(|&v| !covered.contains(v)) {
+            return Err(Violation::BagNotCovered { node: u, vertex: v });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `d` is a valid **GHD**: FHD conditions plus integral weights.
+pub fn validate_ghd(h: &Hypergraph, d: &Decomposition) -> Result<(), Violation> {
+    for (u, node) in d.nodes().iter().enumerate() {
+        if let Some((e, _)) = node
+            .weights
+            .iter()
+            .find(|(_, w)| !w.is_zero() && w != &Rational::one())
+        {
+            return Err(Violation::NotIntegral { node: u, edge: *e });
+        }
+    }
+    validate_fhd(h, d)
+}
+
+/// Checks that `d` is a valid **HD**: GHD plus the special condition
+/// (Definition 2.5, condition 4): `V(T_u) ∩ B(λ_u) ⊆ B_u` at every node.
+pub fn validate_hd(h: &Hypergraph, d: &Decomposition) -> Result<(), Violation> {
+    validate_ghd(h, d)?;
+    for u in 0..d.len() {
+        let covered = d.node(u).covered_set(h);
+        let subtree = d.subtree_vertices(u);
+        let mut escape = covered.intersection(&subtree);
+        escape.difference_with(&d.node(u).bag);
+        if let Some(v) = escape.first() {
+            return Err(Violation::SpecialConditionViolated { node: u, vertex: v });
+        }
+    }
+    Ok(())
+}
+
+/// Weak special condition (Definition 6.3): for
+/// `S = {e | γ_u(e) = 1}`, `B(γ_u|_S) ∩ V(T_u) ⊆ B_u` at every node.
+pub fn validate_weak_special(h: &Hypergraph, d: &Decomposition) -> Result<(), Violation> {
+    for u in 0..d.len() {
+        let s: Vec<usize> = d
+            .node(u)
+            .weights
+            .iter()
+            .filter(|(_, w)| w == &Rational::one())
+            .map(|(e, _)| *e)
+            .collect();
+        let covered = h.union_of_edges(s);
+        let subtree = d.subtree_vertices(u);
+        let mut escape = covered.intersection(&subtree);
+        escape.difference_with(&d.node(u).bag);
+        if let Some(v) = escape.first() {
+            return Err(Violation::WeakSpecialConditionViolated { node: u, vertex: v });
+        }
+    }
+    Ok(())
+}
+
+/// `c`-bounded fractional part (Definition 6.2): at every node, the vertices
+/// covered purely by the fractional (< 1) weights number at most `c`.
+pub fn has_c_bounded_fractional_part(h: &Hypergraph, d: &Decomposition, c: usize) -> bool {
+    d.nodes().iter().all(|node| {
+        let r: Vec<usize> = node
+            .weights
+            .iter()
+            .filter(|(_, w)| !w.is_zero() && w < &Rational::one())
+            .map(|(e, _)| *e)
+            .collect();
+        node.covered_set_restricted(h, &r).len() <= c
+    })
+}
+
+/// Strictness (Definition 5.18): `B_u = B(γ_u) = ⋃ supp(γ_u)` at every node.
+pub fn is_strict(h: &Hypergraph, d: &Decomposition) -> bool {
+    d.nodes().iter().all(|node| {
+        let union = h.union_of_edges(node.support());
+        node.bag == union && node.covered_set(h) == union
+    })
+}
+
+/// Fractional normal form (Definition 5.20). Assumes `d` is a valid FHD.
+pub fn validate_fnf(h: &Hypergraph, d: &Decomposition) -> Result<(), Violation> {
+    for s in 0..d.len() {
+        let Some(r) = d.parent(s) else { continue };
+        let br = &d.node(r).bag;
+        let bs = &d.node(s).bag;
+        let vts = d.subtree_vertices(s);
+        // Condition 1: exactly one [B_r]-component C_r with
+        // V(T_s) = C_r ∪ (B_r ∩ B_s).
+        let outside = vts.difference(br);
+        let comps = components::components(h, br);
+        let matching: Vec<&VertexSet> = comps.iter().filter(|c| c.intersects(&vts)).collect();
+        if matching.len() != 1 {
+            return Err(Violation::FnfComponentMismatch { node: s });
+        }
+        let cr = matching[0];
+        if &outside != cr || vts != cr.union(&br.intersection(bs)) {
+            return Err(Violation::FnfComponentMismatch { node: s });
+        }
+        // Condition 2: B_s ∩ C_r ≠ ∅.
+        if !bs.intersects(cr) {
+            return Err(Violation::FnfEmptyComponentIntersection { node: s });
+        }
+        // Condition 3: B(γ_s) ∩ B_r ⊆ B_s.
+        let covered = d.node(s).covered_set(h);
+        let mut escape = covered.intersection(br);
+        escape.difference_with(bs);
+        if let Some(v) = escape.first() {
+            return Err(Violation::FnfCoveredParentVertexDropped { node: s, vertex: v });
+        }
+    }
+    Ok(())
+}
+
+/// The *full* special condition applied to fractional covers — the
+/// `sc-fhw` notion of the paper's concluding open question (i):
+/// `B(γ_u) ∩ V(T_u) ⊆ B_u` at every node. Strictly stronger than the weak
+/// special condition (Definition 6.3); whether bounded `sc-fhw` is
+/// recognizable in polynomial time is open.
+pub fn validate_fhd_special(h: &Hypergraph, d: &Decomposition) -> Result<(), Violation> {
+    for u in 0..d.len() {
+        let covered = d.node(u).covered_set(h);
+        let subtree = d.subtree_vertices(u);
+        let mut escape = covered.intersection(&subtree);
+        escape.difference_with(&d.node(u).bag);
+        if let Some(v) = escape.first() {
+            return Err(Violation::SpecialConditionViolated { node: u, vertex: v });
+        }
+    }
+    Ok(())
+}
+
+/// `treecomp(s)` for an FNF decomposition (Section 6.1): `V(H)` at the root,
+/// otherwise the unique `[B_r]`-component `C_r` with
+/// `V(T_s) = C_r ∪ (B_r ∩ B_s)`.
+pub fn treecomp(h: &Hypergraph, d: &Decomposition, s: usize) -> VertexSet {
+    match d.parent(s) {
+        None => h.all_vertices(),
+        Some(r) => {
+            let vts = d.subtree_vertices(s);
+            vts.difference(&d.node(r).bag)
+        }
+    }
+}
+
+fn vertex_nodes_connected(d: &Decomposition, v: usize) -> bool {
+    let holders: Vec<usize> = (0..d.len())
+        .filter(|&u| d.node(u).bag.contains(v))
+        .collect();
+    if holders.len() <= 1 {
+        return true;
+    }
+    let holder_set: std::collections::HashSet<usize> = holders.iter().copied().collect();
+    // BFS in the tree restricted to holder nodes.
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![holders[0]];
+    seen.insert(holders[0]);
+    while let Some(u) = stack.pop() {
+        let mut neighbors: Vec<usize> = d.children(u).to_vec();
+        if let Some(p) = d.parent(u) {
+            neighbors.push(p);
+        }
+        for n in neighbors {
+            if holder_set.contains(&n) && seen.insert(n) {
+                stack.push(n);
+            }
+        }
+    }
+    seen.len() == holders.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Node;
+    use arith::rat;
+    use hypergraph::generators;
+
+    /// A hand-built width-2 GHD of the 4-cycle: bags {0,1,2} and {0,2,3}.
+    fn cycle4_ghd() -> (Hypergraph, Decomposition) {
+        let h = generators::cycle(4); // edges: e0={0,1}, e1={1,2}, e2={2,3}, e3={3,0}
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1, 2]), [0, 1]));
+        d.add_child(0, Node::integral(VertexSet::from_iter([0, 2, 3]), [2, 3]));
+        (h, d)
+    }
+
+    #[test]
+    fn valid_ghd_accepted_by_all_levels() {
+        let (h, d) = cycle4_ghd();
+        assert_eq!(validate_fhd(&h, &d), Ok(()));
+        assert_eq!(validate_ghd(&h, &d), Ok(()));
+        assert_eq!(validate_hd(&h, &d), Ok(()));
+        assert_eq!(validate_weak_special(&h, &d), Ok(()));
+        assert_eq!(d.width(), Rational::from(2usize));
+    }
+
+    #[test]
+    fn uncovered_edge_detected() {
+        let (h, mut d) = cycle4_ghd();
+        // Shrink the second bag so edge e2 = {2,3} is nowhere covered.
+        d.node_mut(1).bag = VertexSet::from_iter([0, 3]);
+        assert_eq!(
+            validate_fhd(&h, &d),
+            Err(Violation::EdgeNotCovered { edge: 2 })
+        );
+    }
+
+    #[test]
+    fn disconnected_vertex_detected() {
+        let (h, mut d) = cycle4_ghd();
+        // Add a third node re-introducing vertex 1 far from its subtree.
+        let mid = d.add_child(1, Node::integral(VertexSet::from_iter([0, 3]), [3]));
+        d.add_child(mid, Node::integral(VertexSet::from_iter([1]), [0]));
+        assert_eq!(
+            validate_fhd(&h, &d),
+            Err(Violation::DisconnectedVertex { vertex: 1 })
+        );
+    }
+
+    #[test]
+    fn bag_must_be_covered() {
+        let (h, mut d) = cycle4_ghd();
+        d.node_mut(1).weights = vec![(2, Rational::one())]; // drops e3; vertex 0 uncovered
+        assert_eq!(
+            validate_fhd(&h, &d),
+            Err(Violation::BagNotCovered { node: 1, vertex: 0 })
+        );
+    }
+
+    #[test]
+    fn weight_range_enforced() {
+        let (h, mut d) = cycle4_ghd();
+        d.node_mut(0).weights = vec![(0, rat(3, 2)), (1, Rational::one())];
+        assert_eq!(
+            validate_fhd(&h, &d),
+            Err(Violation::WeightOutOfRange { node: 0, edge: 0 })
+        );
+    }
+
+    #[test]
+    fn fractional_weights_fail_ghd_but_pass_fhd() {
+        // Triangle with the 3/2 fractional cover at a single node.
+        let h = generators::cycle(3);
+        let node = Node {
+            bag: VertexSet::from_iter([0, 1, 2]),
+            weights: (0..3).map(|e| (e, rat(1, 2))).collect(),
+        };
+        let d = Decomposition::new(node);
+        assert_eq!(validate_fhd(&h, &d), Ok(()));
+        assert_eq!(d.width(), rat(3, 2));
+        assert!(matches!(
+            validate_ghd(&h, &d),
+            Err(Violation::NotIntegral { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn special_condition_distinguishes_hd_from_ghd() {
+        // Fig 6(b)-style situation in miniature: path hypergraph
+        // e0={0,1}, e1={1,2}, e2={2,3}; decomposition where the root's
+        // lambda covers vertex 2 but 2 appears below without being in the
+        // root bag.
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1]), [1]));
+        // bag {0,1} covered by e1={1,2}? No — vertex 0 not covered. Use e0.
+        d.node_mut(0).weights = vec![(0, Rational::one()), (1, Rational::one())];
+        d.add_child(0, Node::integral(VertexSet::from_iter([1, 2]), [1]));
+        d.add_child(1, Node::integral(VertexSet::from_iter([2, 3]), [2]));
+        assert_eq!(validate_ghd(&h, &d), Ok(()));
+        // Root's B(λ) ∋ 2 (via e1), 2 ∈ V(T_root) but 2 ∉ B_root: SCV.
+        assert_eq!(
+            validate_hd(&h, &d),
+            Err(Violation::SpecialConditionViolated { node: 0, vertex: 2 })
+        );
+        // Weak special condition coincides with special for integral weights.
+        assert!(validate_weak_special(&h, &d).is_err());
+    }
+
+    #[test]
+    fn c_bounded_fractional_part() {
+        let h = generators::cycle(3);
+        let node = Node {
+            bag: VertexSet::from_iter([0, 1, 2]),
+            weights: (0..3).map(|e| (e, rat(1, 2))).collect(),
+        };
+        let d = Decomposition::new(node);
+        // All three covered vertices come from fractional weights.
+        assert!(has_c_bounded_fractional_part(&h, &d, 3));
+        assert!(!has_c_bounded_fractional_part(&h, &d, 2));
+        // A GHD has 0-bounded fractional part.
+        let (h2, d2) = cycle4_ghd();
+        assert!(has_c_bounded_fractional_part(&h2, &d2, 0));
+    }
+
+    #[test]
+    fn strictness() {
+        let (h, d) = cycle4_ghd();
+        assert!(is_strict(&h, &d)); // bags equal the union of their λ-edges
+        let mut d2 = d.clone();
+        d2.node_mut(0).bag = VertexSet::from_iter([0, 1]); // smaller than ∪λ
+        assert!(!is_strict(&h, &d2));
+    }
+
+    #[test]
+    fn fnf_on_a_clean_example() {
+        let (h, d) = cycle4_ghd();
+        assert_eq!(validate_fnf(&h, &d), Ok(()));
+        assert_eq!(treecomp(&h, &d, 0).len(), 4);
+        assert_eq!(treecomp(&h, &d, 1).to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn fnf_rejects_multi_component_subtrees() {
+        // Root bag {1, 3} of C4 splits the rest into components {0} and {2};
+        // a single child covering both violates FNF condition 1.
+        let h = generators::cycle(4);
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([1, 3]), [0, 2]));
+        // bag {1,3}: e0={0,1} covers 1, e2={2,3} covers 3.
+        d.add_child(
+            0,
+            Node::integral(VertexSet::from_iter([0, 1, 2, 3]), [0, 1, 2, 3]),
+        );
+        assert_eq!(validate_fhd(&h, &d), Ok(()));
+        assert!(matches!(
+            validate_fnf(&h, &d),
+            Err(Violation::FnfComponentMismatch { node: 1 })
+        ));
+    }
+}

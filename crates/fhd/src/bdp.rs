@@ -1,0 +1,362 @@
+//! `Check(FHD, k)` for bounded-degree hypergraphs (Theorem 5.2) through the
+//! characterization of Theorem 5.22:
+//!
+//! > `fhw(H) <= k` iff `H' = H ∪ h_{d,k}(H)` admits a *strict* HD of width
+//! > `<= k·d` in normal form whose every node `u` satisfies
+//! > `rho*(H_{λ_u}) <= k`.
+//!
+//! The search is the `det-k-decomp` recursion over `H'` with two extra
+//! checks per guessed separator `S` (the modified algorithm in the proof of
+//! Theorem 5.2): strictness `⋃S ⊆ B(λ_r) ∪ treecomp(u)` — in recursion
+//! terms `V(S) ⊆ C_r ∪ V(R)` — and the LP bound `rho*(⋃S via S) <= k`.
+//! A found strict HD converts into an FHD of `H` of width `<= k` by
+//! re-covering each bag fractionally and pushing subedge weights to their
+//! originators.
+
+use crate::subedges::{hdk_subedges, HdkParams};
+use arith::Rational;
+use decomp::{Decomposition, Node};
+use ghd::check::{augment, Augmented};
+use hypergraph::{components, properties, Hypergraph, VertexSet};
+use std::collections::HashMap;
+
+/// Outcome of the bounded-degree FHD check.
+#[derive(Clone, Debug)]
+pub enum FhdAnswer {
+    /// An FHD of `H` of width `<= k`.
+    Yes(Box<Decomposition>),
+    /// Certified: no FHD of width `<= k` exists (complete enumeration).
+    No,
+    /// The subedge enumeration was truncated; a failed search is not a
+    /// certified "no".
+    Unknown,
+}
+
+impl FhdAnswer {
+    /// The witness, if any.
+    pub fn decomposition(&self) -> Option<&Decomposition> {
+        match self {
+            FhdAnswer::Yes(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// True iff a witness was found.
+    pub fn is_yes(&self) -> bool {
+        matches!(self, FhdAnswer::Yes(_))
+    }
+}
+
+/// `Check(FHD, k)` under the bounded degree property (Theorem 5.2).
+///
+/// `k` may be rational (e.g. `3/2`); the support bound is `⌊k·d⌋` per
+/// Lemma 5.6. `params` bounds the `h_{d,k}` enumeration — with the paper's
+/// (galactic) defaults the algorithm is complete; with practical caps the
+/// `No` answer degrades to `Unknown` when truncation occurred.
+pub fn check_fhd_bdp(h: &Hypergraph, k: &Rational, params: HdkParams) -> FhdAnswer {
+    if h.has_isolated_vertices() || !k.is_positive() {
+        return FhdAnswer::No;
+    }
+    let d = properties::degree(h);
+    let aug = augment(h, hdk_subedges(h, d, params));
+    let support_bound = (k * &Rational::from(d)).floor();
+    let support_bound = support_bound.to_i64().unwrap_or(i64::MAX).max(0) as usize;
+    if support_bound == 0 {
+        return FhdAnswer::No;
+    }
+    let hp = &aug.hypergraph;
+    let mut search = StrictSearch {
+        h: hp,
+        k: k.clone(),
+        support_bound,
+        memo: HashMap::new(),
+        plans: Vec::new(),
+        lp_cache: HashMap::new(),
+    };
+    let root = hp.all_vertices();
+    match search.decompose(&root, &VertexSet::new()) {
+        Some(plan) => FhdAnswer::Yes(Box::new(build_fhd(h, &aug, &search, plan))),
+        None if aug.truncated => FhdAnswer::Unknown,
+        None => FhdAnswer::No,
+    }
+}
+
+/// `fhw` upper search for BDP instances: smallest integer `k <= max_k`
+/// accepted by [`check_fhd_bdp`].
+pub fn fhw_bdp_integer_search(
+    h: &Hypergraph,
+    max_k: usize,
+    params: HdkParams,
+) -> Option<(usize, Decomposition)> {
+    for k in 1..=max_k {
+        if let FhdAnswer::Yes(d) = check_fhd_bdp(h, &Rational::from(k), params) {
+            return Some((k, *d));
+        }
+    }
+    None
+}
+
+struct PlanNode {
+    sep: Vec<usize>,
+    children: Vec<usize>,
+}
+
+struct StrictSearch<'a> {
+    h: &'a Hypergraph,
+    k: Rational,
+    support_bound: usize,
+    memo: HashMap<(VertexSet, VertexSet), Option<usize>>,
+    plans: Vec<PlanNode>,
+    /// `sorted S -> rho*(H_λ) <= k?`
+    lp_cache: HashMap<Vec<usize>, bool>,
+}
+
+impl<'a> StrictSearch<'a> {
+    fn decompose(&mut self, comp: &VertexSet, parent_vs: &VertexSet) -> Option<usize> {
+        let comp_edges = self.h.edges_intersecting(comp);
+        let neighborhood = self.h.union_of_edges(comp_edges.iter().copied());
+        let conn = parent_vs.intersection(&neighborhood);
+        // Strictness couples the search to V(R) beyond `conn`: the allowed
+        // separator span is comp ∪ V(R), so key on its trace too.
+        let candidates: Vec<usize> = (0..self.h.num_edges())
+            .filter(|&e| self.h.edge(e).intersects(&neighborhood))
+            .collect();
+        let span = self.h.union_of_edges(candidates.iter().copied());
+        let allowed = comp.union(&parent_vs.intersection(&span));
+        let key = (comp.clone(), allowed.clone());
+        if let Some(hit) = self.memo.get(&key) {
+            return *hit;
+        }
+        let mut chosen = Vec::new();
+        let res = self.dfs(comp, &conn, &allowed, &comp_edges, &candidates, 0, &mut chosen);
+        self.memo.insert(key, res);
+        res
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &mut self,
+        comp: &VertexSet,
+        conn: &VertexSet,
+        allowed: &VertexSet,
+        comp_edges: &[usize],
+        candidates: &[usize],
+        start: usize,
+        chosen: &mut Vec<usize>,
+    ) -> Option<usize> {
+        if !chosen.is_empty() {
+            if let Some(plan) = self.try_separator(comp, conn, allowed, comp_edges, chosen) {
+                return Some(plan);
+            }
+        }
+        if chosen.len() == self.support_bound {
+            return None;
+        }
+        for (i, &e) in candidates.iter().enumerate().skip(start) {
+            // Strictness pruning: every separator edge must stay inside
+            // comp ∪ V(R).
+            if !self.h.edge(e).is_subset(allowed) {
+                continue;
+            }
+            chosen.push(e);
+            let res = self.dfs(comp, conn, allowed, comp_edges, candidates, i + 1, chosen);
+            chosen.pop();
+            if res.is_some() {
+                return res;
+            }
+        }
+        None
+    }
+
+    fn try_separator(
+        &mut self,
+        comp: &VertexSet,
+        conn: &VertexSet,
+        _allowed: &VertexSet,
+        comp_edges: &[usize],
+        chosen: &[usize],
+    ) -> Option<usize> {
+        let vs = self.h.union_of_edges(chosen.iter().copied());
+        if !conn.is_subset(&vs) || !vs.intersects(comp) {
+            return None;
+        }
+        // rho*(H_λ) <= k on the separator's own hypergraph.
+        if !self.cover_ok(chosen) {
+            return None;
+        }
+        let mut children = Vec::new();
+        for sub in components::components(self.h, &vs) {
+            if !sub.is_subset(comp) {
+                continue;
+            }
+            let plan = self.decompose(&sub, &vs)?;
+            children.push(plan);
+        }
+        // Edge coverage exactly as in det-k-decomp.
+        for &e in comp_edges {
+            let edge = self.h.edge(e);
+            if edge.is_subset(&vs) {
+                continue;
+            }
+            let remainder = edge.difference(&vs);
+            let ok = components::components(self.h, &vs)
+                .into_iter()
+                .any(|sub| sub.is_subset(comp) && remainder.is_subset(&sub));
+            if !ok {
+                return None;
+            }
+        }
+        self.plans.push(PlanNode {
+            sep: chosen.to_vec(),
+            children,
+        });
+        Some(self.plans.len() - 1)
+    }
+
+    fn cover_ok(&mut self, sep: &[usize]) -> bool {
+        let key = sep.to_vec();
+        if let Some(hit) = self.lp_cache.get(&key) {
+            return *hit;
+        }
+        // Fractional edge cover of ⋃S using only the edges of S.
+        let target = self.h.union_of_edges(sep.iter().copied());
+        let sub = Hypergraph::from_edges(
+            self.h.num_vertices(),
+            sep.iter().map(|&e| self.h.edge(e).to_vec()).collect(),
+        );
+        let ok = match cover::fractional_cover(&sub, &target) {
+            Some(c) => c.weight <= self.k,
+            None => false,
+        };
+        self.lp_cache.insert(key, ok);
+        ok
+    }
+}
+
+/// Materializes the FHD of the *original* hypergraph from a strict plan:
+/// bag `= ⋃S`, weights = optimal fractional cover of the bag by the
+/// separator's edges, pushed to originators.
+fn build_fhd(h: &Hypergraph, aug: &Augmented, search: &StrictSearch, plan: usize) -> Decomposition {
+    fn node_for(h: &Hypergraph, aug: &Augmented, sep: &[usize]) -> Node {
+        let hp = &aug.hypergraph;
+        let bag = hp.union_of_edges(sep.iter().copied());
+        let sub = Hypergraph::from_edges(
+            hp.num_vertices(),
+            sep.iter().map(|&e| hp.edge(e).to_vec()).collect(),
+        );
+        let c = cover::fractional_cover(&sub, &bag).expect("separator covers its own union");
+        let mut weights: Vec<(usize, Rational)> = Vec::new();
+        for (local, w) in c.weights.into_iter().enumerate() {
+            if w.is_zero() {
+                continue;
+            }
+            let orig = aug.originator[sep[local]];
+            match weights.iter_mut().find(|(e, _)| *e == orig) {
+                // Two subedges of one originator: their combined weight on
+                // the originator still covers both parts; cap at 1.
+                Some((_, w0)) => {
+                    *w0 = (&*w0 + &w).min(Rational::one());
+                }
+                None => weights.push((orig, w)),
+            }
+        }
+        let _ = h;
+        Node { bag, weights }
+    }
+
+    fn attach(
+        h: &Hypergraph,
+        aug: &Augmented,
+        search: &StrictSearch,
+        plan: usize,
+        d: &mut Decomposition,
+        parent: Option<usize>,
+    ) {
+        let p = &search.plans[plan];
+        let node = node_for(h, aug, &p.sep);
+        let id = match parent {
+            None => {
+                *d.node_mut(0) = node;
+                0
+            }
+            Some(pid) => d.add_child(pid, node),
+        };
+        for &c in &p.children {
+            attach(h, aug, search, c, d, Some(id));
+        }
+    }
+
+    let mut d = Decomposition::new(Node::integral(VertexSet::new(), []));
+    attach(h, aug, search, plan, &mut d, None);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arith::rat;
+    use decomp::validate;
+    use hypergraph::generators;
+
+    fn params() -> HdkParams {
+        HdkParams::default()
+    }
+
+    #[test]
+    fn acyclic_accepted_at_k_1() {
+        let h = generators::path(5);
+        let ans = check_fhd_bdp(&h, &Rational::one(), params());
+        let d = ans.decomposition().expect("paths have fhw 1");
+        assert_eq!(validate::validate_fhd(&h, &d.clone()), Ok(()));
+        assert!(d.width() <= Rational::one());
+    }
+
+    #[test]
+    fn triangle_accepted_at_three_halves() {
+        // fhw(C3) = 3/2 — the fractional optimum must be found, and k = 4/3
+        // must be rejected.
+        let h = generators::cycle(3);
+        let yes = check_fhd_bdp(&h, &rat(3, 2), params());
+        let d = yes.decomposition().expect("fhw(C3) = 3/2");
+        assert_eq!(validate::validate_fhd(&h, &d.clone()), Ok(()));
+        assert!(d.width() <= rat(3, 2));
+        let no = check_fhd_bdp(&h, &rat(4, 3), params());
+        assert!(!no.is_yes());
+    }
+
+    #[test]
+    fn cycles_need_2() {
+        let h = generators::cycle(5);
+        assert!(!check_fhd_bdp(&h, &rat(3, 2), params()).is_yes());
+        let yes = check_fhd_bdp(&h, &rat(2, 1), params());
+        let d = yes.decomposition().expect("fhw(C5) = 2");
+        assert_eq!(validate::validate_fhd(&h, &d.clone()), Ok(()));
+    }
+
+    #[test]
+    fn agreement_with_exact_fhw_on_bounded_degree_corpus() {
+        for seed in 0..3u64 {
+            let h = generators::random_bounded_degree(8, 5, 2, 3, seed);
+            let Some((exact, _)) = crate::exact::fhw_exact(&h, None) else {
+                continue;
+            };
+            let ans = check_fhd_bdp(&h, &exact, params());
+            assert!(
+                ans.is_yes(),
+                "seed {seed}: BDP check must accept fhw = {exact}"
+            );
+            if let Some(d) = ans.decomposition() {
+                assert_eq!(validate::validate_fhd(&h, &d.clone()), Ok(()), "seed {seed}");
+                assert!(d.width() <= exact, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_search() {
+        let h = generators::cycle(4);
+        let (k, d) = fhw_bdp_integer_search(&h, 3, params()).unwrap();
+        assert_eq!(k, 2);
+        assert_eq!(validate::validate_fhd(&h, &d), Ok(()));
+    }
+}

@@ -1,0 +1,183 @@
+//! Types and classes (Definitions 5.7–5.10): the combinatorial vocabulary
+//! behind the intersection forests of Algorithm 2.
+//!
+//! A *type* is a set of edges; its *class* is their intersection. Every set
+//! `B(γ)` is a union of classes of the support of `γ` (Lemma 5.10), which
+//! bounds the number of candidate `B(γ)`-sets by `2^{|C(S)|}`.
+
+use arith::Rational;
+use hypergraph::{Hypergraph, VertexSet};
+use std::collections::HashSet;
+
+/// `C(S)`: all distinct non-empty classes `⋂ t` over non-empty types
+/// `t ⊆ S` (Definition 5.9). `S` is a set of edge indices; `|S| <= 20`.
+pub fn classes(h: &Hypergraph, support: &[usize]) -> Vec<VertexSet> {
+    assert!(support.len() <= 20, "class enumeration limited to 20 edges");
+    let mut seen: HashSet<VertexSet> = HashSet::new();
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << support.len()) {
+        let members = support
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &e)| e);
+        let class = h.intersection_of_edges(members);
+        if !class.is_empty() && seen.insert(class.clone()) {
+            out.push(class);
+        }
+    }
+    out
+}
+
+/// The unique *maximal* type of a class `c`: `{e ∈ E(H) | c ⊆ e}`
+/// (Definition 5.9).
+pub fn maximal_type(h: &Hypergraph, class: &VertexSet) -> Vec<usize> {
+    (0..h.num_edges())
+        .filter(|&e| class.is_subset(h.edge(e)))
+        .collect()
+}
+
+/// `B(γ)` expressed through classes: the union of `class(t)` over all types
+/// `t ⊆ supp(γ)` with `γ(t) = Σ_{e ∈ t} γ(e) >= 1` (the observation after
+/// Definition 5.9). Equal to the direct per-vertex computation; used to test
+/// Lemma 5.10.
+pub fn covered_via_classes(h: &Hypergraph, weights: &[(usize, Rational)]) -> VertexSet {
+    let support: Vec<usize> = weights
+        .iter()
+        .filter(|(_, w)| !w.is_zero())
+        .map(|(e, _)| *e)
+        .collect();
+    assert!(support.len() <= 20);
+    let mut out = VertexSet::new();
+    for mask in 1u32..(1u32 << support.len()) {
+        let total: Rational = support
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, e)| {
+                weights
+                    .iter()
+                    .find(|(e2, _)| e2 == e)
+                    .map(|(_, w)| w.clone())
+                    .unwrap_or_else(Rational::zero)
+            })
+            .sum();
+        if total >= Rational::one() {
+            let members = support
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e);
+            out.union_with(&h.intersection_of_edges(members));
+        }
+    }
+    out
+}
+
+/// All unions of at most `arity` classes from `classes` — the family
+/// `⋓_arity C(S)` of Definition 5.7, deduplicated, capped at `cap` members.
+/// Returns `(sets, truncated)`.
+pub fn unions_of_classes(
+    classes: &[VertexSet],
+    arity: usize,
+    cap: usize,
+) -> (Vec<VertexSet>, bool) {
+    let mut seen: HashSet<VertexSet> = HashSet::new();
+    let mut out: Vec<VertexSet> = Vec::new();
+    // Level-wise closure: unions of exactly j classes extend unions of j-1.
+    let mut frontier: Vec<VertexSet> = vec![VertexSet::new()];
+    for _ in 0..arity {
+        let mut next = Vec::new();
+        for base in &frontier {
+            for c in classes {
+                let u = base.union(c);
+                if !u.is_empty() && seen.insert(u.clone()) {
+                    if out.len() >= cap {
+                        return (out, true);
+                    }
+                    out.push(u.clone());
+                    next.push(u);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    (out, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arith::rat;
+    use hypergraph::generators;
+
+    #[test]
+    fn classes_of_a_triangle() {
+        let h = generators::cycle(3); // e0={0,1}, e1={1,2}, e2={0,2}
+        let s: Vec<usize> = vec![0, 1, 2];
+        let cs = classes(&h, &s);
+        // Singles {0,1},{1,2},{0,2} plus pairwise {1},{0},{2}; triple empty.
+        assert_eq!(cs.len(), 6);
+    }
+
+    #[test]
+    fn maximal_type_is_maximal() {
+        let h = generators::cycle(3);
+        let class = VertexSet::from_iter([1]);
+        let t = maximal_type(&h, &class);
+        assert_eq!(t, vec![0, 1]); // both edges containing vertex 1
+    }
+
+    #[test]
+    fn lemma_5_10_b_gamma_is_union_of_classes() {
+        // The fractional cover of the triangle with weight 1/2 everywhere:
+        // B(γ) = all three vertices, realized through the pairwise types.
+        let h = generators::cycle(3);
+        let weights: Vec<(usize, Rational)> = (0..3).map(|e| (e, rat(1, 2))).collect();
+        let via_classes = covered_via_classes(&h, &weights);
+        let direct = {
+            let mut dense = vec![Rational::zero(); h.num_edges()];
+            for (e, w) in &weights {
+                dense[*e] = w.clone();
+            }
+            cover::covered_vertices(&h, &dense)
+        };
+        assert_eq!(via_classes, direct);
+    }
+
+    #[test]
+    fn lemma_5_10_on_random_weightings() {
+        let h = generators::example_5_1(4);
+        // A few deterministic pseudo-random weightings.
+        for salt in 0..6u64 {
+            let weights: Vec<(usize, Rational)> = (0..h.num_edges())
+                .map(|e| (e, rat(((salt * 7 + e as u64 * 13) % 5) as i64, 4)))
+                .filter(|(_, w)| !w.is_zero() && *w <= Rational::one())
+                .collect();
+            let via = covered_via_classes(&h, &weights);
+            let mut dense = vec![Rational::zero(); h.num_edges()];
+            for (e, w) in &weights {
+                dense[*e] = w.clone();
+            }
+            assert_eq!(via, cover::covered_vertices(&h, &dense), "salt {salt}");
+        }
+    }
+
+
+    #[test]
+    fn union_family_size_bounds() {
+        let h = generators::cycle(3);
+        let cs = classes(&h, &[0, 1, 2]);
+        let (unions, truncated) = unions_of_classes(&cs, 2, 1000);
+        assert!(!truncated);
+        // |⋓_i S| <= |S|^{i+1} (Definition 5.7's remark).
+        assert!(unions.len() <= cs.len().pow(3));
+        // Cap honoured.
+        let (capped, truncated) = unions_of_classes(&cs, 3, 4);
+        assert!(truncated);
+        assert_eq!(capped.len(), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Exact `fhw` baseline: elimination-order DP with the fractional edge
+//! cover number `rho*` (computed by exact LP) as the bag cost. Widths are
+//! exact rationals — e.g. `fhw(C3) = 3/2` comes out as the literal fraction.
+
+use arith::Rational;
+use decomp::Decomposition;
+use ghd::elimination::{assemble, optimal_elimination};
+use hypergraph::Hypergraph;
+
+/// Computes `fhw(H)` exactly together with an optimal FHD.
+///
+/// Returns `None` when `H` exceeds the subset-DP size limit, has isolated
+/// vertices, or `cutoff` is given and `fhw(H) >= cutoff`.
+pub fn fhw_exact(h: &Hypergraph, cutoff: Option<Rational>) -> Option<(Rational, Decomposition)> {
+    if h.has_isolated_vertices() {
+        return None;
+    }
+    let (width, order) = optimal_elimination(
+        h,
+        |bag| {
+            cover::fractional_cover(h, bag)
+                .expect("no isolated vertices, so every bag is coverable")
+                .weight
+        },
+        cutoff,
+    )?;
+    let d = assemble(h, &order, |bag| {
+        let c = cover::fractional_cover(h, bag).expect("coverable");
+        c.weights
+            .into_iter()
+            .enumerate()
+            .filter(|(_, w)| !w.is_zero())
+            .collect()
+    });
+    debug_assert!(d.width() <= width);
+    Some((width, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arith::rat;
+    use decomp::validate;
+    use hypergraph::generators;
+
+    fn assert_fhw(h: &Hypergraph, expected: Rational) {
+        let (w, d) = fhw_exact(h, None).expect("small instance");
+        assert_eq!(w, expected);
+        assert_eq!(validate::validate_fhd(h, &d), Ok(()), "{}", d.render(h));
+        assert!(d.width() <= expected);
+    }
+
+    #[test]
+    fn triangle_is_three_halves() {
+        assert_fhw(&generators::cycle(3), rat(3, 2));
+    }
+
+    #[test]
+    fn longer_cycles_are_2() {
+        for n in 4..8 {
+            assert_fhw(&generators::cycle(n), rat(2, 1));
+        }
+    }
+
+    #[test]
+    fn cliques_are_half_n() {
+        // Lemma 2.3 (and its odd extension): fhw(K_m) = m/2.
+        for m in 3..7i64 {
+            assert_fhw(&generators::clique(m as usize), rat(m, 2));
+        }
+    }
+
+    #[test]
+    fn acyclic_is_1() {
+        assert_fhw(&generators::path(6), rat(1, 1));
+        assert_fhw(&generators::cq_chain(4, 3, 1), rat(1, 1));
+    }
+
+    #[test]
+    fn example_4_3_fhw_is_2() {
+        // fhw <= ghw = 2, and the 4-clique-free structure still forces 2
+        // (H0 is cyclic with only small edges).
+        let h = generators::example_4_3();
+        let (w, _) = fhw_exact(&h, None).unwrap();
+        assert!(w > Rational::one());
+        assert!(w <= rat(2, 1));
+    }
+
+    #[test]
+    fn hierarchy_fhw_le_ghw_le_hw() {
+        // Lemma-level sanity across engines on a mixed corpus.
+        for seed in 0..4u64 {
+            let h = generators::random_bip(8, 6, 2, 3, seed);
+            let (fhw, _) = fhw_exact(&h, None).unwrap();
+            let (ghw, _) = ghd::ghw_exact(&h, None).unwrap();
+            let hw = hd::hypertree_width(&h, 6).map(|(w, _)| w).unwrap();
+            assert!(fhw <= Rational::from(ghw), "seed {seed}");
+            assert!(ghw <= hw, "seed {seed}");
+            // Adler-Gottlob-Grohe: hw <= 3*ghw + 1.
+            assert!(hw <= 3 * ghw + 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma_2_7_monotone_under_induced_subhypergraphs() {
+        let h = generators::example_4_3();
+        let (whole, _) = fhw_exact(&h, None).unwrap();
+        // Drop two vertices; fhw must not increase.
+        let mut w = h.all_vertices();
+        w.remove(0);
+        w.remove(5);
+        let (sub, _, _) = h.induced(&w);
+        if !sub.has_isolated_vertices() {
+            let (part, _) = fhw_exact(&sub, None).unwrap();
+            assert!(part <= whole);
+        }
+    }
+
+    #[test]
+    fn cutoff_certifies_lower_bound() {
+        let h = generators::cycle(3);
+        assert!(fhw_exact(&h, Some(rat(3, 2))).is_none());
+        assert_eq!(fhw_exact(&h, Some(rat(2, 1))).unwrap().0, rat(3, 2));
+    }
+}

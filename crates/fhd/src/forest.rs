@@ -1,0 +1,271 @@
+//! Algorithm 2: intersection forests `IF(ξ)` (Definitions 5.13/5.14).
+//!
+//! A sequence `ξ = (ξ_1, ..., ξ_max)` of groups of at most `k·d` edges
+//! abstracts the supports along a critical path. The forest systematically
+//! rewrites the intersection of unions of classes into a union of
+//! intersections; its fringe `F(ξ)` over-approximates the sets
+//! `⋂_i B(γ_{u_i})` (Lemma 5.16), which is what the subedge function
+//! `h_{d,k}` needs (Lemma 5.17).
+
+use crate::classes::classes;
+use hypergraph::{Hypergraph, VertexSet};
+
+/// Status marks of forest nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mark {
+    /// Alive: the branch can still contribute to the fringe.
+    Ok,
+    /// Dead end: the running intersection hit the empty set at some level.
+    Fail,
+}
+
+/// A node of the intersection forest.
+#[derive(Clone, Debug)]
+pub struct ForestNode {
+    /// `set(v)`: the running intersection (a class intersection).
+    pub set: VertexSet,
+    /// `levels(v)`: the levels of ξ this node is current for.
+    pub levels: Vec<usize>,
+    /// `edges(v) = {e ∈ E(H) | set(v) ⊆ e}` (the maximal type).
+    pub edges: Vec<usize>,
+    /// `mark(v)`.
+    pub mark: Mark,
+    /// Children created by Expand steps.
+    pub children: Vec<ForestNode>,
+}
+
+impl ForestNode {
+    fn new(h: &Hypergraph, set: VertexSet, level: usize) -> ForestNode {
+        let edges = (0..h.num_edges())
+            .filter(|&e| set.is_subset(h.edge(e)))
+            .collect();
+        ForestNode {
+            set,
+            levels: vec![level],
+            edges,
+            mark: Mark::Ok,
+            children: Vec::new(),
+        }
+    }
+
+    /// Depth of the subtree (a single node has depth 0).
+    pub fn depth(&self) -> usize {
+        self.children
+            .iter()
+            .map(|c| 1 + c.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Node count of the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(ForestNode::size).sum::<usize>()
+    }
+}
+
+/// The intersection forest `IF(ξ)` of Algorithm 2.
+#[derive(Clone, Debug)]
+pub struct IntersectionForest {
+    /// One tree per class of `C(ξ_1)`.
+    pub trees: Vec<ForestNode>,
+    /// Number of levels processed (`max(ξ)`).
+    pub levels: usize,
+}
+
+/// Runs Algorithm 2 on the sequence `xi` of edge groups.
+pub fn intersection_forest(h: &Hypergraph, xi: &[Vec<usize>]) -> IntersectionForest {
+    assert!(!xi.is_empty(), "ξ must have at least one group");
+    let mut trees: Vec<ForestNode> = classes(h, &xi[0])
+        .into_iter()
+        .map(|c| ForestNode::new(h, c, 1))
+        .collect();
+    for (idx, group) in xi.iter().enumerate().skip(1) {
+        let level = idx + 1;
+        let group_classes = classes(h, group);
+        for tree in trees.iter_mut() {
+            expand(h, tree, level, &group_classes);
+        }
+    }
+    IntersectionForest {
+        trees,
+        levels: xi.len(),
+    }
+}
+
+fn expand(h: &Hypergraph, node: &mut ForestNode, level: usize, group_classes: &[VertexSet]) {
+    let is_current_leaf =
+        node.children.is_empty() && node.mark == Mark::Ok && node.levels.last() == Some(&(level - 1));
+    if !is_current_leaf {
+        for c in node.children.iter_mut() {
+            expand(h, c, level, group_classes);
+        }
+        return;
+    }
+    let mut all_empty = true;
+    let mut passes = false;
+    let mut expansions: Vec<VertexSet> = Vec::new();
+    for c in group_classes {
+        let isec = node.set.intersection(c);
+        if isec.is_empty() {
+            continue;
+        }
+        all_empty = false;
+        if isec == node.set {
+            passes = true; // Passing: same value continues to this level
+        } else {
+            expansions.push(isec); // Expand: strictly smaller
+        }
+    }
+    if all_empty {
+        node.mark = Mark::Fail; // Dead End
+        return;
+    }
+    if passes {
+        node.levels.push(level);
+    }
+    for isec in expansions {
+        node.children.push(ForestNode::new(h, isec, level));
+    }
+}
+
+impl IntersectionForest {
+    /// `iflevel_i(ξ)` / `F_i(ξ)`: the `set()` values of ok-nodes current at
+    /// level `i` (Definition 5.14).
+    pub fn level_sets(&self, i: usize) -> Vec<VertexSet> {
+        let mut out = Vec::new();
+        for t in &self.trees {
+            collect_level(t, i, &mut out);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The fringe `F(ξ) = F_max(ξ)`.
+    pub fn fringe(&self) -> Vec<VertexSet> {
+        self.level_sets(self.levels)
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        self.trees.iter().map(ForestNode::size).sum()
+    }
+
+    /// Maximum tree depth.
+    pub fn depth(&self) -> usize {
+        self.trees.iter().map(ForestNode::depth).max().unwrap_or(0)
+    }
+}
+
+fn collect_level(node: &ForestNode, i: usize, out: &mut Vec<VertexSet>) {
+    if node.mark == Mark::Ok && node.levels.contains(&i) {
+        out.push(node.set.clone());
+    }
+    for c in &node.children {
+        collect_level(c, i, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arith::Rational;
+    use hypergraph::{generators, properties};
+
+    #[test]
+    fn fact_1_children_gain_edges() {
+        let h = generators::example_4_3();
+        let xi = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        let forest = intersection_forest(&h, &xi);
+        fn walk(n: &ForestNode) {
+            for c in &n.children {
+                assert!(c.edges.len() > n.edges.len(), "Fact 1 violated");
+                assert!(n.edges.iter().all(|e| c.edges.contains(e)));
+                walk(c);
+            }
+        }
+        for t in &forest.trees {
+            walk(t);
+        }
+    }
+
+    #[test]
+    fn fact_2_depth_bounded_by_degree() {
+        for seed in 0..4u64 {
+            let h = generators::random_bounded_degree(10, 8, 3, 3, seed);
+            let d = properties::degree(&h);
+            let xi: Vec<Vec<usize>> = (0..h.num_edges().min(4))
+                .map(|i| vec![i, (i + 1) % h.num_edges()])
+                .collect();
+            let forest = intersection_forest(&h, &xi);
+            assert!(forest.depth() <= d.saturating_sub(1), "Fact 2: depth {} > d-1 {}", forest.depth(), d - 1);
+        }
+    }
+
+    #[test]
+    fn fact_3_size_bound() {
+        // |IF(ξ)| <= a^{d+1} with a = 2^{k·d}; loose but checkable.
+        let h = generators::random_bounded_degree(8, 6, 2, 3, 1);
+        let d = properties::degree(&h);
+        let k = 2usize;
+        let xi: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 3]];
+        let forest = intersection_forest(&h, &xi);
+        let a = 2usize.pow((k * d) as u32);
+        assert!(forest.size() <= a.pow(d as u32 + 1));
+        assert!(forest.fringe().len() <= a.pow(d as u32));
+    }
+
+    #[test]
+    fn lemma_5_16_fringe_covers_intersections_of_b_sets() {
+        // For an actual pair of supports with *integral* weights, the
+        // intersection of the covered sets must be a union of fringe sets.
+        let h = generators::example_4_3();
+        let xi = vec![vec![1, 5], vec![2, 6]]; // supports of two λ's
+        let forest = intersection_forest(&h, &xi);
+        let b1 = h.union_of_edges(xi[0].iter().copied());
+        let b2 = h.union_of_edges(xi[1].iter().copied());
+        let target = b1.intersection(&b2);
+        // Greedily assemble target from fringe members.
+        let mut acc = hypergraph::VertexSet::new();
+        for f in forest.fringe() {
+            if f.is_subset(&target) {
+                acc.union_with(&f);
+            }
+        }
+        assert_eq!(acc, target, "⋂ B(γ_ui) ∈ ⋓F(ξ)");
+    }
+
+    #[test]
+    fn lemma_5_16_with_fractional_weights() {
+        // Fractional supports: B(γ) for γ = 1/2 on each triangle edge.
+        let h = generators::cycle(3);
+        let xi = vec![vec![0, 1, 2], vec![0, 1]];
+        let forest = intersection_forest(&h, &xi);
+        let weights: Vec<(usize, Rational)> =
+            (0..3).map(|e| (e, Rational::from_frac(1, 2))).collect();
+        let b1 = crate::classes::covered_via_classes(&h, &weights);
+        let b2 = h.union_of_edges([0usize, 1]);
+        let target = b1.intersection(&b2);
+        let mut acc = hypergraph::VertexSet::new();
+        for f in forest.fringe() {
+            if f.is_subset(&target) {
+                acc.union_with(&f);
+            }
+        }
+        assert_eq!(acc, target);
+    }
+
+    #[test]
+    fn dead_ends_are_marked() {
+        // Two disjoint groups force Fail marks.
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1], vec![2, 3]]);
+        let forest = intersection_forest(&h, &[vec![0], vec![1]]);
+        fn any_fail(n: &ForestNode) -> bool {
+            n.mark == Mark::Fail || n.children.iter().any(any_fail)
+        }
+        assert!(forest.trees.iter().any(any_fail));
+        assert!(forest.fringe().is_empty());
+    }
+
+    use hypergraph::Hypergraph;
+}

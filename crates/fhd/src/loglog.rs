@@ -1,0 +1,116 @@
+//! Theorem 6.23 / Corollary 6.25: for hypergraphs of bounded VC-dimension
+//! (in particular BMIP classes, Lemma 6.24), an FHD of width `k` converts
+//! into a GHD — even an HD — of width `O(k · log k)` in polynomial time, by
+//! replacing each fractional bag cover with an integral one. The integrality
+//! gap is controlled by the Ding–Seymour–Winkler bound
+//! `tau/tau* <= 2·vc·log(11·tau*)` on the dual.
+
+use arith::Rational;
+use decomp::{Decomposition, Node};
+use hypergraph::Hypergraph;
+
+/// How to pick the integral cover per bag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverMode {
+    /// Exact `rho(B_u)` by branch-and-bound (certifies the theorem bound).
+    Exact,
+    /// Greedy set cover (`ln n` guarantee, polynomial).
+    Greedy,
+}
+
+/// Replaces every node's weight function by an integral edge cover of its
+/// bag, yielding a GHD with the same tree and bags.
+pub fn ghd_from_fhd(h: &Hypergraph, d: &Decomposition, mode: CoverMode) -> Decomposition {
+    let mut out = d.clone();
+    for u in 0..out.len() {
+        let bag = out.node(u).bag.clone();
+        let cover = match mode {
+            CoverMode::Exact => cover::integral_cover(h, &bag),
+            CoverMode::Greedy => cover::greedy_cover(h, &bag),
+        }
+        .expect("bags of a valid FHD are coverable");
+        *out.node_mut(u) = Node::integral(bag, cover.edges);
+    }
+    out
+}
+
+/// The Theorem 6.23 integrality-gap bound:
+/// `cigap(H) <= max(1, 2^{vc(H)+2} · log2(11 · rho*))` (we use `log2`,
+/// which upper-bounds the paper's bound for any smaller log base).
+pub fn cigap_bound(vc: usize, rho_star: &Rational) -> f64 {
+    let log = (11.0 * rho_star.to_f64()).log2();
+    (2f64.powi(vc as i32 + 2) * log).max(1.0)
+}
+
+/// The small-instance pipeline: exact FHD, then integral conversion.
+/// Returns `(fhw, ghd)`; `None` for oversized or degenerate inputs.
+pub fn approx_ghw_via_fhw(h: &Hypergraph, mode: CoverMode) -> Option<(Rational, Decomposition)> {
+    let (fhw, fhd) = crate::exact::fhw_exact(h, None)?;
+    Some((fhw, ghd_from_fhd(h, &fhd, mode)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp::validate;
+    use hypergraph::{generators, properties};
+
+    #[test]
+    fn conversion_yields_valid_ghds() {
+        for (h, name) in [
+            (generators::cycle(3), "C3"),
+            (generators::cycle(6), "C6"),
+            (generators::clique(5), "K5"),
+            (generators::example_5_1(4), "Ex5.1"),
+        ] {
+            for mode in [CoverMode::Exact, CoverMode::Greedy] {
+                let (_, g) = approx_ghw_via_fhw(&h, mode).unwrap();
+                assert_eq!(validate::validate_ghd(&h, &g), Ok(()), "{name} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_6_23_ratio_bound_holds() {
+        for (h, name) in [
+            (generators::cycle(3), "C3"),
+            (generators::clique(6), "K6"),
+            (generators::example_5_1(5), "Ex5.1(5)"),
+            (generators::example_4_3(), "Ex4.3"),
+            (generators::random_bip(9, 6, 2, 3, 1), "randBIP"),
+        ] {
+            let (fhw, g) = approx_ghw_via_fhw(&h, CoverMode::Exact).unwrap();
+            let vc = properties::vc_dimension(&h);
+            let ratio = g.width().to_f64() / fhw.to_f64();
+            let bound = cigap_bound(vc, &fhw);
+            assert!(
+                ratio <= bound + 1e-9,
+                "{name}: ratio {ratio} > bound {bound} (vc={vc}, fhw={fhw})"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_6_24_bmip_implies_bounded_vc() {
+        // vc(H) <= c + i whenever c-miwidth(H) <= i.
+        for (h, name) in [
+            (generators::example_4_3(), "Ex4.3"),
+            (generators::grid(3, 3), "grid"),
+            (generators::random_bip(10, 7, 2, 4, 5), "randBIP"),
+        ] {
+            let vc = properties::vc_dimension(&h);
+            for c in 1..=3usize {
+                let i = properties::multi_intersection_width(&h, c);
+                assert!(vc <= c + i, "{name}: vc {vc} > c {c} + i {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_not_much_worse_than_exact() {
+        let h = generators::clique(6);
+        let (_, exact) = approx_ghw_via_fhw(&h, CoverMode::Exact).unwrap();
+        let (_, greedy) = approx_ghw_via_fhw(&h, CoverMode::Greedy).unwrap();
+        assert!(greedy.width() <= exact.width() * Rational::from(2usize));
+    }
+}

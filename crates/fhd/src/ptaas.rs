@@ -1,0 +1,159 @@
+//! Algorithm 4: `FHW-Approximation` — the polynomial-time *absolute*
+//! approximation scheme (PTAAS, Theorem 6.20) for
+//! `K-Bounded-FHW-Optimization`. Binary search over the width, driven by
+//! any `find-fhd(H, k, ε)` oracle with the Theorem 6.1 contract:
+//! *if `fhw(H) <= k`, return an FHD of width `<= k + ε`; otherwise it may
+//! fail*.
+
+use arith::Rational;
+use decomp::Decomposition;
+use hypergraph::Hypergraph;
+
+/// The outcome of [`fhw_approximation`].
+#[derive(Clone, Debug)]
+pub struct PtaasResult {
+    /// The FHD found, of width `<= fhw(H) + ε`.
+    pub decomposition: Decomposition,
+    /// The width of the returned FHD.
+    pub width: Rational,
+    /// The final lower bound `L` (so `fhw(H) ∈ [L, width]`).
+    pub lower_bound: Rational,
+    /// Oracle invocations inside the loop (excludes the initial probe).
+    pub iterations: usize,
+}
+
+/// Algorithm 4. `oracle(h, k, eps)` must satisfy the find-fhd contract.
+/// Returns `None` iff `fhw(H) > K` (the initial probe fails).
+pub fn fhw_approximation<F>(
+    h: &Hypergraph,
+    big_k: &Rational,
+    eps: &Rational,
+    mut oracle: F,
+) -> Option<PtaasResult>
+where
+    F: FnMut(&Hypergraph, &Rational, &Rational) -> Option<Decomposition>,
+{
+    assert!(eps.is_positive(), "ε must be positive");
+    // Check upper bound.
+    let mut best = oracle(h, big_k, eps)?;
+    // Initialization.
+    let mut low = Rational::one();
+    let mut high = big_k + eps;
+    let eps_prime = eps / &Rational::from(3usize);
+    let mut iterations = 0usize;
+    // Main computation.
+    while &high - &low >= *eps {
+        let mid = &low + &((&high - &low) / &Rational::from(2usize));
+        iterations += 1;
+        match oracle(h, &mid, &eps_prime) {
+            Some(d) => {
+                high = &mid + &eps_prime;
+                best = d;
+            }
+            None => {
+                low = mid;
+            }
+        }
+    }
+    let width = best.width();
+    Some(PtaasResult {
+        decomposition: best,
+        width,
+        lower_bound: low,
+        iterations,
+    })
+}
+
+/// The iteration bound proved for Theorem 6.20:
+/// `m = ⌈log2(K'/ε')⌉ (+O(1))` with `K' = K + ε − 1`, `ε' = ε/3`.
+pub fn predicted_iterations(big_k: &Rational, eps: &Rational) -> usize {
+    let kp = big_k + eps - Rational::one();
+    let ep = eps / &Rational::from(3usize);
+    if !kp.is_positive() {
+        return 0;
+    }
+    let ratio = (&kp / &ep).to_f64();
+    ratio.log2().ceil().max(0.0) as usize
+}
+
+/// An *exact* oracle built from the elimination-order DP: returns an
+/// optimal FHD whenever `fhw(H) <= k` (satisfying the find-fhd contract
+/// with any ε). Only valid for small instances.
+pub fn exact_oracle(h: &Hypergraph, k: &Rational, _eps: &Rational) -> Option<Decomposition> {
+    let (w, d) = crate::exact::fhw_exact(h, None)?;
+    (w <= *k).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arith::rat;
+    use decomp::validate;
+    use hypergraph::generators;
+
+    #[test]
+    fn converges_to_fhw_on_triangle() {
+        let h = generators::cycle(3); // fhw = 3/2
+        let eps = rat(1, 4);
+        let res = fhw_approximation(&h, &rat(3, 1), &eps, exact_oracle).unwrap();
+        assert_eq!(validate::validate_fhd(&h, &res.decomposition), Ok(()));
+        // width <= fhw + ε and fhw ∈ [L, width].
+        assert!(res.width <= rat(3, 2) + eps.clone());
+        assert!(res.lower_bound <= rat(3, 2));
+        assert!(res.width >= rat(3, 2));
+    }
+
+    #[test]
+    fn rejects_when_fhw_exceeds_big_k() {
+        let h = generators::clique(6); // fhw = 3
+        assert!(fhw_approximation(&h, &rat(2, 1), &rat(1, 2), exact_oracle).is_none());
+    }
+
+    #[test]
+    fn iteration_count_matches_the_log_bound() {
+        let h = generators::cycle(5); // fhw = 2
+        for (eps_num, eps_den) in [(1i64, 2i64), (1, 4), (1, 8)] {
+            let eps = rat(eps_num, eps_den);
+            let res = fhw_approximation(&h, &rat(4, 1), &eps, exact_oracle).unwrap();
+            let predicted = predicted_iterations(&rat(4, 1), &eps);
+            // The proof gives convergence after ⌈log(K'/ε')⌉ iterations;
+            // allow the small additive constant from the 3ε' < ε slack.
+            assert!(
+                res.iterations <= predicted + 3,
+                "eps {eps}: {} > {}",
+                res.iterations,
+                predicted
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_eps_means_tighter_interval() {
+        let h = generators::cycle(4); // fhw = 2
+        let loose = fhw_approximation(&h, &rat(3, 1), &rat(1, 1), exact_oracle).unwrap();
+        let tight = fhw_approximation(&h, &rat(3, 1), &rat(1, 8), exact_oracle).unwrap();
+        let loose_gap = &loose.width - &loose.lower_bound;
+        let tight_gap = &tight.width - &tight.lower_bound;
+        assert!(tight_gap < loose_gap);
+        assert!(tight_gap < rat(1, 8));
+    }
+
+    #[test]
+    fn works_with_frac_decomp_oracle() {
+        use crate::frac_decomp::{frac_decomp, FracDecompParams};
+        let h = generators::cycle(3);
+        let oracle = |h: &hypergraph::Hypergraph, k: &Rational, eps: &Rational| {
+            frac_decomp(
+                h,
+                &FracDecompParams {
+                    k: k.clone(),
+                    eps: eps.clone(),
+                    c: 3,
+                },
+            )
+        };
+        let res = fhw_approximation(&h, &rat(2, 1), &rat(1, 2), oracle).unwrap();
+        assert_eq!(validate::validate_fhd(&h, &res.decomposition), Ok(()));
+        assert!(res.width <= rat(2, 1)); // 3/2 + 1/2
+    }
+}

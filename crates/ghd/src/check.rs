@@ -1,0 +1,248 @@
+//! `Check(GHD, k)` via subedge augmentation (Theorems 4.11 / 4.15):
+//! `ghw(H) <= k` iff `hw(H') <= k` for `H' = H ∪ f(H,k)`, and any HD of
+//! `H'` of width `k` converts into a GHD of `H` of width `k` by replacing
+//! subedges with their originators.
+
+use crate::subedges::{bip_subedges, bmip_subedges, SubedgeLimits, SubedgeSet};
+use decomp::{Decomposition, Node};
+use hypergraph::{Hypergraph, VertexSet};
+
+/// A hypergraph augmented with subedges, remembering originators.
+#[derive(Clone, Debug)]
+pub struct Augmented {
+    /// `H' = H + f(H,k)`.
+    pub hypergraph: Hypergraph,
+    /// Maps every edge of `H'` to its originator edge of `H` (original
+    /// edges map to themselves).
+    pub originator: Vec<usize>,
+    /// Number of subedges added.
+    pub added: usize,
+    /// Whether the subedge enumeration was truncated (see
+    /// [`SubedgeLimits::max_subedges`]); if so a `None` answer from
+    /// [`check_ghd_bip`] is not a certified "no".
+    pub truncated: bool,
+}
+
+/// Builds `H' = H ∪ f(H,k)`.
+pub fn augment(h: &Hypergraph, f: SubedgeSet) -> Augmented {
+    let mut hp = h.clone();
+    let mut originator: Vec<usize> = (0..h.num_edges()).collect();
+    let added = f.subedges.len();
+    for (i, (s, o)) in f.subedges.into_iter().zip(f.originators).enumerate() {
+        hp.add_edge(format!("sub{i}"), &s);
+        originator.push(o);
+    }
+    Augmented {
+        hypergraph: hp,
+        originator,
+        added,
+        truncated: f.truncated,
+    }
+}
+
+/// Converts an HD of the augmented hypergraph into a GHD of `H` by mapping
+/// every λ-edge to its originator. Bags are unchanged, so width and all GHD
+/// conditions carry over (the special condition is deliberately given up).
+pub fn project_to_original(h: &Hypergraph, aug: &Augmented, d: &Decomposition) -> Decomposition {
+    fn convert(
+        aug: &Augmented,
+        d: &Decomposition,
+        u: usize,
+        out: &mut Decomposition,
+        parent: Option<usize>,
+    ) {
+        let mut weights: Vec<(usize, arith::Rational)> = Vec::new();
+        for (e, w) in &d.node(u).weights {
+            let orig = aug.originator[*e];
+            // Two subedges of the same originator cannot both be needed:
+            // merge by keeping max weight (integral case: both are 1).
+            match weights.iter_mut().find(|(o, _)| *o == orig) {
+                Some((_, w0)) => {
+                    if w > w0 {
+                        *w0 = w.clone();
+                    }
+                }
+                None => weights.push((orig, w.clone())),
+            }
+        }
+        let node = Node {
+            bag: d.node(u).bag.clone(),
+            weights,
+        };
+        let id = match parent {
+            None => out.root(),
+            Some(p) => out.add_child(p, node.clone()),
+        };
+        if parent.is_none() {
+            *out.node_mut(id) = node;
+        }
+        for &c in d.children(u) {
+            convert(aug, d, c, out, Some(id));
+        }
+    }
+    let _ = h;
+    let mut out = Decomposition::new(Node::integral(VertexSet::new(), []));
+    convert(aug, d, d.root(), &mut out, None);
+    out
+}
+
+/// The outcome of a GHD check.
+#[derive(Clone, Debug)]
+pub enum GhdAnswer {
+    /// A GHD of `H` of width `<= k` (paired with the subedge statistics).
+    Yes {
+        /// The witness GHD (over the *original* hypergraph).
+        decomposition: Box<Decomposition>,
+        /// Number of subedges generated for the reduction.
+        subedges_added: usize,
+    },
+    /// No GHD of width `<= k` exists (certified: enumeration was complete).
+    No,
+    /// The subedge enumeration was truncated, so "no HD found" is not a
+    /// certificate; retry with larger [`SubedgeLimits`].
+    Unknown,
+}
+
+impl GhdAnswer {
+    /// The witness decomposition, if the answer is yes.
+    pub fn decomposition(&self) -> Option<&Decomposition> {
+        match self {
+            GhdAnswer::Yes { decomposition, .. } => Some(decomposition),
+            _ => None,
+        }
+    }
+
+    /// True iff the answer is a certified yes.
+    pub fn is_yes(&self) -> bool {
+        matches!(self, GhdAnswer::Yes { .. })
+    }
+}
+
+/// `Check(GHD, k)` for BIP hypergraphs (Theorem 4.15).
+pub fn check_ghd_bip(h: &Hypergraph, k: usize, limits: SubedgeLimits) -> GhdAnswer {
+    run_check(h, k, augment(h, bip_subedges(h, k, limits)))
+}
+
+/// `Check(GHD, k)` for BMIP hypergraphs with multi-intersection parameter
+/// `c` (Theorem 4.11); `c = 2` coincides with [`check_ghd_bip`].
+pub fn check_ghd_bmip(h: &Hypergraph, k: usize, c: usize, limits: SubedgeLimits) -> GhdAnswer {
+    let f = if c <= 2 {
+        bip_subedges(h, k, limits)
+    } else {
+        bmip_subedges(h, k, c, limits)
+    };
+    run_check(h, k, augment(h, f))
+}
+
+fn run_check(h: &Hypergraph, k: usize, aug: Augmented) -> GhdAnswer {
+    match hd::check_hd(&aug.hypergraph, k) {
+        Some(d) => GhdAnswer::Yes {
+            decomposition: Box::new(project_to_original(h, &aug, &d)),
+            subedges_added: aug.added,
+        },
+        None if aug.truncated => GhdAnswer::Unknown,
+        None => GhdAnswer::No,
+    }
+}
+
+/// `ghw(H)` for BIP hypergraphs by iterating `k`.
+pub fn generalized_hypertree_width_bip(
+    h: &Hypergraph,
+    max_k: usize,
+    limits: SubedgeLimits,
+) -> Option<(usize, Decomposition)> {
+    for k in 1..=max_k {
+        if let GhdAnswer::Yes { decomposition, .. } = check_ghd_bip(h, k, limits) {
+            return Some((k, *decomposition));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp::validate;
+    use hypergraph::generators;
+
+    fn limits() -> SubedgeLimits {
+        SubedgeLimits::default()
+    }
+
+    #[test]
+    fn example_4_3_ghw_is_2_while_hw_is_3() {
+        // The headline separation of Example 4.3.
+        let h = generators::example_4_3();
+        assert!(hd::check_hd(&h, 2).is_none());
+        let ans = check_ghd_bip(&h, 2, limits());
+        let d = ans.decomposition().expect("ghw(H0) = 2");
+        assert_eq!(validate::validate_ghd(&h, &d.clone()), Ok(()), "{}", d.render(&h));
+        assert!(d.width() <= arith::Rational::from(2usize));
+        // And ghw > 1 because H0 is cyclic.
+        assert!(matches!(check_ghd_bip(&h, 1, limits()), GhdAnswer::No));
+    }
+
+    #[test]
+    fn acyclic_ghw_1() {
+        for h in [generators::path(5), generators::cq_chain(4, 3, 1)] {
+            let ans = check_ghd_bip(&h, 1, limits());
+            assert!(ans.is_yes());
+        }
+    }
+
+    #[test]
+    fn cliques_ghw() {
+        // ghw(K_n) = ceil(n/2).
+        let h = generators::clique(5);
+        assert!(matches!(check_ghd_bip(&h, 2, limits()), GhdAnswer::No));
+        assert!(check_ghd_bip(&h, 3, limits()).is_yes());
+    }
+
+    #[test]
+    fn width_search_on_cycles() {
+        for n in [4usize, 6] {
+            let h = generators::cycle(n);
+            let (w, d) = generalized_hypertree_width_bip(&h, 3, limits()).unwrap();
+            assert_eq!(w, 2);
+            assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+        }
+    }
+
+    #[test]
+    fn ghw_never_exceeds_hw_on_corpus() {
+        for seed in 0..4u64 {
+            let h = generators::random_bip(9, 6, 2, 3, seed);
+            let hw = hd::hypertree_width(&h, 4).map(|(w, _)| w);
+            let ghw = generalized_hypertree_width_bip(&h, 4, limits()).map(|(w, _)| w);
+            if let (Some(hw), Some(ghw)) = (hw, ghw) {
+                assert!(ghw <= hw, "seed {seed}: ghw {ghw} > hw {hw}");
+            }
+        }
+    }
+
+    #[test]
+    fn bmip_agrees_with_bip_on_example() {
+        let h = generators::example_4_3();
+        let a = check_ghd_bmip(&h, 2, 3, limits());
+        assert!(a.is_yes());
+    }
+
+    #[test]
+    fn projection_merges_duplicate_originators() {
+        // Build an augmented hypergraph by hand and check λ maps back.
+        let h = generators::cycle(4);
+        let f = bip_subedges(&h, 2, limits());
+        let aug = augment(&h, f);
+        if let Some(d) = hd::check_hd(&aug.hypergraph, 2) {
+            let g = project_to_original(&h, &aug, &d);
+            assert_eq!(validate::validate_ghd(&h, &g), Ok(()));
+            for node in g.nodes() {
+                for (e, _) in &node.weights {
+                    assert!(*e < h.num_edges());
+                }
+            }
+        } else {
+            panic!("C4 has hw(H') = 2");
+        }
+    }
+}

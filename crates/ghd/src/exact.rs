@@ -1,0 +1,100 @@
+//! Exact `ghw` baseline (exponential time, small instances only): the
+//! elimination-order DP with `rho` as the bag cost. Used throughout the
+//! test-suite and experiments to certify the polynomial algorithms.
+
+use crate::elimination::{assemble, optimal_elimination};
+use arith::Rational;
+use decomp::Decomposition;
+use hypergraph::Hypergraph;
+
+/// Computes `ghw(H)` exactly together with an optimal GHD.
+///
+/// Returns `None` when `H` is too large for the subset DP (see
+/// [`crate::elimination::MAX_EXACT_VERTICES`]), has isolated vertices, or
+/// `cutoff` is given and `ghw(H) >= cutoff`.
+pub fn ghw_exact(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomposition)> {
+    if h.has_isolated_vertices() {
+        return None;
+    }
+    let (width, order) = optimal_elimination(
+        h,
+        |bag| {
+            cover::integral_cover(h, bag)
+                .expect("no isolated vertices, so every bag is coverable")
+                .weight()
+        },
+        cutoff,
+    )?;
+    let d = assemble(h, &order, |bag| {
+        cover::integral_cover(h, bag)
+            .expect("coverable")
+            .edges
+            .into_iter()
+            .map(|e| (e, Rational::one()))
+            .collect()
+    });
+    debug_assert!(d.width() <= Rational::from(width));
+    Some((width, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp::validate;
+    use hypergraph::generators;
+
+    fn assert_ghw(h: &Hypergraph, expected: usize) {
+        let (w, d) = ghw_exact(h, None).expect("small instance");
+        assert_eq!(w, expected);
+        assert_eq!(validate::validate_ghd(h, &d), Ok(()), "{}", d.render(h));
+        assert!(d.width() <= arith::Rational::from(expected));
+    }
+
+    #[test]
+    fn classic_widths() {
+        assert_ghw(&generators::path(6), 1);
+        assert_ghw(&generators::cycle(4), 2);
+        assert_ghw(&generators::cycle(7), 2);
+        assert_ghw(&generators::clique(4), 2);
+        assert_ghw(&generators::clique(5), 3);
+        assert_ghw(&generators::triangle_chain(3), 2);
+    }
+
+    #[test]
+    fn example_4_3_exact_ghw_2() {
+        // Certifies the subedge-based check: ghw(H0) = 2 < hw(H0) = 3.
+        assert_ghw(&generators::example_4_3(), 2);
+    }
+
+    #[test]
+    fn exact_matches_bip_check_on_corpus() {
+        use crate::check::{check_ghd_bip, GhdAnswer};
+        use crate::subedges::SubedgeLimits;
+        for seed in 0..4u64 {
+            let h = generators::random_bip(9, 6, 2, 3, seed);
+            let Some((w, _)) = ghw_exact(&h, None) else { continue };
+            // BIP check at width w succeeds, at w-1 fails.
+            assert!(
+                check_ghd_bip(&h, w, SubedgeLimits::default()).is_yes(),
+                "seed {seed}: BIP check should accept ghw {w}"
+            );
+            if w > 1 {
+                assert!(
+                    matches!(
+                        check_ghd_bip(&h, w - 1, SubedgeLimits::default()),
+                        GhdAnswer::No
+                    ),
+                    "seed {seed}: BIP check should reject width {}",
+                    w - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_detects_lower_bounds() {
+        let h = generators::clique(6); // ghw = 3
+        assert!(ghw_exact(&h, Some(3)).is_none());
+        assert_eq!(ghw_exact(&h, Some(4)).unwrap().0, 3);
+    }
+}

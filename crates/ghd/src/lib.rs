@@ -1,0 +1,17 @@
+//! `Check(GHD, k)` under the paper's tractable restrictions (Section 4):
+//! subedge functions for the BIP (Theorem 4.15) and BMIP (Theorem 4.11),
+//! union-of-intersections trees (Algorithm 1, Figure 7), the reduction to
+//! `Check(HD, k)` on the augmented hypergraph, and an exact exponential
+//! `ghw` baseline for certification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod elimination;
+pub mod exact;
+pub mod subedges;
+
+pub use check::{augment, check_ghd_bip, check_ghd_bmip, generalized_hypertree_width_bip, project_to_original, Augmented, GhdAnswer};
+pub use exact::ghw_exact;
+pub use subedges::{bip_subedges, bmip_subedges, union_of_intersections_tree, SubedgeLimits, SubedgeSet, UoiNode};

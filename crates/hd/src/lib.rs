@@ -1,0 +1,11 @@
+//! `Check(HD, k)` — hypertree decompositions of bounded width in polynomial
+//! time, after Gottlob, Leone, Scarcello \[27\]. This is the engine that the
+//! paper's Section 4 (GHD via subedge augmentation) and Section 5/6 (FHD
+//! algorithms) build upon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detk;
+
+pub use detk::{check_hd, hypertree_width};

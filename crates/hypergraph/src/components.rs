@@ -1,0 +1,200 @@
+//! `[C]`-connectivity (Section 2.1): adjacency, paths, and components.
+//!
+//! Two vertices are `[C]`-adjacent if some edge contains both outside `C`;
+//! a `[C]`-component is a maximal `[C]`-connected subset of `V(H) \ C`.
+//! Components drive both `det-k-decomp` and every normal-form argument.
+
+use crate::hypergraph::Hypergraph;
+use crate::vertex_set::VertexSet;
+
+/// All `[sep]`-components of `h`, each as a vertex set, in order of their
+/// smallest vertex.
+pub fn components(h: &Hypergraph, sep: &VertexSet) -> Vec<VertexSet> {
+    let mut seen = sep.clone();
+    let mut out = Vec::new();
+    for start in 0..h.num_vertices() {
+        if seen.contains(start) {
+            continue;
+        }
+        let comp = expand_component(h, sep, start);
+        seen.union_with(&comp);
+        out.push(comp);
+    }
+    out
+}
+
+/// The `[sep]`-component containing `start` (which must lie outside `sep`).
+pub fn component_of(h: &Hypergraph, sep: &VertexSet, start: usize) -> VertexSet {
+    assert!(!sep.contains(start), "start vertex lies in the separator");
+    expand_component(h, sep, start)
+}
+
+fn expand_component(h: &Hypergraph, sep: &VertexSet, start: usize) -> VertexSet {
+    let mut comp = VertexSet::new();
+    comp.insert(start);
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        for &e in h.incident_edges(v) {
+            // All vertices of e \ sep are pairwise [sep]-adjacent.
+            for u in h.edge(e).iter() {
+                if !sep.contains(u) && comp.insert(u) {
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// True iff all of `w` lies in one `[sep]`-component (i.e. `w` is
+/// `[sep]`-connected). The empty set and singletons outside `sep` are
+/// trivially connected; vertices of `w` inside `sep` make it disconnected
+/// per the definition (components live outside `C`).
+pub fn is_connected_outside(h: &Hypergraph, sep: &VertexSet, w: &VertexSet) -> bool {
+    if w.intersects(sep) {
+        return false;
+    }
+    match w.first() {
+        None => true,
+        Some(start) => w.is_subset(&expand_component(h, sep, start)),
+    }
+}
+
+/// True iff the hypergraph is connected (one `[∅]`-component or empty).
+pub fn is_connected(h: &Hypergraph) -> bool {
+    components(h, &VertexSet::new()).len() <= 1
+}
+
+/// A `[C]`-path as a witness: alternating vertices and edge indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CPath {
+    /// The vertex sequence `v0, ..., vh`.
+    pub vertices: Vec<usize>,
+    /// The edge sequence `e0, ..., e(h-1)` with `{vi, vi+1} ⊆ ei \ C`.
+    pub edges: Vec<usize>,
+}
+
+/// Finds a `[sep]`-path from `from` to `to`, if one exists.
+pub fn find_path(h: &Hypergraph, sep: &VertexSet, from: usize, to: usize) -> Option<CPath> {
+    if sep.contains(from) || sep.contains(to) {
+        return None;
+    }
+    if from == to {
+        return Some(CPath { vertices: vec![from], edges: vec![] });
+    }
+    // BFS storing (parent vertex, connecting edge).
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; h.num_vertices()];
+    let mut visited = VertexSet::new();
+    visited.insert(from);
+    let mut queue = std::collections::VecDeque::from([from]);
+    'bfs: while let Some(v) = queue.pop_front() {
+        for &e in h.incident_edges(v) {
+            if sep.contains(v) {
+                continue;
+            }
+            for u in h.edge(e).iter() {
+                if u == v || sep.contains(u) || visited.contains(u) {
+                    continue;
+                }
+                visited.insert(u);
+                prev[u] = Some((v, e));
+                if u == to {
+                    break 'bfs;
+                }
+                queue.push_back(u);
+            }
+        }
+    }
+    prev[to]?;
+    let mut vertices = vec![to];
+    let mut edges = Vec::new();
+    let mut cur = to;
+    while let Some((p, e)) = prev[cur] {
+        edges.push(e);
+        vertices.push(p);
+        cur = p;
+    }
+    vertices.reverse();
+    edges.reverse();
+    Some(CPath { vertices, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path hypergraph a-b-c-d with 2-edges.
+    fn path4() -> Hypergraph {
+        Hypergraph::from_edges(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]])
+    }
+
+    #[test]
+    fn empty_separator_single_component() {
+        let h = path4();
+        let comps = components(&h, &VertexSet::new());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 4);
+        assert!(is_connected(&h));
+    }
+
+    #[test]
+    fn cut_vertex_splits() {
+        let h = path4();
+        let sep = VertexSet::from_iter([1]);
+        let comps = components(&h, &sep);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].to_vec(), vec![0]);
+        assert_eq!(comps[1].to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn components_partition_the_rest() {
+        let h = path4();
+        for sep_vs in [vec![], vec![0], vec![1], vec![1, 2], vec![0, 3]] {
+            let sep = VertexSet::from_iter(sep_vs);
+            let comps = components(&h, &sep);
+            let mut union = VertexSet::new();
+            let mut total = 0;
+            for c in &comps {
+                assert!(!c.is_empty());
+                assert!(c.is_disjoint(&sep));
+                total += c.len();
+                union.union_with(c);
+            }
+            assert_eq!(total, union.len(), "components must be disjoint");
+            assert_eq!(union, h.all_vertices().difference(&sep));
+        }
+    }
+
+    #[test]
+    fn hyperedge_makes_clique() {
+        // One big edge: removing any single vertex keeps the rest connected.
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1, 2, 3]]);
+        let sep = VertexSet::from_iter([2]);
+        assert_eq!(components(&h, &sep).len(), 1);
+    }
+
+    #[test]
+    fn connectivity_queries() {
+        let h = path4();
+        let sep = VertexSet::from_iter([1]);
+        assert!(is_connected_outside(&h, &sep, &VertexSet::from_iter([2, 3])));
+        assert!(!is_connected_outside(&h, &sep, &VertexSet::from_iter([0, 2])));
+        assert!(!is_connected_outside(&h, &sep, &VertexSet::from_iter([1])));
+        assert!(is_connected_outside(&h, &sep, &VertexSet::new()));
+    }
+
+    #[test]
+    fn paths_are_valid_witnesses() {
+        let h = path4();
+        let p = find_path(&h, &VertexSet::new(), 0, 3).unwrap();
+        assert_eq!(p.vertices, vec![0, 1, 2, 3]);
+        assert_eq!(p.edges, vec![0, 1, 2]);
+        // Blocked by the separator.
+        assert!(find_path(&h, &VertexSet::from_iter([2]), 0, 3).is_none());
+        // Trivial path.
+        let t = find_path(&h, &VertexSet::new(), 2, 2).unwrap();
+        assert_eq!(t.vertices, vec![2]);
+        assert!(t.edges.is_empty());
+    }
+}

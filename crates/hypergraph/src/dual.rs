@@ -1,0 +1,154 @@
+//! Dual and reduced hypergraphs (Section 5).
+//!
+//! The bounded-support theorem (Corollary 5.5) is proved through the duality
+//! `rho*(H) = tau*(H^d)`; equality needs the "reduced" normal form of the
+//! paper: no isolated vertices, no empty edges, no two vertices of the same
+//! edge-type, no duplicate edges. Then `(H^d)^d = H` up to renaming.
+
+#![allow(clippy::needless_range_loop)]
+
+use crate::hypergraph::Hypergraph;
+use crate::vertex_set::VertexSet;
+use std::collections::HashMap;
+
+/// The dual hypergraph `H^d`: one vertex per edge of `H`, and for every
+/// vertex `v` of `H` one edge `{e | v ∈ e}`.
+///
+/// Panics if `H` has isolated vertices (their dual edge would be empty).
+pub fn dual(h: &Hypergraph) -> Hypergraph {
+    assert!(
+        !h.has_isolated_vertices(),
+        "dual undefined for hypergraphs with isolated vertices"
+    );
+    let vertex_names: Vec<String> = (0..h.num_edges()).map(|e| h.edge_name(e).to_string()).collect();
+    let edge_names: Vec<String> = (0..h.num_vertices()).map(|v| h.vertex_name(v).to_string()).collect();
+    let edges: Vec<Vec<usize>> = (0..h.num_vertices())
+        .map(|v| h.incident_edges(v).to_vec())
+        .collect();
+    Hypergraph::from_parts(vertex_names, edge_names, edges)
+}
+
+/// Result of reducing a hypergraph (assumptions (1)–(4) of Section 5).
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The reduced hypergraph.
+    pub hypergraph: Hypergraph,
+    /// For every original vertex, its representative vertex in the reduction.
+    pub vertex_map: Vec<usize>,
+    /// For every original edge, its representative edge in the reduction.
+    pub edge_map: Vec<usize>,
+}
+
+/// Fuses vertices with identical edge-type and removes duplicate edges.
+///
+/// Panics if `h` has isolated vertices (assumption (1)); empty edges are
+/// impossible by construction (assumption (2)).
+pub fn reduce(h: &Hypergraph) -> Reduced {
+    assert!(!h.has_isolated_vertices(), "reduce requires no isolated vertices");
+    // Group vertices by edge-type.
+    let mut type_repr: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut vertex_map = vec![0usize; h.num_vertices()];
+    let mut new_vertex_names: Vec<String> = Vec::new();
+    for v in 0..h.num_vertices() {
+        let ty = h.incident_edges(v).to_vec();
+        let next = new_vertex_names.len();
+        let repr = *type_repr.entry(ty).or_insert(next);
+        if repr == next {
+            new_vertex_names.push(h.vertex_name(v).to_string());
+        }
+        vertex_map[v] = repr;
+    }
+    // Rewrite edges over representatives and deduplicate.
+    let mut edge_repr: HashMap<VertexSet, usize> = HashMap::new();
+    let mut new_edges: Vec<Vec<usize>> = Vec::new();
+    let mut new_edge_names: Vec<String> = Vec::new();
+    let mut edge_map = vec![0usize; h.num_edges()];
+    for e in 0..h.num_edges() {
+        let rewritten: VertexSet = h.edge(e).iter().map(|v| vertex_map[v]).collect();
+        let next = new_edges.len();
+        let repr = *edge_repr.entry(rewritten.clone()).or_insert(next);
+        if repr == next {
+            new_edges.push(rewritten.to_vec());
+            new_edge_names.push(h.edge_name(e).to_string());
+        }
+        edge_map[e] = repr;
+    }
+    Reduced {
+        hypergraph: Hypergraph::from_parts(new_vertex_names, new_edge_names, new_edges),
+        vertex_map,
+        edge_map,
+    }
+}
+
+/// True iff `h` is reduced: no isolated vertices, no two vertices with the
+/// same edge-type, no duplicate edges.
+pub fn is_reduced(h: &Hypergraph) -> bool {
+    if h.has_isolated_vertices() {
+        return false;
+    }
+    let r = reduce(h);
+    r.hypergraph.num_vertices() == h.num_vertices() && r.hypergraph.num_edges() == h.num_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dual_swaps_counts() {
+        let h = generators::cycle(5);
+        let d = dual(&h);
+        assert_eq!(d.num_vertices(), h.num_edges());
+        assert_eq!(d.num_edges(), h.num_vertices());
+    }
+
+    #[test]
+    fn double_dual_of_reduced_is_identity() {
+        // A cycle is reduced; H^dd should equal H up to names/order.
+        let h = generators::cycle(6);
+        assert!(is_reduced(&h));
+        let dd = dual(&dual(&h));
+        assert_eq!(dd.num_vertices(), h.num_vertices());
+        assert_eq!(dd.num_edges(), h.num_edges());
+        // Compare edge sets as unordered collections of vertex sets.
+        let mut a: Vec<Vec<usize>> = h.edges().iter().map(|e| e.to_vec()).collect();
+        let mut b: Vec<Vec<usize>> = dd.edges().iter().map(|e| e.to_vec()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduce_fuses_same_type_vertices() {
+        // Section 5's example: V = {a,b,c}, E = {{a,b,c}} reduces to a
+        // single vertex with a single edge.
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1, 2]]);
+        let r = reduce(&h);
+        assert_eq!(r.hypergraph.num_vertices(), 1);
+        assert_eq!(r.hypergraph.num_edges(), 1);
+        assert_eq!(r.vertex_map, vec![0, 0, 0]);
+        assert!(!is_reduced(&h));
+    }
+
+    #[test]
+    fn reduce_deduplicates_edges() {
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1], vec![0, 1], vec![1, 2]]);
+        let r = reduce(&h);
+        assert_eq!(r.hypergraph.num_edges(), 2);
+        assert_eq!(r.edge_map[0], r.edge_map[1]);
+    }
+
+    #[test]
+    fn dual_of_section_5_example() {
+        // H0: V(H0)={a,b,c}, E={e={a,b,c}}. H0^d has one vertex `e` and one
+        // edge {e}; (H0^d)^d is NOT H0 — the paper's point about assumptions.
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1, 2]]);
+        let d = dual(&h);
+        assert_eq!(d.num_vertices(), 1);
+        assert_eq!(d.num_edges(), 3); // three duplicate edges {e}
+        let dd = dual(&reduce(&d).hypergraph);
+        assert_eq!(dd.num_vertices(), 1);
+        assert_ne!(dd.num_vertices(), h.num_vertices());
+    }
+}

@@ -1,0 +1,398 @@
+//! Hypergraph families: the paper's worked examples plus the synthetic
+//! CQ/CSP-style workloads used by the experiment harness (Section 1
+//! motivation, HyperBench-style corpus of \[23\]).
+
+#![allow(clippy::needless_range_loop)]
+
+use crate::hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The complete graph `K_n` as a hypergraph of 2-edges.
+///
+/// Widths: `hw = ghw = ⌈n/2⌉`, `fhw = n/2` (Lemma 2.3 for even `n`).
+pub fn clique(n: usize) -> Hypergraph {
+    assert!(n >= 2);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            edges.push(vec![a, b]);
+        }
+    }
+    Hypergraph::from_edges(n, edges)
+}
+
+/// The cycle `C_n` (2-edges). Not α-acyclic; `hw = ghw = 2` for all `n >= 3`,
+/// `fhw(C_3) = 3/2`, `fhw(C_n) = 2` for `n >= 4`.
+pub fn cycle(n: usize) -> Hypergraph {
+    assert!(n >= 3);
+    let edges = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+    Hypergraph::from_edges(n, edges)
+}
+
+/// The path `P_n` on `n` vertices (acyclic; every width is 1).
+pub fn path(n: usize) -> Hypergraph {
+    assert!(n >= 2);
+    let edges = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+    Hypergraph::from_edges(n, edges)
+}
+
+/// A star: center `0` joined to `n - 1` leaves (acyclic).
+pub fn star(n: usize) -> Hypergraph {
+    assert!(n >= 2);
+    let edges = (1..n).map(|i| vec![0, i]).collect();
+    Hypergraph::from_edges(n, edges)
+}
+
+/// The `rows × cols` grid graph as 2-edges. Grids have unbounded widths but
+/// enjoy the 1-BIP, so they witness the non-triviality of the BIP criterion
+/// (Section 4).
+pub fn grid(rows: usize, cols: usize) -> Hypergraph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(vec![id(r, c), id(r, c + 1)]);
+            }
+            if r + 1 < rows {
+                edges.push(vec![id(r, c), id(r + 1, c)]);
+            }
+        }
+    }
+    Hypergraph::from_edges(rows * cols, edges)
+}
+
+/// The hypergraph `H0` of Example 4.3 (Figure 4): `ghw(H0) = 2` but
+/// `hw(H0) = 3`. Eight edges around an 8-ring `v1..v8` with two "hub"
+/// vertices `v9`, `v10` each shared by exactly three edges, reconstructed
+/// from the constraints stated in the paper:
+/// `e2 = {v2,v3,v9}` (Example 4.4), intersection width 1,
+/// 3-multi-intersection width 1, 4-multi-intersection width 0 (Example 4.3),
+/// and the decompositions of Figures 5 and 6.
+pub fn example_4_3() -> Hypergraph {
+    // Vertex i is named v{i+1} to match the paper's 1-based labels.
+    let names: Vec<String> = (1..=10).map(|i| format!("v{i}")).collect();
+    let edge_names: Vec<String> = (1..=8).map(|i| format!("e{i}")).collect();
+    let v = |i: usize| i - 1;
+    let edges = vec![
+        vec![v(1), v(2)],        // e1
+        vec![v(2), v(3), v(9)],  // e2
+        vec![v(3), v(4), v(10)], // e3
+        vec![v(4), v(5)],        // e4
+        vec![v(5), v(6), v(9)],  // e5
+        vec![v(6), v(7), v(10)], // e6
+        vec![v(7), v(8), v(9)],  // e7
+        vec![v(8), v(1), v(10)], // e8
+    ];
+    Hypergraph::from_parts(names, edge_names, edges)
+}
+
+/// The hypergraph `H_n` of Example 5.1: `V = {v0..vn}`,
+/// `E = {{v0, vi}} ∪ {{v1..vn}}`. `iwidth = 1`, but the optimal fractional
+/// edge cover has unbounded support: `rho* = 2 − 1/n` with weight `1/n` on
+/// every small edge.
+pub fn example_5_1(n: usize) -> Hypergraph {
+    assert!(n >= 2);
+    let mut edges: Vec<Vec<usize>> = (1..=n).map(|i| vec![0, i]).collect();
+    edges.push((1..=n).collect());
+    Hypergraph::from_edges(n + 1, edges)
+}
+
+/// The family from Lemma 6.24: `V = {v1..vn}`, `E = {V \ {vi}}`. Bounded
+/// VC-dimension (`< 2`) but unbounded `c`-multi-intersection width, so
+/// bounded VC-dimension does not imply the BMIP.
+pub fn lemma_6_24_family(n: usize) -> Hypergraph {
+    assert!(n >= 3);
+    let edges = (0..n)
+        .map(|skip| (0..n).filter(|&v| v != skip).collect())
+        .collect();
+    Hypergraph::from_edges(n, edges)
+}
+
+/// A chain join query `R_1(x_1,x_2), R_2(x_2,x_3), ...` with relations of
+/// arity `arity` overlapping in `overlap` variables (acyclic for
+/// `overlap >= 1`).
+pub fn cq_chain(relations: usize, arity: usize, overlap: usize) -> Hypergraph {
+    assert!(relations >= 1 && arity >= 2 && overlap >= 1 && overlap < arity);
+    let step = arity - overlap;
+    let n = arity + step * (relations - 1);
+    let edges = (0..relations)
+        .map(|i| (i * step..i * step + arity).collect())
+        .collect();
+    Hypergraph::from_edges(n, edges)
+}
+
+/// A star join: one fact relation of arity `dims + keys`, joined to `dims`
+/// dimension relations on disjoint key sets of size `keys` (acyclic).
+pub fn cq_star(dims: usize, keys: usize) -> Hypergraph {
+    assert!(dims >= 1 && keys >= 1);
+    let mut edges = Vec::new();
+    // Fact: key blocks 0..dims*keys.
+    let fact: Vec<usize> = (0..dims * keys).collect();
+    let mut next = dims * keys;
+    for d in 0..dims {
+        let mut rel: Vec<usize> = (d * keys..(d + 1) * keys).collect();
+        rel.push(next); // a private attribute per dimension
+        next += 1;
+        edges.push(rel);
+    }
+    edges.push(fact);
+    Hypergraph::from_edges(next, edges)
+}
+
+/// The `d`-dimensional hypercube graph `Q_d` as 2-edges: `2^d` vertices,
+/// `d·2^{d-1}` edges; 1-BIP with treewidth (and widths) growing in `d`.
+pub fn hypercube(d: usize) -> Hypergraph {
+    assert!((1..=6).contains(&d), "hypercube dimension in 1..=6");
+    let n = 1usize << d;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                edges.push(vec![v, u]);
+            }
+        }
+    }
+    Hypergraph::from_edges(n, edges)
+}
+
+/// A snowflake join: a star of `branches` chains, each of `depth` binary
+/// relations (acyclic — the classic data-warehouse shape).
+pub fn cq_snowflake(branches: usize, depth: usize) -> Hypergraph {
+    assert!(branches >= 1 && depth >= 1);
+    let mut edges = Vec::new();
+    let mut next = 1usize; // vertex 0 is the hub
+    for _ in 0..branches {
+        let mut prev = 0usize;
+        for _ in 0..depth {
+            edges.push(vec![prev, next]);
+            prev = next;
+            next += 1;
+        }
+    }
+    Hypergraph::from_edges(next, edges)
+}
+
+/// A "triangle cascade": `k` triangles glued along shared vertices — the
+/// classic family of non-acyclic queries with `ghw = 2` that motivates
+/// Research Challenge 2.
+pub fn triangle_chain(k: usize) -> Hypergraph {
+    assert!(k >= 1);
+    let mut edges = Vec::new();
+    for t in 0..k {
+        let a = t * 2;
+        let (b, c) = (a + 1, a + 2);
+        edges.push(vec![a, b]);
+        edges.push(vec![b, c]);
+        edges.push(vec![a, c]);
+    }
+    Hypergraph::from_edges(2 * k + 1, edges)
+}
+
+/// A random hypergraph with `m` edges of size up to `max_edge` over `n`
+/// vertices whose pairwise intersections are at most `i` (rejection
+/// sampling), i.e. an `i`-BIP instance. Deterministic in `seed`.
+pub fn random_bip(n: usize, m: usize, i: usize, max_edge: usize, seed: u64) -> Hypergraph {
+    assert!(n >= 2 && max_edge >= 2 && max_edge <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < 100_000 {
+        attempts += 1;
+        let size = rng.gen_range(2..=max_edge);
+        let mut pool: Vec<usize> = (0..n).collect();
+        pool.shuffle(&mut rng);
+        let cand: Vec<usize> = pool.into_iter().take(size).collect();
+        let cand_set: std::collections::HashSet<usize> = cand.iter().copied().collect();
+        let ok = edges.iter().all(|e| {
+            let inter = e.iter().filter(|v| cand_set.contains(v)).count();
+            inter <= i && inter < e.len().min(cand.len())
+        });
+        if ok {
+            edges.push(cand);
+        }
+    }
+    cover_isolated(n, edges)
+}
+
+/// A random hypergraph of degree at most `d` (each vertex in at most `d`
+/// edges): a BDP instance for Theorem 5.2. Deterministic in `seed`.
+pub fn random_bounded_degree(n: usize, m: usize, d: usize, max_edge: usize, seed: u64) -> Hypergraph {
+    assert!(n >= 2 && d >= 1 && max_edge >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut deg = vec![0usize; n];
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < 100_000 {
+        attempts += 1;
+        let size = rng.gen_range(2..=max_edge);
+        let avail: Vec<usize> = (0..n).filter(|&v| deg[v] < d).collect();
+        if avail.len() < size {
+            break;
+        }
+        let mut pool = avail;
+        pool.shuffle(&mut rng);
+        let cand: Vec<usize> = pool.into_iter().take(size).collect();
+        if edges.iter().any(|e| e == &cand) {
+            continue;
+        }
+        for &v in &cand {
+            deg[v] += 1;
+        }
+        edges.push(cand);
+    }
+    cover_isolated(n, edges)
+}
+
+/// A random α-acyclic hypergraph built from a random join tree. Every width
+/// equals 1, so these are the "trivially easy" baseline instances.
+pub fn random_acyclic(relations: usize, arity: usize, seed: u64) -> Hypergraph {
+    assert!(relations >= 1 && arity >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    let mut next_vertex = 0usize;
+    let fresh = |k: usize, next: &mut usize| -> Vec<usize> {
+        let out = (*next..*next + k).collect();
+        *next += k;
+        out
+    };
+    edges.push(fresh(arity, &mut next_vertex));
+    for _ in 1..relations {
+        // Connect to a random existing edge, sharing a random subset of it.
+        let parent = rng.gen_range(0..edges.len());
+        let share = rng.gen_range(1..arity);
+        let mut shared: Vec<usize> = edges[parent].clone();
+        shared.shuffle(&mut rng);
+        shared.truncate(share.min(edges[parent].len()));
+        let mut e = shared;
+        e.extend(fresh(arity - e.len(), &mut next_vertex));
+        edges.push(e);
+    }
+    Hypergraph::from_edges(next_vertex, edges)
+}
+
+/// Ensures no isolated vertices by shrinking the universe to used vertices.
+fn cover_isolated(n: usize, edges: Vec<Vec<usize>>) -> Hypergraph {
+    let mut used = vec![false; n];
+    for e in &edges {
+        for &v in e {
+            used[v] = true;
+        }
+    }
+    let mut renumber = vec![usize::MAX; n];
+    let mut count = 0usize;
+    for v in 0..n {
+        if used[v] {
+            renumber[v] = count;
+            count += 1;
+        }
+    }
+    let edges = edges
+        .into_iter()
+        .map(|e| e.into_iter().map(|v| renumber[v]).collect())
+        .collect();
+    Hypergraph::from_edges(count, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn clique_counts() {
+        let h = clique(5);
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_edges(), 10);
+        assert_eq!(properties::intersection_width(&h), 1);
+    }
+
+    #[test]
+    fn example_4_3_shape() {
+        let h = example_4_3();
+        assert_eq!(h.num_vertices(), 10);
+        assert_eq!(h.num_edges(), 8);
+        // e2 = {v2, v3, v9} as stated in Example 4.4.
+        let e2 = h.edge_by_name("e2").unwrap();
+        let members: Vec<&str> = h.edge(e2).iter().map(|v| h.vertex_name(v)).collect();
+        assert_eq!(members, vec!["v2", "v3", "v9"]);
+        assert!(!properties::is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn example_5_1_shape() {
+        let h = example_5_1(5);
+        assert_eq!(h.num_vertices(), 6);
+        assert_eq!(h.num_edges(), 6);
+        assert_eq!(properties::intersection_width(&h), 1);
+        assert_eq!(properties::degree(&h), 5); // v0
+    }
+
+    #[test]
+    fn chains_and_stars_are_acyclic() {
+        assert!(properties::is_alpha_acyclic(&cq_chain(5, 3, 1)));
+        assert!(properties::is_alpha_acyclic(&cq_star(4, 2)));
+        assert!(properties::is_alpha_acyclic(&random_acyclic(8, 3, 42)));
+    }
+
+    #[test]
+    fn triangle_chain_is_cyclic_with_shared_vertices() {
+        let h = triangle_chain(3);
+        assert_eq!(h.num_vertices(), 7);
+        assert_eq!(h.num_edges(), 9);
+        assert!(!properties::is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn random_bip_respects_intersection_bound() {
+        for seed in 0..5u64 {
+            let h = random_bip(14, 10, 2, 4, seed);
+            assert!(properties::intersection_width(&h) <= 2, "seed {seed}");
+            assert!(!h.has_isolated_vertices());
+        }
+    }
+
+    #[test]
+    fn random_bounded_degree_respects_degree() {
+        for seed in 0..5u64 {
+            let h = random_bounded_degree(16, 12, 3, 4, seed);
+            assert!(properties::degree(&h) <= 3, "seed {seed}");
+            assert!(!h.has_isolated_vertices());
+        }
+    }
+
+    #[test]
+    fn grid_is_one_bip() {
+        let h = grid(3, 4);
+        assert_eq!(h.num_vertices(), 12);
+        assert_eq!(properties::intersection_width(&h), 1);
+    }
+
+    #[test]
+    fn hypercube_counts() {
+        let h = hypercube(3);
+        assert_eq!(h.num_vertices(), 8);
+        assert_eq!(h.num_edges(), 12);
+        assert_eq!(properties::intersection_width(&h), 1);
+        assert!(!properties::is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn snowflake_is_acyclic() {
+        let h = cq_snowflake(3, 2);
+        assert_eq!(h.num_vertices(), 7);
+        assert_eq!(h.num_edges(), 6);
+        assert!(properties::is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_bip(12, 8, 2, 4, 7).to_string();
+        let b = random_bip(12, 8, 2, 4, 7).to_string();
+        assert_eq!(a, b);
+    }
+}

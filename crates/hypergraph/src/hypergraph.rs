@@ -1,0 +1,325 @@
+//! The hypergraph structure of Section 2.1.
+
+use crate::vertex_set::VertexSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A hypergraph `H = (V(H), E(H))` with named vertices and edges.
+///
+/// Vertices and edges are addressed by dense indices; names are kept for
+/// display and parsing. Per the paper's convention (Section 2.1) hypergraphs
+/// should have no isolated vertices; [`Hypergraph::has_isolated_vertices`]
+/// reports violations and the algorithm crates reject such inputs.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    vertex_names: Vec<String>,
+    edge_names: Vec<String>,
+    edges: Vec<VertexSet>,
+    /// `incidence[v]` = indices of edges containing `v`.
+    incidence: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph over `num_vertices` vertices with default names
+    /// (`v0`, `v1`, ...; edges `e0`, `e1`, ...).
+    pub fn from_edges(num_vertices: usize, edges: Vec<Vec<usize>>) -> Self {
+        let vertex_names = (0..num_vertices).map(|i| format!("v{i}")).collect();
+        let edge_names = (0..edges.len()).map(|i| format!("e{i}")).collect();
+        Self::from_parts(vertex_names, edge_names, edges)
+    }
+
+    /// Builds a hypergraph with explicit vertex and edge names.
+    ///
+    /// Panics if an edge references an out-of-range vertex or is empty.
+    pub fn from_parts(
+        vertex_names: Vec<String>,
+        edge_names: Vec<String>,
+        edges: Vec<Vec<usize>>,
+    ) -> Self {
+        assert_eq!(edge_names.len(), edges.len());
+        let n = vertex_names.len();
+        let mut sets = Vec::with_capacity(edges.len());
+        let mut incidence = vec![Vec::new(); n];
+        for (ei, edge) in edges.iter().enumerate() {
+            assert!(!edge.is_empty(), "edge {ei} is empty");
+            let mut s = VertexSet::new();
+            for &v in edge {
+                assert!(v < n, "edge {ei} references vertex {v} >= {n}");
+                if s.insert(v) {
+                    incidence[v].push(ei);
+                }
+            }
+            sets.push(s);
+        }
+        Hypergraph {
+            vertex_names,
+            edge_names,
+            edges: sets,
+            incidence,
+        }
+    }
+
+    /// Number of vertices `|V(H)|`.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_names.len()
+    }
+
+    /// Number of edges `|E(H)|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total size (sum of edge cardinalities) — the `n` used by the paper's
+    /// logarithmic bounds.
+    pub fn size(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).sum()
+    }
+
+    /// The vertex set of edge `e`.
+    pub fn edge(&self, e: usize) -> &VertexSet {
+        &self.edges[e]
+    }
+
+    /// All edges as vertex sets.
+    pub fn edges(&self) -> &[VertexSet] {
+        &self.edges
+    }
+
+    /// Name of vertex `v`.
+    pub fn vertex_name(&self, v: usize) -> &str {
+        &self.vertex_names[v]
+    }
+
+    /// Name of edge `e`.
+    pub fn edge_name(&self, e: usize) -> &str {
+        &self.edge_names[e]
+    }
+
+    /// Index of the vertex with the given name, if any.
+    pub fn vertex_by_name(&self, name: &str) -> Option<usize> {
+        self.vertex_names.iter().position(|n| n == name)
+    }
+
+    /// Index of the edge with the given name, if any.
+    pub fn edge_by_name(&self, name: &str) -> Option<usize> {
+        self.edge_names.iter().position(|n| n == name)
+    }
+
+    /// Indices of edges containing vertex `v`.
+    pub fn incident_edges(&self, v: usize) -> &[usize] {
+        &self.incidence[v]
+    }
+
+    /// `edges(C)` of the paper: edges with non-empty intersection with `C`.
+    pub fn edges_intersecting(&self, c: &VertexSet) -> Vec<usize> {
+        (0..self.num_edges())
+            .filter(|&e| self.edges[e].intersects(c))
+            .collect()
+    }
+
+    /// The full vertex set `V(H)`.
+    pub fn all_vertices(&self) -> VertexSet {
+        VertexSet::full(self.num_vertices())
+    }
+
+    /// `⋃ S`: the union of the edges in `S` (by index).
+    pub fn union_of_edges<I: IntoIterator<Item = usize>>(&self, s: I) -> VertexSet {
+        let mut out = VertexSet::new();
+        for e in s {
+            out.union_with(&self.edges[e]);
+        }
+        out
+    }
+
+    /// `⋂ S`: the intersection of the edges in `S` (by index).
+    /// Returns `V(H)` when `S` is empty.
+    pub fn intersection_of_edges<I: IntoIterator<Item = usize>>(&self, s: I) -> VertexSet {
+        let mut iter = s.into_iter();
+        let mut out = match iter.next() {
+            Some(e) => self.edges[e].clone(),
+            None => return self.all_vertices(),
+        };
+        for e in iter {
+            out.intersect_with(&self.edges[e]);
+        }
+        out
+    }
+
+    /// True iff some vertex belongs to no edge.
+    pub fn has_isolated_vertices(&self) -> bool {
+        self.incidence.iter().any(|inc| inc.is_empty())
+    }
+
+    /// Appends a new edge (used by subedge augmentation); returns its index.
+    pub fn add_edge(&mut self, name: String, vertices: &VertexSet) -> usize {
+        assert!(!vertices.is_empty(), "cannot add an empty edge");
+        let ei = self.edges.len();
+        for v in vertices.iter() {
+            assert!(v < self.num_vertices());
+            self.incidence[v].push(ei);
+        }
+        self.edges.push(vertices.clone());
+        self.edge_names.push(name);
+        ei
+    }
+
+    /// The vertex-induced subhypergraph `H[W]` of Lemma 2.7: vertices are
+    /// renumbered densely; each original edge is restricted to `W` and kept
+    /// if non-empty (duplicates are preserved so edge indices stay mappable).
+    ///
+    /// Returns the subhypergraph together with the dense renumbering
+    /// (`old vertex -> new vertex`) and, for each new edge, its originator
+    /// edge index in `self`.
+    pub fn induced(&self, w: &VertexSet) -> (Hypergraph, HashMap<usize, usize>, Vec<usize>) {
+        let mut renumber = HashMap::new();
+        let mut vertex_names = Vec::new();
+        for v in w.iter() {
+            renumber.insert(v, vertex_names.len());
+            vertex_names.push(self.vertex_names[v].clone());
+        }
+        let mut edges = Vec::new();
+        let mut edge_names = Vec::new();
+        let mut originators = Vec::new();
+        for (ei, e) in self.edges.iter().enumerate() {
+            let restricted: Vec<usize> = e.iter().filter(|v| w.contains(*v)).collect();
+            if restricted.is_empty() {
+                continue;
+            }
+            edges.push(restricted.iter().map(|v| renumber[v]).collect());
+            edge_names.push(self.edge_names[ei].clone());
+            originators.push(ei);
+        }
+        (
+            Hypergraph::from_parts(vertex_names, edge_names, edges),
+            renumber,
+            originators,
+        )
+    }
+
+    /// The primal (Gaifman) graph: `adj[v]` = vertices sharing an edge with
+    /// `v` (excluding `v` itself).
+    pub fn primal_graph(&self) -> Vec<VertexSet> {
+        let mut adj = vec![VertexSet::new(); self.num_vertices()];
+        for e in &self.edges {
+            for v in e.iter() {
+                adj[v].union_with(e);
+            }
+        }
+        for (v, a) in adj.iter_mut().enumerate() {
+            a.remove(v);
+        }
+        adj
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Hypergraph(|V|={}, |E|={})", self.num_vertices(), self.num_edges())?;
+        for (i, e) in self.edges.iter().enumerate() {
+            let members: Vec<&str> = e.iter().map(|v| self.vertex_name(v)).collect();
+            writeln!(f, "  {}({})", self.edge_name(i), members.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    /// HyperBench / `detkdecomp` syntax: one `name(v1,v2,...)` per line with
+    /// trailing commas except on the last line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.edges.iter().enumerate() {
+            let members: Vec<&str> = e.iter().map(|v| self.vertex_name(v)).collect();
+            let sep = if i + 1 == self.edges.len() { "" } else { "," };
+            writeln!(f, "{}({}){}", self.edge_name(i), members.join(","), sep)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::from_edges(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let h = triangle();
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.size(), 6);
+        assert_eq!(h.edge(0).to_vec(), vec![0, 1]);
+        assert_eq!(h.incident_edges(1), &[0, 1]);
+        assert!(!h.has_isolated_vertices());
+        assert_eq!(h.vertex_by_name("v2"), Some(2));
+        assert_eq!(h.edge_by_name("e1"), Some(1));
+    }
+
+    #[test]
+    fn unions_and_intersections_of_edge_sets() {
+        let h = triangle();
+        assert_eq!(h.union_of_edges([0, 1]).to_vec(), vec![0, 1, 2]);
+        assert_eq!(h.intersection_of_edges([0, 1]).to_vec(), vec![1]);
+        assert_eq!(h.intersection_of_edges([]).len(), 3);
+    }
+
+    #[test]
+    fn edges_intersecting_matches_definition() {
+        let h = triangle();
+        let c = VertexSet::from_iter([0]);
+        assert_eq!(h.edges_intersecting(&c), vec![0, 2]);
+    }
+
+    #[test]
+    fn induced_subhypergraph() {
+        let h = triangle();
+        let w = VertexSet::from_iter([0, 1]);
+        let (sub, renumber, orig) = h.induced(&w);
+        assert_eq!(sub.num_vertices(), 2);
+        // e0 = {0,1} survives whole; e1 = {1}, e2 = {0} shrink to singletons.
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(orig, vec![0, 1, 2]);
+        assert_eq!(renumber[&0], 0);
+        assert_eq!(renumber[&1], 1);
+        assert_eq!(sub.edge(0).len(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_detected() {
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1]]);
+        assert!(h.has_isolated_vertices());
+    }
+
+    #[test]
+    fn primal_graph_of_triangle() {
+        let h = triangle();
+        let adj = h.primal_graph();
+        assert_eq!(adj[0].to_vec(), vec![1, 2]);
+        assert_eq!(adj[1].to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn add_edge_updates_incidence() {
+        let mut h = triangle();
+        let e = h.add_edge("sub".into(), &VertexSet::from_iter([0]));
+        assert_eq!(e, 3);
+        assert_eq!(h.incident_edges(0), &[0, 2, 3]);
+        assert_eq!(h.edge_by_name("sub"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_edges_rejected() {
+        Hypergraph::from_edges(2, vec![vec![]]);
+    }
+
+    #[test]
+    fn display_round_trip_format() {
+        let h = triangle();
+        let text = h.to_string();
+        assert!(text.starts_with("e0(v0,v1),"));
+        assert!(text.trim_end().ends_with("e2(v0,v2)"));
+    }
+}

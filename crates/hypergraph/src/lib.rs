@@ -1,0 +1,19 @@
+//! Hypergraphs and their structural machinery (Section 2.1 of the paper),
+//! plus the restriction criteria of Sections 4–6 (BIP, BMIP, BDP,
+//! VC-dimension), generators for every worked example, and a parser for the
+//! HyperBench text format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod dual;
+pub mod generators;
+#[allow(clippy::module_inception)]
+mod hypergraph;
+pub mod parser;
+pub mod properties;
+mod vertex_set;
+
+pub use hypergraph::Hypergraph;
+pub use vertex_set::VertexSet;

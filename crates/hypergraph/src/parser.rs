@@ -1,0 +1,149 @@
+//! Parser for the HyperBench / `detkdecomp` text format:
+//!
+//! ```text
+//! edge1(a, b, c),
+//! edge2(c, d),
+//! edge3(d, e).
+//! ```
+//!
+//! Edge separators may be `,` or newlines; an optional trailing `.` ends the
+//! list; `%`-prefixed lines are comments. This is the format of the public
+//! benchmark corpus referenced by the paper (\[23\]).
+
+use crate::hypergraph::Hypergraph;
+use std::collections::HashMap;
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hypergraph parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+/// Parses a hypergraph from HyperBench syntax.
+pub fn parse(input: &str) -> Result<Hypergraph, ParseError> {
+    let mut vertex_ids: HashMap<String, usize> = HashMap::new();
+    let mut vertex_names: Vec<String> = Vec::new();
+    let mut edge_names: Vec<String> = Vec::new();
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+
+    let cleaned: String = input
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('%'))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut rest = cleaned.trim();
+    while !rest.is_empty() {
+        // strip leading separators
+        rest = rest.trim_start_matches([',', '\n', '\r', ' ', '\t']);
+        if rest.is_empty() || rest == "." {
+            break;
+        }
+        let open = match rest.find('(') {
+            Some(i) => i,
+            None => return err(format!("expected '(' in {rest:?}")),
+        };
+        let name = rest[..open].trim();
+        if name.is_empty() {
+            return err("edge with empty name");
+        }
+        let close = match rest[open..].find(')') {
+            Some(i) => open + i,
+            None => return err(format!("unclosed '(' for edge {name:?}")),
+        };
+        let args = &rest[open + 1..close];
+        let mut edge = Vec::new();
+        for raw in args.split(',') {
+            let v = raw.trim();
+            if v.is_empty() {
+                return err(format!("empty vertex name in edge {name:?}"));
+            }
+            let next = vertex_names.len();
+            let id = *vertex_ids.entry(v.to_string()).or_insert(next);
+            if id == next {
+                vertex_names.push(v.to_string());
+            }
+            if !edge.contains(&id) {
+                edge.push(id);
+            }
+        }
+        if edge.is_empty() {
+            return err(format!("edge {name:?} has no vertices"));
+        }
+        if edge_names.iter().any(|n| n == name) {
+            return err(format!("duplicate edge name {name:?}"));
+        }
+        edge_names.push(name.to_string());
+        edges.push(edge);
+        rest = rest[close + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix('.') {
+            rest = stripped.trim_start();
+            if !rest.is_empty() {
+                return err("content after final '.'");
+            }
+            break;
+        }
+    }
+    if edges.is_empty() {
+        return err("no edges found");
+    }
+    Ok(Hypergraph::from_parts(vertex_names, edge_names, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_example() {
+        let h = parse("r1(a,b,c),\nr2(c,d),\nr3(d,a).").unwrap();
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edge_by_name("r2"), Some(1));
+        assert_eq!(h.vertex_by_name("d"), Some(3));
+    }
+
+    #[test]
+    fn round_trips_display() {
+        let original = "q1(x,y),\nq2(y,z)";
+        let h = parse(original).unwrap();
+        let reparsed = parse(&h.to_string()).unwrap();
+        assert_eq!(h, reparsed);
+    }
+
+    #[test]
+    fn ignores_comments_and_whitespace() {
+        let h = parse("% a comment\n  r1( a , b ) ,\n% another\nr2(b,c)\n").unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.num_vertices(), 3);
+    }
+
+    #[test]
+    fn deduplicates_repeated_vertices_in_an_edge() {
+        let h = parse("r1(a,a,b)").unwrap();
+        assert_eq!(h.edge(0).len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse("").is_err());
+        assert!(parse("r1").is_err());
+        assert!(parse("r1(").is_err());
+        assert!(parse("r1()").is_err());
+        assert!(parse("r1(a), r1(b)").is_err());
+        assert!(parse("r1(a). trailing").is_err());
+    }
+}

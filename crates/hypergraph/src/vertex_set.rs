@@ -1,0 +1,292 @@
+//! Compact vertex sets backed by 64-bit blocks.
+//!
+//! All set machinery of the paper — bags `B_u`, separators `[C]`, edge
+//! contents, components — lives on this type. The representation is
+//! normalized (no trailing zero blocks) so equality and hashing are
+//! structural, which lets sets serve as memoization keys inside
+//! `det-k-decomp` and the elimination-order DP.
+
+use std::fmt;
+
+/// A set of vertex indices.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexSet {
+    blocks: Vec<u64>,
+}
+
+impl VertexSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        VertexSet { blocks: Vec::new() }
+    }
+
+    /// A set containing `0..n`.
+    pub fn full(n: usize) -> Self {
+        let mut s = VertexSet::new();
+        for v in 0..n {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of vertex indices (also available
+    /// through the `FromIterator` impl; kept as an inherent method for
+    /// call-site clarity).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = VertexSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    fn trim(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+
+    /// Inserts a vertex; returns true if it was not present.
+    pub fn insert(&mut self, v: usize) -> bool {
+        let (b, off) = (v / 64, v % 64);
+        if b >= self.blocks.len() {
+            self.blocks.resize(b + 1, 0);
+        }
+        let was = (self.blocks[b] >> off) & 1;
+        self.blocks[b] |= 1 << off;
+        was == 0
+    }
+
+    /// Removes a vertex; returns true if it was present.
+    pub fn remove(&mut self, v: usize) -> bool {
+        let (b, off) = (v / 64, v % 64);
+        if b >= self.blocks.len() {
+            return false;
+        }
+        let was = (self.blocks[b] >> off) & 1;
+        self.blocks[b] &= !(1 << off);
+        self.trim();
+        was == 1
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: usize) -> bool {
+        let (b, off) = (v / 64, v % 64);
+        b < self.blocks.len() && (self.blocks[b] >> off) & 1 == 1
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let t = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(i * 64 + t)
+                }
+            })
+        })
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &VertexSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (i, &b) in other.blocks.iter().enumerate() {
+            self.blocks[i] |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &VertexSet) {
+        let n = self.blocks.len().min(other.blocks.len());
+        self.blocks.truncate(n);
+        for i in 0..n {
+            self.blocks[i] &= other.blocks[i];
+        }
+        self.trim();
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &VertexSet) {
+        let n = self.blocks.len().min(other.blocks.len());
+        for i in 0..n {
+            self.blocks[i] &= !other.blocks[i];
+        }
+        self.trim();
+    }
+
+    /// Owned union.
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Owned intersection.
+    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Owned difference.
+    pub fn difference(&self, other: &VertexSet) -> VertexSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &VertexSet) -> bool {
+        if self.blocks.len() > other.blocks.len() {
+            return false;
+        }
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// True iff the sets share no element.
+    pub fn is_disjoint(&self, other: &VertexSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// True iff the sets share at least one element.
+    pub fn intersects(&self, other: &VertexSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Collects into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<usize> for VertexSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        VertexSet::from_iter(iter)
+    }
+}
+
+impl Extend<usize> for VertexSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VertexSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(s.insert(200));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(200));
+        assert!(!s.remove(200));
+        assert_eq!(s.to_vec(), vec![5]);
+    }
+
+    #[test]
+    fn normalization_makes_equality_structural() {
+        let mut a = VertexSet::from_iter([1, 300]);
+        a.remove(300);
+        let b = VertexSet::from_iter([1]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = VertexSet::from_iter([1, 2, 3, 64]);
+        let b = VertexSet::from_iter([3, 64, 65]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 64, 65]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![3, 64]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 2]);
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.intersection(&b).is_subset(&b));
+        assert!(!a.is_subset(&b));
+        assert!(VertexSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = VertexSet::from_iter([0, 2]);
+        let b = VertexSet::from_iter([1, 3]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.intersects(&b));
+        let c = VertexSet::from_iter([2, 3]);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = VertexSet::from_iter([129, 3, 64, 0]);
+        assert_eq!(s.to_vec(), vec![0, 3, 64, 129]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(VertexSet::new().first(), None);
+    }
+
+    #[test]
+    fn full_universe() {
+        let s = VertexSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(0) && s.contains(69) && !s.contains(70));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based structural invariants for hypergraphs.
+
+use hypergraph::{components, dual, generators, properties, Hypergraph, VertexSet};
+use proptest::prelude::*;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..12, 0u64..500).prop_map(|(n, seed)| match seed % 3 {
+        0 => generators::random_bip(n, n.saturating_sub(2).max(2), 2, 3, seed),
+        1 => generators::random_bounded_degree(n, n.saturating_sub(2).max(2), 3, 4, seed),
+        _ => generators::random_acyclic(n.max(2), 3, seed),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sauer_shelah_vc_bound(h in arb_hypergraph()) {
+        // A shattered set of size d needs 2^d distinct traces, hence
+        // vc(H) <= log2(|E(H)|) (+1 would even be loose here because the
+        // empty trace also needs an edge... log2(m) suffices as a bound
+        // since traces are produced by edges only).
+        prop_assume!(h.num_vertices() <= 12);
+        let vc = properties::vc_dimension(&h);
+        prop_assert!(2usize.pow(vc as u32) <= h.num_edges().max(1) + 1);
+    }
+
+    #[test]
+    fn miwidth_is_antitone_in_c(h in arb_hypergraph()) {
+        let mut last = properties::rank(&h);
+        for c in 1..=4usize {
+            let w = properties::multi_intersection_width(&h, c);
+            prop_assert!(w <= last, "c={} width {} > previous {}", c, w, last);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn degree_bounds_nonempty_intersections(h in arb_hypergraph()) {
+        // Any d+1 distinct edges intersect emptily (Corollary 4.14's logic).
+        let d = properties::degree(&h);
+        prop_assert_eq!(properties::multi_intersection_width(&h, d + 1), 0);
+    }
+
+    #[test]
+    fn double_dual_preserves_reduced_hypergraphs(h in arb_hypergraph()) {
+        prop_assume!(!h.has_isolated_vertices());
+        let reduced = dual::reduce(&h).hypergraph;
+        let dd = dual::dual(&dual::dual(&reduced));
+        prop_assert_eq!(dd.num_vertices(), reduced.num_vertices());
+        prop_assert_eq!(dd.num_edges(), reduced.num_edges());
+        let mut a: Vec<Vec<usize>> = reduced.edges().iter().map(|e| e.to_vec()).collect();
+        let mut b: Vec<Vec<usize>> = dd.edges().iter().map(|e| e.to_vec()).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn component_of_agrees_with_components(h in arb_hypergraph(), pick in 0usize..12) {
+        let sep = VertexSet::new();
+        let comps = components::components(&h, &sep);
+        let v = pick % h.num_vertices();
+        let via_single = components::component_of(&h, &sep, v);
+        let via_all = comps.iter().find(|c| c.contains(v)).unwrap();
+        prop_assert_eq!(&via_single, via_all);
+    }
+
+    #[test]
+    fn paths_exist_exactly_within_components(h in arb_hypergraph(), s in 0u64..32) {
+        let sep: VertexSet = (0..h.num_vertices()).filter(|v| (s >> (v % 5)) & 1 == 1).collect();
+        let comps = components::components(&h, &sep);
+        for c in comps.iter().take(2) {
+            let vs = c.to_vec();
+            if vs.len() >= 2 {
+                let p = components::find_path(&h, &sep, vs[0], vs[1]);
+                prop_assert!(p.is_some(), "path within a component must exist");
+                let p = p.unwrap();
+                // Witness validity: consecutive vertices share the edge, all
+                // outside the separator.
+                for w in p.vertices.windows(2).zip(p.edges.iter()) {
+                    let (pair, &e) = w;
+                    prop_assert!(h.edge(e).contains(pair[0]));
+                    prop_assert!(h.edge(e).contains(pair[1]));
+                    prop_assert!(!sep.contains(pair[0]) && !sep.contains(pair[1]));
+                }
+            }
+        }
+        // And across different components no path exists.
+        if comps.len() >= 2 {
+            let a = comps[0].first().unwrap();
+            let b = comps[1].first().unwrap();
+            prop_assert!(components::find_path(&h, &sep, a, b).is_none());
+        }
+    }
+
+    #[test]
+    fn induced_subhypergraph_edges_are_restrictions(h in arb_hypergraph(), drop in 0usize..12) {
+        let mut w = h.all_vertices();
+        if h.num_vertices() > 1 {
+            w.remove(drop % h.num_vertices());
+        }
+        let (sub, renumber, originators) = h.induced(&w);
+        for (new_e, &orig) in originators.iter().enumerate() {
+            let expected: VertexSet = h
+                .edge(orig)
+                .iter()
+                .filter(|v| w.contains(*v))
+                .map(|v| renumber[&v])
+                .collect();
+            prop_assert_eq!(sub.edge(new_e), &expected);
+        }
+    }
+
+    #[test]
+    fn alpha_acyclic_families_stay_acyclic_under_edge_removal_of_leaves(seed in 0u64..100) {
+        // GYO-stability smoke test: random acyclic instances are acyclic.
+        let h = generators::random_acyclic(6, 3, seed);
+        prop_assert!(properties::is_alpha_acyclic(&h));
+    }
+}

@@ -1,0 +1,589 @@
+//! Exact two-phase primal simplex over big rationals.
+//!
+//! All variables are implicitly non-negative, which matches every program in
+//! the paper: fractional edge covers (Definition 2.2), fractional
+//! transversals (Definition 6.22), and the auxiliary programs used to verify
+//! Lemmas 3.5/3.6. Bland's rule guarantees termination without cycling, and
+//! exact [`Rational`] pivots make every optimum a certified rational value —
+//! crucial because widths such as `2 - 1/n` must be reproduced exactly.
+
+#![allow(clippy::needless_range_loop)]
+
+use arith::Rational;
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Constraint comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// A single linear constraint `sum coeffs[i] * x_i  (cmp)  rhs`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Sparse list of `(variable, coefficient)` pairs.
+    pub coeffs: Vec<(usize, Rational)>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: Rational,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Clone, Debug)]
+pub struct LinearProgram {
+    sense: Sense,
+    num_vars: usize,
+    objective: Vec<Rational>,
+    constraints: Vec<Constraint>,
+}
+
+/// Outcome of solving a [`LinearProgram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpResult {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal objective value.
+        value: Rational,
+        /// One optimal assignment for the original variables.
+        solution: Vec<Rational>,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl LpResult {
+    /// The optimal value, if any.
+    pub fn value(&self) -> Option<&Rational> {
+        match self {
+            LpResult::Optimal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The optimal solution vector, if any.
+    pub fn solution(&self) -> Option<&[Rational]> {
+        match self {
+            LpResult::Optimal { solution, .. } => Some(solution),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LpResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpResult::Optimal { value, .. } => write!(f, "optimal({value})"),
+            LpResult::Infeasible => write!(f, "infeasible"),
+            LpResult::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+impl LinearProgram {
+    /// Creates a minimization program with `num_vars` non-negative variables.
+    pub fn minimize(num_vars: usize) -> Self {
+        Self::new(Sense::Minimize, num_vars)
+    }
+
+    /// Creates a maximization program with `num_vars` non-negative variables.
+    pub fn maximize(num_vars: usize) -> Self {
+        Self::new(Sense::Maximize, num_vars)
+    }
+
+    fn new(sense: Sense, num_vars: usize) -> Self {
+        LinearProgram {
+            sense,
+            num_vars,
+            objective: vec![Rational::zero(); num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coeff: Rational) {
+        self.objective[var] = coeff;
+    }
+
+    /// Adds `sum coeffs * x (cmp) rhs`. Coefficients for the same variable
+    /// are accumulated.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, Rational)>, cmp: Cmp, rhs: Rational) {
+        for &(v, _) in &coeffs {
+            assert!(v < self.num_vars, "constraint references unknown variable {v}");
+        }
+        self.constraints.push(Constraint { coeffs, cmp, rhs });
+    }
+
+    /// Solves the program by two-phase simplex with Bland's rule.
+    pub fn solve(&self) -> LpResult {
+        Tableau::build(self).solve(self)
+    }
+}
+
+/// Dense simplex tableau. Column layout: decision vars, then slack/surplus
+/// vars, then artificial vars; the last column is the right-hand side.
+struct Tableau {
+    rows: Vec<Vec<Rational>>,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    num_decision: usize,
+    num_structural: usize,
+    /// Column index where artificial variables start.
+    art_start: usize,
+    /// Total columns excluding RHS.
+    num_cols: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let m = lp.constraints.len();
+        let n = lp.num_vars;
+
+        // Count slack/surplus and artificial columns.
+        let mut num_slack = 0usize;
+        let mut num_art = 0usize;
+        for c in &lp.constraints {
+            let rhs_neg = c.rhs.is_negative();
+            let eff = effective_cmp(c.cmp, rhs_neg);
+            match eff {
+                Cmp::Le => num_slack += 1,
+                Cmp::Ge => {
+                    num_slack += 1;
+                    num_art += 1;
+                }
+                Cmp::Eq => num_art += 1,
+            }
+        }
+
+        let num_structural = n + num_slack;
+        let num_cols = num_structural + num_art;
+        let mut rows = vec![vec![Rational::zero(); num_cols + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_idx = n;
+        let mut art_idx = num_structural;
+
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let rhs_neg = c.rhs.is_negative();
+            let flip = rhs_neg;
+            for (v, coeff) in &c.coeffs {
+                let val = if flip { -coeff } else { coeff.clone() };
+                rows[i][*v] = &rows[i][*v] + &val;
+            }
+            rows[i][num_cols] = if flip { -&c.rhs } else { c.rhs.clone() };
+            match effective_cmp(c.cmp, rhs_neg) {
+                Cmp::Le => {
+                    rows[i][slack_idx] = Rational::one();
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Cmp::Ge => {
+                    rows[i][slack_idx] = -Rational::one();
+                    slack_idx += 1;
+                    rows[i][art_idx] = Rational::one();
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+                Cmp::Eq => {
+                    rows[i][art_idx] = Rational::one();
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+
+        Tableau {
+            rows,
+            basis,
+            num_decision: n,
+            num_structural,
+            art_start: num_structural,
+            num_cols,
+        }
+    }
+
+    /// Builds the reduced-cost row for objective `costs` (indexed over all
+    /// columns), zeroing out basic variables. Returns `(row, value)` where
+    /// `value` is the current objective value.
+    fn reduce_objective(&self, costs: &[Rational]) -> (Vec<Rational>, Rational) {
+        let mut row = costs.to_vec();
+        let mut value = Rational::zero();
+        for (i, &b) in self.basis.iter().enumerate() {
+            if row[b].is_zero() {
+                continue;
+            }
+            let factor = row[b].clone();
+            for j in 0..self.num_cols {
+                let delta = &factor * &self.rows[i][j];
+                row[j] = &row[j] - &delta;
+            }
+            value = &value - &(&factor * &self.rows[i][self.num_cols]);
+        }
+        (row, value)
+    }
+
+    /// Runs simplex iterations (minimization) until optimal or unbounded.
+    /// `allowed_cols` restricts entering columns. Returns `None` on
+    /// unboundedness; otherwise the final objective value (negated running
+    /// total, i.e. the true minimum).
+    fn iterate(
+        &mut self,
+        obj_row: &mut [Rational],
+        obj_value: &mut Rational,
+        allowed_cols: usize,
+    ) -> Option<()> {
+        loop {
+            // Bland's rule: the lowest-index column with a negative reduced cost.
+            let entering = (0..allowed_cols).find(|&j| obj_row[j].is_negative());
+            let Some(j) = entering else {
+                return Some(());
+            };
+            // Ratio test; break ties by smallest basis variable (Bland).
+            let mut leaving: Option<(usize, Rational)> = None;
+            for i in 0..self.rows.len() {
+                if !self.rows[i][j].is_positive() {
+                    continue;
+                }
+                let ratio = &self.rows[i][self.num_cols] / &self.rows[i][j];
+                match &leaving {
+                    None => leaving = Some((i, ratio)),
+                    Some((best_i, best)) => {
+                        if ratio < *best
+                            || (ratio == *best && self.basis[i] < self.basis[*best_i])
+                        {
+                            leaving = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+            let Some((pivot_row, _)) = leaving else {
+                return None; // unbounded direction
+            };
+            self.pivot(pivot_row, j, obj_row, obj_value);
+        }
+    }
+
+    fn pivot(
+        &mut self,
+        pivot_row: usize,
+        pivot_col: usize,
+        obj_row: &mut [Rational],
+        obj_value: &mut Rational,
+    ) {
+        let pivot = self.rows[pivot_row][pivot_col].clone();
+        debug_assert!(pivot.is_positive());
+        if pivot != Rational::one() {
+            for j in 0..=self.num_cols {
+                if !self.rows[pivot_row][j].is_zero() {
+                    self.rows[pivot_row][j] = &self.rows[pivot_row][j] / &pivot;
+                }
+            }
+        }
+        for i in 0..self.rows.len() {
+            if i == pivot_row || self.rows[i][pivot_col].is_zero() {
+                continue;
+            }
+            let factor = self.rows[i][pivot_col].clone();
+            for j in 0..=self.num_cols {
+                if !self.rows[pivot_row][j].is_zero() {
+                    let delta = &factor * &self.rows[pivot_row][j];
+                    self.rows[i][j] = &self.rows[i][j] - &delta;
+                }
+            }
+        }
+        if !obj_row[pivot_col].is_zero() {
+            let factor = obj_row[pivot_col].clone();
+            for j in 0..self.num_cols {
+                if !self.rows[pivot_row][j].is_zero() {
+                    let delta = &factor * &self.rows[pivot_row][j];
+                    obj_row[j] = &obj_row[j] - &delta;
+                }
+            }
+            *obj_value = &*obj_value - &(&factor * &self.rows[pivot_row][self.num_cols]);
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> LpResult {
+        // Phase 1: minimize the sum of artificial variables.
+        if self.art_start < self.num_cols {
+            let mut costs = vec![Rational::zero(); self.num_cols];
+            for c in self.art_start..self.num_cols {
+                costs[c] = Rational::one();
+            }
+            let (mut obj_row, mut obj_value) = self.reduce_objective(&costs);
+            // Phase 1 is always bounded below by 0.
+            self.iterate(&mut obj_row, &mut obj_value, self.num_cols)
+                .expect("phase 1 cannot be unbounded");
+            // Current phase-1 objective = -obj_value bookkeeping: obj_value
+            // tracks -(c_B x_B); the attained minimum is -obj_value.
+            let attained = -obj_value;
+            if attained.is_positive() {
+                return LpResult::Infeasible;
+            }
+            // Drive any degenerate artificial variables out of the basis.
+            for i in 0..self.rows.len() {
+                if self.basis[i] < self.art_start {
+                    continue;
+                }
+                let pivot_col = (0..self.art_start).find(|&j| !self.rows[i][j].is_zero());
+                if let Some(j) = pivot_col {
+                    // The artificial basic variable is at value 0, so pivoting
+                    // on any nonzero entry keeps feasibility.
+                    let mut dummy_row = vec![Rational::zero(); self.num_cols];
+                    let mut dummy_val = Rational::zero();
+                    if self.rows[i][j].is_negative() {
+                        for col in 0..=self.num_cols {
+                            self.rows[i][col] = -&self.rows[i][col];
+                        }
+                    }
+                    self.pivot(i, j, &mut dummy_row, &mut dummy_val);
+                }
+                // If the whole row is zero on structural columns the
+                // constraint is redundant; leaving the artificial basic at
+                // value zero is harmless.
+            }
+        }
+
+        // Phase 2: optimize the real objective (as minimization), artificial
+        // columns barred from entering.
+        let mut costs = vec![Rational::zero(); self.num_cols];
+        for v in 0..lp.num_vars {
+            costs[v] = match lp.sense {
+                Sense::Minimize => lp.objective[v].clone(),
+                Sense::Maximize => -&lp.objective[v],
+            };
+        }
+        // Artificial columns must stay at zero: bar them by leaving their
+        // reduced costs non-negative and never selecting them (allowed_cols).
+        let (mut obj_row, mut obj_value) = self.reduce_objective(&costs);
+        if self
+            .iterate(&mut obj_row, &mut obj_value, self.num_structural)
+            .is_none()
+        {
+            return LpResult::Unbounded;
+        }
+
+        let mut solution = vec![Rational::zero(); self.num_decision];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.num_decision {
+                solution[b] = self.rows[i][self.num_cols].clone();
+            }
+        }
+        let min_value = -obj_value;
+        let value = match lp.sense {
+            Sense::Minimize => min_value,
+            Sense::Maximize => -min_value,
+        };
+        LpResult::Optimal { value, solution }
+    }
+}
+
+/// When the RHS is negative the row gets multiplied by -1, flipping `<=`/`>=`.
+fn effective_cmp(cmp: Cmp, rhs_negative: bool) -> Cmp {
+    if !rhs_negative {
+        return cmp;
+    }
+    match cmp {
+        Cmp::Le => Cmp::Ge,
+        Cmp::Ge => Cmp::Le,
+        Cmp::Eq => Cmp::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arith::rat;
+
+    fn r(p: i64, q: i64) -> Rational {
+        rat(p, q)
+    }
+
+    #[test]
+    fn trivial_empty_program() {
+        let lp = LinearProgram::minimize(0);
+        match lp.solve() {
+            LpResult::Optimal { value, solution } => {
+                assert_eq!(value, Rational::zero());
+                assert!(solution.is_empty());
+            }
+            other => panic!("expected optimal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn simple_min_cover() {
+        // min x0 + x1 s.t. x0 + x1 >= 1, x0 >= 1/2 -> value 1, e.g. x0=1/2...
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, Rational::one());
+        lp.set_objective(1, Rational::one());
+        lp.add_constraint(vec![(0, Rational::one()), (1, Rational::one())], Cmp::Ge, Rational::one());
+        lp.add_constraint(vec![(0, Rational::one())], Cmp::Ge, r(1, 2));
+        let res = lp.solve();
+        assert_eq!(res.value(), Some(&Rational::one()));
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => 36 at (2, 6).
+        let mut lp = LinearProgram::maximize(2);
+        lp.set_objective(0, r(3, 1));
+        lp.set_objective(1, r(5, 1));
+        lp.add_constraint(vec![(0, Rational::one())], Cmp::Le, r(4, 1));
+        lp.add_constraint(vec![(1, r(2, 1))], Cmp::Le, r(12, 1));
+        lp.add_constraint(vec![(0, r(3, 1)), (1, r(2, 1))], Cmp::Le, r(18, 1));
+        match lp.solve() {
+            LpResult::Optimal { value, solution } => {
+                assert_eq!(value, r(36, 1));
+                assert_eq!(solution, vec![r(2, 1), r(6, 1)]);
+            }
+            other => panic!("expected optimal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fractional_optimum_triangle() {
+        // Fractional edge cover of the triangle: min sum over 3 edges,
+        // each vertex covered by exactly two edges => optimum 3/2.
+        let mut lp = LinearProgram::minimize(3);
+        for e in 0..3 {
+            lp.set_objective(e, Rational::one());
+        }
+        // vertex i is covered by edges i and (i+2)%3
+        for v in 0..3usize {
+            lp.add_constraint(
+                vec![(v, Rational::one()), ((v + 2) % 3, Rational::one())],
+                Cmp::Ge,
+                Rational::one(),
+            );
+        }
+        assert_eq!(lp.solve().value(), Some(&r(3, 2)));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::minimize(1);
+        lp.add_constraint(vec![(0, Rational::one())], Cmp::Le, r(1, 1));
+        lp.add_constraint(vec![(0, Rational::one())], Cmp::Ge, r(2, 1));
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_by_sign() {
+        // x >= 0 and x <= -1 is infeasible (negative RHS path).
+        let mut lp = LinearProgram::minimize(1);
+        lp.add_constraint(vec![(0, Rational::one())], Cmp::Le, r(-1, 1));
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::maximize(1);
+        lp.set_objective(0, Rational::one());
+        lp.add_constraint(vec![(0, Rational::one())], Cmp::Ge, Rational::one());
+        assert_eq!(lp.solve(), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 -> x = 2, y = 1, value 3.
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, Rational::one());
+        lp.set_objective(1, Rational::one());
+        lp.add_constraint(vec![(0, Rational::one()), (1, r(2, 1))], Cmp::Eq, r(4, 1));
+        lp.add_constraint(vec![(0, Rational::one()), (1, r(-1, 1))], Cmp::Eq, r(1, 1));
+        match lp.solve() {
+            LpResult::Optimal { value, solution } => {
+                assert_eq!(value, r(3, 1));
+                assert_eq!(solution, vec![r(2, 1), r(1, 1)]);
+            }
+            other => panic!("expected optimal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_redundant_constraints() {
+        // Redundant equalities exercise the artificial-variable cleanup.
+        let mut lp = LinearProgram::minimize(2);
+        lp.set_objective(0, Rational::one());
+        lp.add_constraint(vec![(0, Rational::one()), (1, Rational::one())], Cmp::Eq, r(2, 1));
+        lp.add_constraint(
+            vec![(0, r(2, 1)), (1, r(2, 1))],
+            Cmp::Eq,
+            r(4, 1),
+        );
+        let res = lp.solve();
+        assert_eq!(res.value(), Some(&Rational::zero()));
+    }
+
+    #[test]
+    fn example_5_1_fractional_cover() {
+        // Hypergraph H_n from Example 5.1: vertices v0..vn, edges
+        // {v0, vi} for 1<=i<=n and the big edge {v1..vn}. rho* = 2 - 1/n.
+        for n in 2..8usize {
+            let mut lp = LinearProgram::minimize(n + 1); // n small edges + 1 big
+            for e in 0..=n {
+                lp.set_objective(e, Rational::one());
+            }
+            // v0 covered by the n small edges
+            lp.add_constraint(
+                (0..n).map(|e| (e, Rational::one())).collect(),
+                Cmp::Ge,
+                Rational::one(),
+            );
+            // vi covered by small edge i-1 and the big edge n
+            for i in 0..n {
+                lp.add_constraint(
+                    vec![(i, Rational::one()), (n, Rational::one())],
+                    Cmp::Ge,
+                    Rational::one(),
+                );
+            }
+            let expected = &r(2, 1) - &r(1, n as i64);
+            assert_eq!(lp.solve().value(), Some(&expected), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn negative_objective_coefficients() {
+        // min -x s.t. x <= 5 -> -5.
+        let mut lp = LinearProgram::minimize(1);
+        lp.set_objective(0, r(-1, 1));
+        lp.add_constraint(vec![(0, Rational::one())], Cmp::Le, r(5, 1));
+        assert_eq!(lp.solve().value(), Some(&r(-5, 1)));
+    }
+
+    #[test]
+    fn duplicate_coefficients_accumulate() {
+        // x + x >= 3  ==  2x >= 3.
+        let mut lp = LinearProgram::minimize(1);
+        lp.set_objective(0, Rational::one());
+        lp.add_constraint(
+            vec![(0, Rational::one()), (0, Rational::one())],
+            Cmp::Ge,
+            r(3, 1),
+        );
+        assert_eq!(lp.solve().value(), Some(&r(3, 2)));
+    }
+}

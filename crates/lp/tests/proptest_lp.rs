@@ -1,0 +1,136 @@
+//! Property-based tests for the exact simplex on random covering LPs.
+
+use arith::Rational;
+use lp::{Cmp, LinearProgram, LpResult};
+use proptest::prelude::*;
+
+/// A random covering instance: `m` sets over `n` elements (every element
+/// covered by at least one set, guaranteed by construction).
+#[derive(Debug, Clone)]
+struct CoverInstance {
+    n: usize,
+    sets: Vec<Vec<usize>>,
+}
+
+fn arb_cover() -> impl Strategy<Value = CoverInstance> {
+    (2usize..7, 2usize..7, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut sets: Vec<Vec<usize>> = (0..m)
+            .map(|_| {
+                let mut s: Vec<usize> = (0..n).filter(|_| next() % 2 == 0).collect();
+                if s.is_empty() {
+                    s.push((next() % n as u64) as usize);
+                }
+                s
+            })
+            .collect();
+        // Guarantee coverage: element i joins set i % m.
+        for v in 0..n {
+            let idx = v % m;
+            if !sets[idx].contains(&v) {
+                sets[idx].push(v);
+            }
+        }
+        CoverInstance { n, sets }
+    })
+}
+
+fn build_lp(inst: &CoverInstance) -> LinearProgram {
+    let mut lp = LinearProgram::minimize(inst.sets.len());
+    for s in 0..inst.sets.len() {
+        lp.set_objective(s, Rational::one());
+    }
+    for v in 0..inst.n {
+        let coeffs: Vec<(usize, Rational)> = inst
+            .sets
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.contains(&v))
+            .map(|(s, _)| (s, Rational::one()))
+            .collect();
+        lp.add_constraint(coeffs, Cmp::Ge, Rational::one());
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn covering_lp_solutions_are_feasible_and_sandwiched(inst in arb_cover()) {
+        let LpResult::Optimal { value, solution } = build_lp(&inst).solve() else {
+            panic!("covering LPs are feasible by construction");
+        };
+        // Feasibility of the returned point.
+        for v in 0..inst.n {
+            let total: Rational = inst
+                .sets
+                .iter()
+                .enumerate()
+                .filter(|(_, set)| set.contains(&v))
+                .map(|(s, _)| solution[s].clone())
+                .sum();
+            prop_assert!(total >= Rational::one(), "element {} uncovered", v);
+        }
+        // Objective consistency.
+        let recomputed: Rational = solution.iter().sum();
+        prop_assert_eq!(&recomputed, &value);
+        // Sandwich: n/rank <= value <= n (all-ones is feasible).
+        let rank = inst.sets.iter().map(Vec::len).max().unwrap();
+        let lower = Rational::from(inst.n) / Rational::from(rank);
+        prop_assert!(value >= lower);
+        prop_assert!(value <= Rational::from(inst.sets.len()));
+        // Optimality against the integral brute force (value <= rho).
+        let m = inst.sets.len();
+        let mut best_int = usize::MAX;
+        for mask in 1u32..(1u32 << m) {
+            let covered = (0..inst.n).all(|v| {
+                inst.sets
+                    .iter()
+                    .enumerate()
+                    .any(|(s, set)| mask >> s & 1 == 1 && set.contains(&v))
+            });
+            if covered {
+                best_int = best_int.min(mask.count_ones() as usize);
+            }
+        }
+        prop_assert!(value <= Rational::from(best_int));
+    }
+
+    #[test]
+    fn duplicated_constraints_do_not_change_the_optimum(inst in arb_cover()) {
+        let base = build_lp(&inst).solve();
+        let mut doubled = build_lp(&inst);
+        for v in 0..inst.n {
+            let coeffs: Vec<(usize, Rational)> = inst
+                .sets
+                .iter()
+                .enumerate()
+                .filter(|(_, set)| set.contains(&v))
+                .map(|(s, _)| (s, Rational::one()))
+                .collect();
+            doubled.add_constraint(coeffs, Cmp::Ge, Rational::one());
+        }
+        let doubled = doubled.solve();
+        prop_assert_eq!(base.value(), doubled.value());
+    }
+
+    #[test]
+    fn scaling_objective_scales_value(inst in arb_cover(), num in 1i64..8, den in 1i64..8) {
+        let factor = arith::rat(num, den);
+        let plain = build_lp(&inst).solve();
+        let mut scaled = build_lp(&inst);
+        for s in 0..inst.sets.len() {
+            scaled.set_objective(s, factor.clone());
+        }
+        let scaled = scaled.solve();
+        prop_assert_eq!(
+            scaled.value().unwrap().clone(),
+            &factor * plain.value().unwrap()
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! 3SAT formulas and a DPLL solver — the substrate for the Section 3
+//! reduction (the paper reduces *from* 3SAT, so exercising both directions
+//! of Theorem 3.2 needs a SAT solver to find the satisfying assignments
+//! that drive the Table 1 witness construction).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A literal: variable index (0-based) plus polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Variable index in `0..num_vars`.
+    pub var: usize,
+    /// True for `x`, false for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal `x_var`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// Negative literal `¬x_var`.
+    pub fn neg(var: usize) -> Self {
+        Literal { var, positive: false }
+    }
+
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var + 1)
+        } else {
+            write!(f, "¬x{}", self.var + 1)
+        }
+    }
+}
+
+/// A 3-literal clause.
+pub type Clause = [Literal; 3];
+
+/// A 3CNF formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables `n`.
+    pub num_vars: usize,
+    /// The clauses (each exactly three literals).
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Builds a formula, validating variable indices.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in c {
+                assert!(l.var < num_vars, "literal references unknown variable");
+            }
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// Number of clauses `m`.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Evaluates a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// DPLL with unit propagation and pure-literal elimination; returns a
+    /// satisfying assignment or `None`.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+        } else {
+            None
+        }
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to fixpoint.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut unit: Option<Literal> = None;
+            let mut conflict = false;
+            for clause in &self.clauses {
+                let mut unassigned = Vec::new();
+                let mut satisfied = false;
+                for l in clause {
+                    match assignment[l.var] {
+                        Some(v) if v == l.positive => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => unassigned.push(*l),
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned.len() {
+                    0 => {
+                        conflict = true;
+                        break;
+                    }
+                    1 => {
+                        unit = Some(unassigned[0]);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if conflict {
+                for v in trail {
+                    assignment[v] = None;
+                }
+                return false;
+            }
+            match unit {
+                Some(l) => {
+                    assignment[l.var] = Some(l.positive);
+                    trail.push(l.var);
+                }
+                None => break,
+            }
+        }
+        // Find a branching variable.
+        let Some(var) = (0..self.num_vars).find(|&v| assignment[v].is_none()) else {
+            let ok = self
+                .clauses
+                .iter()
+                .all(|c| c.iter().any(|l| assignment[l.var] == Some(l.positive)));
+            if !ok {
+                for v in trail {
+                    assignment[v] = None;
+                }
+            }
+            return ok;
+        };
+        for value in [true, false] {
+            assignment[var] = Some(value);
+            if self.dpll(assignment) {
+                return true;
+            }
+            assignment[var] = None;
+        }
+        for v in trail {
+            assignment[v] = None;
+        }
+        false
+    }
+
+    /// The running example of Example 3.3:
+    /// `(x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x2 ∨ ¬x3)`.
+    pub fn example_3_3() -> Cnf {
+        Cnf::new(
+            3,
+            vec![
+                [Literal::pos(0), Literal::neg(1), Literal::pos(2)],
+                [Literal::neg(0), Literal::pos(1), Literal::neg(2)],
+            ],
+        )
+    }
+
+    /// The smallest canonical UNSAT 3CNF: all eight sign patterns over
+    /// three variables.
+    pub fn all_sign_patterns() -> Cnf {
+        let mut clauses = Vec::new();
+        for mask in 0..8u8 {
+            clauses.push([
+                Literal { var: 0, positive: mask & 1 == 0 },
+                Literal { var: 1, positive: mask & 2 == 0 },
+                Literal { var: 2, positive: mask & 4 == 0 },
+            ]);
+        }
+        Cnf::new(3, clauses)
+    }
+
+    /// A random 3CNF with a *planted* satisfying assignment (deterministic
+    /// in `seed`): every clause is made true under the plant.
+    pub fn random_planted(num_vars: usize, num_clauses: usize, seed: u64) -> (Cnf, Vec<bool>) {
+        assert!(num_vars >= 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plant: Vec<bool> = (0..num_vars).map(|_| rng.gen_bool(0.5)).collect();
+        let mut clauses = Vec::new();
+        while clauses.len() < num_clauses {
+            let mut vars = [0usize; 3];
+            vars[0] = rng.gen_range(0..num_vars);
+            loop {
+                vars[1] = rng.gen_range(0..num_vars);
+                if vars[1] != vars[0] {
+                    break;
+                }
+            }
+            loop {
+                vars[2] = rng.gen_range(0..num_vars);
+                if vars[2] != vars[0] && vars[2] != vars[1] {
+                    break;
+                }
+            }
+            let mut clause = [
+                Literal { var: vars[0], positive: rng.gen_bool(0.5) },
+                Literal { var: vars[1], positive: rng.gen_bool(0.5) },
+                Literal { var: vars[2], positive: rng.gen_bool(0.5) },
+            ];
+            // Force satisfaction under the plant.
+            if !clause.iter().any(|l| l.eval(&plant)) {
+                let fix = rng.gen_range(0..3);
+                clause[fix].positive = plant[clause[fix].var];
+            }
+            clauses.push(clause);
+        }
+        (Cnf::new(num_vars, clauses), plant)
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "({} ∨ {} ∨ {})", c[0], c[1], c[2])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_3_is_satisfiable() {
+        let cnf = Cnf::example_3_3();
+        let a = cnf.solve().expect("Example 3.3 is satisfiable");
+        assert!(cnf.eval(&a));
+        // The paper's example assignment also works.
+        assert!(cnf.eval(&[true, false, false]));
+    }
+
+    #[test]
+    fn all_sign_patterns_is_unsat() {
+        let cnf = Cnf::all_sign_patterns();
+        assert!(cnf.solve().is_none());
+        // Brute-force confirmation.
+        for mask in 0..8u8 {
+            let a = vec![mask & 1 != 0, mask & 2 != 0, mask & 4 != 0];
+            assert!(!cnf.eval(&a));
+        }
+    }
+
+    #[test]
+    fn planted_instances_are_satisfiable() {
+        for seed in 0..10u64 {
+            let (cnf, plant) = Cnf::random_planted(6, 12, seed);
+            assert!(cnf.eval(&plant), "seed {seed}");
+            let solved = cnf.solve().expect("planted instance must be SAT");
+            assert!(cnf.eval(&solved), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_on_small_formulas() {
+        for seed in 0..20u64 {
+            let (cnf, _) = Cnf::random_planted(4, 6, seed);
+            // Flip some polarities to get possibly-UNSAT variants.
+            let mut tweaked = cnf.clone();
+            if seed % 3 == 0 {
+                for c in tweaked.clauses.iter_mut() {
+                    c[0].positive = !c[0].positive;
+                }
+            }
+            let brute = (0..(1u32 << tweaked.num_vars)).any(|mask| {
+                let a: Vec<bool> = (0..tweaked.num_vars).map(|v| mask >> v & 1 == 1).collect();
+                tweaked.eval(&a)
+            });
+            assert_eq!(tweaked.solve().is_some(), brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Cnf::example_3_3().to_string();
+        assert!(s.contains("x1") && s.contains("¬x2"));
+    }
+}

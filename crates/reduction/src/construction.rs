@@ -1,0 +1,511 @@
+//! The Section 3 reduction: from a 3CNF formula `φ` (n variables, m
+//! clauses) to a hypergraph `H` with `ghw(H) <= 2  iff  fhw(H) <= 2  iff
+//! φ satisfiable` (Theorem 3.2).
+//!
+//! Vertex inventory (paper notation → names here):
+//! `S = Q × {1,2,3}` with `Q = [2n+3; m] ∪ {(0,1),(0,0),(1,0)}` →
+//! `s(i.j|k)`; `A`/`A'` → `a(i.j)` / `a'(i.j)`; `Y`/`Y'` → `y1..` / `y1'..`;
+//! `z1`, `z2`; and the two Lemma 3.1 gadget copies `a1..d2`, `a1'..d2'`.
+
+use crate::cnf::Cnf;
+use hypergraph::{Hypergraph, VertexSet};
+use std::collections::HashMap;
+
+/// A position `q ∈ Q`: one of the three specials or a pair
+/// `(i, j) ∈ [2n+3; m]` (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QPos {
+    /// The special element `(0, 1)`.
+    S01,
+    /// The special element `(0, 0)`.
+    S00,
+    /// The special element `(1, 0)`.
+    S10,
+    /// A regular position `(i, j)` with `1 <= i <= 2n+3`, `1 <= j <= m`.
+    P(usize, usize),
+}
+
+impl QPos {
+    fn name(&self) -> String {
+        match self {
+            QPos::S01 => "0.1".into(),
+            QPos::S00 => "0.0".into(),
+            QPos::S10 => "1.0".into(),
+            QPos::P(i, j) => format!("{i}.{j}"),
+        }
+    }
+}
+
+/// A vertex-name registry during construction.
+struct Registry {
+    names: Vec<String>,
+    ids: HashMap<String, usize>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry { names: Vec::new(), ids: HashMap::new() }
+    }
+
+    fn add(&mut self, name: String) -> usize {
+        let id = self.names.len();
+        assert!(
+            self.ids.insert(name.clone(), id).is_none(),
+            "duplicate vertex {name}"
+        );
+        self.names.push(name);
+        id
+    }
+}
+
+/// The constructed reduction instance with full id bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The source formula.
+    pub cnf: Cnf,
+    /// The constructed hypergraph `H`.
+    pub hypergraph: Hypergraph,
+    /// `2n + 3` (the row count of `[2n+3; m]`).
+    pub rows: usize,
+    /// `m` (the column count).
+    pub cols: usize,
+    /// `s(q|k)` vertex ids, `k ∈ 1..=3`.
+    pub s: HashMap<(QPos, u8), usize>,
+    /// `a_p` vertex ids for regular positions.
+    pub a: HashMap<(usize, usize), usize>,
+    /// `a'_p` vertex ids.
+    pub a_prime: HashMap<(usize, usize), usize>,
+    /// `y_1..y_n`.
+    pub y: Vec<usize>,
+    /// `y'_1..y'_n`.
+    pub y_prime: Vec<usize>,
+    /// `z1` and `z2`.
+    pub z: [usize; 2],
+    /// Gadget core vertices by paper name (`a1`, ..., `d2`, `a1'`, ..., `d2'`).
+    pub core: HashMap<String, usize>,
+    /// Edge ids: `e_p` for `p ∈ [2n+3;m]⁻`.
+    pub e_p: HashMap<(usize, usize), usize>,
+    /// Edge ids: `e_{y_i}`.
+    pub e_y: Vec<usize>,
+    /// Edge ids: `e^{k,side}_p` for `p ∈ [2n+3;m]⁻`, `k ∈ 1..=3`,
+    /// `side ∈ {0, 1}`.
+    pub e_lit: HashMap<((usize, usize), u8, u8), usize>,
+    /// `e^0_{(0,0)}`, `e^1_{(0,0)}`.
+    pub e_00: [usize; 2],
+    /// `e^0_max`, `e^1_max`.
+    pub e_max: [usize; 2],
+}
+
+impl Reduction {
+    /// All regular positions in lexicographic order `(1,1) < (1,2) < ...`.
+    pub fn positions(&self) -> Vec<(usize, usize)> {
+        positions(self.rows, self.cols)
+    }
+
+    /// `[2n+3; m]⁻`: all regular positions except `max = (2n+3, m)`.
+    pub fn positions_minus(&self) -> Vec<(usize, usize)> {
+        let mut p = self.positions();
+        p.pop();
+        p
+    }
+
+    /// The full `S` vertex set.
+    pub fn s_set(&self) -> VertexSet {
+        self.s.values().copied().collect()
+    }
+
+    /// `S_q = (q | *)`: the three `S` vertices at position `q`.
+    pub fn s_at(&self, q: QPos) -> VertexSet {
+        (1..=3u8).map(|k| self.s[&(q, k)]).collect()
+    }
+
+    /// `A_p = {a_min, ..., a_p}` (inclusive prefix).
+    pub fn a_prefix(&self, p: (usize, usize)) -> VertexSet {
+        self.positions()
+            .into_iter()
+            .take_while(|&q| q <= p)
+            .map(|q| self.a[&q])
+            .collect()
+    }
+
+    /// `A̅_p = {a_p, ..., a_max}` (inclusive suffix).
+    pub fn a_suffix(&self, p: (usize, usize)) -> VertexSet {
+        self.positions()
+            .into_iter()
+            .skip_while(|&q| q < p)
+            .map(|q| self.a[&q])
+            .collect()
+    }
+
+    /// `A'_p = {a'_min, ..., a'_p}`.
+    pub fn a_prime_prefix(&self, p: (usize, usize)) -> VertexSet {
+        self.positions()
+            .into_iter()
+            .take_while(|&q| q <= p)
+            .map(|q| self.a_prime[&q])
+            .collect()
+    }
+
+    /// `A̅'_p = {a'_p, ..., a'_max}`.
+    pub fn a_prime_suffix(&self, p: (usize, usize)) -> VertexSet {
+        self.positions()
+            .into_iter()
+            .skip_while(|&q| q < p)
+            .map(|q| self.a_prime[&q])
+            .collect()
+    }
+
+    /// The `Z` set of the witness construction for an assignment `σ`:
+    /// `{y_i | σ(x_i)} ∪ {y'_i | ¬σ(x_i)}`.
+    pub fn z_set(&self, assignment: &[bool]) -> VertexSet {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if v { self.y[i] } else { self.y_prime[i] })
+            .collect()
+    }
+}
+
+fn positions(rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    (1..=rows)
+        .flat_map(|i| (1..=cols).map(move |j| (i, j)))
+        .collect()
+}
+
+/// Builds the reduction hypergraph for `φ` (the Problem reduction of
+/// Section 3).
+pub fn build(cnf: &Cnf) -> Reduction {
+    let n = cnf.num_vars;
+    let m = cnf.num_clauses();
+    assert!(n >= 1 && m >= 1, "reduction needs at least one variable and clause");
+    let rows = 2 * n + 3;
+    let cols = m;
+    let mut reg = Registry::new();
+
+    // --- Vertices ---
+    let mut s: HashMap<(QPos, u8), usize> = HashMap::new();
+    let mut qs: Vec<QPos> = vec![QPos::S01, QPos::S00, QPos::S10];
+    qs.extend(positions(rows, cols).into_iter().map(|(i, j)| QPos::P(i, j)));
+    for &q in &qs {
+        for k in 1..=3u8 {
+            s.insert((q, k), reg.add(format!("s({}|{k})", q.name())));
+        }
+    }
+    let mut a = HashMap::new();
+    let mut a_prime = HashMap::new();
+    for p in positions(rows, cols) {
+        a.insert(p, reg.add(format!("a({}.{})", p.0, p.1)));
+    }
+    for p in positions(rows, cols) {
+        a_prime.insert(p, reg.add(format!("a'({}.{})", p.0, p.1)));
+    }
+    let y: Vec<usize> = (1..=n).map(|i| reg.add(format!("y{i}"))).collect();
+    let y_prime: Vec<usize> = (1..=n).map(|i| reg.add(format!("y{i}'"))).collect();
+    let z = [reg.add("z1".into()), reg.add("z2".into())];
+    let mut core = HashMap::new();
+    for name in ["a1", "a2", "b1", "b2", "c1", "c2", "d1", "d2"] {
+        core.insert(name.to_string(), reg.add(name.to_string()));
+        core.insert(format!("{name}'"), reg.add(format!("{name}'")));
+    }
+
+    // --- Building blocks ---
+    let s_all: VertexSet = s.values().copied().collect();
+    let s_at = |q: QPos| -> VertexSet { (1..=3u8).map(|k| s[&(q, k)]).collect() };
+    let y_all: VertexSet = y.iter().copied().collect();
+    let yp_all: VertexSet = y_prime.iter().copied().collect();
+    let a_all: VertexSet = a.values().copied().collect();
+    let ap_all: VertexSet = a_prime.values().copied().collect();
+    let pos = positions(rows, cols);
+    let max = *pos.last().unwrap();
+
+    // M1 = S \ S_(0,1) ∪ {z1};  M2 = Y ∪ S_(0,1) ∪ {z2}
+    let mut m1 = s_all.difference(&s_at(QPos::S01));
+    m1.insert(z[0]);
+    let mut m2 = y_all.union(&s_at(QPos::S01));
+    m2.insert(z[1]);
+    // M1' = S \ S_(1,0) ∪ {z1};  M2' = Y' ∪ S_(1,0) ∪ {z2}
+    let mut m1p = s_all.difference(&s_at(QPos::S10));
+    m1p.insert(z[0]);
+    let mut m2p = yp_all.union(&s_at(QPos::S10));
+    m2p.insert(z[1]);
+
+    let mut edges: Vec<(String, VertexSet)> = Vec::new();
+    let push = |edges: &mut Vec<(String, VertexSet)>, name: String, vs: VertexSet| -> usize {
+        edges.push((name, vs));
+        edges.len() - 1
+    };
+
+    // --- Step 1: the two gadget copies (Lemma 3.1) ---
+    for (prefix, big1, big2) in [("", &m1, &m2), ("'", &m1p, &m2p)] {
+        let v = |name: &str| core[&format!("{name}{prefix}")];
+        let pair = |x: &str, yv: &str| VertexSet::from_iter([v(x), v(yv)]);
+        let with = |x: &str, yv: &str, big: &VertexSet| {
+            let mut e = big.clone();
+            e.insert(v(x));
+            e.insert(v(yv));
+            e
+        };
+        // E_A
+        push(&mut edges, format!("g{prefix}a1b1M1"), with("a1", "b1", big1));
+        push(&mut edges, format!("g{prefix}a2b2M2"), with("a2", "b2", big2));
+        push(&mut edges, format!("g{prefix}a1b2"), pair("a1", "b2"));
+        push(&mut edges, format!("g{prefix}a2b1"), pair("a2", "b1"));
+        push(&mut edges, format!("g{prefix}a1a2"), pair("a1", "a2"));
+        // E_B
+        push(&mut edges, format!("g{prefix}b1c1M1"), with("b1", "c1", big1));
+        push(&mut edges, format!("g{prefix}b2c2M2"), with("b2", "c2", big2));
+        push(&mut edges, format!("g{prefix}b1c2"), pair("b1", "c2"));
+        push(&mut edges, format!("g{prefix}b2c1"), pair("b2", "c1"));
+        push(&mut edges, format!("g{prefix}b1b2"), pair("b1", "b2"));
+        push(&mut edges, format!("g{prefix}c1c2"), pair("c1", "c2"));
+        // E_C
+        push(&mut edges, format!("g{prefix}c1d1M1"), with("c1", "d1", big1));
+        push(&mut edges, format!("g{prefix}c2d2M2"), with("c2", "d2", big2));
+        push(&mut edges, format!("g{prefix}c1d2"), pair("c1", "d2"));
+        push(&mut edges, format!("g{prefix}c2d1"), pair("c2", "d1"));
+        push(&mut edges, format!("g{prefix}d1d2"), pair("d1", "d2"));
+    }
+
+    // --- Step 2: long-path edges ---
+    let _a_prefix = |p: (usize, usize)| -> VertexSet {
+        pos.iter().take_while(|&&q| q <= p).map(|q| a[q]).collect()
+    };
+    let a_suffix = |p: (usize, usize)| -> VertexSet {
+        pos.iter().skip_while(|&&q| q < p).map(|q| a[q]).collect()
+    };
+    let ap_prefix = |p: (usize, usize)| -> VertexSet {
+        pos.iter().take_while(|&&q| q <= p).map(|q| a_prime[q]).collect()
+    };
+
+    let mut e_p = HashMap::new();
+    for &p in pos.iter().take(pos.len() - 1) {
+        // e_p = A'_p ∪ A̅_p
+        let e = ap_prefix(p).union(&a_suffix(p));
+        e_p.insert(p, push(&mut edges, format!("e({}.{})", p.0, p.1), e));
+    }
+    let mut e_y = Vec::new();
+    for i in 0..n {
+        e_y.push(push(
+            &mut edges,
+            format!("ey{}", i + 1),
+            VertexSet::from_iter([y[i], y_prime[i]]),
+        ));
+    }
+    let mut e_lit = HashMap::new();
+    for &p in pos.iter().take(pos.len() - 1) {
+        let (_, j) = p;
+        for k in 1..=3u8 {
+            let lit = cnf.clauses[j - 1][(k - 1) as usize];
+            let l = lit.var;
+            // e^{k,0}_p
+            let mut e0 = a_suffix(p);
+            e0.union_with(&s_all);
+            e0.remove(s[&(QPos::P(p.0, p.1), k)]);
+            e0.union_with(&y_all);
+            if !lit.positive {
+                e0.remove(y[l]); // Y_l = Y \ {y_l}
+            }
+            e0.insert(z[0]);
+            e_lit.insert(
+                (p, k, 0),
+                push(&mut edges, format!("e({}.{})^{k},0", p.0, p.1), e0),
+            );
+            // e^{k,1}_p
+            let mut e1 = ap_prefix(p);
+            e1.insert(s[&(QPos::P(p.0, p.1), k)]);
+            e1.union_with(&yp_all);
+            if lit.positive {
+                e1.remove(y_prime[l]); // Y'_l = Y' \ {y'_l}
+            }
+            e1.insert(z[1]);
+            e_lit.insert(
+                (p, k, 1),
+                push(&mut edges, format!("e({}.{})^{k},1", p.0, p.1), e1),
+            );
+        }
+    }
+
+    // --- Step 3: the connector edges ---
+    let mut e000 = VertexSet::from_iter([core["a1"]]);
+    e000.union_with(&a_all);
+    e000.union_with(&s_all.difference(&s_at(QPos::S00)));
+    e000.union_with(&y_all);
+    e000.insert(z[0]);
+    let e000 = push(&mut edges, "e(0.0)^0".into(), e000);
+    let mut e001 = s_at(QPos::S00);
+    e001.union_with(&yp_all);
+    e001.insert(z[1]);
+    let e001 = push(&mut edges, "e(0.0)^1".into(), e001);
+    let mut em0 = s_all.difference(&s_at(QPos::P(max.0, max.1)));
+    em0.union_with(&y_all);
+    em0.insert(z[0]);
+    let em0 = push(&mut edges, "e(max)^0".into(), em0);
+    let mut em1 = VertexSet::from_iter([core["a1'"]]);
+    em1.union_with(&ap_all);
+    em1.union_with(&s_at(QPos::P(max.0, max.1)));
+    em1.union_with(&yp_all);
+    em1.insert(z[1]);
+    let em1 = push(&mut edges, "e(max)^1".into(), em1);
+
+    let edge_names: Vec<String> = edges.iter().map(|(n, _)| n.clone()).collect();
+    let edge_sets: Vec<Vec<usize>> = edges.iter().map(|(_, v)| v.to_vec()).collect();
+    let hypergraph = Hypergraph::from_parts(reg.names, edge_names, edge_sets);
+
+    Reduction {
+        cnf: cnf.clone(),
+        hypergraph,
+        rows,
+        cols,
+        s,
+        a,
+        a_prime,
+        y,
+        y_prime,
+        z,
+        core,
+        e_p,
+        e_y,
+        e_lit,
+        e_00: [e000, e001],
+        e_max: [em0, em1],
+    }
+}
+
+/// The standalone Lemma 3.1 gadget `H0` with fresh `M1`/`M2` vertex sets of
+/// the given sizes — for gadget-level verification (exact `fhw`/`ghw` on
+/// small `M`).
+pub fn gadget(m1_size: usize, m2_size: usize) -> Hypergraph {
+    let mut reg = Registry::new();
+    let core: Vec<usize> = ["a1", "a2", "b1", "b2", "c1", "c2", "d1", "d2"]
+        .iter()
+        .map(|n| reg.add(n.to_string()))
+        .collect();
+    let m1: Vec<usize> = (0..m1_size).map(|i| reg.add(format!("m1_{i}"))).collect();
+    let m2: Vec<usize> = (0..m2_size).map(|i| reg.add(format!("m2_{i}"))).collect();
+    let v = |name: &str| -> usize {
+        let idx = ["a1", "a2", "b1", "b2", "c1", "c2", "d1", "d2"]
+            .iter()
+            .position(|n| *n == name)
+            .unwrap();
+        core[idx]
+    };
+    let mut edges: Vec<(String, Vec<usize>)> = Vec::new();
+    let with_m = |x: &str, yv: &str, m: &[usize], edges: &mut Vec<(String, Vec<usize>)>| {
+        let mut e = vec![v(x), v(yv)];
+        e.extend_from_slice(m);
+        edges.push((format!("g{x}{yv}M"), e));
+    };
+    let pair = |x: &str, yv: &str, edges: &mut Vec<(String, Vec<usize>)>| {
+        edges.push((format!("g{x}{yv}"), vec![v(x), v(yv)]));
+    };
+    with_m("a1", "b1", &m1, &mut edges);
+    with_m("a2", "b2", &m2, &mut edges);
+    pair("a1", "b2", &mut edges);
+    pair("a2", "b1", &mut edges);
+    pair("a1", "a2", &mut edges);
+    with_m("b1", "c1", &m1, &mut edges);
+    with_m("b2", "c2", &m2, &mut edges);
+    pair("b1", "c2", &mut edges);
+    pair("b2", "c1", &mut edges);
+    pair("b1", "b2", &mut edges);
+    pair("c1", "c2", &mut edges);
+    with_m("c1", "d1", &m1, &mut edges);
+    with_m("c2", "d2", &m2, &mut edges);
+    pair("c1", "d2", &mut edges);
+    pair("c2", "d1", &mut edges);
+    pair("d1", "d2", &mut edges);
+    let names = edges.iter().map(|(n, _)| n.clone()).collect();
+    let sets = edges.into_iter().map(|(_, e)| e).collect();
+    Hypergraph::from_parts(reg.names, names, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_the_formulas() {
+        // Example 3.3: n = 3, m = 2 -> rows = 9, |Q| = 21, |S| = 63.
+        let cnf = Cnf::example_3_3();
+        let r = build(&cnf);
+        assert_eq!(r.rows, 9);
+        assert_eq!(r.cols, 2);
+        assert_eq!(r.s.len(), (9 * 2 + 3) * 3);
+        assert_eq!(r.a.len(), 18);
+        assert_eq!(r.a_prime.len(), 18);
+        let expected_vertices = 63 + 18 + 18 + 3 + 3 + 2 + 16;
+        assert_eq!(r.hypergraph.num_vertices(), expected_vertices);
+        // Edges: 32 gadget + (18-1) e_p + 3 e_y + 6*(18-1) literal + 4.
+        let expected_edges = 32 + 17 + 3 + 6 * 17 + 4;
+        assert_eq!(r.hypergraph.num_edges(), expected_edges);
+    }
+
+    #[test]
+    fn example_3_3_edge_contents() {
+        // Spot-check the worked example: e^{1,1}_{(i,1)} = A'_{(i,1)} ∪
+        // S^1_{(i,1)} ∪ {y2', y3'} ∪ {z2} (first literal of clause 1 is x1).
+        let r = build(&Cnf::example_3_3());
+        let p = (3usize, 1usize);
+        let e = r.e_lit[&(p, 1, 1)];
+        let edge = r.hypergraph.edge(e);
+        assert!(edge.contains(r.z[1]));
+        assert!(edge.contains(r.s[&(QPos::P(3, 1), 1)]));
+        assert!(!edge.contains(r.y_prime[0]), "y1' must be excluded (x1 positive)");
+        assert!(edge.contains(r.y_prime[1]));
+        assert!(edge.contains(r.y_prime[2]));
+        // A'_(3,1) = the first 2*... positions up to (3,1): (1,1),(1,2),(2,1),(2,2),(3,1).
+        assert_eq!(r.a_prime_prefix(p).len(), 5);
+        assert!(r.a_prime_prefix(p).is_subset(edge));
+        // And the complementary side: e^{1,0} excludes s(p|1), includes all Y.
+        let e0 = r.hypergraph.edge(r.e_lit[&(p, 1, 0)]);
+        assert!(!e0.contains(r.s[&(QPos::P(3, 1), 1)]));
+        assert!(e0.contains(r.y[0]) && e0.contains(r.y[1]) && e0.contains(r.y[2]));
+        assert!(e0.contains(r.z[0]));
+    }
+
+    #[test]
+    fn negative_literal_orientation() {
+        // Second clause of Example 3.3 starts with ¬x1: e^{1,0}_{(i,2)}
+        // excludes y1 while e^{1,1}_{(i,2)} keeps all of Y'.
+        let r = build(&Cnf::example_3_3());
+        let p = (2usize, 2usize);
+        let e0 = r.hypergraph.edge(r.e_lit[&(p, 1, 0)]);
+        let e1 = r.hypergraph.edge(r.e_lit[&(p, 1, 1)]);
+        assert!(!e0.contains(r.y[0]));
+        assert!(e0.contains(r.y[1]) && e0.contains(r.y[2]));
+        assert!(e1.contains(r.y_prime[0]) && e1.contains(r.y_prime[1]) && e1.contains(r.y_prime[2]));
+    }
+
+    #[test]
+    fn no_edge_covers_all_of_s() {
+        // "In particular there is no edge that covers S completely."
+        let r = build(&Cnf::example_3_3());
+        let s_set = r.s_set();
+        for e in r.hypergraph.edges() {
+            assert!(!s_set.is_subset(e));
+        }
+    }
+
+    #[test]
+    fn no_isolated_vertices() {
+        let r = build(&Cnf::example_3_3());
+        assert!(!r.hypergraph.has_isolated_vertices());
+    }
+
+    #[test]
+    fn gadget_shape() {
+        let g = gadget(2, 2);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 16);
+        // {a1,a2,b1,b2} is a clique: all 6 pairs inside common edges.
+        let quad = ["a1", "a2", "b1", "b2"].map(|n| g.vertex_by_name(n).unwrap());
+        for (i, &x) in quad.iter().enumerate() {
+            for &y in quad.iter().skip(i + 1) {
+                assert!(
+                    g.edges().iter().any(|e| e.contains(x) && e.contains(y)),
+                    "{x},{y} not adjacent"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The width-lifting constructions closing Section 3: NP-hardness for every
+//! `k + ℓ`.
+//!
+//! * Integer `ℓ`: add a clique of `2ℓ` fresh vertices, each also connected
+//!   to every old vertex — widths shift up by exactly `ℓ`.
+//! * Rational `ℓ = r/q`: add `r` fresh vertices with the cyclic hyperedges
+//!   `{v_i, ..., v_{i⊕(q−1)}}`, again fully connected to the old vertices.
+
+use hypergraph::Hypergraph;
+
+/// Integer lift: `H ↦ H + K_{2ℓ}` fully connected to `V(H)`.
+pub fn lift_integer(h: &Hypergraph, ell: usize) -> Hypergraph {
+    assert!(ell >= 1);
+    let n = h.num_vertices();
+    let fresh = 2 * ell;
+    let mut names: Vec<String> = (0..n).map(|v| h.vertex_name(v).to_string()).collect();
+    names.extend((0..fresh).map(|i| format!("lift{i}")));
+    let mut edge_names: Vec<String> = (0..h.num_edges()).map(|e| h.edge_name(e).to_string()).collect();
+    let mut edges: Vec<Vec<usize>> = h.edges().iter().map(|e| e.to_vec()).collect();
+    for i in 0..fresh {
+        for j in (i + 1)..fresh {
+            edge_names.push(format!("k{i}_{j}"));
+            edges.push(vec![n + i, n + j]);
+        }
+        for w in 0..n {
+            edge_names.push(format!("conn{i}_{w}"));
+            edges.push(vec![n + i, w]);
+        }
+    }
+    Hypergraph::from_parts(names, edge_names, edges)
+}
+
+/// Rational lift by `r/q` (with `r > q > 0`): `r` fresh vertices, cyclic
+/// `q`-ary hyperedges, full connection to old vertices.
+pub fn lift_rational(h: &Hypergraph, r: usize, q: usize) -> Hypergraph {
+    assert!(r > q && q > 0, "need r > q > 0");
+    let n = h.num_vertices();
+    let mut names: Vec<String> = (0..n).map(|v| h.vertex_name(v).to_string()).collect();
+    names.extend((0..r).map(|i| format!("lift{i}")));
+    let mut edge_names: Vec<String> = (0..h.num_edges()).map(|e| h.edge_name(e).to_string()).collect();
+    let mut edges: Vec<Vec<usize>> = h.edges().iter().map(|e| e.to_vec()).collect();
+    for i in 0..r {
+        edge_names.push(format!("cyc{i}"));
+        edges.push((0..q).map(|t| n + (i + t) % r).collect());
+        for w in 0..n {
+            edge_names.push(format!("conn{i}_{w}"));
+            edges.push(vec![n + i, w]);
+        }
+    }
+    Hypergraph::from_parts(names, edge_names, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::generators;
+
+    #[test]
+    fn integer_lift_shape() {
+        let h = generators::cycle(4);
+        let l = lift_integer(&h, 1);
+        assert_eq!(l.num_vertices(), 6);
+        // 4 old + C(2,2)=1 clique edge + 2*4 connections.
+        assert_eq!(l.num_edges(), 4 + 1 + 8);
+        // The fresh pair is adjacent to everything.
+        let adj = l.primal_graph();
+        assert_eq!(adj[4].len(), 5);
+        assert_eq!(adj[5].len(), 5);
+    }
+
+    #[test]
+    fn rational_lift_shape() {
+        let h = generators::path(3);
+        let l = lift_rational(&h, 3, 2);
+        assert_eq!(l.num_vertices(), 6);
+        // 2 old edges + 3 cyclic + 3*3 connections.
+        assert_eq!(l.num_edges(), 2 + 3 + 9);
+        // Cyclic edges have arity 2 and wrap around.
+        let cyc2 = l.edge(l.edge_by_name("cyc2").unwrap());
+        assert_eq!(cyc2.to_vec(), vec![3, 5]);
+    }
+}

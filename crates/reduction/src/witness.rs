@@ -1,0 +1,208 @@
+//! The "if"-direction witness of Theorem 3.2 (Table 1 / Figure 2): given a
+//! satisfying assignment `σ` of `φ`, an explicit GHD of width 2 of the
+//! reduction hypergraph.
+
+use crate::construction::Reduction;
+use decomp::{Decomposition, Node};
+use hypergraph::VertexSet;
+
+/// Builds the Table 1 GHD for a satisfying assignment.
+///
+/// Panics if `assignment` does not satisfy the formula (callers should
+/// check first — the witness only exists for "yes" instances).
+pub fn witness_ghd(r: &Reduction, assignment: &[bool]) -> Decomposition {
+    assert!(
+        r.cnf.eval(assignment),
+        "witness construction requires a satisfying assignment"
+    );
+    let z_set = r.z_set(assignment);
+    let s_all = r.s_set();
+    let y_all: VertexSet = r.y.iter().copied().collect();
+    let yp_all: VertexSet = r.y_prime.iter().copied().collect();
+    let a_all: VertexSet = r.a.values().copied().collect();
+    let ap_all: VertexSet = r.a_prime.values().copied().collect();
+    let core = |name: &str| r.core[name];
+    let h = &r.hypergraph;
+    let edge = |name: &str| h.edge_by_name(name).unwrap_or_else(|| panic!("edge {name}"));
+
+    // For each clause j: the first literal index k (1-based) satisfied by σ.
+    let kp: Vec<u8> = r
+        .cnf
+        .clauses
+        .iter()
+        .map(|c| {
+            (0..3)
+                .find(|&k| c[k].eval(assignment))
+                .expect("satisfying assignment satisfies every clause") as u8
+                + 1
+        })
+        .collect();
+
+    let base: VertexSet = [r.z[0], r.z[1]].into_iter().collect();
+
+    // u_C (root of our rooted rendering of the Figure 2 path).
+    let bag_uc: VertexSet = {
+        let mut b = base.union(&s_all);
+        b.union_with(&y_all);
+        for v in ["d1", "d2", "c1", "c2"] {
+            b.insert(core(v));
+        }
+        b
+    };
+    let mut d = Decomposition::new(Node::integral(bag_uc, [edge("gc1d1M1"), edge("gc2d2M2")]));
+
+    // u_B, u_A.
+    let mut bag = base.union(&s_all);
+    bag.union_with(&y_all);
+    for v in ["c1", "c2", "b1", "b2"] {
+        bag.insert(core(v));
+    }
+    let ub = d.add_child(0, Node::integral(bag, [edge("gb1c1M1"), edge("gb2c2M2")]));
+    let mut bag = base.union(&s_all);
+    bag.union_with(&y_all);
+    for v in ["b1", "b2", "a1", "a2"] {
+        bag.insert(core(v));
+    }
+    let ua = d.add_child(ub, Node::integral(bag, [edge("ga1b1M1"), edge("ga2b2M2")]));
+
+    // u_{min ⊖ 1}.
+    let mut bag = base.union(&s_all);
+    bag.union_with(&y_all);
+    bag.union_with(&a_all);
+    bag.union_with(&z_set);
+    bag.insert(core("a1"));
+    let mut prev = d.add_child(ua, Node::integral(bag, [r.e_00[0], r.e_00[1]]));
+
+    // The long path u_p for p ∈ [2n+3; m]⁻.
+    for p in r.positions_minus() {
+        let mut bag = base.union(&s_all);
+        bag.union_with(&r.a_prime_prefix(p));
+        bag.union_with(&r.a_suffix(p));
+        bag.union_with(&z_set);
+        let k = kp[p.1 - 1];
+        let node = Node::integral(bag, [r.e_lit[&(p, k, 0)], r.e_lit[&(p, k, 1)]]);
+        prev = d.add_child(prev, node);
+    }
+
+    // u_max.
+    let mut bag = base.union(&s_all);
+    bag.union_with(&yp_all);
+    bag.union_with(&ap_all);
+    bag.union_with(&z_set);
+    bag.insert(core("a1'"));
+    let umax = d.add_child(prev, Node::integral(bag, [r.e_max[0], r.e_max[1]]));
+
+    // u'_A, u'_B, u'_C.
+    let mut bag = base.union(&s_all);
+    bag.union_with(&yp_all);
+    for v in ["a1'", "a2'", "b1'", "b2'"] {
+        bag.insert(core(v));
+    }
+    let upa = d.add_child(umax, Node::integral(bag, [edge("g'a1b1M1"), edge("g'a2b2M2")]));
+    let mut bag = base.union(&s_all);
+    bag.union_with(&yp_all);
+    for v in ["b1'", "b2'", "c1'", "c2'"] {
+        bag.insert(core(v));
+    }
+    let upb = d.add_child(upa, Node::integral(bag, [edge("g'b1c1M1"), edge("g'b2c2M2")]));
+    let mut bag = base.union(&s_all);
+    bag.union_with(&yp_all);
+    for v in ["c1'", "c2'", "d1'", "d2'"] {
+        bag.insert(core(v));
+    }
+    d.add_child(upb, Node::integral(bag, [edge("g'c1d1M1"), edge("g'c2d2M2")]));
+
+    d
+}
+
+/// End-to-end "if"-direction: solve `φ`; on success return the validated
+/// width-2 GHD.
+pub fn witness_from_solver(r: &Reduction) -> Option<Decomposition> {
+    let assignment = r.cnf.solve()?;
+    Some(witness_ghd(r, &assignment))
+}
+
+/// A sanity helper for tests and experiments: the bag of the `u_B` node
+/// must equal `{b1, b2, c1, c2} ∪ M` per Lemma 3.1 — with
+/// `M = M1 ∪ M2 = S ∪ Y ∪ {z1, z2}`.
+pub fn lemma_3_1_ub_bag(r: &Reduction) -> VertexSet {
+    let mut b = r.s_set();
+    b.extend(r.y.iter().copied());
+    b.insert(r.z[0]);
+    b.insert(r.z[1]);
+    for v in ["b1", "b2", "c1", "c2"] {
+        b.insert(r.core[v]);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+    use crate::construction::build;
+    use arith::Rational;
+    use decomp::validate;
+
+    #[test]
+    fn example_3_3_witness_is_a_valid_width_2_ghd_and_fhd() {
+        let r = build(&Cnf::example_3_3());
+        // The paper's assignment: σ(x1) = true, σ(x2) = σ(x3) = false.
+        let d = witness_ghd(&r, &[true, false, false]);
+        assert_eq!(d.width(), Rational::from(2usize));
+        assert_eq!(validate::validate_ghd(&r.hypergraph, &d), Ok(()));
+        assert_eq!(validate::validate_fhd(&r.hypergraph, &d), Ok(()));
+    }
+
+    #[test]
+    fn all_true_assignment_also_works() {
+        // Example 3.3's closing remark: σ(x1) = σ(x2) = σ(x3) = true is
+        // also satisfying and yields a different witness.
+        let r = build(&Cnf::example_3_3());
+        let d = witness_ghd(&r, &[true, true, true]);
+        assert_eq!(validate::validate_ghd(&r.hypergraph, &d), Ok(()));
+    }
+
+    #[test]
+    fn witness_has_the_figure_2_shape() {
+        let r = build(&Cnf::example_3_3());
+        let d = witness_ghd(&r, &[true, false, false]);
+        // A path: 3 gadget nodes + 1 + (|pos|-1) + 1 + 3 gadget nodes.
+        assert_eq!(d.len(), 3 + 1 + (18 - 1) + 1 + 3);
+        // Every non-leaf has exactly one child (it is a path).
+        for u in 0..d.len() {
+            assert!(d.children(u).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn solver_driven_witnesses_on_random_planted_instances() {
+        for seed in 0..3u64 {
+            let (cnf, _) = Cnf::random_planted(3, 3, seed);
+            let r = build(&cnf);
+            let d = witness_from_solver(&r).expect("planted instances are satisfiable");
+            assert_eq!(
+                validate::validate_ghd(&r.hypergraph, &d),
+                Ok(()),
+                "seed {seed}"
+            );
+            assert_eq!(d.width(), Rational::from(2usize), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "satisfying")]
+    fn unsatisfying_assignment_rejected() {
+        let r = build(&Cnf::example_3_3());
+        // x1 = x2 = x3 with both clauses violated? (F, T, F) falsifies
+        // clause 1: (F ∨ ¬T ∨ F).
+        witness_ghd(&r, &[false, true, false]);
+    }
+
+    #[test]
+    fn ub_bag_matches_lemma_3_1() {
+        let r = build(&Cnf::example_3_3());
+        let d = witness_ghd(&r, &[true, false, false]);
+        assert_eq!(d.node(1).bag, lemma_3_1_ub_bag(&r));
+    }
+}

@@ -1,0 +1,58 @@
+//! Section 6 in action: the `(k, ε, c)-frac-decomp` oracle (Algorithm 3),
+//! the PTAAS binary search (Algorithm 4 / Theorem 6.20), and the
+//! O(k·log k) GHD conversion (Theorem 6.23).
+//!
+//! ```sh
+//! cargo run --release --example approximate_fhw
+//! ```
+
+use hypertree::arith::{rat, Rational};
+use hypertree::fhd::{self, CoverMode, FracDecompParams};
+use hypertree::hypergraph::{generators, properties};
+
+fn main() {
+    let h = generators::cycle(3);
+    let (fhw, _) = fhd::fhw_exact(&h, None).unwrap();
+    println!("fhw(C3) = {fhw} (exact, rational)");
+
+    // Algorithm 3 with the budget right at the optimum.
+    let d = fhd::frac_decomp(
+        &h,
+        &FracDecompParams { k: Rational::one(), eps: rat(1, 2), c: 3 },
+    )
+    .expect("accepts at k + ε = 3/2");
+    println!("Algorithm 3 witness width: {}", d.width());
+
+    // Algorithm 4: PTAAS over an exact oracle, ε sweep.
+    println!("\nPTAAS (Algorithm 4) on C5 (fhw = 2), K = 4:");
+    println!("{:>8} {:>10} {:>10} {:>12} {:>10}", "eps", "width", "lower", "iterations", "predicted");
+    for (p, q) in [(1i64, 1i64), (1, 2), (1, 4), (1, 8)] {
+        let eps = rat(p, q);
+        let res = fhd::fhw_approximation(&generators::cycle(5), &rat(4, 1), &eps, fhd::exact_oracle)
+            .expect("fhw(C5) = 2 <= 4");
+        println!(
+            "{:>8} {:>10} {:>10} {:>12} {:>10}",
+            eps.to_string(),
+            res.width.to_string(),
+            res.lower_bound.to_string(),
+            res.iterations,
+            fhd::predicted_iterations(&rat(4, 1), &eps)
+        );
+    }
+
+    // Theorem 6.23: FHD -> GHD with bounded integrality gap.
+    println!("\nTheorem 6.23 conversion (FHD → GHD):");
+    for (name, h) in [
+        ("K6", generators::clique(6)),
+        ("example_5_1(5)", generators::example_5_1(5)),
+        ("example_4_3", generators::example_4_3()),
+    ] {
+        let (fhw, ghd) = fhd::approx_ghw_via_fhw(&h, CoverMode::Exact).unwrap();
+        let vc = properties::vc_dimension(&h);
+        println!(
+            "  {name}: fhw = {fhw}, converted GHD width = {}, vc = {vc}, bound = {:.2}",
+            ghd.width(),
+            fhd::cigap_bound(vc, &fhw)
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! The normal-form machinery of Sections 4/5 on the paper's own example:
+//! Figure 6(a) — a valid but non-bag-maximal width-2 GHD of Example 4.3's
+//! H0 — is bag-maximalized (Lemma 4.6 / Example 4.7) and brought into
+//! fractional normal form (Theorem A.3), reproducing Figure 6(b); then the
+//! ∪∩-tree of Figure 7 certifies the Lemma 4.9 equality.
+//!
+//! ```sh
+//! cargo run --example normal_forms
+//! ```
+
+use hypertree::decomp::{self, validate, Decomposition, Node};
+use hypertree::ghd;
+use hypertree::hypergraph::{generators, VertexSet};
+
+fn main() {
+    let h = generators::example_4_3();
+    let v = |name: &str| h.vertex_by_name(name).unwrap();
+    let e = |name: &str| h.edge_by_name(name).unwrap();
+    let bag = |names: &[&str]| VertexSet::from_iter(names.iter().map(|n| v(n)));
+
+    // Figure 6(a): u0 (root) with children u' and u1; u' -> u''; u1 -> u2.
+    let mut fig6a = Decomposition::new(Node::integral(
+        bag(&["v3", "v6", "v7", "v9", "v10"]),
+        [e("e2"), e("e6")],
+    ));
+    let u_prime = fig6a.add_child(
+        0,
+        Node::integral(bag(&["v3", "v6", "v9", "v10"]), [e("e3"), e("e5")]),
+    );
+    fig6a.add_child(
+        u_prime,
+        Node::integral(bag(&["v3", "v4", "v5", "v6", "v9", "v10"]), [e("e3"), e("e5")]),
+    );
+    let u1 = fig6a.add_child(
+        0,
+        Node::integral(bag(&["v3", "v7", "v8", "v9", "v10"]), [e("e3"), e("e7")]),
+    );
+    fig6a.add_child(
+        u1,
+        Node::integral(bag(&["v1", "v2", "v3", "v8", "v9", "v10"]), [e("e2"), e("e8")]),
+    );
+
+    println!("Figure 6(a) — valid width-2 GHD, but not bag-maximal:");
+    println!("{}", fig6a.render(&h));
+    assert_eq!(validate::validate_ghd(&h, &fig6a), Ok(()));
+    assert!(!decomp::is_bag_maximal(&h, &fig6a));
+
+    // Example 4.7: maximalize — v4, v5 join u', making it equal its child.
+    let maximal = decomp::make_bag_maximal(&h, &fig6a);
+    println!("after bag-maximalization (Lemma 4.6):");
+    println!("{}", maximal.render(&h));
+    assert!(decomp::is_bag_maximal(&h, &maximal));
+
+    // FNF (Theorem A.3) splices the duplicate node away: Figure 6(b).
+    let fnf = decomp::to_fnf(&h, &maximal);
+    println!("after FNF transformation (Theorem A.3) — Figure 6(b):");
+    println!("{}", fnf.render(&h));
+    assert_eq!(validate::validate_fnf(&h, &fnf), Ok(()));
+    assert_eq!(fnf.len(), 4, "Figure 6(b) has four nodes");
+
+    // Figure 7: the ∪∩-tree of critp(u, e2) certifies e2 ∩ B_u = {v3, v9}.
+    let tree = ghd::union_of_intersections_tree(
+        &h,
+        e("e2"),
+        &[vec![e("e3"), e("e7")], vec![e("e8"), e("e2")]],
+    );
+    let leaf_union: Vec<String> = tree
+        .leaf_union()
+        .iter()
+        .map(|x| h.vertex_name(x).to_string())
+        .collect();
+    println!(
+        "Figure 7 ∪∩-tree: {} nodes; e2 ∩ B_u = {{{}}}",
+        tree.size(),
+        leaf_union.join(",")
+    );
+
+    // The subedge {v3, v9} is exactly what f(H0, 2) adds to repair the SCV
+    // (Example 4.4), turning this GHD into an HD of the augmented H0'.
+    let f = ghd::bip_subedges(&h, 2, ghd::SubedgeLimits::default());
+    let repaired = f.subedges.iter().any(|s| *s == tree.leaf_union());
+    println!("f(H0, 2) contains the repairing subedge e2' = {{v3,v9}}: {repaired}");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: parse a conjunctive query's hypergraph, profile its
+//! structure, compute all three widths, and print a decomposition.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hypertree::prelude::*;
+use hypertree::{analyze_structure, exact_widths};
+
+fn main() {
+    // A cyclic 5-way join written in HyperBench syntax.
+    let query = "
+        r1(order_id, customer),
+        r2(customer, region),
+        r3(region, warehouse),
+        r4(warehouse, item),
+        r5(item, order_id)
+    ";
+    let h = hypergraph::parser::parse(query).expect("well-formed query");
+    println!("Query hypergraph:\n{h:?}");
+
+    let report = analyze_structure(&h, 16);
+    println!("structure: {report:#?}");
+
+    let widths = exact_widths(&h, 6).expect("small instance");
+    println!(
+        "hw = {}, ghw = {}, fhw = {}",
+        widths.hw, widths.ghw, widths.fhw
+    );
+
+    // A concrete width-2 hypertree decomposition (the join plan skeleton).
+    let hd = check_hd(&h, widths.hw).expect("hw is achievable by definition");
+    println!("hypertree decomposition of width {}:", hd.width());
+    println!("{}", hd.render(&h));
+
+    // And the certified-optimal fractional decomposition.
+    let (fhw, fhd) = fhw_exact(&h, None).expect("small instance");
+    println!("optimal FHD (fhw = {fhw}):");
+    println!("{}", fhd.render(&h));
+    assert!(validate_fhd(&h, &fhd).is_ok());
+}

@@ -1,0 +1,152 @@
+//! `hgtool` — command-line front end for the hypertree library.
+//!
+//! ```text
+//! hgtool structure <file>             structural profile (BIP/BMIP/BDP/VC)
+//! hgtool widths <file>                exact hw / ghw / fhw (small instances)
+//! hgtool check <hd|ghd|fhd> <k> <file>   decide width <= k, print witness
+//! hgtool reduce <n> <m> [seed]        build the Thm 3.2 reduction for a
+//!                                     random planted 3SAT instance and
+//!                                     validate the Table 1 witness
+//! ```
+//!
+//! Files use the HyperBench syntax: `edge(v1,v2,...), ...`; `-` reads stdin.
+
+use hypertree::arith::Rational;
+use hypertree::decomp::validate;
+use hypertree::fhd::{self, HdkParams};
+use hypertree::ghd::{self, SubedgeLimits};
+use hypertree::hypergraph::{parser, Hypergraph};
+use hypertree::reduction::{self, Cnf};
+use hypertree::{analyze_structure, exact_widths, hd};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hgtool: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  hgtool structure <file>");
+            eprintln!("  hgtool widths <file>");
+            eprintln!("  hgtool check <hd|ghd|fhd> <k> <file>");
+            eprintln!("  hgtool reduce <n> <m> [seed]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args {
+        [cmd, file] if cmd == "structure" => structure(&load(file)?),
+        [cmd, file] if cmd == "widths" => widths(&load(file)?),
+        [cmd, method, k, file] if cmd == "check" => check(method, k, &load(file)?),
+        [cmd, n, m] if cmd == "reduce" => reduce(n, m, "0"),
+        [cmd, n, m, seed] if cmd == "reduce" => reduce(n, m, seed),
+        _ => Err("unknown or incomplete command".into()),
+    }
+}
+
+fn load(path: &str) -> Result<Hypergraph, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    parser::parse(&text).map_err(|e| e.to_string())
+}
+
+fn structure(h: &Hypergraph) -> Result<(), String> {
+    let s = analyze_structure(h, 18);
+    println!("vertices:            {}", s.num_vertices);
+    println!("edges:               {}", s.num_edges);
+    println!("rank:                {}", s.rank);
+    println!("degree (BDP d):      {}", s.degree);
+    println!("intersection width:  {} (BIP i)", s.intersection_width);
+    println!(
+        "multi-intersections: c=2:{} c=3:{} c=4:{}",
+        s.multi_intersection_widths[0], s.multi_intersection_widths[1], s.multi_intersection_widths[2]
+    );
+    match s.vc_dimension {
+        Some(vc) => println!("VC-dimension:        {vc}"),
+        None => println!("VC-dimension:        (skipped, too large)"),
+    }
+    println!("alpha-acyclic:       {}", s.alpha_acyclic);
+    Ok(())
+}
+
+fn widths(h: &Hypergraph) -> Result<(), String> {
+    let w = exact_widths(h, 8).ok_or("instance too large for the exact engines")?;
+    println!("hw  = {}", w.hw);
+    println!("ghw = {}", w.ghw);
+    println!("fhw = {}", w.fhw);
+    Ok(())
+}
+
+fn check(method: &str, k: &str, h: &Hypergraph) -> Result<(), String> {
+    let k_rat: Rational = k.parse().map_err(|e| format!("bad width {k}: {e}"))?;
+    let witness = match method {
+        "hd" => {
+            let k: usize = k.parse().map_err(|_| "hd needs an integer width")?;
+            hd::check_hd(h, k)
+        }
+        "ghd" => {
+            let k: usize = k.parse().map_err(|_| "ghd needs an integer width")?;
+            match ghd::check_ghd_bip(h, k, SubedgeLimits::default()) {
+                ghd::GhdAnswer::Yes { decomposition, .. } => Some(*decomposition),
+                ghd::GhdAnswer::No => None,
+                ghd::GhdAnswer::Unknown => {
+                    return Err("subedge enumeration truncated; result unknown".into())
+                }
+            }
+        }
+        "fhd" => fhd::check_fhd_bdp(h, &k_rat, HdkParams::default())
+            .decomposition()
+            .cloned(),
+        other => return Err(format!("unknown method {other}; use hd | ghd | fhd")),
+    };
+    match witness {
+        Some(d) => {
+            let ok = match method {
+                "hd" => validate::validate_hd(h, &d).is_ok(),
+                "ghd" => validate::validate_ghd(h, &d).is_ok(),
+                _ => validate::validate_fhd(h, &d).is_ok(),
+            };
+            println!("YES: width {} ({} nodes, validated: {ok})", d.width(), d.len());
+            print!("{}", d.render(h));
+            Ok(())
+        }
+        None => {
+            println!("NO: no {method} of width <= {k}");
+            Ok(())
+        }
+    }
+}
+
+fn reduce(n: &str, m: &str, seed: &str) -> Result<(), String> {
+    let n: usize = n.parse().map_err(|_| "bad n")?;
+    let m: usize = m.parse().map_err(|_| "bad m")?;
+    let seed: u64 = seed.parse().map_err(|_| "bad seed")?;
+    let (cnf, plant) = Cnf::random_planted(n.max(3), m, seed);
+    println!("φ = {cnf}");
+    let r = reduction::build(&cnf);
+    println!(
+        "H: |V| = {}, |E| = {}",
+        r.hypergraph.num_vertices(),
+        r.hypergraph.num_edges()
+    );
+    let d = reduction::witness_ghd(&r, &plant);
+    let ok = validate::validate_ghd(&r.hypergraph, &d).is_ok();
+    println!(
+        "Table 1 witness: {} nodes, width {}, validated: {ok}",
+        d.len(),
+        d.width()
+    );
+    Ok(())
+}

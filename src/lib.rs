@@ -1,0 +1,12 @@
+//! # hypertree
+//!
+//! Full Rust reproduction of *General and Fractional Hypertree
+//! Decompositions: Hard and Easy Cases* (Fischl, Gottlob, Pichler; PODS'18).
+//!
+//! This facade re-exports the entire workspace API. See [`hypertree_core`]
+//! for the high-level entry points and the `examples/` directory for
+//! runnable walkthroughs.
+
+#![forbid(unsafe_code)]
+
+pub use hypertree_core::*;

@@ -1,0 +1,145 @@
+//! Cross-engine agreement: the polynomial algorithms (Sections 4–6) must
+//! agree with the exact exponential baselines on a shared corpus, and all
+//! transformation pipelines must preserve validity and width.
+
+use hypertree::arith::rat;
+use hypertree::decomp::{self, validate};
+use hypertree::fhd::{self, FracDecompParams, HdkParams};
+use hypertree::ghd::{self, GhdAnswer, SubedgeLimits};
+use hypertree::hypergraph::{generators, Hypergraph};
+
+fn small_corpus() -> Vec<(String, Hypergraph)> {
+    let mut out: Vec<(String, Hypergraph)> = vec![
+        ("cycle4".into(), generators::cycle(4)),
+        ("cycle5".into(), generators::cycle(5)),
+        ("triangle".into(), generators::cycle(3)),
+        ("clique4".into(), generators::clique(4)),
+        ("example_4_3".into(), generators::example_4_3()),
+        ("grid2x3".into(), generators::grid(2, 3)),
+    ];
+    for seed in 0..3u64 {
+        out.push((format!("bip{seed}"), generators::random_bip(8, 5, 2, 3, seed)));
+    }
+    out
+}
+
+#[test]
+fn bip_ghd_check_matches_exact_ghw() {
+    for (name, h) in small_corpus() {
+        let Some((ghw, _)) = ghd::ghw_exact(&h, None) else { continue };
+        let limits = SubedgeLimits::default();
+        assert!(
+            ghd::check_ghd_bip(&h, ghw, limits).is_yes(),
+            "{name}: BIP check rejects k = ghw = {ghw}"
+        );
+        if ghw > 1 {
+            assert!(
+                matches!(ghd::check_ghd_bip(&h, ghw - 1, limits), GhdAnswer::No),
+                "{name}: BIP check accepts k = ghw - 1"
+            );
+        }
+    }
+}
+
+#[test]
+fn bdp_fhd_check_matches_exact_fhw() {
+    for (name, h) in small_corpus().into_iter().take(5) {
+        if hypertree::hypergraph::properties::degree(&h) > 3 {
+            continue; // keep the support bound small
+        }
+        let Some((fhw, _)) = fhd::fhw_exact(&h, None) else { continue };
+        let ans = fhd::check_fhd_bdp(&h, &fhw, HdkParams::default());
+        assert!(ans.is_yes(), "{name}: BDP check rejects k = fhw = {fhw}");
+        let d = ans.decomposition().unwrap();
+        assert_eq!(validate::validate_fhd(&h, &d.clone()), Ok(()), "{name}");
+        assert!(d.width() <= fhw, "{name}");
+    }
+}
+
+#[test]
+fn frac_decomp_sound_and_complete_at_fhw() {
+    for (name, h) in [
+        ("triangle".to_string(), generators::cycle(3)),
+        ("cycle4".to_string(), generators::cycle(4)),
+        ("example_5_1".to_string(), generators::example_5_1(3)),
+    ] {
+        let (fhw, _) = fhd::fhw_exact(&h, None).unwrap();
+        // Completeness needs a large enough fractional-part bound c
+        // (Lemma 6.4 gives a huge constant; |V(H)| dominates it here).
+        let params = FracDecompParams {
+            k: fhw.clone(),
+            eps: rat(1, 4),
+            c: h.num_vertices(),
+        };
+        let d = fhd::frac_decomp(&h, &params)
+            .unwrap_or_else(|| panic!("{name}: frac-decomp must accept k = fhw"));
+        assert_eq!(validate::validate_fhd(&h, &d), Ok(()), "{name}");
+        assert!(d.width() <= &fhw + &rat(1, 4), "{name}");
+        assert!(validate::validate_weak_special(&h, &d).is_ok(), "{name}");
+    }
+}
+
+#[test]
+fn transformations_preserve_validity_and_width() {
+    // FNF + bag-maximalization over decompositions from every engine.
+    for (name, h) in small_corpus().into_iter().take(6) {
+        let Some((_, d)) = ghd::ghw_exact(&h, None) else { continue };
+        let w = d.width();
+        let maximal = decomp::make_bag_maximal(&h, &d);
+        assert_eq!(validate::validate_ghd(&h, &maximal), Ok(()), "{name} (bag-max)");
+        assert_eq!(maximal.width(), w, "{name}: bag-max changed width");
+        assert!(decomp::is_bag_maximal(&h, &maximal), "{name}");
+        let fnf = decomp::to_fnf(&h, &maximal);
+        assert_eq!(validate::validate_ghd(&h, &fnf), Ok(()), "{name} (fnf)");
+        assert_eq!(validate::validate_fnf(&h, &fnf), Ok(()), "{name} (fnf cond)");
+        assert!(fnf.width() <= w, "{name}: FNF increased width");
+        assert!(fnf.len() <= h.num_vertices(), "{name}: Lemma 6.9 bound");
+    }
+}
+
+#[test]
+fn ptaas_sandwiches_fhw() {
+    for (name, h) in [
+        ("triangle".to_string(), generators::cycle(3)),
+        ("clique5".to_string(), generators::clique(5)),
+    ] {
+        let (fhw, _) = fhd::fhw_exact(&h, None).unwrap();
+        let eps = rat(1, 4);
+        let res = fhd::fhw_approximation(&h, &rat(4, 1), &eps, fhd::exact_oracle)
+            .unwrap_or_else(|| panic!("{name}: fhw <= 4"));
+        assert!(res.width >= fhw, "{name}: width below optimum?");
+        assert!(res.width <= &fhw + &eps, "{name}: PTAAS guarantee violated");
+        assert!(
+            res.lower_bound.clone() <= fhw,
+            "{name}: lower bound overshoots"
+        );
+    }
+}
+
+#[test]
+fn lemma_6_4_rounding_then_conversion_pipeline() {
+    // FHD -> c-bounded FHD -> GHD, checking each stage.
+    let h = generators::example_5_1(5);
+    let (fhw, d) = fhd::fhw_exact(&h, None).unwrap();
+    let eps = rat(1, 2);
+    let rounded = fhd::bound_fractional_part(&h, &d, &fhw, &eps);
+    assert_eq!(validate::validate_fhd(&h, &rounded), Ok(()));
+    assert!(rounded.width() <= &fhw + &eps);
+    let ghd = fhd::ghd_from_fhd(&h, &rounded, fhd::CoverMode::Exact);
+    assert_eq!(validate::validate_ghd(&h, &ghd), Ok(()));
+}
+
+#[test]
+fn subedge_augmentation_never_changes_ghw() {
+    // Adding subedges leaves ghw invariant (the foundation of Section 4).
+    for (name, h) in small_corpus().into_iter().take(4) {
+        let Some((ghw, _)) = ghd::ghw_exact(&h, None) else { continue };
+        let f = ghd::bip_subedges(&h, 2, SubedgeLimits::default());
+        let aug = ghd::augment(&h, f);
+        if aug.hypergraph.num_vertices() > 20 {
+            continue;
+        }
+        let Some((ghw2, _)) = ghd::ghw_exact(&aug.hypergraph, None) else { continue };
+        assert_eq!(ghw, ghw2, "{name}: subedges changed ghw");
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-engine width hierarchy tests: `fhw <= ghw <= hw <= 3·ghw + 1`
+//! (Section 1 and [4]), Lemma 2.3, Lemma 2.7, and Lemma 2.8.
+
+use hypertree::arith::{rat, Rational};
+use hypertree::hypergraph::{generators, Hypergraph, VertexSet};
+use hypertree::{exact_widths, fhd, ghd, hd};
+
+fn corpus() -> Vec<(String, Hypergraph)> {
+    let mut out: Vec<(String, Hypergraph)> = vec![
+        ("cycle3".into(), generators::cycle(3)),
+        ("cycle6".into(), generators::cycle(6)),
+        ("clique5".into(), generators::clique(5)),
+        ("clique6".into(), generators::clique(6)),
+        ("grid2x4".into(), generators::grid(2, 4)),
+        ("triangles2".into(), generators::triangle_chain(2)),
+        ("example_4_3".into(), generators::example_4_3()),
+        ("example_5_1".into(), generators::example_5_1(4)),
+        ("chain".into(), generators::cq_chain(4, 3, 1)),
+        ("hypercube3".into(), generators::hypercube(3)),
+        ("snowflake".into(), generators::cq_snowflake(3, 2)),
+    ];
+    for seed in 0..4u64 {
+        out.push((format!("bip{seed}"), generators::random_bip(9, 6, 2, 3, seed)));
+        out.push((
+            format!("bdp{seed}"),
+            generators::random_bounded_degree(9, 6, 3, 3, seed),
+        ));
+    }
+    out
+}
+
+#[test]
+fn width_hierarchy_and_agg_bound() {
+    for (name, h) in corpus() {
+        let Some(w) = exact_widths(&h, 8) else {
+            panic!("{name}: exact engines must handle corpus instances");
+        };
+        assert!(w.fhw <= Rational::from(w.ghw), "{name}: fhw > ghw");
+        assert!(w.ghw <= w.hw, "{name}: ghw > hw");
+        assert!(w.hw <= 3 * w.ghw + 1, "{name}: AGG bound violated");
+        assert!(w.fhw >= Rational::one(), "{name}: fhw below 1");
+    }
+}
+
+#[test]
+fn lemma_2_3_even_cliques_all_widths_coincide() {
+    for n in 1..4usize {
+        let h = generators::clique(2 * n);
+        let w = exact_widths(&h, 2 * n).unwrap();
+        assert_eq!(w.hw, n);
+        assert_eq!(w.ghw, n);
+        assert_eq!(w.fhw, Rational::from(n));
+    }
+}
+
+#[test]
+fn odd_cliques_separate_fractional_from_integral() {
+    // fhw(K5) = 5/2 < ghw(K5) = 3.
+    let w = exact_widths(&generators::clique(5), 5).unwrap();
+    assert_eq!(w.fhw, rat(5, 2));
+    assert_eq!(w.ghw, 3);
+}
+
+#[test]
+fn lemma_2_7_induced_subhypergraph_monotonicity() {
+    for (name, h) in corpus().into_iter().take(6) {
+        let Some((fhw, _)) = fhd::fhw_exact(&h, None) else { continue };
+        // Remove each single vertex in turn.
+        for drop in 0..h.num_vertices().min(4) {
+            let mut w = h.all_vertices();
+            w.remove(drop);
+            let (sub, _, _) = h.induced(&w);
+            if sub.has_isolated_vertices() || sub.num_vertices() == 0 {
+                continue;
+            }
+            let (sub_fhw, _) = fhd::fhw_exact(&sub, None).unwrap();
+            assert!(sub_fhw <= fhw, "{name} minus v{drop}: fhw increased");
+        }
+    }
+}
+
+#[test]
+fn lemma_2_8_cliques_land_in_a_bag() {
+    // K4 inside a larger hypergraph: some bag must contain all 4 vertices.
+    let mut edges: Vec<Vec<usize>> = vec![];
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            edges.push(vec![a, b]);
+        }
+    }
+    edges.push(vec![3, 4]);
+    edges.push(vec![4, 5]);
+    let h = Hypergraph::from_edges(6, edges);
+    let clique: VertexSet = (0..4).collect();
+    for d in [
+        hd::check_hd(&h, 3).unwrap(),
+        ghd::ghw_exact(&h, None).unwrap().1,
+        fhd::fhw_exact(&h, None).unwrap().1,
+    ] {
+        assert!(
+            d.nodes().iter().any(|n| clique.is_subset(&n.bag)),
+            "no bag contains the 4-clique:\n{}",
+            d.render(&h)
+        );
+    }
+}
+
+#[test]
+fn acyclic_iff_width_1() {
+    for (name, h) in corpus() {
+        let acyclic = hypertree::hypergraph::properties::is_alpha_acyclic(&h);
+        let hw1 = hd::check_hd(&h, 1).is_some();
+        assert_eq!(acyclic, hw1, "{name}: α-acyclic iff hw = 1");
+    }
+}

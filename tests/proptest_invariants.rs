@@ -1,0 +1,130 @@
+//! Property-based invariants across the workspace, on randomly generated
+//! hypergraphs.
+
+use hypertree::arith::Rational;
+use hypertree::cover;
+use hypertree::decomp::validate;
+use hypertree::hypergraph::{components, dual, generators, properties, Hypergraph, VertexSet};
+use hypertree::{fhd, ghd, hd};
+use proptest::prelude::*;
+
+/// Strategy: a connected-ish random hypergraph described by (n, edges).
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (3usize..9, 0u64..400).prop_map(|(n, seed)| {
+        // Mix of families keyed by seed for diversity.
+        match seed % 4 {
+            0 => generators::random_bip(n + 3, n, 2, 3, seed),
+            1 => generators::random_bounded_degree(n + 3, n, 3, 3, seed),
+            2 => generators::random_acyclic(n, 3, seed),
+            _ => generators::cycle(n),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn components_partition_the_complement(h in arb_hypergraph(), sep_seed in 0u64..64) {
+        // Take a pseudo-random separator.
+        let sep: VertexSet = (0..h.num_vertices())
+            .filter(|v| (sep_seed >> (v % 6)) & 1 == 1)
+            .collect();
+        let comps = components::components(&h, &sep);
+        let mut union = VertexSet::new();
+        let mut total = 0usize;
+        for c in &comps {
+            prop_assert!(!c.is_empty());
+            prop_assert!(c.is_disjoint(&sep));
+            total += c.len();
+            union.union_with(c);
+        }
+        prop_assert_eq!(total, union.len());
+        prop_assert_eq!(union, h.all_vertices().difference(&sep));
+    }
+
+    #[test]
+    fn lp_duality_rho_star_equals_tau_star_of_dual(h in arb_hypergraph()) {
+        prop_assume!(!h.has_isolated_vertices());
+        let d = dual::dual(&h);
+        let rho = cover::rho_star(&h).unwrap();
+        let tau = cover::tau_star(&d);
+        prop_assert_eq!(rho, tau);
+    }
+
+    #[test]
+    fn integral_covers_dominate_fractional(h in arb_hypergraph()) {
+        prop_assume!(!h.has_isolated_vertices());
+        let frac = cover::rho_star(&h).unwrap();
+        let int = cover::rho(&h).unwrap();
+        prop_assert!(frac <= Rational::from(int));
+        prop_assert!(Rational::from(int) <= &frac + &Rational::from(h.num_vertices()));
+    }
+
+    #[test]
+    fn every_engine_output_validates(h in arb_hypergraph()) {
+        prop_assume!(!h.has_isolated_vertices());
+        prop_assume!(h.num_vertices() <= 12);
+        if let Some((w, d)) = hd::hypertree_width(&h, 4) {
+            prop_assert_eq!(validate::validate_hd(&h, &d), Ok(()));
+            prop_assert!(d.width() <= Rational::from(w));
+        }
+        if let Some((w, d)) = ghd::ghw_exact(&h, None) {
+            prop_assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+            prop_assert!(d.width() <= Rational::from(w));
+        }
+        if let Some((w, d)) = fhd::fhw_exact(&h, None) {
+            prop_assert_eq!(validate::validate_fhd(&h, &d), Ok(()));
+            prop_assert!(d.width() <= w);
+        }
+    }
+
+    #[test]
+    fn furedi_support_bound(h in arb_hypergraph()) {
+        prop_assume!(!h.has_isolated_vertices());
+        let c = cover::fractional_cover(&h, &h.all_vertices()).unwrap();
+        let d = properties::degree(&h);
+        prop_assert!(
+            Rational::from(c.support().len()) <= Rational::from(d) * c.weight.clone()
+        );
+    }
+
+    #[test]
+    fn vc_dimension_bounded_by_bmip(h in arb_hypergraph()) {
+        prop_assume!(h.num_vertices() <= 12);
+        let vc = properties::vc_dimension(&h);
+        for c in 1..=3usize {
+            let i = properties::multi_intersection_width(&h, c);
+            prop_assert!(vc <= c + i, "vc {} > c {} + i {}", vc, c, i);
+        }
+    }
+
+    #[test]
+    fn parser_round_trips(h in arb_hypergraph()) {
+        // The parser numbers vertices by first appearance, so round-tripping
+        // preserves the hypergraph up to renumbering: compare by names.
+        let text = h.to_string();
+        let back = hypertree::hypergraph::parser::parse(&text).unwrap();
+        prop_assert_eq!(h.num_vertices(), back.num_vertices());
+        prop_assert_eq!(h.num_edges(), back.num_edges());
+        for e in 0..h.num_edges() {
+            prop_assert_eq!(h.edge_name(e), back.edge_name(e));
+            let mut a: Vec<&str> = h.edge(e).iter().map(|v| h.vertex_name(v)).collect();
+            let mut b: Vec<&str> = back.edge(e).iter().map(|v| back.vertex_name(v)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fnf_preserves_ghd_validity(h in arb_hypergraph()) {
+        prop_assume!(!h.has_isolated_vertices());
+        prop_assume!(h.num_vertices() <= 12);
+        let Some((_, d)) = ghd::ghw_exact(&h, None) else { return Ok(()) };
+        let fnf = hypertree::decomp::to_fnf(&h, &d);
+        prop_assert_eq!(validate::validate_ghd(&h, &fnf), Ok(()));
+        prop_assert_eq!(validate::validate_fnf(&h, &fnf), Ok(()));
+        prop_assert!(fnf.width() <= d.width());
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end verification of the Section 3 reduction with the exact width
+//! engines: gadget-level Lemma 3.1 checks, the satisfiable direction of
+//! Theorem 3.2, and the k+ℓ lifting.
+
+use hypertree::arith::Rational;
+use hypertree::decomp::validate;
+use hypertree::hypergraph::generators;
+use hypertree::reduction::{self, Cnf};
+use hypertree::{fhd, ghd, hd};
+
+#[test]
+fn gadget_has_ghw_and_fhw_exactly_2() {
+    // Lemma 3.1's gadget: the three stacked 4-cliques force width >= 2, and
+    // the M1/M2 pairs achieve exactly 2 — for both ghw and fhw.
+    for (m1, m2) in [(1usize, 1usize), (2, 1), (2, 2)] {
+        let g = reduction::gadget(m1, m2);
+        let (ghw, gd) = ghd::ghw_exact(&g, None).unwrap();
+        assert_eq!(ghw, 2, "gadget({m1},{m2})");
+        assert_eq!(validate::validate_ghd(&g, &gd), Ok(()));
+        let (fhw, fd) = fhd::fhw_exact(&g, None).unwrap();
+        assert_eq!(fhw, Rational::from(2usize), "gadget({m1},{m2})");
+        assert_eq!(validate::validate_fhd(&g, &fd), Ok(()));
+    }
+}
+
+#[test]
+fn gadget_width_2_decompositions_contain_the_forced_bags() {
+    // Lemma 3.1: every width-2 FHD has nodes u_A, u_B, u_C with
+    // {a1,a2,b1,b2} ⊆ B_uA, B_uB = {b1,b2,c1,c2} ∪ M, {c1,c2,d1,d2} ⊆ B_uC.
+    // We verify on the optimal decompositions our engines produce.
+    let g = reduction::gadget(2, 2);
+    let name = |n: &str| g.vertex_by_name(n).unwrap();
+    let quad_a: hypertree::hypergraph::VertexSet =
+        ["a1", "a2", "b1", "b2"].iter().map(|n| name(n)).collect();
+    let quad_b: hypertree::hypergraph::VertexSet =
+        ["b1", "b2", "c1", "c2"].iter().map(|n| name(n)).collect();
+    let quad_c: hypertree::hypergraph::VertexSet =
+        ["c1", "c2", "d1", "d2"].iter().map(|n| name(n)).collect();
+    for d in [
+        ghd::ghw_exact(&g, None).unwrap().1,
+        fhd::fhw_exact(&g, None).unwrap().1,
+    ] {
+        let find = |quad: &hypertree::hypergraph::VertexSet| {
+            d.nodes().iter().position(|nd| quad.is_subset(&nd.bag))
+        };
+        let ua = find(&quad_a).expect("u_A exists");
+        let ub = find(&quad_b).expect("u_B exists");
+        let uc = find(&quad_c).expect("u_C exists");
+        // u_B lies on the path from u_A to u_C.
+        let path = d.path_between(ua, uc);
+        assert!(path.contains(&ub), "u_B must lie between u_A and u_C");
+    }
+}
+
+#[test]
+fn satisfiable_formulas_yield_validated_width_2_witnesses() {
+    for seed in 0..4u64 {
+        let (cnf, plant) = Cnf::random_planted(4, 4, seed);
+        let r = reduction::build(&cnf);
+        let d = reduction::witness_ghd(&r, &plant);
+        assert_eq!(d.width(), Rational::from(2usize), "seed {seed}");
+        assert_eq!(validate::validate_ghd(&r.hypergraph, &d), Ok(()), "seed {seed}");
+        assert_eq!(validate::validate_fhd(&r.hypergraph, &d), Ok(()), "seed {seed}");
+    }
+}
+
+#[test]
+fn witness_respects_lemma_3_6_structure() {
+    // At each long-path node u_p, the cover uses exactly the pair
+    // (e^{kp,0}_p, e^{kp,1}_p) — and those edges must be complementary.
+    let cnf = Cnf::example_3_3();
+    let r = reduction::build(&cnf);
+    let assignment = cnf.solve().unwrap();
+    let d = reduction::witness_ghd(&r, &assignment);
+    let pairs = reduction::complementary_pairs(&r);
+    // Nodes 4..(4 + |pos|-1) are the u_p path (after uC,uB,uA,umin⊖1).
+    let n_path = r.positions_minus().len();
+    for u in 4..4 + n_path {
+        let cover = d.node(u).support();
+        assert_eq!(cover.len(), 2, "u_p uses exactly two edges");
+        let key = (cover[0].min(cover[1]), cover[0].max(cover[1]));
+        assert!(pairs.contains(&key), "u_p cover must be a complementary pair");
+    }
+}
+
+#[test]
+fn integer_lift_shifts_widths_by_one() {
+    // End of Section 3: adding K_{2ℓ} fully connected to H lifts the
+    // *integral* width by exactly ℓ. For fhw the +ℓ shift is exact on the
+    // paper's own reduction (where Lemma 3.5 leaves no spare weight), but
+    // on sparse hypergraphs the mixed edges {v_i, w} admit fractional
+    // savings — e.g. fhw(lift(C4, 1)) = 5/2 < 2 + 1 — so only the
+    // inequalities fhw < fhw' <= fhw + ℓ are guaranteed in general.
+    for h in [generators::cycle(4), generators::cycle(3)] {
+        let (ghw, _) = ghd::ghw_exact(&h, None).unwrap();
+        let (fhw, _) = fhd::fhw_exact(&h, None).unwrap();
+        let lifted = reduction::lift_integer(&h, 1);
+        let (ghw2, _) = ghd::ghw_exact(&lifted, None).unwrap();
+        let (fhw2, _) = fhd::fhw_exact(&lifted, None).unwrap();
+        assert_eq!(ghw2, ghw + 1);
+        assert!(fhw2 > fhw);
+        assert!(fhw2 <= fhw + Rational::one());
+    }
+    // The observed fractional saving on C4, pinned exactly.
+    let lifted = reduction::lift_integer(&generators::cycle(4), 1);
+    let (fhw2, _) = fhd::fhw_exact(&lifted, None).unwrap();
+    assert_eq!(fhw2, hypertree::arith::rat(5, 2));
+}
+
+#[test]
+fn rational_lift_adds_r_over_q() {
+    // ℓ = 3/2: fresh cycle of 3 vertices with 2-ary edges, fully connected.
+    // fhw grows by exactly r/q = 3/2 on the triangle (fhw 3/2 -> 3).
+    let h = generators::cycle(3);
+    let lifted = reduction::lift_rational(&h, 3, 2);
+    let (fhw2, _) = fhd::fhw_exact(&lifted, None).unwrap();
+    let (fhw, _) = fhd::fhw_exact(&h, None).unwrap();
+    assert_eq!(fhw2, fhw + hypertree::arith::rat(3, 2));
+}
+
+#[test]
+fn reduction_output_feeds_det_k_decomp() {
+    // The reduction hypergraph is a regular hypergraph: det-k-decomp runs
+    // on it (completes at some width; hw of the reduction for satisfiable
+    // formulas is small but > 2 is possible since HDs are weaker than
+    // GHDs). We only check that k = 2 doesn't crash and bigger widths
+    // validate, on a minimal instance.
+    let (cnf, _) = Cnf::random_planted(3, 1, 0);
+    let r = reduction::build(&cnf);
+    // A width-4 HD should exist comfortably; validate whatever is found.
+    if let Some((w, d)) = hd::hypertree_width(&r.hypergraph, 4) {
+        assert!(w >= 2);
+        assert_eq!(validate::validate_hd(&r.hypergraph, &d), Ok(()));
+    }
+}

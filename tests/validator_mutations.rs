@@ -1,0 +1,171 @@
+//! Mutation testing of the validators: take certified-valid decompositions,
+//! corrupt them in targeted ways, and assert the *specific* violation each
+//! corruption must trigger. This guards the validators themselves — every
+//! other test in the workspace trusts them.
+
+use hypertree::arith::{rat, Rational};
+use hypertree::decomp::{validate, Decomposition, Node, Violation};
+use hypertree::ghd;
+use hypertree::hypergraph::{generators, Hypergraph, VertexSet};
+
+fn valid_pair() -> (Hypergraph, Decomposition) {
+    let h = generators::cycle(4);
+    let (_, d) = ghd::ghw_exact(&h, None).unwrap();
+    assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+    (h, d)
+}
+
+#[test]
+fn dropping_a_bag_vertex_breaks_edge_cover_or_connectedness() {
+    let (h, d) = valid_pair();
+    let mut hit = 0usize;
+    for u in 0..d.len() {
+        for v in d.node(u).bag.to_vec() {
+            let mut m = d.clone();
+            m.node_mut(u).bag.remove(v);
+            if validate::validate_fhd(&h, &m).is_err() {
+                hit += 1;
+            }
+        }
+    }
+    // Shrinking a bag in an optimal decomposition is essentially never free.
+    assert!(hit > 0, "no mutation detected — validator too weak");
+}
+
+#[test]
+fn zeroing_a_weight_breaks_bag_coverage() {
+    let (h, d) = valid_pair();
+    for u in 0..d.len() {
+        let mut m = d.clone();
+        if m.node(u).weights.is_empty() {
+            continue;
+        }
+        m.node_mut(u).weights.remove(0);
+        let res = validate::validate_fhd(&h, &m);
+        assert!(
+            matches!(res, Err(Violation::BagNotCovered { node, .. }) if node == u),
+            "expected BagNotCovered at {u}, got {res:?}"
+        );
+    }
+}
+
+#[test]
+fn half_weights_fail_ghd_validation_specifically() {
+    let (h, d) = valid_pair();
+    let mut m = d.clone();
+    let (e, _) = m.node(0).weights[0].clone();
+    m.node_mut(0).weights[0] = (e, rat(1, 2));
+    assert!(matches!(
+        validate::validate_ghd(&h, &m),
+        Err(Violation::NotIntegral { node: 0, .. })
+    ));
+}
+
+#[test]
+fn negative_and_oversized_weights_rejected() {
+    let (h, d) = valid_pair();
+    for bad in [rat(-1, 2), rat(3, 2)] {
+        let mut m = d.clone();
+        let (e, _) = m.node(0).weights[0].clone();
+        m.node_mut(0).weights[0] = (e, bad);
+        assert!(matches!(
+            validate::validate_fhd(&h, &m),
+            Err(Violation::WeightOutOfRange { node: 0, .. })
+        ));
+    }
+}
+
+#[test]
+fn teleporting_a_vertex_breaks_connectedness() {
+    // Attach a far-away node re-containing a vertex from the root's side.
+    let h = generators::path(4); // e0={0,1}, e1={1,2}, e2={2,3}
+    let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1]), [0]));
+    let mid = d.add_child(0, Node::integral(VertexSet::from_iter([1, 2]), [1]));
+    let leaf = d.add_child(mid, Node::integral(VertexSet::from_iter([2, 3]), [2]));
+    assert_eq!(validate::validate_fhd(&h, &d), Ok(()));
+    let mut m = d.clone();
+    m.node_mut(leaf).bag.insert(0);
+    m.node_mut(leaf).weights.push((0, Rational::one()));
+    assert_eq!(
+        validate::validate_fhd(&h, &m),
+        Err(Violation::DisconnectedVertex { vertex: 0 })
+    );
+}
+
+#[test]
+fn special_condition_mutations() {
+    // Start from an HD; swap a λ-edge for a bigger one that leaks into the
+    // subtree — the HD validator must flag it, the GHD validator must not.
+    let h = generators::path(4);
+    let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1]), [0]));
+    let mid = d.add_child(0, Node::integral(VertexSet::from_iter([1, 2]), [1]));
+    d.add_child(mid, Node::integral(VertexSet::from_iter([2, 3]), [2]));
+    assert_eq!(validate::validate_hd(&h, &d), Ok(()));
+    let mut m = d.clone();
+    // Root now also "uses" e1 = {1,2}: vertex 2 ∈ B(λ_root) ∩ V(T) \ B_root.
+    m.node_mut(0).weights.push((1, Rational::one()));
+    assert_eq!(validate::validate_ghd(&h, &m), Ok(()));
+    assert_eq!(
+        validate::validate_hd(&h, &m),
+        Err(Violation::SpecialConditionViolated { node: 0, vertex: 2 })
+    );
+    // The weak special condition coincides here (all weights integral).
+    assert!(validate::validate_weak_special(&h, &m).is_err());
+    // ... and the sc-fhw validator (open question (i)) also rejects.
+    assert!(validate::validate_fhd_special(&h, &m).is_err());
+}
+
+#[test]
+fn weak_special_ignores_fractional_leaks_but_sc_fhw_does_not() {
+    let h = generators::path(4);
+    let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1]), [0]));
+    let mid = d.add_child(0, Node::integral(VertexSet::from_iter([1, 2]), [1]));
+    d.add_child(mid, Node::integral(VertexSet::from_iter([2, 3]), [2]));
+    let mut m = d.clone();
+    // Fractionally cover vertex 2 at the root via e1 + e2 at 1/2 each:
+    // the *weak* special condition (only weight-1 edges) stays satisfied,
+    // but B(γ_root) ∋ 2 so the full special condition fails.
+    m.node_mut(0).weights.push((1, rat(1, 2)));
+    m.node_mut(0).weights.push((2, rat(1, 2)));
+    assert_eq!(validate::validate_fhd(&h, &m), Ok(()));
+    assert!(validate::validate_weak_special(&h, &m).is_ok());
+    assert!(matches!(
+        validate::validate_fhd_special(&h, &m),
+        Err(Violation::SpecialConditionViolated { node: 0, vertex: 2 })
+    ));
+}
+
+#[test]
+fn fnf_violations_detected_per_condition() {
+    let h = generators::cycle(4);
+    // Condition 2 violation: child bag ⊆ parent bag.
+    let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1, 2]), [0, 1]));
+    d.add_child(0, Node::integral(VertexSet::from_iter([0, 2, 3]), [2, 3]));
+    let redundant = d.add_child(0, Node::integral(VertexSet::from_iter([1, 2]), [1]));
+    assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+    let res = validate::validate_fnf(&h, &d);
+    assert!(
+        matches!(res, Err(Violation::FnfComponentMismatch { node }) if node == redundant),
+        "got {res:?}"
+    );
+    // The FNF transformation repairs it.
+    let f = hypertree::decomp::to_fnf(&h, &d);
+    assert_eq!(validate::validate_fnf(&h, &f), Ok(()));
+}
+
+#[test]
+fn strictness_and_c_boundedness_flags() {
+    let (h, d) = valid_pair();
+    // Exact-GHD bags come from elimination orderings; enforce strictness
+    // by growing bags to ∪λ.
+    let mut strict = d.clone();
+    for u in 0..strict.len() {
+        let cover = h.union_of_edges(strict.node(u).support());
+        strict.node_mut(u).bag = cover;
+    }
+    if validate::validate_fhd(&h, &strict).is_ok() {
+        assert!(validate::is_strict(&h, &strict));
+    }
+    // GHDs always have 0-bounded fractional part.
+    assert!(validate::has_c_bounded_fractional_part(&h, &d, 0));
+}
