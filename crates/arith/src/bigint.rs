@@ -152,7 +152,10 @@ fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
 impl BigInt {
     /// The integer zero.
     pub fn zero() -> Self {
-        BigInt { sign: 0, mag: Vec::new() }
+        BigInt {
+            sign: 0,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer one.
@@ -182,7 +185,10 @@ impl BigInt {
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt { sign: self.sign.abs(), mag: self.mag.clone() }
+        BigInt {
+            sign: self.sign.abs(),
+            mag: self.mag.clone(),
+        }
     }
 
     fn from_mag(sign: i8, mut mag: Vec<u64>) -> BigInt {
@@ -276,8 +282,14 @@ impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt { sign: 1, mag: vec![v as u64] },
-            Ordering::Less => BigInt { sign: -1, mag: vec![(v as i128).unsigned_abs() as u64] },
+            Ordering::Greater => BigInt {
+                sign: 1,
+                mag: vec![v as u64],
+            },
+            Ordering::Less => BigInt {
+                sign: -1,
+                mag: vec![(v as i128).unsigned_abs() as u64],
+            },
         }
     }
 }
@@ -287,7 +299,10 @@ impl From<u64> for BigInt {
         if v == 0 {
             BigInt::zero()
         } else {
-            BigInt { sign: 1, mag: vec![v] }
+            BigInt {
+                sign: 1,
+                mag: vec![v],
+            }
         }
     }
 }
@@ -348,7 +363,10 @@ impl Neg for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: -self.sign, mag: self.mag.clone() }
+        BigInt {
+            sign: -self.sign,
+            mag: self.mag.clone(),
+        }
     }
 }
 
@@ -527,7 +545,13 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        for s in ["0", "1", "-1", "123456789012345678901234567890", "-987654321"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "123456789012345678901234567890",
+            "-987654321",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -29,12 +29,19 @@ impl Rational {
     /// Panics if `den` is zero.
     pub fn new(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
-        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
         let g = num.gcd(&den);
         if g.is_zero() || g == BigInt::one() {
             Rational { num, den }
         } else {
-            Rational { num: &num / &g, den: &den / &g }
+            Rational {
+                num: &num / &g,
+                den: &den / &g,
+            }
         }
     }
 
@@ -45,7 +52,10 @@ impl Rational {
 
     /// The integer `v` as a rational.
     pub fn from_int(v: i64) -> Self {
-        Rational { num: BigInt::from(v), den: BigInt::one() }
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 
     /// Zero.
@@ -90,7 +100,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse. Panics on zero.
@@ -158,13 +171,19 @@ impl From<u32> for Rational {
 
 impl From<usize> for Rational {
     fn from(v: usize) -> Self {
-        Rational { num: BigInt::from(v), den: BigInt::one() }
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 }
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -184,14 +203,20 @@ impl Ord for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -&self.num, den: self.den.clone() }
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 

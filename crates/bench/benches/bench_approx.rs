@@ -50,7 +50,12 @@ fn bench_kloglog(c: &mut Criterion) {
         ("example_5_1(5)", generators::example_5_1(5)),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, h| {
-            b.iter(|| fhd::approx_ghw_via_fhw(h, CoverMode::Greedy).unwrap().1.width())
+            b.iter(|| {
+                fhd::approx_ghw_via_fhw(h, CoverMode::Greedy)
+                    .unwrap()
+                    .1
+                    .width()
+            })
         });
     }
     g.finish();

@@ -25,8 +25,12 @@ fn bench_example_4_3(c: &mut Criterion) {
     g.bench_function("ghw=2 via BIP subedges", |b| {
         b.iter(|| ghd::check_ghd_bip(&h, 2, SubedgeLimits::default()).is_yes())
     });
-    g.bench_function("ghw=2 exact DP", |b| b.iter(|| ghd::ghw_exact(&h, None).unwrap().0));
-    g.bench_function("fhw exact DP", |b| b.iter(|| fhd::fhw_exact(&h, None).unwrap().0));
+    g.bench_function("ghw=2 exact DP", |b| {
+        b.iter(|| ghd::ghw_exact(&h, None).unwrap().0)
+    });
+    g.bench_function("fhw exact DP", |b| {
+        b.iter(|| fhd::fhw_exact(&h, None).unwrap().0)
+    });
     let e = |n: &str| h.edge_by_name(n).unwrap();
     g.bench_function("figure_7_uoi_tree", |b| {
         b.iter(|| {

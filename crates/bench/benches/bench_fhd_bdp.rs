@@ -17,9 +17,15 @@ fn bench_bdp_check(c: &mut Criterion) {
     let mut g = c.benchmark_group("fhd_bdp/check");
     for n in [4usize, 5, 6] {
         let h = generators::cycle(n);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("cycle{n}")), &h, |b, h| {
-            b.iter(|| fhd::check_fhd_bdp(h, &Rational::from(2usize), HdkParams::default()).is_yes())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("cycle{n}")),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    fhd::check_fhd_bdp(h, &Rational::from(2usize), HdkParams::default()).is_yes()
+                })
+            },
+        );
     }
     let tri = generators::cycle(3);
     g.bench_function("triangle_at_3/2", |b| {
@@ -37,9 +43,11 @@ fn bench_frac_decomp(c: &mut Criterion) {
             eps: rat(1, 2),
             c: 2,
         };
-        g.bench_with_input(BenchmarkId::from_parameter(format!("cycle{n}")), &h, |b, h| {
-            b.iter(|| fhd::frac_decomp(h, &params).is_some())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("cycle{n}")),
+            &h,
+            |b, h| b.iter(|| fhd::frac_decomp(h, &params).is_some()),
+        );
     }
     g.finish();
 }

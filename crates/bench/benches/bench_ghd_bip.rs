@@ -17,9 +17,17 @@ fn bench_subedges(c: &mut Criterion) {
     let mut g = c.benchmark_group("ghd_bip/subedges");
     for cols in [4usize, 6, 8] {
         let h = generators::grid(2, cols);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("grid2x{cols}")), &h, |b, h| {
-            b.iter(|| ghd::bip_subedges(h, 2, SubedgeLimits::default()).subedges.len())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("grid2x{cols}")),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    ghd::bip_subedges(h, 2, SubedgeLimits::default())
+                        .subedges
+                        .len()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -28,9 +36,11 @@ fn bench_check(c: &mut Criterion) {
     let mut g = c.benchmark_group("ghd_bip/check_k2");
     for cols in [3usize, 4, 5] {
         let h = generators::grid(2, cols);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("grid2x{cols}")), &h, |b, h| {
-            b.iter(|| ghd::check_ghd_bip(h, 2, SubedgeLimits::default()).is_yes())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("grid2x{cols}")),
+            &h,
+            |b, h| b.iter(|| ghd::check_ghd_bip(h, 2, SubedgeLimits::default()).is_yes()),
+        );
     }
     {
         let seed = 1u64;

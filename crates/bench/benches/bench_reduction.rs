@@ -17,9 +17,11 @@ fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("reduction/build");
     for (n, m) in [(3usize, 2usize), (4, 4), (5, 6)] {
         let (cnf, _) = Cnf::random_planted(n, m, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("n{n}m{m}")), &cnf, |b, cnf| {
-            b.iter(|| reduction::build(cnf))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}m{m}")),
+            &cnf,
+            |b, cnf| b.iter(|| reduction::build(cnf)),
+        );
     }
     g.finish();
 }

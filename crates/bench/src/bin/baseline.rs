@@ -1,0 +1,87 @@
+//! Records a performance baseline of the exact width engines on the
+//! generator corpus and writes it as JSON (default: `BENCH_baseline.json`
+//! in the current directory) for future perf-trajectory comparisons.
+//!
+//! ```sh
+//! cargo run -p hypertree-bench --bin baseline --release -- [out.json]
+//! ```
+
+use hypertree_bench as workloads;
+use hypertree_core::{fhd, ghd, hd};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median-of-three wall-clock measurement, in microseconds.
+fn time3<T>(mut f: impl FnMut() -> T) -> (T, u128) {
+    let mut times = Vec::with_capacity(3);
+    let mut out = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        out = Some(f());
+        times.push(t.elapsed().as_micros());
+    }
+    times.sort_unstable();
+    (out.expect("ran at least once"), times[1])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"schema\": \"hypertree-bench-baseline/v1\",\n");
+    body.push_str("  \"command\": \"cargo run -p hypertree-bench --bin baseline --release\",\n");
+    let _ = writeln!(body, "  \"profile\": \"{}\",", profile());
+    body.push_str("  \"instances\": [\n");
+    let corpus = workloads::corpus();
+    let total = corpus.len();
+    for (i, w) in corpus.into_iter().enumerate() {
+        let h = &w.hypergraph;
+        eprintln!("[{}/{}] {}", i + 1, total, w.name);
+        let _ = write!(
+            body,
+            "    {{\"name\": \"{}\", \"vertices\": {}, \"edges\": {}",
+            w.name,
+            h.num_vertices(),
+            h.num_edges()
+        );
+        let (hw, t_hw) = time3(|| hd::hypertree_width(h, 6).map(|(k, _)| k));
+        match hw {
+            Some(k) => {
+                let _ = write!(body, ", \"hw\": {k}, \"hw_us\": {t_hw}");
+            }
+            None => body.push_str(", \"hw\": null"),
+        }
+        let (ghw, t_ghw) = time3(|| ghd::ghw_exact(h, None).map(|(k, _)| k));
+        match ghw {
+            Some(k) => {
+                let _ = write!(body, ", \"ghw\": {k}, \"ghw_us\": {t_ghw}");
+            }
+            None => body.push_str(", \"ghw\": null"),
+        }
+        let (fhw, t_fhw) = time3(|| fhd::fhw_exact(h, None).map(|(k, _)| k));
+        match fhw {
+            Some(k) => {
+                let _ = write!(body, ", \"fhw\": \"{k}\", \"fhw_us\": {t_fhw}");
+            }
+            None => body.push_str(", \"fhw\": null"),
+        }
+        body.push('}');
+        if i + 1 < total {
+            body.push(',');
+        }
+        body.push('\n');
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &body).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}
+
+fn profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}

@@ -69,18 +69,22 @@ fn header(id: &str, claim: &str) {
 
 /// E1 — Figure 1 / Lemma 3.1: the gadget forces the u_A, u_B, u_C bags.
 fn e1_gadget() {
-    header("E1", "Lemma 3.1 gadget (Figure 1): ghw = fhw = 2, forced bags");
-    println!("{:>10} {:>4} {:>4} {:>5} {:>5} {:>9}", "M sizes", "|V|", "|E|", "ghw", "fhw", "u_B path");
+    header(
+        "E1",
+        "Lemma 3.1 gadget (Figure 1): ghw = fhw = 2, forced bags",
+    );
+    println!(
+        "{:>10} {:>4} {:>4} {:>5} {:>5} {:>9}",
+        "M sizes", "|V|", "|E|", "ghw", "fhw", "u_B path"
+    );
     for (m1, m2) in [(1usize, 1usize), (2, 2), (3, 2)] {
         let g = reduction::gadget(m1, m2);
         let (ghw, _) = ghd::ghw_exact(&g, None).unwrap();
         let (fhw, fd) = fhd::fhw_exact(&g, None).unwrap();
         // Locate the forced quads in the optimal FHD.
         let quad = |names: [&str; 4]| -> Option<usize> {
-            let set: hypertree_core::hypergraph::VertexSet = names
-                .iter()
-                .map(|n| g.vertex_by_name(n).unwrap())
-                .collect();
+            let set: hypertree_core::hypergraph::VertexSet =
+                names.iter().map(|n| g.vertex_by_name(n).unwrap()).collect();
             fd.nodes().iter().position(|nd| set.is_subset(&nd.bag))
         };
         let ua = quad(["a1", "a2", "b1", "b2"]);
@@ -105,7 +109,10 @@ fn e1_gadget() {
 /// E2 — Theorem 3.2 / Table 1 / Figure 2: satisfiable ⇒ validated width-2
 /// witness; construction sizes and timings.
 fn e2_reduction_witnesses() {
-    header("E2", "Theorem 3.2 'if' direction: Table 1 witnesses validate at width 2");
+    header(
+        "E2",
+        "Theorem 3.2 'if' direction: Table 1 witnesses validate at width 2",
+    );
     println!(
         "{:>10} {:>6} {:>6} {:>7} {:>7} {:>9} {:>10}",
         "instance", "|V|", "|E|", "nodes", "width", "GHD ok", "build+val"
@@ -131,7 +138,10 @@ fn e2_reduction_witnesses() {
 
 /// E3 — Definition 3.4 / Lemmas 3.5, 3.6 / Claim D as exact LP certificates.
 fn e3_lp_lemmas() {
-    header("E3", "Lemmas 3.5/3.6 and Claim D: exact LP certificates on the real construction");
+    header(
+        "E3",
+        "Lemmas 3.5/3.6 and Claim D: exact LP certificates on the real construction",
+    );
     let cnf = Cnf::example_3_3();
     let r = reduction::build(&cnf);
     let classes = reduction::complementary_classes(&r);
@@ -188,7 +198,10 @@ fn e4_example_4_3() {
 /// E5 — Theorems 4.11/4.15: Check(GHD,k) under the BIP; subedge counts and
 /// scaling.
 fn e5_ghd_bip() {
-    header("E5", "Check(GHD,k) under BIP (Thm 4.15): polynomial scaling, |f(H,k)| bound");
+    header(
+        "E5",
+        "Check(GHD,k) under BIP (Thm 4.15): polynomial scaling, |f(H,k)| bound",
+    );
     println!(
         "{:>14} {:>4} {:>4} {:>3} {:>8} {:>10} {:>6} {:>10}",
         "instance", "|V|", "|E|", "i", "subedges", "bound", "k=2?", "time"
@@ -218,21 +231,30 @@ fn e5_ghd_bip() {
 
 /// E6 — Theorem 5.2 / Algorithm 3: Check(FHD,k) under bounded degree.
 fn e6_fhd_bdp() {
-    header("E6", "Check(FHD,k) under BDP (Thm 5.2) + Algorithm 3 agreement with exact fhw");
+    header(
+        "E6",
+        "Check(FHD,k) under BDP (Thm 5.2) + Algorithm 3 agreement with exact fhw",
+    );
     println!(
         "{:>14} {:>4} {:>4} {:>6} {:>7} {:>9} {:>10}",
         "instance", "|V|", "d", "fhw", "BDP ok", "Alg3 ok", "time"
     );
     for (name, h) in workloads::bdp_scaling() {
         let d = properties::degree(&h);
-        let Some((fhw, _)) = fhd::fhw_exact(&h, None) else { continue };
+        let Some((fhw, _)) = fhd::fhw_exact(&h, None) else {
+            continue;
+        };
         let t = Instant::now();
         let bdp = fhd::check_fhd_bdp(&h, &fhw, HdkParams::default()).is_yes();
         // Completeness of Algorithm 3 needs c at least the size of the
         // largest fractional part (Lemma 6.4); |V(H)| dominates it here.
         let alg3 = fhd::frac_decomp(
             &h,
-            &FracDecompParams { k: fhw.clone(), eps: rat(1, 4), c: h.num_vertices() },
+            &FracDecompParams {
+                k: fhw.clone(),
+                eps: rat(1, 4),
+                c: h.num_vertices(),
+            },
         )
         .is_some();
         println!(
@@ -250,8 +272,14 @@ fn e6_fhd_bdp() {
 
 /// E7 — Corollary 5.5 / Lemma 5.6 / Example 5.1: bounded supports.
 fn e7_supports() {
-    header("E7", "Example 5.1 & Füredi bound: rho* = 2 - 1/n with support n+1 <= d·rho*");
-    println!("{:>4} {:>10} {:>9} {:>12}", "n", "rho*", "support", "d*rho*");
+    header(
+        "E7",
+        "Example 5.1 & Füredi bound: rho* = 2 - 1/n with support n+1 <= d·rho*",
+    );
+    println!(
+        "{:>4} {:>10} {:>9} {:>12}",
+        "n", "rho*", "support", "d*rho*"
+    );
     for n in [4usize, 8, 16, 32, 64] {
         let h = generators::example_5_1(n);
         let c = cover::fractional_cover(&h, &h.all_vertices()).unwrap();
@@ -269,7 +297,10 @@ fn e7_supports() {
 
 /// E8 — the HyperBench-style motivation table (\[11, 23\]).
 fn e8_corpus() {
-    header("E8", "CQ corpus study: most cyclic instances have ghw <= 2 (motivation for Check(GHD,2))");
+    header(
+        "E8",
+        "CQ corpus study: most cyclic instances have ghw <= 2 (motivation for Check(GHD,2))",
+    );
     println!(
         "{:>16} {:>4} {:>4} {:>4} {:>7} {:>4} {:>4} {:>6} {:>8}",
         "instance", "|V|", "|E|", "deg", "iwidth", "hw", "ghw", "fhw", "acyclic"
@@ -294,7 +325,15 @@ fn e8_corpus() {
         }
         println!(
             "{:>16} {:>4} {:>4} {:>4} {:>7} {:>4} {:>4} {:>6} {:>8}",
-            wl.name, s.num_vertices, s.num_edges, s.degree, s.intersection_width, hw, ghw, fhw, s.alpha_acyclic
+            wl.name,
+            s.num_vertices,
+            s.num_edges,
+            s.degree,
+            s.intersection_width,
+            hw,
+            ghw,
+            fhw,
+            s.alpha_acyclic
         );
     }
     println!("cyclic instances with ghw <= 2: {cyclic_ghw2}/{cyclic}");
@@ -302,7 +341,10 @@ fn e8_corpus() {
 
 /// E9 — Lemma 2.3 and LP duality checks.
 fn e9_covers() {
-    header("E9", "Lemma 2.3: rho(K_2n) = rho*(K_2n) = n; duality rho*(H) = tau*(H^d)");
+    header(
+        "E9",
+        "Lemma 2.3: rho(K_2n) = rho*(K_2n) = n; duality rho*(H) = tau*(H^d)",
+    );
     println!("{:>6} {:>6} {:>8}", "2n", "rho", "rho*");
     for n in [2usize, 4, 8, 12] {
         let h = generators::clique(n);
@@ -331,8 +373,14 @@ fn e9_covers() {
 
 /// E10 — Theorem 6.1 / Lemmas 6.4-6.5: the k+ε approximation under BIP.
 fn e10_approx_bip() {
-    header("E10", "Theorem 6.1: BIP gives FHDs of width <= k + eps (pipeline: Lemma 6.5 + Alg 3)");
-    println!("{:>16} {:>7} {:>7} {:>9} {:>9}", "instance", "fhw", "eps", "width", "<= k+eps");
+    header(
+        "E10",
+        "Theorem 6.1: BIP gives FHDs of width <= k + eps (pipeline: Lemma 6.5 + Alg 3)",
+    );
+    println!(
+        "{:>16} {:>7} {:>7} {:>9} {:>9}",
+        "instance", "fhw", "eps", "width", "<= k+eps"
+    );
     for (name, h) in [
         ("cycle(3)".to_string(), generators::cycle(3)),
         ("cycle(4)".to_string(), generators::cycle(4)),
@@ -369,7 +417,10 @@ fn e10_approx_bip() {
 
 /// E11 — Algorithm 4 / Theorem 6.20: the PTAAS and its iteration bound.
 fn e11_ptaas() {
-    header("E11", "PTAAS (Alg 4): width <= fhw + eps; iterations ~ ceil(log2(K'/eps'))");
+    header(
+        "E11",
+        "PTAAS (Alg 4): width <= fhw + eps; iterations ~ ceil(log2(K'/eps'))",
+    );
     println!(
         "{:>14} {:>7} {:>11} {:>13} {:>6} {:>10}",
         "instance", "eps", "width", "lower", "iters", "predicted"
@@ -396,7 +447,10 @@ fn e11_ptaas() {
 
 /// E12 — Theorem 6.23 / Lemma 6.24 / Corollary 6.25.
 fn e12_kloglog() {
-    header("E12", "Theorem 6.23: GHD from FHD, ratio <= max(1, 2^{vc+2} log2(11 rho*))");
+    header(
+        "E12",
+        "Theorem 6.23: GHD from FHD, ratio <= max(1, 2^{vc+2} log2(11 rho*))",
+    );
     println!(
         "{:>16} {:>6} {:>7} {:>7} {:>8} {:>9}",
         "instance", "fhw", "ghd_w", "ratio", "vc", "bound"
@@ -406,7 +460,9 @@ fn e12_kloglog() {
         if h.num_vertices() > 14 {
             continue;
         }
-        let Some((fhw, g)) = fhd::approx_ghw_via_fhw(h, CoverMode::Exact) else { continue };
+        let Some((fhw, g)) = fhd::approx_ghw_via_fhw(h, CoverMode::Exact) else {
+            continue;
+        };
         let vc = properties::vc_dimension(h);
         let ratio = g.width().to_f64() / fhw.to_f64();
         let bound = fhd::cigap_bound(vc, &fhw);
@@ -431,11 +487,16 @@ fn e12_kloglog() {
 
 /// E13 — width hierarchy + lifting.
 fn e13_hierarchy() {
-    header("E13", "fhw <= ghw <= hw <= 3ghw+1 across corpus; Section 3 lifting shifts widths by l");
+    header(
+        "E13",
+        "fhw <= ghw <= hw <= 3ghw+1 across corpus; Section 3 lifting shifts widths by l",
+    );
     let mut ok = 0usize;
     let mut total = 0usize;
     for wl in workloads::corpus() {
-        let Some(w) = exact_widths(&wl.hypergraph, 8) else { continue };
+        let Some(w) = exact_widths(&wl.hypergraph, 8) else {
+            continue;
+        };
         total += 1;
         if w.fhw <= Rational::from(w.ghw) && w.ghw <= w.hw && w.hw <= 3 * w.ghw + 1 {
             ok += 1;

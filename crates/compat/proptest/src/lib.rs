@@ -1,0 +1,385 @@
+//! A minimal, offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! exact surface the workspace's property tests use: the [`proptest!`] macro
+//! (with optional `#![proptest_config(...)]`), [`Strategy`] with `prop_map` /
+//! `prop_filter`, range and tuple strategies, [`any`], and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: generation is a fixed deterministic
+//! stream per test (seeded from the test name), and failing cases are *not*
+//! shrunk — the assertion message reports the raw failing inputs instead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Why a test case did not run to completion.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+}
+
+/// Runner configuration (`cases` is the only knob this shim honours).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generation stream (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream; [`proptest!`] derives the seed from the test name.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking, so a
+/// strategy is just a deterministic sampling function.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 1000 candidates in a row",
+            self.reason
+        );
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, i64, i32, i16, u8);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0/0)
+    (S0/0, S1/1)
+    (S0/0, S1/1, S2/2)
+    (S0/0, S1/1, S2/2, S3/3)
+    (S0/0, S1/1, S2/2, S3/3, S4/4)
+    (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        ((hi << 64) | lo) as i128
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Seed helper: FNV-1a over the test path so each test gets its own stream.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(arg in strategy, ...) { ... }`
+/// items. No shrinking: a failing case panics with the raw inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            // The closure gives `prop_assume!` a `return` target.
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::new($crate::seed_from_name(concat!(module_path!(), "::", stringify!($name))));
+                let mut ran: u32 = 0;
+                let mut rejected: u32 = 0;
+                while ran < config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => ran += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases.saturating_mul(32).max(1024),
+                                "too many prop_assume! rejections ({rejected}) in {}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Discards the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `assert!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// `assert_eq!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// `assert_ne!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..10, b in 0u64..5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b < 5);
+        }
+
+        #[test]
+        fn assume_discards(v in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+            prop_assume!(v != 1);
+            prop_assert_ne!(v, 0);
+            prop_assert_ne!(v, 1);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (1usize..4, 1usize..4).prop_map(|(x, y)| x * y)) {
+            prop_assert!((1..16).contains(&pair));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::TestRng::new(9);
+        let mut b = crate::TestRng::new(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

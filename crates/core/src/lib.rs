@@ -32,6 +32,7 @@ pub use hd;
 pub use hypergraph;
 pub use lp;
 pub use reduction;
+pub use solver;
 
 use arith::Rational;
 use hypergraph::{properties, Hypergraph};
@@ -41,7 +42,7 @@ pub mod prelude {
     pub use arith::{rat, BigInt, Rational};
     pub use cover::{fractional_cover, integral_cover, rho, rho_star, tau, tau_star};
     pub use decomp::{validate_fhd, validate_ghd, validate_hd, Decomposition, Node};
-    pub use fhd::{check_fhd_bdp, fhw_exact, frac_decomp, fhw_approximation, FracDecompParams};
+    pub use fhd::{check_fhd_bdp, fhw_approximation, fhw_exact, frac_decomp, FracDecompParams};
     pub use ghd::{check_ghd_bip, ghw_exact, GhdAnswer, SubedgeLimits};
     pub use hd::{check_hd, hypertree_width};
     pub use hypergraph::{self, Hypergraph, VertexSet};
@@ -92,17 +93,22 @@ pub fn analyze_structure(h: &Hypergraph, vc_limit: usize) -> StructureReport {
 /// Certified exact widths of a (small) hypergraph.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExactWidths {
-    /// Hypertree width (`det-k-decomp`).
+    /// Hypertree width (`det-k-decomp` on the shared search engine).
     pub hw: usize,
-    /// Generalized hypertree width (elimination DP with `rho`).
+    /// Generalized hypertree width (shared-engine subset search with `rho`).
     pub ghw: usize,
-    /// Fractional hypertree width (elimination DP with `rho*`), exact
-    /// rational.
+    /// Fractional hypertree width (shared-engine subset search with
+    /// `rho*`), exact rational.
     pub fhw: Rational,
 }
 
 /// Computes `hw`, `ghw` and `fhw` exactly; `None` when the instance exceeds
 /// the exponential baselines' size limits or `hw > max_hw`.
+///
+/// All three engines run on the shared `(component, connector)` search in
+/// the [`solver`] crate — `det-k-decomp`, the `rho`-priced and the
+/// `rho*`-priced subset strategies are thin [`solver::WidthSolver`]
+/// implementations over one memoized recursion.
 pub fn exact_widths(h: &Hypergraph, max_hw: usize) -> Option<ExactWidths> {
     let (hw, _) = hd::hypertree_width(h, max_hw)?;
     let (ghw, _) = ghd::ghw_exact(h, None)?;

@@ -67,8 +67,11 @@ pub fn fractional_cover(h: &Hypergraph, target: &VertexSet) -> Option<Fractional
     }
     // Only edges intersecting the target can contribute.
     let useful = h.edges_intersecting(target);
-    let col_of: std::collections::HashMap<usize, usize> =
-        useful.iter().enumerate().map(|(col, &e)| (e, col)).collect();
+    let col_of: std::collections::HashMap<usize, usize> = useful
+        .iter()
+        .enumerate()
+        .map(|(col, &e)| (e, col))
+        .collect();
     let mut prog = LinearProgram::minimize(useful.len());
     for col in 0..useful.len() {
         prog.set_objective(col, Rational::one());
@@ -91,7 +94,10 @@ pub fn fractional_cover(h: &Hypergraph, target: &VertexSet) -> Option<Fractional
                 weights[e] = solution[col].clone();
             }
             debug_assert!(is_fractional_cover(h, &weights, target));
-            Some(FractionalCover { weight: value, weights })
+            Some(FractionalCover {
+                weight: value,
+                weights,
+            })
         }
         // Covering LPs with all-ones costs are feasible iff every vertex is
         // coverable (checked above) and never unbounded.

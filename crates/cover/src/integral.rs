@@ -81,9 +81,7 @@ fn branch(
 
 /// The uncovered vertex with the fewest covering edges (fail-first order).
 fn pick_most_constrained(h: &Hypergraph, uncovered: &VertexSet) -> Option<usize> {
-    uncovered
-        .iter()
-        .min_by_key(|&v| h.incident_edges(v).len())
+    uncovered.iter().min_by_key(|&v| h.incident_edges(v).len())
 }
 
 /// `rho(H)`: the edge cover number. `None` if `H` has isolated vertices.
@@ -98,8 +96,7 @@ pub fn greedy_cover(h: &Hypergraph, target: &VertexSet) -> Option<IntegralCover>
     let mut uncovered = target.clone();
     let mut edges = Vec::new();
     while !uncovered.is_empty() {
-        let best = (0..h.num_edges())
-            .max_by_key(|&e| h.edge(e).intersection(&uncovered).len())?;
+        let best = (0..h.num_edges()).max_by_key(|&e| h.edge(e).intersection(&uncovered).len())?;
         let gain = h.edge(best).intersection(&uncovered).len();
         if gain == 0 {
             return None; // some vertex is uncoverable

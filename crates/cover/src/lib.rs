@@ -15,7 +15,11 @@ pub mod integral;
 pub mod support;
 pub mod transversal;
 
-pub use fractional::{covered_vertices, fractional_cover, is_fractional_cover, rho_star, FractionalCover};
+pub use fractional::{
+    covered_vertices, fractional_cover, is_fractional_cover, rho_star, FractionalCover,
+};
 pub use integral::{greedy_cover, integral_cover, integral_cover_bounded, rho, IntegralCover};
 pub use support::{bound_support, furedi_bound};
-pub use transversal::{fractional_transversal, minimum_transversal, tau, tau_star, tigap, FractionalTransversal};
+pub use transversal::{
+    fractional_transversal, minimum_transversal, tau, tau_star, tigap, FractionalTransversal,
+};

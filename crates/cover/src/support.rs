@@ -121,7 +121,10 @@ mod tests {
             let h = generators::example_5_1(n);
             let (supp, bound) = furedi_bound(&h, &h.all_vertices()).unwrap();
             assert_eq!(supp, n + 1);
-            assert_eq!(bound, Rational::from(n) * (Rational::from(2usize) - rat(1, n as i64)));
+            assert_eq!(
+                bound,
+                Rational::from(n) * (Rational::from(2usize) - rat(1, n as i64))
+            );
             assert!(Rational::from(supp) <= bound);
         }
     }

@@ -67,11 +67,7 @@ fn greedy_transversal(h: &Hypergraph) -> Vec<usize> {
     loop {
         let Some((_, v)) = (0..h.num_vertices())
             .map(|v| {
-                let gain = h
-                    .incident_edges(v)
-                    .iter()
-                    .filter(|&&e| !hit[e])
-                    .count();
+                let gain = h.incident_edges(v).iter().filter(|&&e| !hit[e]).count();
                 (gain, v)
             })
             .filter(|&(gain, _)| gain > 0)

@@ -86,7 +86,10 @@ mod tests {
         );
         d.add_child(
             u_prime,
-            Node::integral(bag(&["v3", "v4", "v5", "v6", "v9", "v10"]), [e("e3"), e("e5")]),
+            Node::integral(
+                bag(&["v3", "v4", "v5", "v6", "v9", "v10"]),
+                [e("e3"), e("e5")],
+            ),
         );
         let u1 = d.add_child(
             0,

@@ -84,7 +84,10 @@ mod tests {
         ));
         d.add_child(
             0,
-            Node::integral(bag(&["v3", "v4", "v5", "v6", "v9", "v10"]), [e("e3"), e("e5")]),
+            Node::integral(
+                bag(&["v3", "v4", "v5", "v6", "v9", "v10"]),
+                [e("e3"), e("e5")],
+            ),
         );
         let u1 = d.add_child(
             0,
@@ -126,7 +129,10 @@ mod tests {
     #[test]
     fn lemma_4_9_on_the_whole_decomposition() {
         let (h, d) = figure_6b();
-        assert!(crate::bag_maximal::is_bag_maximal(&h, &d), "Figure 6(b) is bag-maximal");
+        assert!(
+            crate::bag_maximal::is_bag_maximal(&h, &d),
+            "Figure 6(b) is bag-maximal"
+        );
         assert!(lemma_4_9_holds(&d, &h));
     }
 

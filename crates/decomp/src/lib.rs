@@ -20,6 +20,6 @@ pub use export::to_dot;
 pub use normal_form::to_fnf;
 pub use types::{Decomposition, Node};
 pub use validate::{
-    has_c_bounded_fractional_part, is_strict, treecomp, validate_fhd, validate_fnf, validate_ghd,
-    validate_fhd_special, validate_hd, validate_weak_special, Violation,
+    has_c_bounded_fractional_part, is_strict, treecomp, validate_fhd, validate_fhd_special,
+    validate_fnf, validate_ghd, validate_hd, validate_weak_special, Violation,
 };

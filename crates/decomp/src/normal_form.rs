@@ -154,11 +154,8 @@ mod tests {
     fn messy_cycle6() -> (Hypergraph, Decomposition) {
         use crate::types::Node;
         let h = generators::cycle(6); // e_i = {i, i+1 mod 6}
-        // Root bag {0, 3} covered by e0 ∪ e3 -> wait e0={0,1}, e3={3,4}.
-        let mut d = Decomposition::new(Node::integral(
-            VertexSet::from_iter([0, 1, 3, 4]),
-            [0, 3],
-        ));
+                                      // Root bag {0, 3} covered by e0 ∪ e3 -> wait e0={0,1}, e3={3,4}.
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1, 3, 4]), [0, 3]));
         // A redundant middle node (same bag as the root) whose subtree spans
         // both [B_root]-components {2} and {5} — valid, but far from FNF.
         let mid = d.add_child(
@@ -210,10 +207,7 @@ mod tests {
         use crate::types::Node;
         // Child bag inside the root bag entirely.
         let h = generators::path(3); // e0={0,1}, e1={1,2}
-        let mut d = Decomposition::new(Node::integral(
-            VertexSet::from_iter([0, 1, 2]),
-            [0, 1],
-        ));
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1, 2]), [0, 1]));
         d.add_child(0, Node::integral(VertexSet::from_iter([1, 2]), [1]));
         let f = to_fnf(&h, &d);
         assert_eq!(f.len(), 1);

@@ -44,7 +44,9 @@ impl Node {
 
     /// True iff every weight is exactly 1 (an integral `λ_u`).
     pub fn is_integral(&self) -> bool {
-        self.weights.iter().all(|(_, w)| w == &Rational::one() || w.is_zero())
+        self.weights
+            .iter()
+            .all(|(_, w)| w == &Rational::one() || w.is_zero())
     }
 
     /// `B(γ_u)`: vertices receiving total weight >= 1.
@@ -289,7 +291,12 @@ impl Decomposition {
 
 impl fmt::Display for Decomposition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Decomposition({} nodes, width {})", self.len(), self.width())
+        write!(
+            f,
+            "Decomposition({} nodes, width {})",
+            self.len(),
+            self.width()
+        )
     }
 }
 
@@ -355,7 +362,10 @@ mod tests {
         let mut n = Node::integral(VertexSet::from_iter([0, 1]), [0]);
         assert_eq!(n.covered_set(&h).to_vec(), vec![0, 1]);
         assert!(n.is_integral());
-        n.weights = vec![(0, Rational::from_frac(1, 2)), (1, Rational::from_frac(1, 2))];
+        n.weights = vec![
+            (0, Rational::from_frac(1, 2)),
+            (1, Rational::from_frac(1, 2)),
+        ];
         assert!(!n.is_integral());
         // Only v1 gets total weight 1.
         assert_eq!(n.covered_set(&h).to_vec(), vec![1]);

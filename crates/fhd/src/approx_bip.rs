@@ -78,7 +78,9 @@ pub fn f_cik_subedges(h: &Hypergraph, size_bound: usize, cap: usize) -> SubedgeS
         while let Some((start, cur)) = stack.pop() {
             if !cur.is_empty() {
                 let set = VertexSet::from_iter(cur.iter().copied());
-                if !existing.contains(&set) && set.len() < members.len() && emitted.insert(set.clone())
+                if !existing.contains(&set)
+                    && set.len() < members.len()
+                    && emitted.insert(set.clone())
                 {
                     subedges.push(set);
                     originators.push(ei);

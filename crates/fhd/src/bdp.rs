@@ -65,10 +65,16 @@ pub fn check_fhd_bdp(h: &Hypergraph, k: &Rational, params: HdkParams) -> FhdAnsw
         return FhdAnswer::No;
     }
     let hp = &aug.hypergraph;
+    // Branch prune: rho*(H_λ) >= |⋃S| / rank, so any separator whose union
+    // exceeds k·rank vertices — and every superset of it — is hopeless.
+    let rank = properties::rank(hp);
+    let max_union = (k * &Rational::from(rank)).floor();
+    let max_union = max_union.to_i64().unwrap_or(i64::MAX).max(0) as usize;
     let mut search = StrictSearch {
         h: hp,
         k: k.clone(),
         support_bound,
+        max_union,
         memo: HashMap::new(),
         plans: Vec::new(),
         lp_cache: HashMap::new(),
@@ -105,6 +111,8 @@ struct StrictSearch<'a> {
     h: &'a Hypergraph,
     k: Rational,
     support_bound: usize,
+    /// `⌊k·rank⌋`: separators with larger unions cannot satisfy the LP.
+    max_union: usize,
     memo: HashMap<(VertexSet, VertexSet), Option<usize>>,
     plans: Vec<PlanNode>,
     /// `sorted S -> rho*(H_λ) <= k?`
@@ -127,8 +135,23 @@ impl<'a> StrictSearch<'a> {
         if let Some(hit) = self.memo.get(&key) {
             return *hit;
         }
+        // Strictness prefilter: every separator edge must stay inside
+        // comp ∪ V(R) (hoisted out of the subset enumeration).
+        let usable: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&e| self.h.edge(e).is_subset(&allowed))
+            .collect();
         let mut chosen = Vec::new();
-        let res = self.dfs(comp, &conn, &allowed, &comp_edges, &candidates, 0, &mut chosen);
+        let res = self.dfs(
+            comp,
+            &conn,
+            &comp_edges,
+            &usable,
+            0,
+            &mut chosen,
+            &VertexSet::new(),
+        );
         self.memo.insert(key, res);
         res
     }
@@ -138,14 +161,14 @@ impl<'a> StrictSearch<'a> {
         &mut self,
         comp: &VertexSet,
         conn: &VertexSet,
-        allowed: &VertexSet,
         comp_edges: &[usize],
         candidates: &[usize],
         start: usize,
         chosen: &mut Vec<usize>,
+        vs: &VertexSet,
     ) -> Option<usize> {
         if !chosen.is_empty() {
-            if let Some(plan) = self.try_separator(comp, conn, allowed, comp_edges, chosen) {
+            if let Some(plan) = self.try_separator(comp, conn, comp_edges, chosen, vs) {
                 return Some(plan);
             }
         }
@@ -153,13 +176,12 @@ impl<'a> StrictSearch<'a> {
             return None;
         }
         for (i, &e) in candidates.iter().enumerate().skip(start) {
-            // Strictness pruning: every separator edge must stay inside
-            // comp ∪ V(R).
-            if !self.h.edge(e).is_subset(allowed) {
+            let next_vs = vs.union(self.h.edge(e));
+            if next_vs.len() > self.max_union {
                 continue;
             }
             chosen.push(e);
-            let res = self.dfs(comp, conn, allowed, comp_edges, candidates, i + 1, chosen);
+            let res = self.dfs(comp, conn, comp_edges, candidates, i + 1, chosen, &next_vs);
             chosen.pop();
             if res.is_some() {
                 return res;
@@ -172,39 +194,37 @@ impl<'a> StrictSearch<'a> {
         &mut self,
         comp: &VertexSet,
         conn: &VertexSet,
-        _allowed: &VertexSet,
         comp_edges: &[usize],
         chosen: &[usize],
+        vs: &VertexSet,
     ) -> Option<usize> {
-        let vs = self.h.union_of_edges(chosen.iter().copied());
-        if !conn.is_subset(&vs) || !vs.intersects(comp) {
+        if !conn.is_subset(vs) || !vs.intersects(comp) {
             return None;
         }
         // rho*(H_λ) <= k on the separator's own hypergraph.
-        if !self.cover_ok(chosen) {
+        if !self.cover_ok(chosen, vs) {
             return None;
         }
-        let mut children = Vec::new();
-        for sub in components::components(self.h, &vs) {
-            if !sub.is_subset(comp) {
-                continue;
-            }
-            let plan = self.decompose(&sub, &vs)?;
-            children.push(plan);
-        }
-        // Edge coverage exactly as in det-k-decomp.
+        let subs: Vec<VertexSet> = components::components(self.h, vs)
+            .into_iter()
+            .filter(|sub| sub.is_subset(comp))
+            .collect();
+        // Edge coverage exactly as in det-k-decomp (checked before the
+        // recursive descent — it only needs the component split).
         for &e in comp_edges {
             let edge = self.h.edge(e);
-            if edge.is_subset(&vs) {
+            if edge.is_subset(vs) {
                 continue;
             }
-            let remainder = edge.difference(&vs);
-            let ok = components::components(self.h, &vs)
-                .into_iter()
-                .any(|sub| sub.is_subset(comp) && remainder.is_subset(&sub));
-            if !ok {
+            let remainder = edge.difference(vs);
+            if !subs.iter().any(|sub| remainder.is_subset(sub)) {
                 return None;
             }
+        }
+        let mut children = Vec::new();
+        for sub in &subs {
+            let plan = self.decompose(sub, vs)?;
+            children.push(plan);
         }
         self.plans.push(PlanNode {
             sep: chosen.to_vec(),
@@ -213,22 +233,35 @@ impl<'a> StrictSearch<'a> {
         Some(self.plans.len() - 1)
     }
 
-    fn cover_ok(&mut self, sep: &[usize]) -> bool {
-        let key = sep.to_vec();
-        if let Some(hit) = self.lp_cache.get(&key) {
+    /// `rho*(H_λ) <= k`, with two exact-safe filters so the LP only runs on
+    /// genuinely ambiguous separators: all-ones weights give
+    /// `rho* <= |S|`, and counting coverage gives
+    /// `rho* >= |⋃S| / max |e|` for `e ∈ S`.
+    fn cover_ok(&mut self, sep: &[usize], vs: &VertexSet) -> bool {
+        if Rational::from(sep.len()) <= self.k {
+            return true;
+        }
+        let rank = sep
+            .iter()
+            .map(|&e| self.h.edge(e).len())
+            .max()
+            .expect("separator is non-empty");
+        if Rational::from(vs.len()) > &self.k * &Rational::from(rank) {
+            return false;
+        }
+        if let Some(hit) = self.lp_cache.get(sep) {
             return *hit;
         }
         // Fractional edge cover of ⋃S using only the edges of S.
-        let target = self.h.union_of_edges(sep.iter().copied());
         let sub = Hypergraph::from_edges(
             self.h.num_vertices(),
             sep.iter().map(|&e| self.h.edge(e).to_vec()).collect(),
         );
-        let ok = match cover::fractional_cover(&sub, &target) {
+        let ok = match cover::fractional_cover(&sub, vs) {
             Some(c) => c.weight <= self.k,
             None => false,
         };
-        self.lp_cache.insert(key, ok);
+        self.lp_cache.insert(sep.to_vec(), ok);
         ok
     }
 }
@@ -346,7 +379,11 @@ mod tests {
                 "seed {seed}: BDP check must accept fhw = {exact}"
             );
             if let Some(d) = ans.decomposition() {
-                assert_eq!(validate::validate_fhd(&h, &d.clone()), Ok(()), "seed {seed}");
+                assert_eq!(
+                    validate::validate_fhd(&h, &d.clone()),
+                    Ok(()),
+                    "seed {seed}"
+                );
                 assert!(d.width() <= exact, "seed {seed}");
             }
         }

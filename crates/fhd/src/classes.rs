@@ -166,7 +166,6 @@ mod tests {
         }
     }
 
-
     #[test]
     fn union_family_size_bounds() {
         let h = generators::cycle(3);

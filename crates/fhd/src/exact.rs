@@ -1,21 +1,45 @@
-//! Exact `fhw` baseline: elimination-order DP with the fractional edge
-//! cover number `rho*` (computed by exact LP) as the bag cost. Widths are
-//! exact rationals — e.g. `fhw(C3) = 3/2` comes out as the literal fraction.
+//! Exact `fhw` baseline, expressed as a minimizing strategy over the shared
+//! [`solver`] engine: candidate bags are all sets `conn ⊆ B ⊆ conn ∪ C`
+//! priced by the fractional edge cover number `rho*(B)` (computed by exact
+//! LP). Widths are exact rationals — e.g. `fhw(C3) = 3/2` comes out as the
+//! literal fraction.
 
 use arith::Rational;
 use decomp::Decomposition;
-use ghd::elimination::{assemble, optimal_elimination};
-use hypergraph::Hypergraph;
+use hypergraph::{Hypergraph, VertexSet};
+use solver::{Admission, Guess, SearchContext, SearchState, WidthSolver};
+use std::collections::HashMap;
 
 /// Computes `fhw(H)` exactly together with an optimal FHD.
 ///
-/// Returns `None` when `H` exceeds the subset-DP size limit, has isolated
+/// Instances up to [`solver::MAX_SUBSET_SEARCH_VERTICES`] vertices run on
+/// the shared-engine subset search; between that and
+/// [`ghd::elimination::MAX_EXACT_VERTICES`] vertices (where the subset
+/// enumeration is infeasible) the legacy elimination-order DP answers
+/// instead. Returns `None` when `H` is larger still, has isolated
 /// vertices, or `cutoff` is given and `fhw(H) >= cutoff`.
 pub fn fhw_exact(h: &Hypergraph, cutoff: Option<Rational>) -> Option<(Rational, Decomposition)> {
     if h.has_isolated_vertices() {
         return None;
     }
-    let (width, order) = optimal_elimination(
+    if h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
+        return fhw_by_elimination(h, cutoff);
+    }
+    let mut strategy = FhwSearch {
+        cutoff,
+        cover_cache: HashMap::new(),
+    };
+    let (width, d) = SearchContext::new().run(h, &mut strategy)?;
+    debug_assert!(d.width() <= width);
+    Some((width, d))
+}
+
+/// The pre-engine implementation, kept for 19–24-vertex instances.
+fn fhw_by_elimination(
+    h: &Hypergraph,
+    cutoff: Option<Rational>,
+) -> Option<(Rational, Decomposition)> {
+    let (width, order) = ghd::elimination::optimal_elimination(
         h,
         |bag| {
             cover::fractional_cover(h, bag)
@@ -24,7 +48,7 @@ pub fn fhw_exact(h: &Hypergraph, cutoff: Option<Rational>) -> Option<(Rational, 
         },
         cutoff,
     )?;
-    let d = assemble(h, &order, |bag| {
+    let d = ghd::elimination::assemble(h, &order, |bag| {
         let c = cover::fractional_cover(h, bag).expect("coverable");
         c.weights
             .into_iter()
@@ -34,6 +58,64 @@ pub fn fhw_exact(h: &Hypergraph, cutoff: Option<Rational>) -> Option<(Rational, 
     });
     debug_assert!(d.width() <= width);
     Some((width, d))
+}
+
+/// A priced fractional cover: `(rho*(bag), optimal weights)`.
+type PricedCover = Option<(Rational, Vec<(usize, Rational)>)>;
+
+/// The exact-`fhw` strategy: subset bags priced by `rho*` with a
+/// [`VertexSet`]-keyed LP cache.
+struct FhwSearch {
+    cutoff: Option<Rational>,
+    /// `bag -> (rho*(bag), optimal weights)` — the LP is admission's
+    /// dominant cost and bags repeat across search states.
+    cover_cache: HashMap<VertexSet, PricedCover>,
+}
+
+impl WidthSolver for FhwSearch {
+    type Cost = Rational;
+
+    fn is_decision(&self) -> bool {
+        false
+    }
+
+    fn cutoff(&self) -> Option<Rational> {
+        self.cutoff.clone()
+    }
+
+    fn propose(&mut self, _h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
+        solver::propose_subset_bags(state)
+    }
+
+    fn admit(
+        &mut self,
+        h: &Hypergraph,
+        _state: &SearchState<'_>,
+        guess: &Guess,
+    ) -> Option<Admission<Rational>> {
+        let bag = &guess.extra;
+        let (weight, weights) = self
+            .cover_cache
+            .entry(bag.clone())
+            .or_insert_with(|| {
+                cover::fractional_cover(h, bag).map(|c| {
+                    let weights: Vec<(usize, Rational)> = c
+                        .weights
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(_, w)| !w.is_zero())
+                        .collect();
+                    (c.weight, weights)
+                })
+            })
+            .clone()?;
+        Some(Admission {
+            split: bag.clone(),
+            bag: bag.clone(),
+            cost: weight,
+            weights,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +203,29 @@ mod tests {
         let h = generators::cycle(3);
         assert!(fhw_exact(&h, Some(rat(3, 2))).is_none());
         assert_eq!(fhw_exact(&h, Some(rat(2, 1))).unwrap().0, rat(3, 2));
+    }
+
+    #[test]
+    fn engine_agrees_with_elimination_dp_baseline() {
+        // Certify the shared-engine search against the independent
+        // elimination-order DP kept in `ghd::elimination`.
+        let corpus = vec![
+            generators::cycle(3),
+            generators::cycle(6),
+            generators::clique(5),
+            generators::triangle_chain(2),
+            generators::example_4_3(),
+            generators::example_5_1(4),
+        ];
+        for h in corpus {
+            let engine = fhw_exact(&h, None).map(|(w, _)| w);
+            let dp = ghd::elimination::optimal_elimination(
+                &h,
+                |bag| cover::fractional_cover(&h, bag).expect("coverable").weight,
+                None,
+            )
+            .map(|(w, _)| w);
+            assert_eq!(engine, dp, "engine vs elimination DP on {h:?}");
+        }
     }
 }

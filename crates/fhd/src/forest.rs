@@ -93,8 +93,9 @@ pub fn intersection_forest(h: &Hypergraph, xi: &[Vec<usize>]) -> IntersectionFor
 }
 
 fn expand(h: &Hypergraph, node: &mut ForestNode, level: usize, group_classes: &[VertexSet]) {
-    let is_current_leaf =
-        node.children.is_empty() && node.mark == Mark::Ok && node.levels.last() == Some(&(level - 1));
+    let is_current_leaf = node.children.is_empty()
+        && node.mark == Mark::Ok
+        && node.levels.last() == Some(&(level - 1));
     if !is_current_leaf {
         for c in node.children.iter_mut() {
             expand(h, c, level, group_classes);
@@ -198,7 +199,12 @@ mod tests {
                 .map(|i| vec![i, (i + 1) % h.num_edges()])
                 .collect();
             let forest = intersection_forest(&h, &xi);
-            assert!(forest.depth() <= d.saturating_sub(1), "Fact 2: depth {} > d-1 {}", forest.depth(), d - 1);
+            assert!(
+                forest.depth() <= d.saturating_sub(1),
+                "Fact 2: depth {} > d-1 {}",
+                forest.depth(),
+                d - 1
+            );
         }
     }
 

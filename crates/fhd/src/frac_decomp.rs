@@ -1,23 +1,26 @@
 //! Algorithm 3: `(k, ε, c)-frac-decomp` — the alternating algorithm of
 //! Section 6.1 deciding whether `H` has an FHD of width `<= k + ε` with
 //! `c`-bounded fractional part satisfying the weak special condition
-//! (Theorem 6.16), implemented deterministically with memoization.
+//! (Theorem 6.16), implemented deterministically as a decision strategy
+//! over the shared [`solver`] search engine.
 //!
-//! Per recursion step the algorithm guesses the *integral* part `S`
+//! Per search state the strategy guesses the *integral* part `S`
 //! (`|S| = ℓ <= k + ε` edges of weight 1) and the *fractional shadow*
-//! `W_s` (`|W_s| <= c` vertices), checks
+//! `W_s` (`|W_s| <= c` vertices); the candidate bag is `V(S) ∪ W_s` and
+//! admission checks
 //!
 //! * (2.a) some `γ` of weight `<= k + ε − ℓ` covers `W_s` (an LP),
-//! * (2.b) `∀e ∈ edges(C_r): e ∩ (V(R) ∪ W_r) ⊆ V(S) ∪ W_s`,
-//! * (2.c) `(V(S) ∪ W_s) ∩ C_r ≠ ∅`,
+//! * (2.b) `∀e ∈ edges(C_r): e ∩ (V(R) ∪ W_r) ⊆ V(S) ∪ W_s` (engine:
+//!   `conn ⊆ bag`),
+//! * (2.c) `(V(S) ∪ W_s) ∩ C_r ≠ ∅` (engine progress check),
 //!
-//! and recurses on the `[V(S) ∪ W_s]`-components inside `C_r`.
+//! with the engine recursing on the `[V(S) ∪ W_s]`-components inside `C_r`.
 
 use arith::Rational;
-use decomp::{Decomposition, Node};
-use hypergraph::{components, Hypergraph, VertexSet};
+use decomp::Decomposition;
+use hypergraph::{Hypergraph, VertexSet};
 use lp::{Cmp, LinearProgram, LpResult};
-use std::collections::HashMap;
+use solver::{Admission, Guess, SearchContext, SearchState, WidthSolver};
 
 /// Parameters of Algorithm 3.
 #[derive(Clone, Debug)]
@@ -42,17 +45,13 @@ pub fn frac_decomp(h: &Hypergraph, params: &FracDecompParams) -> Option<Decompos
     let budget = &params.k + &params.eps;
     let l_max_big = budget.floor();
     let l_max = l_max_big.to_i64().unwrap_or(0).max(0) as usize;
-    let mut search = FracSearch {
-        h,
+    let mut strategy = FracDecomp {
         budget,
         l_max,
         c: params.c,
-        memo: HashMap::new(),
-        plans: Vec::new(),
     };
-    let root = h.all_vertices();
-    let plan = search.decompose(&root, &VertexSet::new())?;
-    Some(build(h, &search, plan))
+    let (_, d) = SearchContext::new().run(h, &mut strategy)?;
+    Some(d)
 }
 
 /// Upper-bounds `fhw(H)` by running Algorithm 3 on a decreasing sequence of
@@ -68,7 +67,14 @@ pub fn fhw_frac_search(
     let mut best: Option<(Rational, Decomposition)> = None;
     for halves in (2..=2 * max_k).rev() {
         let k = Rational::from_frac(halves as i64, 2) - eps.clone();
-        match frac_decomp(h, &FracDecompParams { k: k.clone(), eps: eps.clone(), c }) {
+        match frac_decomp(
+            h,
+            &FracDecompParams {
+                k: k.clone(),
+                eps: eps.clone(),
+                c,
+            },
+        ) {
             Some(d) => {
                 let width = d.width();
                 best = Some((width, d));
@@ -79,334 +85,183 @@ pub fn fhw_frac_search(
     best
 }
 
-struct FracPlan {
-    /// Weight-1 edges `S`.
-    sep: Vec<usize>,
-    /// The fractional shadow `W_s`.
-    ws: VertexSet,
-    /// The fractional weights found by the LP (edge, weight), disjoint
-    /// from `sep`.
-    gamma: Vec<(usize, Rational)>,
-    /// Children as `(component, plan)` pairs.
-    children: Vec<(VertexSet, usize)>,
-}
-
-struct FracSearch<'a> {
-    h: &'a Hypergraph,
+/// The Algorithm 3 strategy: guesses `(S, W_s)` pairs combinatorially; the
+/// LP for the fractional part runs at admission time, so the engine's
+/// first-success cutoff skips it for losing guesses.
+///
+/// The `(S, W_s)` shadow space is exponential in `c` by nature (that is
+/// Algorithm 3's guess space); `propose` materializes it per state, which
+/// is fine for the paper-scale `c` but is the first thing to make lazy if
+/// the engine ever grows streaming candidate support (see ROADMAP).
+struct FracDecomp {
     budget: Rational,
     l_max: usize,
     c: usize,
-    memo: HashMap<(VertexSet, VertexSet), Option<usize>>,
-    plans: Vec<FracPlan>,
 }
 
-impl<'a> FracSearch<'a> {
-    /// `comp` is the current `[...]`-component; `interface` is
-    /// `(V(R) ∪ W_r) ∩ ⋃ edges(comp)` — the part of the parent cover that
-    /// the checks can see.
-    fn decompose(&mut self, comp: &VertexSet, interface: &VertexSet) -> Option<usize> {
-        let key = (comp.clone(), interface.clone());
-        if let Some(hit) = self.memo.get(&key) {
-            return *hit;
-        }
-        let comp_edges = self.h.edges_intersecting(comp);
-        let neighborhood = self.h.union_of_edges(comp_edges.iter().copied());
-        let candidates: Vec<usize> = (0..self.h.num_edges())
-            .filter(|&e| self.h.edge(e).intersects(&neighborhood))
+impl WidthSolver for FracDecomp {
+    type Cost = Rational;
+
+    fn is_decision(&self) -> bool {
+        true
+    }
+
+    fn propose(&mut self, h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
+        let neighborhood = h.union_of_edges(state.comp_edges.iter().copied());
+        let candidates: Vec<usize> = (0..h.num_edges())
+            .filter(|&e| h.edge(e).intersects(&neighborhood))
             .collect();
         // W_s candidates: interface ∪ comp (other vertices are useless).
-        let w_space: Vec<usize> = interface.union(comp).to_vec();
-        let mut chosen = Vec::new();
-        let res = self.dfs(
-            comp,
-            interface,
-            &comp_edges,
-            &candidates,
-            &w_space,
-            0,
-            &mut chosen,
-        );
-        self.memo.insert(key, res);
-        res
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn dfs(
-        &mut self,
-        comp: &VertexSet,
-        interface: &VertexSet,
-        comp_edges: &[usize],
-        candidates: &[usize],
-        w_space: &[usize],
-        start: usize,
-        chosen: &mut Vec<usize>,
-    ) -> Option<usize> {
-        if let Some(plan) = self.try_guess(comp, interface, comp_edges, chosen, w_space) {
-            return Some(plan);
-        }
-        if chosen.len() == self.l_max {
-            return None;
-        }
-        for (i, &e) in candidates.iter().enumerate().skip(start) {
-            chosen.push(e);
-            let res = self.dfs(
-                comp,
-                interface,
-                comp_edges,
-                candidates,
-                w_space,
-                i + 1,
-                chosen,
-            );
-            chosen.pop();
-            if res.is_some() {
-                return res;
+        let w_space: Vec<usize> = state.conn.union(state.comp).to_vec();
+        let mut seps = vec![Vec::new()];
+        seps.extend(solver::subsets_up_to(&candidates, self.l_max));
+        let mut out = Vec::new();
+        for sep in seps {
+            let vs = h.union_of_edges(sep.iter().copied());
+            // (2.b) pre-check: the uncovered part of the interface must fit
+            // in W_s.
+            let missing = state.conn.difference(&vs);
+            if missing.len() > self.c {
+                continue;
+            }
+            let extras: Vec<usize> = w_space
+                .iter()
+                .copied()
+                .filter(|&v| !vs.contains(v) && !missing.contains(v))
+                .collect();
+            let slots = self.c - missing.len();
+            let mut shadows = vec![Vec::new()];
+            shadows.extend(solver::subsets_up_to(&extras, slots));
+            for shadow in shadows {
+                let mut ws = missing.clone();
+                ws.extend(shadow.iter().copied());
+                // (2.c) pre-check: V(S) ∪ W_s must eat into the component —
+                // filtered here so the admission LP never runs on
+                // structurally hopeless guesses.
+                if !vs.intersects(state.comp) && !ws.intersects(state.comp) {
+                    continue;
+                }
+                out.push(Guess {
+                    edges: sep.clone(),
+                    extra: ws,
+                });
             }
         }
-        None
+        out
     }
 
-    /// With `S = chosen` fixed, enumerates the fractional shadows `W_s`.
-    fn try_guess(
+    fn admit(
         &mut self,
-        comp: &VertexSet,
-        interface: &VertexSet,
-        comp_edges: &[usize],
-        chosen: &[usize],
-        w_space: &[usize],
-    ) -> Option<usize> {
-        let vs = self.h.union_of_edges(chosen.iter().copied());
-        // (2.b) pre-check: the uncovered part of the interface must fit in W_s.
-        let missing = interface.difference(&vs);
-        if missing.len() > self.c {
-            return None;
-        }
-        // Enumerate W_s ⊇ missing with |W_s| <= c from w_space.
-        let extras: Vec<usize> = w_space
-            .iter()
-            .copied()
-            .filter(|&v| !vs.contains(v) && !missing.contains(v))
-            .collect();
-        let slots = self.c - missing.len();
-        let mut subset = Vec::new();
-        self.enumerate_ws(
-            comp, comp_edges, chosen, &vs, &missing, &extras, slots, 0, &mut subset,
-        )
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn enumerate_ws(
-        &mut self,
-        comp: &VertexSet,
-        comp_edges: &[usize],
-        chosen: &[usize],
-        vs: &VertexSet,
-        missing: &VertexSet,
-        extras: &[usize],
-        slots: usize,
-        start: usize,
-        subset: &mut Vec<usize>,
-    ) -> Option<usize> {
-        let mut ws = missing.clone();
-        ws.extend(subset.iter().copied());
-        if let Some(plan) = self.check_guess(comp, comp_edges, chosen, vs, &ws) {
-            return Some(plan);
-        }
-        if subset.len() == slots {
-            return None;
-        }
-        for (i, &v) in extras.iter().enumerate().skip(start) {
-            subset.push(v);
-            let res = self.enumerate_ws(
-                comp, comp_edges, chosen, vs, missing, extras, slots, i + 1, subset,
-            );
-            subset.pop();
-            if res.is_some() {
-                return res;
-            }
-        }
-        None
-    }
-
-    fn check_guess(
-        &mut self,
-        comp: &VertexSet,
-        comp_edges: &[usize],
-        chosen: &[usize],
-        vs: &VertexSet,
-        ws: &VertexSet,
-    ) -> Option<usize> {
-        let mut basis = vs.union(ws);
-        if basis.is_empty() {
-            return None;
-        }
-        // (2.c)
-        if !basis.intersects(comp) {
+        h: &Hypergraph,
+        _state: &SearchState<'_>,
+        guess: &Guess,
+    ) -> Option<Admission<Rational>> {
+        let vs = h.union_of_edges(guess.edges.iter().copied());
+        let bag = vs.union(&guess.extra);
+        if bag.is_empty() {
             return None;
         }
         // (2.a): LP covering W_s \ V(S) with weight <= k + ε − ℓ on edges
         // outside S.
-        let need: VertexSet = ws.difference(vs);
-        let slack = &self.budget - &Rational::from(chosen.len());
+        let need = bag.difference(&vs);
+        let slack = &self.budget - &Rational::from(guess.edges.len());
         if slack.is_negative() {
             return None;
         }
-        let gamma = self.cover_ws(&need, chosen, &slack, &basis)?;
-        // Recurse on [V(S) ∪ W_s]-components inside comp.
-        let subs: Vec<VertexSet> = components::components(self.h, &basis)
-            .into_iter()
-            .filter(|sub| sub.is_subset(comp))
-            .collect();
-        let mut children = Vec::new();
-        for sub in &subs {
-            let sub_edges = self.h.edges_intersecting(sub);
-            let span = self.h.union_of_edges(sub_edges.iter().copied());
-            let interface = basis.intersection(&span);
-            let plan = self.decompose(sub, &interface)?;
-            children.push((sub.clone(), plan));
+        let gamma = cover_shadow(h, &need, &guess.edges, &slack, &bag)?;
+        let mut weights: Vec<(usize, Rational)> =
+            guess.edges.iter().map(|&e| (e, Rational::one())).collect();
+        let mut cost = Rational::from(weights.len());
+        for (e, w) in gamma {
+            cost = &cost + &w;
+            weights.push((e, w));
         }
-        // Edge coverage: every component edge lies in the basis or descends.
-        for &e in comp_edges {
-            let edge = self.h.edge(e);
-            if edge.is_subset(&basis) {
-                continue;
-            }
-            let remainder = edge.difference(&basis);
-            if !subs.iter().any(|sub| remainder.is_subset(sub)) {
-                basis.clear();
-                return None;
-            }
-        }
-        self.plans.push(FracPlan {
-            sep: chosen.to_vec(),
-            ws: ws.clone(),
-            gamma,
-            children,
-        });
-        Some(self.plans.len() - 1)
-    }
-
-    /// The (2.a) LP: find `γ` (over edges outside `sep`) with
-    /// `need ⊆ B(γ)`, `weight(γ) <= slack`, and — so that the witness
-    /// satisfies `B(γ_s) = V(S) ∪ W_s` (the property Lemmas 6.12–6.15
-    /// rely on) — *no* vertex outside `basis = V(S) ∪ W_s` fully covered.
-    /// Strictness of that last condition is handled by maximizing a slack
-    /// variable `t` with `coverage(v) + t <= 1` for every outside vertex:
-    /// a conforming `γ` exists iff the optimum has `t > 0` (or there are
-    /// no constraints at all).
-    fn cover_ws(
-        &self,
-        need: &VertexSet,
-        sep: &[usize],
-        slack: &Rational,
-        basis: &VertexSet,
-    ) -> Option<Vec<(usize, Rational)>> {
-        if need.is_empty() {
-            return Some(Vec::new());
-        }
-        let usable: Vec<usize> = (0..self.h.num_edges())
-            .filter(|e| !sep.contains(e) && self.h.edge(*e).intersects(need))
-            .collect();
-        let t_var = usable.len();
-        let mut prog = LinearProgram::maximize(t_var + 1);
-        prog.set_objective(t_var, Rational::one());
-        for v in need.iter() {
-            let coeffs: Vec<(usize, Rational)> = usable
-                .iter()
-                .enumerate()
-                .filter(|(_, &e)| self.h.edge(e).contains(v))
-                .map(|(col, _)| (col, Rational::one()))
-                .collect();
-            if coeffs.is_empty() {
-                return None;
-            }
-            prog.add_constraint(coeffs, Cmp::Ge, Rational::one());
-        }
-        // weight(γ) <= slack, and γ : E → [0, 1].
-        prog.add_constraint(
-            (0..usable.len()).map(|col| (col, Rational::one())).collect(),
-            Cmp::Le,
-            slack.clone(),
-        );
-        for col in 0..usable.len() {
-            prog.add_constraint(vec![(col, Rational::one())], Cmp::Le, Rational::one());
-        }
-        // Outside vertices must stay strictly below full coverage.
-        let outside: Vec<usize> = (0..self.h.num_vertices())
-            .filter(|&v| !basis.contains(v))
-            .collect();
-        for &v in &outside {
-            let mut coeffs: Vec<(usize, Rational)> = usable
-                .iter()
-                .enumerate()
-                .filter(|(_, &e)| self.h.edge(e).contains(v))
-                .map(|(col, _)| (col, Rational::one()))
-                .collect();
-            if coeffs.is_empty() {
-                continue;
-            }
-            coeffs.push((t_var, Rational::one()));
-            prog.add_constraint(coeffs, Cmp::Le, Rational::one());
-        }
-        prog.add_constraint(vec![(t_var, Rational::one())], Cmp::Le, Rational::one());
-        match prog.solve() {
-            LpResult::Optimal { value, solution } if value.is_positive() => Some(
-                solution
-                    .into_iter()
-                    .take(usable.len())
-                    .enumerate()
-                    .filter(|(_, w)| !w.is_zero())
-                    .map(|(col, w)| (usable[col], w))
-                    .collect(),
-            ),
-            _ => None,
-        }
+        Some(Admission {
+            split: bag.clone(),
+            bag,
+            cost,
+            weights,
+        })
     }
 }
 
-/// Witness construction (the `δ(τ)` of Section 6.1): bags are
-/// `B_s = (V(S) ∪ W_s) ∩ (C ∪ B_r)` with `B_root = V(S) ∪ W_s`.
-fn build(h: &Hypergraph, search: &FracSearch, plan: usize) -> Decomposition {
-    fn node_for(h: &Hypergraph, p: &FracPlan, clip: Option<&VertexSet>) -> Node {
-        let mut bag = h.union_of_edges(p.sep.iter().copied());
-        bag.union_with(&p.ws);
-        if let Some(c) = clip {
-            bag.intersect_with(c);
-        }
-        let mut weights: Vec<(usize, Rational)> =
-            p.sep.iter().map(|&e| (e, Rational::one())).collect();
-        for (e, w) in &p.gamma {
-            weights.push((*e, w.clone()));
-        }
-        Node { bag, weights }
+/// The (2.a) LP: find `γ` (over edges outside `sep`) with
+/// `need ⊆ B(γ)`, `weight(γ) <= slack`, and — so that the witness
+/// satisfies `B(γ_s) = V(S) ∪ W_s` (the property Lemmas 6.12–6.15
+/// rely on) — *no* vertex outside `basis = V(S) ∪ W_s` fully covered.
+/// Strictness of that last condition is handled by maximizing a slack
+/// variable `t` with `coverage(v) + t <= 1` for every outside vertex:
+/// a conforming `γ` exists iff the optimum has `t > 0` (or there are
+/// no constraints at all).
+fn cover_shadow(
+    h: &Hypergraph,
+    need: &VertexSet,
+    sep: &[usize],
+    slack: &Rational,
+    basis: &VertexSet,
+) -> Option<Vec<(usize, Rational)>> {
+    if need.is_empty() {
+        return Some(Vec::new());
     }
-
-    fn attach(
-        h: &Hypergraph,
-        search: &FracSearch,
-        plan: usize,
-        d: &mut Decomposition,
-        parent: Option<(usize, VertexSet)>,
-    ) {
-        let p = &search.plans[plan];
-        let id = match parent {
-            None => {
-                *d.node_mut(0) = node_for(h, p, None);
-                0
-            }
-            Some((pid, clip)) => d.add_child(pid, node_for(h, p, Some(&clip))),
-        };
-        let bag = d.node(id).bag.clone();
-        for (comp, c) in &p.children {
-            // The witness-tree clip of Section 6.1: B_s = B(γ_s) ∩ (C ∪ B_r).
-            let clip = comp.union(&bag);
-            attach(h, search, *c, d, Some((id, clip)));
+    let usable: Vec<usize> = (0..h.num_edges())
+        .filter(|e| !sep.contains(e) && h.edge(*e).intersects(need))
+        .collect();
+    let t_var = usable.len();
+    let mut prog = LinearProgram::maximize(t_var + 1);
+    prog.set_objective(t_var, Rational::one());
+    for v in need.iter() {
+        let coeffs: Vec<(usize, Rational)> = usable
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| h.edge(e).contains(v))
+            .map(|(col, _)| (col, Rational::one()))
+            .collect();
+        if coeffs.is_empty() {
+            return None;
         }
+        prog.add_constraint(coeffs, Cmp::Ge, Rational::one());
     }
-
-    let mut d = Decomposition::new(Node::integral(VertexSet::new(), []));
-    attach(h, search, plan, &mut d, None);
-    d
+    // weight(γ) <= slack, and γ : E → [0, 1].
+    prog.add_constraint(
+        (0..usable.len())
+            .map(|col| (col, Rational::one()))
+            .collect(),
+        Cmp::Le,
+        slack.clone(),
+    );
+    for col in 0..usable.len() {
+        prog.add_constraint(vec![(col, Rational::one())], Cmp::Le, Rational::one());
+    }
+    // Outside vertices must stay strictly below full coverage.
+    let outside: Vec<usize> = (0..h.num_vertices())
+        .filter(|&v| !basis.contains(v))
+        .collect();
+    for &v in &outside {
+        let mut coeffs: Vec<(usize, Rational)> = usable
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| h.edge(e).contains(v))
+            .map(|(col, _)| (col, Rational::one()))
+            .collect();
+        if coeffs.is_empty() {
+            continue;
+        }
+        coeffs.push((t_var, Rational::one()));
+        prog.add_constraint(coeffs, Cmp::Le, Rational::one());
+    }
+    prog.add_constraint(vec![(t_var, Rational::one())], Cmp::Le, Rational::one());
+    match prog.solve() {
+        LpResult::Optimal { value, solution } if value.is_positive() => Some(
+            solution
+                .into_iter()
+                .take(usable.len())
+                .enumerate()
+                .filter(|(_, w)| !w.is_zero())
+                .map(|(col, w)| (usable[col], w))
+                .collect(),
+        ),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -460,8 +315,8 @@ mod tests {
         // = {v0} covered fractionally realizes width 2 - 1/n <= k + ε
         // with k = 1, ε = 1 - 1/n... use ε = 1 for simplicity.
         let h = generators::example_5_1(4);
-        let d = frac_decomp(&h, &params(Rational::one(), Rational::one(), 1))
-            .expect("fhw <= 2 - 1/4");
+        let d =
+            frac_decomp(&h, &params(Rational::one(), Rational::one(), 1)).expect("fhw <= 2 - 1/4");
         assert_eq!(validate::validate_fhd(&h, &d), Ok(()), "{}", d.render(&h));
         assert!(d.width() <= rat(2, 1));
     }

@@ -76,7 +76,7 @@ pub fn predicted_iterations(big_k: &Rational, eps: &Rational) -> usize {
     ratio.log2().ceil().max(0.0) as usize
 }
 
-/// An *exact* oracle built from the elimination-order DP: returns an
+/// An *exact* oracle built from the shared-engine `fhw` search: returns an
 /// optimal FHD whenever `fhw(H) <= k` (satisfying the find-fhd contract
 /// with any ε). Only valid for small instances.
 pub fn exact_oracle(h: &Hypergraph, k: &Rational, _eps: &Rational) -> Option<Decomposition> {

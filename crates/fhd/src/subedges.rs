@@ -145,8 +145,22 @@ mod tests {
     #[test]
     fn union_arity_grows_the_family_monotonically() {
         let h = generators::example_4_3();
-        let small = hdk_subedges(&h, 2, HdkParams { union_arity: 1, max_subedges: 100_000 });
-        let big = hdk_subedges(&h, 2, HdkParams { union_arity: 3, max_subedges: 100_000 });
+        let small = hdk_subedges(
+            &h,
+            2,
+            HdkParams {
+                union_arity: 1,
+                max_subedges: 100_000,
+            },
+        );
+        let big = hdk_subedges(
+            &h,
+            2,
+            HdkParams {
+                union_arity: 3,
+                max_subedges: 100_000,
+            },
+        );
         let small_set: std::collections::HashSet<_> = small.subedges.into_iter().collect();
         let big_set: std::collections::HashSet<_> = big.subedges.into_iter().collect();
         assert!(small_set.is_subset(&big_set));
@@ -156,7 +170,14 @@ mod tests {
     #[test]
     fn truncation_reported() {
         let h = generators::clique(6);
-        let f = hdk_subedges(&h, 3, HdkParams { union_arity: 4, max_subedges: 5 });
+        let f = hdk_subedges(
+            &h,
+            3,
+            HdkParams {
+                union_arity: 4,
+                max_subedges: 5,
+            },
+        );
         assert!(f.truncated);
         assert_eq!(f.subedges.len(), 5);
     }

@@ -176,7 +176,12 @@ mod tests {
         assert!(hd::check_hd(&h, 2).is_none());
         let ans = check_ghd_bip(&h, 2, limits());
         let d = ans.decomposition().expect("ghw(H0) = 2");
-        assert_eq!(validate::validate_ghd(&h, &d.clone()), Ok(()), "{}", d.render(&h));
+        assert_eq!(
+            validate::validate_ghd(&h, &d.clone()),
+            Ok(()),
+            "{}",
+            d.render(&h)
+        );
         assert!(d.width() <= arith::Rational::from(2usize));
         // And ghw > 1 because H0 is cyclic.
         assert!(matches!(check_ghd_bip(&h, 1, limits()), GhdAnswer::No));

@@ -2,6 +2,14 @@
 //! orderings — the exponential-time baseline in the spirit of
 //! Moll–Tazari–Thurley \[42\].
 //!
+//! Since the workspace's `ghw`/`fhw` engines moved onto the shared
+//! [`solver`](solver) subset search, this module is retained as an
+//! *independent* implementation: the cross-check tests in
+//! [`crate::exact`] and `fhd::exact` certify the engine against it, and it
+//! still handles instances up to [`MAX_EXACT_VERTICES`] = 24 vertices
+//! (widths only, via [`optimal_elimination`]) where the subset search
+//! stops at `solver::MAX_SUBSET_SEARCH_VERTICES` = 18.
+//!
 //! For any *monotone* bag-cost function `c` (both `rho` and `rho*` are
 //! monotone under set inclusion), the minimum over all tree decompositions
 //! of the maximum bag cost is attained on a decomposition whose bags are the
@@ -155,7 +163,10 @@ where
 /// Builds the tree decomposition induced by an elimination order: node `t`
 /// has bag `bag(order[t], eliminated_before_t)`; its parent is the node of
 /// the earliest-eliminated later vertex in its bag.
-pub fn decomposition_from_order(h: &Hypergraph, order: &[usize]) -> Vec<(VertexSet, Option<usize>)> {
+pub fn decomposition_from_order(
+    h: &Hypergraph,
+    order: &[usize],
+) -> Vec<(VertexSet, Option<usize>)> {
     let n = h.num_vertices();
     assert_eq!(order.len(), n);
     let adj = h.primal_graph();

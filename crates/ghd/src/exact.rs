@@ -1,22 +1,47 @@
-//! Exact `ghw` baseline (exponential time, small instances only): the
-//! elimination-order DP with `rho` as the bag cost. Used throughout the
-//! test-suite and experiments to certify the polynomial algorithms.
+//! Exact `ghw` baseline (exponential time, small instances only), expressed
+//! as a minimizing strategy over the shared [`solver`] engine: candidate
+//! bags are *all* sets `conn ⊆ B ⊆ conn ∪ C` priced by the edge cover
+//! number `rho(B)`. Since any tree decomposition normalizes to this
+//! `(component, connector)` form and `ghw` is the minimum over tree
+//! decompositions of the maximum bag `rho`, the search is exact. Used
+//! throughout the test-suite and experiments to certify the polynomial
+//! algorithms.
 
-use crate::elimination::{assemble, optimal_elimination};
 use arith::Rational;
 use decomp::Decomposition;
-use hypergraph::Hypergraph;
+use hypergraph::{Hypergraph, VertexSet};
+use solver::{Admission, Guess, SearchContext, SearchState, WidthSolver};
+use std::collections::HashMap;
+
+pub use solver::MAX_SUBSET_SEARCH_VERTICES;
 
 /// Computes `ghw(H)` exactly together with an optimal GHD.
 ///
-/// Returns `None` when `H` is too large for the subset DP (see
-/// [`crate::elimination::MAX_EXACT_VERTICES`]), has isolated vertices, or
-/// `cutoff` is given and `ghw(H) >= cutoff`.
+/// Instances up to [`solver::MAX_SUBSET_SEARCH_VERTICES`] vertices run on
+/// the shared-engine subset search; between that and
+/// [`crate::elimination::MAX_EXACT_VERTICES`] vertices (where the subset
+/// enumeration is infeasible) the legacy elimination-order DP answers
+/// instead. Returns `None` when `H` is larger still, has isolated
+/// vertices, or `cutoff` is given and `ghw(H) >= cutoff`.
 pub fn ghw_exact(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomposition)> {
     if h.has_isolated_vertices() {
         return None;
     }
-    let (width, order) = optimal_elimination(
+    if h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
+        return ghw_by_elimination(h, cutoff);
+    }
+    let mut strategy = GhwSearch {
+        cutoff,
+        cover_cache: HashMap::new(),
+    };
+    let (width, d) = SearchContext::new().run(h, &mut strategy)?;
+    debug_assert!(d.width() <= Rational::from(width));
+    Some((width, d))
+}
+
+/// The pre-engine implementation, kept for 19–24-vertex instances.
+fn ghw_by_elimination(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomposition)> {
+    let (width, order) = crate::elimination::optimal_elimination(
         h,
         |bag| {
             cover::integral_cover(h, bag)
@@ -25,7 +50,7 @@ pub fn ghw_exact(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomp
         },
         cutoff,
     )?;
-    let d = assemble(h, &order, |bag| {
+    let d = crate::elimination::assemble(h, &order, |bag| {
         cover::integral_cover(h, bag)
             .expect("coverable")
             .edges
@@ -35,6 +60,52 @@ pub fn ghw_exact(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomp
     });
     debug_assert!(d.width() <= Rational::from(width));
     Some((width, d))
+}
+
+/// The exact-`ghw` strategy: every bag between the connector and the whole
+/// component, priced by `rho` with a [`VertexSet`]-keyed cover cache.
+struct GhwSearch {
+    cutoff: Option<usize>,
+    /// `bag -> (rho(bag), minimum cover)` — bags repeat heavily across
+    /// search states, and the branch-and-bound cover search is the
+    /// expensive part of admission.
+    cover_cache: HashMap<VertexSet, Option<(usize, Vec<usize>)>>,
+}
+
+impl WidthSolver for GhwSearch {
+    type Cost = usize;
+
+    fn is_decision(&self) -> bool {
+        false
+    }
+
+    fn cutoff(&self) -> Option<usize> {
+        self.cutoff
+    }
+
+    fn propose(&mut self, _h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
+        solver::propose_subset_bags(state)
+    }
+
+    fn admit(
+        &mut self,
+        h: &Hypergraph,
+        _state: &SearchState<'_>,
+        guess: &Guess,
+    ) -> Option<Admission<usize>> {
+        let bag = &guess.extra;
+        let (weight, edges) = self
+            .cover_cache
+            .entry(bag.clone())
+            .or_insert_with(|| cover::integral_cover(h, bag).map(|c| (c.weight(), c.edges)))
+            .clone()?;
+        Some(Admission {
+            split: bag.clone(),
+            bag: bag.clone(),
+            cost: weight,
+            weights: edges.into_iter().map(|e| (e, Rational::one())).collect(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -72,7 +143,9 @@ mod tests {
         use crate::subedges::SubedgeLimits;
         for seed in 0..4u64 {
             let h = generators::random_bip(9, 6, 2, 3, seed);
-            let Some((w, _)) = ghw_exact(&h, None) else { continue };
+            let Some((w, _)) = ghw_exact(&h, None) else {
+                continue;
+            };
             // BIP check at width w succeeds, at w-1 fails.
             assert!(
                 check_ghd_bip(&h, w, SubedgeLimits::default()).is_yes(),
@@ -96,5 +169,33 @@ mod tests {
         let h = generators::clique(6); // ghw = 3
         assert!(ghw_exact(&h, Some(3)).is_none());
         assert_eq!(ghw_exact(&h, Some(4)).unwrap().0, 3);
+    }
+
+    #[test]
+    fn engine_agrees_with_elimination_dp_baseline() {
+        // The retired elimination-order DP survives as an independent
+        // implementation precisely to certify the shared-engine search.
+        let mut corpus = vec![
+            generators::path(6),
+            generators::cycle(5),
+            generators::clique(5),
+            generators::triangle_chain(3),
+            generators::grid(3, 3),
+            generators::example_4_3(),
+            generators::example_5_1(4),
+        ];
+        for seed in 0..3u64 {
+            corpus.push(generators::random_bip(9, 6, 2, 3, seed));
+        }
+        for h in corpus {
+            let engine = ghw_exact(&h, None).map(|(w, _)| w);
+            let dp = crate::elimination::optimal_elimination(
+                &h,
+                |bag| cover::integral_cover(&h, bag).expect("coverable").weight(),
+                None,
+            )
+            .map(|(w, _)| w);
+            assert_eq!(engine, dp, "engine vs elimination DP on {h:?}");
+        }
     }
 }

@@ -12,6 +12,11 @@ pub mod elimination;
 pub mod exact;
 pub mod subedges;
 
-pub use check::{augment, check_ghd_bip, check_ghd_bmip, generalized_hypertree_width_bip, project_to_original, Augmented, GhdAnswer};
+pub use check::{
+    augment, check_ghd_bip, check_ghd_bmip, generalized_hypertree_width_bip, project_to_original,
+    Augmented, GhdAnswer,
+};
 pub use exact::ghw_exact;
-pub use subedges::{bip_subedges, bmip_subedges, union_of_intersections_tree, SubedgeLimits, SubedgeSet, UoiNode};
+pub use subedges::{
+    bip_subedges, bmip_subedges, union_of_intersections_tree, SubedgeLimits, SubedgeSet, UoiNode,
+};

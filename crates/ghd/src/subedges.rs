@@ -112,9 +112,7 @@ pub fn bmip_subedges(h: &Hypergraph, k: usize, c: usize, limits: SubedgeLimits) 
             while let Some((start, depth, acc)) = stack.pop() {
                 if depth > 0 {
                     let refined = x.intersection(&acc);
-                    if !refined.is_empty()
-                        && refined != *x
-                        && seen.insert((refined.clone(), *orig))
+                    if !refined.is_empty() && refined != *x && seen.insert((refined.clone(), *orig))
                     {
                         next_level.push((refined.clone(), *orig));
                         all.push((refined, *orig));
@@ -195,7 +193,11 @@ fn candidates_to_subedges(
             break 'outer;
         }
     }
-    SubedgeSet { subedges, originators, truncated }
+    SubedgeSet {
+        subedges,
+        originators,
+        truncated,
+    }
 }
 
 /// A node of the union-of-intersections tree of Algorithm 1 (Figure 7).
@@ -339,8 +341,10 @@ mod tests {
         let limits = SubedgeLimits::default();
         let bip: std::collections::HashSet<_> =
             bip_subedges(&h, 2, limits).subedges.into_iter().collect();
-        let bmip: std::collections::HashSet<_> =
-            bmip_subedges(&h, 2, 3, limits).subedges.into_iter().collect();
+        let bmip: std::collections::HashSet<_> = bmip_subedges(&h, 2, 3, limits)
+            .subedges
+            .into_iter()
+            .collect();
         assert!(bip.is_subset(&bmip));
     }
 

@@ -1,24 +1,26 @@
 //! `det-k-decomp`: a deterministic implementation of the alternating
 //! `k-decomp` algorithm of Gottlob, Leone, Scarcello \[27\] deciding
-//! `Check(HD, k)` in polynomial time for fixed `k`.
+//! `Check(HD, k)` in polynomial time for fixed `k`, expressed as a strategy
+//! over the shared [`solver`] search engine.
 //!
-//! The recursion mirrors the paper's Algorithm 3 stripped of its fractional
-//! extras: a call works on a pair `(C_r, R)` where `C_r` is a
-//! `[B_r]`-component and `R = supp(λ_r)`; it guesses `S = supp(λ_s)` with
-//! `|S| <= k` subject to
+//! The engine works on pairs `(C_r, conn)` where `C_r` is a
+//! `[B_r]`-component and `conn = V(R) ∩ ⋃ edges(C_r)`; the strategy guesses
+//! `S = supp(λ_s)` with `|S| <= k` subject to
 //!
-//! * (2.b) `∀e ∈ edges(C_r): e ∩ V(R) ⊆ V(S)` — the connector
-//!   `conn = V(R) ∩ ⋃ edges(C_r)` must be covered, and
-//! * (2.c) `V(S) ∩ C_r ≠ ∅` — progress,
+//! * (2.b) `∀e ∈ edges(C_r): e ∩ V(R) ⊆ V(S)` — the connector must be
+//!   covered (checked by the engine as `conn ⊆ bag`), and
+//! * (2.c) `V(S) ∩ C_r ≠ ∅` — progress (engine-checked),
 //!
-//! then recurses on every `[V(S)]`-component inside `C_r`. Calls are
-//! memoized on `(C_r, conn)`; witness bags are assembled top-down as
-//! `B_s = V(S) ∩ (C_r ∪ B_r)` (the special condition then holds by
-//! construction, cf. Lemmas 5.9–5.13 of \[27\]).
+//! and the engine recurses on every `[V(S)]`-component inside `C_r` with
+//! memoization on `(C_r, conn)`. Splitting on the *full* `V(S)` (rather
+//! than the clipped bag) is exactly what enforces the special condition:
+//! witness bags are assembled top-down as `B_s = V(S) ∩ (C_r ∪ B_r)`
+//! (cf. Lemmas 5.9–5.13 of \[27\]).
 
-use decomp::{Decomposition, Node};
-use hypergraph::{components, Hypergraph, VertexSet};
-use std::collections::HashMap;
+use arith::Rational;
+use decomp::Decomposition;
+use hypergraph::{Hypergraph, VertexSet};
+use solver::{Admission, Guess, SearchContext, SearchState, WidthSolver};
 
 /// Decides `Check(HD, k)`: returns a hypertree decomposition of width
 /// `<= k` if one exists, `None` otherwise.
@@ -27,15 +29,9 @@ pub fn check_hd(h: &Hypergraph, k: usize) -> Option<Decomposition> {
     if h.has_isolated_vertices() {
         return None;
     }
-    let mut search = Search {
-        h,
-        k,
-        memo: HashMap::new(),
-        plans: Vec::new(),
-    };
-    let root_comp = h.all_vertices();
-    let plan = search.decompose(&root_comp, &VertexSet::new())?;
-    Some(search.build_root(plan))
+    let mut strategy = DetK { k };
+    let (_, d) = SearchContext::new().run(h, &mut strategy)?;
+    Some(d)
 }
 
 /// `hw(H)` by iterating `k = 1, 2, ...` up to `max_k`; returns the width and
@@ -44,159 +40,56 @@ pub fn hypertree_width(h: &Hypergraph, max_k: usize) -> Option<(usize, Decomposi
     (1..=max_k).find_map(|k| check_hd(h, k).map(|d| (k, d)))
 }
 
-#[derive(Clone)]
-struct Plan {
-    sep: Vec<usize>,
-    /// For every child: its component plus its plan index.
-    children: Vec<(VertexSet, usize)>,
-}
-
-struct Search<'a> {
-    h: &'a Hypergraph,
+/// The `det-k-decomp` strategy: separators are edge sets `S` with
+/// `|S| <= k`, bags are `V(S)` (clipped by the engine at assembly), and the
+/// component split runs on the full `V(S)`.
+struct DetK {
     k: usize,
-    /// `(component, connector) -> plan index` (or failure).
-    memo: HashMap<(VertexSet, VertexSet), Option<usize>>,
-    plans: Vec<Plan>,
 }
 
-impl<'a> Search<'a> {
-    /// Tries to decompose the `[B_r]`-component `comp` whose interface to
-    /// the rest of the decomposition is covered by `V(R)`; `conn` is the
-    /// relevant part `V(R) ∩ ⋃ edges(comp)`.
-    fn decompose(&mut self, comp: &VertexSet, conn: &VertexSet) -> Option<usize> {
-        let key = (comp.clone(), conn.clone());
-        if let Some(res) = self.memo.get(&key) {
-            return *res;
-        }
-        // Break cycles defensively (components shrink strictly, so genuine
-        // recursion cannot revisit the key; a plain insert is enough).
-        let comp_edges = self.h.edges_intersecting(comp);
-        let neighborhood = self.h.union_of_edges(comp_edges.iter().copied());
+impl WidthSolver for DetK {
+    type Cost = usize;
+
+    fn is_decision(&self) -> bool {
+        true
+    }
+
+    fn propose(&mut self, h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
         // Candidate separator edges: anything touching the component's
         // closed neighborhood (others can be dropped from any valid S
         // without affecting the checks or the components inside `comp`).
-        let candidates: Vec<usize> = (0..self.h.num_edges())
-            .filter(|&e| self.h.edge(e).intersects(&neighborhood))
+        let neighborhood = h.union_of_edges(state.comp_edges.iter().copied());
+        let candidates: Vec<usize> = (0..h.num_edges())
+            .filter(|&e| h.edge(e).intersects(&neighborhood))
             .collect();
-        let mut chosen: Vec<usize> = Vec::new();
-        let result = self.try_separators(comp, conn, &comp_edges, &candidates, 0, &mut chosen);
-        self.memo.insert(key, result);
-        result
+        // Combinatorial only — V(S) and the (2.b) check are deferred to
+        // `admit` so a first-success exit skips them for untried guesses.
+        solver::subsets_up_to(&candidates, self.k)
+            .into_iter()
+            .map(|sep| Guess {
+                edges: sep,
+                extra: VertexSet::new(),
+            })
+            .collect()
     }
 
-    /// DFS over separator subsets `S ⊆ candidates` with `|S| <= k`.
-    fn try_separators(
+    fn admit(
         &mut self,
-        comp: &VertexSet,
-        conn: &VertexSet,
-        comp_edges: &[usize],
-        candidates: &[usize],
-        start: usize,
-        chosen: &mut Vec<usize>,
-    ) -> Option<usize> {
-        if !chosen.is_empty() {
-            if let Some(plan) = self.check_separator(comp, conn, comp_edges, chosen) {
-                return Some(plan);
-            }
-        }
-        if chosen.len() == self.k {
-            return None;
-        }
-        for (i, &e) in candidates.iter().enumerate().skip(start) {
-            chosen.push(e);
-            let res = self.try_separators(comp, conn, comp_edges, candidates, i + 1, chosen);
-            chosen.pop();
-            if res.is_some() {
-                return res;
-            }
-        }
-        None
-    }
-
-    /// Checks conditions (2.b)/(2.c) for `S = chosen` and recurses into the
-    /// `[V(S)]`-components inside `comp`.
-    fn check_separator(
-        &mut self,
-        comp: &VertexSet,
-        conn: &VertexSet,
-        comp_edges: &[usize],
-        chosen: &[usize],
-    ) -> Option<usize> {
-        let vs = self.h.union_of_edges(chosen.iter().copied());
+        h: &Hypergraph,
+        state: &SearchState<'_>,
+        guess: &Guess,
+    ) -> Option<Admission<usize>> {
+        let vs = h.union_of_edges(guess.edges.iter().copied());
         // (2.b): conn ⊆ V(S).
-        if !conn.is_subset(&vs) {
+        if !state.conn.is_subset(&vs) {
             return None;
         }
-        // (2.c): V(S) ∩ comp ≠ ∅.
-        if !vs.intersects(comp) {
-            return None;
-        }
-        // Sub-components inside comp.
-        let mut children = Vec::new();
-        for sub in components::components(self.h, &vs) {
-            if !sub.is_subset(comp) {
-                continue;
-            }
-            let sub_edges = self.h.edges_intersecting(&sub);
-            let mut sub_conn = VertexSet::new();
-            for &e in &sub_edges {
-                let mut part = self.h.edge(e).intersection(&vs);
-                sub_conn.union_with(&part);
-                part.clear();
-            }
-            let plan = self.decompose(&sub, &sub_conn)?;
-            children.push((sub, plan));
-        }
-        // Every edge of the component region must be covered somewhere; the
-        // recursion guarantees this for edges inside sub-components, and
-        // edges of `comp_edges` fully inside V(S) are covered at this node.
-        // Edges that are neither inside V(S) nor meeting any sub-component
-        // inside comp would be lost — reject such separators.
-        for &e in comp_edges {
-            let edge = self.h.edge(e);
-            if edge.is_subset(&vs) {
-                continue;
-            }
-            let remainder = edge.difference(&vs);
-            if !children.iter().any(|(sub, _)| remainder.is_subset(sub)) {
-                return None;
-            }
-        }
-        let plan = Plan {
-            sep: chosen.to_vec(),
-            children,
-        };
-        self.plans.push(plan);
-        Some(self.plans.len() - 1)
-    }
-
-    /// Materializes the witness decomposition: `B_root = V(S_root)` and
-    /// `B_s = V(S) ∩ (comp ∪ B_r)` below (cf. the witness-tree definition).
-    fn build_root(&self, plan: usize) -> Decomposition {
-        let plan_data = self.plans[plan].clone();
-        let bag = self.h.union_of_edges(plan_data.sep.iter().copied());
-        let mut d = Decomposition::new(Node::integral(bag.clone(), plan_data.sep.clone()));
-        for (sub, child_plan) in &plan_data.children {
-            self.attach(&mut d, 0, &bag, *child_plan, sub);
-        }
-        d
-    }
-
-    fn attach(
-        &self,
-        d: &mut Decomposition,
-        parent: usize,
-        parent_bag: &VertexSet,
-        plan: usize,
-        comp: &VertexSet,
-    ) {
-        let plan_data = self.plans[plan].clone();
-        let vs = self.h.union_of_edges(plan_data.sep.iter().copied());
-        let bag = vs.intersection(&comp.union(parent_bag));
-        let id = d.add_child(parent, Node::integral(bag.clone(), plan_data.sep.clone()));
-        for (sub, child_plan) in &plan_data.children {
-            self.attach(d, id, &bag, *child_plan, sub);
-        }
+        Some(Admission {
+            split: vs.clone(),
+            bag: vs,
+            cost: guess.edges.len(),
+            weights: guess.edges.iter().map(|&e| (e, Rational::one())).collect(),
+        })
     }
 }
 
@@ -208,7 +101,11 @@ mod tests {
 
     fn assert_hw(h: &Hypergraph, expected: usize) {
         if expected > 1 {
-            assert!(check_hd(h, expected - 1).is_none(), "width {} should fail", expected - 1);
+            assert!(
+                check_hd(h, expected - 1).is_none(),
+                "width {} should fail",
+                expected - 1
+            );
         }
         let d = check_hd(h, expected).unwrap_or_else(|| panic!("width {expected} should succeed"));
         assert_eq!(validate::validate_hd(h, &d), Ok(()), "{}", d.render(h));

@@ -80,7 +80,10 @@ pub fn find_path(h: &Hypergraph, sep: &VertexSet, from: usize, to: usize) -> Opt
         return None;
     }
     if from == to {
-        return Some(CPath { vertices: vec![from], edges: vec![] });
+        return Some(CPath {
+            vertices: vec![from],
+            edges: vec![],
+        });
     }
     // BFS storing (parent vertex, connecting edge).
     let mut prev: Vec<Option<(usize, usize)>> = vec![None; h.num_vertices()];
@@ -178,8 +181,16 @@ mod tests {
     fn connectivity_queries() {
         let h = path4();
         let sep = VertexSet::from_iter([1]);
-        assert!(is_connected_outside(&h, &sep, &VertexSet::from_iter([2, 3])));
-        assert!(!is_connected_outside(&h, &sep, &VertexSet::from_iter([0, 2])));
+        assert!(is_connected_outside(
+            &h,
+            &sep,
+            &VertexSet::from_iter([2, 3])
+        ));
+        assert!(!is_connected_outside(
+            &h,
+            &sep,
+            &VertexSet::from_iter([0, 2])
+        ));
         assert!(!is_connected_outside(&h, &sep, &VertexSet::from_iter([1])));
         assert!(is_connected_outside(&h, &sep, &VertexSet::new()));
     }

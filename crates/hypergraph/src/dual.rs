@@ -20,8 +20,12 @@ pub fn dual(h: &Hypergraph) -> Hypergraph {
         !h.has_isolated_vertices(),
         "dual undefined for hypergraphs with isolated vertices"
     );
-    let vertex_names: Vec<String> = (0..h.num_edges()).map(|e| h.edge_name(e).to_string()).collect();
-    let edge_names: Vec<String> = (0..h.num_vertices()).map(|v| h.vertex_name(v).to_string()).collect();
+    let vertex_names: Vec<String> = (0..h.num_edges())
+        .map(|e| h.edge_name(e).to_string())
+        .collect();
+    let edge_names: Vec<String> = (0..h.num_vertices())
+        .map(|v| h.vertex_name(v).to_string())
+        .collect();
     let edges: Vec<Vec<usize>> = (0..h.num_vertices())
         .map(|v| h.incident_edges(v).to_vec())
         .collect();
@@ -44,7 +48,10 @@ pub struct Reduced {
 /// Panics if `h` has isolated vertices (assumption (1)); empty edges are
 /// impossible by construction (assumption (2)).
 pub fn reduce(h: &Hypergraph) -> Reduced {
-    assert!(!h.has_isolated_vertices(), "reduce requires no isolated vertices");
+    assert!(
+        !h.has_isolated_vertices(),
+        "reduce requires no isolated vertices"
+    );
     // Group vertices by edge-type.
     let mut type_repr: HashMap<Vec<usize>, usize> = HashMap::new();
     let mut vertex_map = vec![0usize; h.num_vertices()];

@@ -221,7 +221,13 @@ pub fn random_bip(n: usize, m: usize, i: usize, max_edge: usize, seed: u64) -> H
 
 /// A random hypergraph of degree at most `d` (each vertex in at most `d`
 /// edges): a BDP instance for Theorem 5.2. Deterministic in `seed`.
-pub fn random_bounded_degree(n: usize, m: usize, d: usize, max_edge: usize, seed: u64) -> Hypergraph {
+pub fn random_bounded_degree(
+    n: usize,
+    m: usize,
+    d: usize,
+    max_edge: usize,
+    seed: u64,
+) -> Hypergraph {
     assert!(n >= 2 && d >= 1 && max_edge >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut deg = vec![0usize; n];

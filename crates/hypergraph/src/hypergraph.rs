@@ -214,7 +214,12 @@ impl Hypergraph {
 
 impl fmt::Debug for Hypergraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Hypergraph(|V|={}, |E|={})", self.num_vertices(), self.num_edges())?;
+        writeln!(
+            f,
+            "Hypergraph(|V|={}, |E|={})",
+            self.num_vertices(),
+            self.num_edges()
+        )?;
         for (i, e) in self.edges.iter().enumerate() {
             let members: Vec<&str> = e.iter().map(|v| self.vertex_name(v)).collect();
             writeln!(f, "  {}({})", self.edge_name(i), members.join(","))?;

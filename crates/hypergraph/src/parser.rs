@@ -29,7 +29,9 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { message: message.into() })
+    Err(ParseError {
+        message: message.into(),
+    })
 }
 
 /// Parses a hypergraph from HyperBench syntax.

@@ -264,7 +264,8 @@ mod tests {
         assert!(is_alpha_acyclic(&generators::path(5)));
         assert!(!is_alpha_acyclic(&generators::cycle(4)));
         assert!(!is_alpha_acyclic(&generators::cycle(3)));
-        let covered = Hypergraph::from_edges(3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]]);
+        let covered =
+            Hypergraph::from_edges(3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]]);
         assert!(is_alpha_acyclic(&covered));
         // α-acyclicity is not closed under subhypergraphs — the classic
         // example: big edge plus a cycle inside it.

@@ -20,13 +20,16 @@ impl VertexSet {
         VertexSet { blocks: Vec::new() }
     }
 
-    /// A set containing `0..n`.
+    /// A set containing `0..n`, materialized block-wise: whole blocks are
+    /// written as `u64::MAX` and the boundary block as a mask, instead of
+    /// `n` repeated `insert` calls.
     pub fn full(n: usize) -> Self {
-        let mut s = VertexSet::new();
-        for v in 0..n {
-            s.insert(v);
+        let mut blocks = vec![u64::MAX; n / 64];
+        let rem = n % 64;
+        if rem > 0 {
+            blocks.push((1u64 << rem) - 1);
         }
-        s
+        VertexSet { blocks }
     }
 
     /// Builds a set from an iterator of vertex indices (also available
@@ -71,6 +74,7 @@ impl VertexSet {
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(&self, v: usize) -> bool {
         let (b, off) = (v / 64, v % 64);
         b < self.blocks.len() && (self.blocks[b] >> off) & 1 == 1
@@ -158,6 +162,7 @@ impl VertexSet {
     }
 
     /// True iff `self ⊆ other`.
+    #[inline]
     pub fn is_subset(&self, other: &VertexSet) -> bool {
         if self.blocks.len() > other.blocks.len() {
             return false;
@@ -169,6 +174,7 @@ impl VertexSet {
     }
 
     /// True iff the sets share no element.
+    #[inline]
     pub fn is_disjoint(&self, other: &VertexSet) -> bool {
         self.blocks
             .iter()
@@ -177,6 +183,7 @@ impl VertexSet {
     }
 
     /// True iff the sets share at least one element.
+    #[inline]
     pub fn intersects(&self, other: &VertexSet) -> bool {
         !self.is_disjoint(other)
     }

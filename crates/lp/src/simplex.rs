@@ -130,7 +130,10 @@ impl LinearProgram {
     /// are accumulated.
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, Rational)>, cmp: Cmp, rhs: Rational) {
         for &(v, _) in &coeffs {
-            assert!(v < self.num_vars, "constraint references unknown variable {v}");
+            assert!(
+                v < self.num_vars,
+                "constraint references unknown variable {v}"
+            );
         }
         self.constraints.push(Constraint { coeffs, cmp, rhs });
     }
@@ -268,8 +271,7 @@ impl Tableau {
                 match &leaving {
                     None => leaving = Some((i, ratio)),
                     Some((best_i, best)) => {
-                        if ratio < *best
-                            || (ratio == *best && self.basis[i] < self.basis[*best_i])
+                        if ratio < *best || (ratio == *best && self.basis[i] < self.basis[*best_i])
                         {
                             leaving = Some((i, ratio));
                         }
@@ -438,7 +440,11 @@ mod tests {
         let mut lp = LinearProgram::minimize(2);
         lp.set_objective(0, Rational::one());
         lp.set_objective(1, Rational::one());
-        lp.add_constraint(vec![(0, Rational::one()), (1, Rational::one())], Cmp::Ge, Rational::one());
+        lp.add_constraint(
+            vec![(0, Rational::one()), (1, Rational::one())],
+            Cmp::Ge,
+            Rational::one(),
+        );
         lp.add_constraint(vec![(0, Rational::one())], Cmp::Ge, r(1, 2));
         let res = lp.solve();
         assert_eq!(res.value(), Some(&Rational::one()));
@@ -527,12 +533,12 @@ mod tests {
         // Redundant equalities exercise the artificial-variable cleanup.
         let mut lp = LinearProgram::minimize(2);
         lp.set_objective(0, Rational::one());
-        lp.add_constraint(vec![(0, Rational::one()), (1, Rational::one())], Cmp::Eq, r(2, 1));
         lp.add_constraint(
-            vec![(0, r(2, 1)), (1, r(2, 1))],
+            vec![(0, Rational::one()), (1, Rational::one())],
             Cmp::Eq,
-            r(4, 1),
+            r(2, 1),
         );
+        lp.add_constraint(vec![(0, r(2, 1)), (1, r(2, 1))], Cmp::Eq, r(4, 1));
         let res = lp.solve();
         assert_eq!(res.value(), Some(&Rational::zero()));
     }

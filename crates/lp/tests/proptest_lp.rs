@@ -16,7 +16,9 @@ fn arb_cover() -> impl Strategy<Value = CoverInstance> {
     (2usize..7, 2usize..7, any::<u64>()).prop_map(|(n, m, seed)| {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut sets: Vec<Vec<usize>> = (0..m)

@@ -19,12 +19,18 @@ pub struct Literal {
 impl Literal {
     /// Positive literal `x_var`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal `¬x_var`.
     pub fn neg(var: usize) -> Self {
-        Literal { var, positive: false }
+        Literal {
+            var,
+            positive: false,
+        }
     }
 
     /// Evaluates under an assignment.
@@ -182,9 +188,18 @@ impl Cnf {
         let mut clauses = Vec::new();
         for mask in 0..8u8 {
             clauses.push([
-                Literal { var: 0, positive: mask & 1 == 0 },
-                Literal { var: 1, positive: mask & 2 == 0 },
-                Literal { var: 2, positive: mask & 4 == 0 },
+                Literal {
+                    var: 0,
+                    positive: mask & 1 == 0,
+                },
+                Literal {
+                    var: 1,
+                    positive: mask & 2 == 0,
+                },
+                Literal {
+                    var: 2,
+                    positive: mask & 4 == 0,
+                },
             ]);
         }
         Cnf::new(3, clauses)
@@ -213,9 +228,18 @@ impl Cnf {
                 }
             }
             let mut clause = [
-                Literal { var: vars[0], positive: rng.gen_bool(0.5) },
-                Literal { var: vars[1], positive: rng.gen_bool(0.5) },
-                Literal { var: vars[2], positive: rng.gen_bool(0.5) },
+                Literal {
+                    var: vars[0],
+                    positive: rng.gen_bool(0.5),
+                },
+                Literal {
+                    var: vars[1],
+                    positive: rng.gen_bool(0.5),
+                },
+                Literal {
+                    var: vars[2],
+                    positive: rng.gen_bool(0.5),
+                },
             ];
             // Force satisfaction under the plant.
             if !clause.iter().any(|l| l.eval(&plant)) {

@@ -44,7 +44,10 @@ struct Registry {
 
 impl Registry {
     fn new() -> Self {
-        Registry { names: Vec::new(), ids: HashMap::new() }
+        Registry {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        }
     }
 
     fn add(&mut self, name: String) -> usize {
@@ -177,7 +180,10 @@ fn positions(rows: usize, cols: usize) -> Vec<(usize, usize)> {
 pub fn build(cnf: &Cnf) -> Reduction {
     let n = cnf.num_vars;
     let m = cnf.num_clauses();
-    assert!(n >= 1 && m >= 1, "reduction needs at least one variable and clause");
+    assert!(
+        n >= 1 && m >= 1,
+        "reduction needs at least one variable and clause"
+    );
     let rows = 2 * n + 3;
     let cols = m;
     let mut reg = Registry::new();
@@ -185,7 +191,11 @@ pub fn build(cnf: &Cnf) -> Reduction {
     // --- Vertices ---
     let mut s: HashMap<(QPos, u8), usize> = HashMap::new();
     let mut qs: Vec<QPos> = vec![QPos::S01, QPos::S00, QPos::S10];
-    qs.extend(positions(rows, cols).into_iter().map(|(i, j)| QPos::P(i, j)));
+    qs.extend(
+        positions(rows, cols)
+            .into_iter()
+            .map(|(i, j)| QPos::P(i, j)),
+    );
     for &q in &qs {
         for k in 1..=3u8 {
             s.insert((q, k), reg.add(format!("s({}|{k})", q.name())));
@@ -246,21 +256,45 @@ pub fn build(cnf: &Cnf) -> Reduction {
             e
         };
         // E_A
-        push(&mut edges, format!("g{prefix}a1b1M1"), with("a1", "b1", big1));
-        push(&mut edges, format!("g{prefix}a2b2M2"), with("a2", "b2", big2));
+        push(
+            &mut edges,
+            format!("g{prefix}a1b1M1"),
+            with("a1", "b1", big1),
+        );
+        push(
+            &mut edges,
+            format!("g{prefix}a2b2M2"),
+            with("a2", "b2", big2),
+        );
         push(&mut edges, format!("g{prefix}a1b2"), pair("a1", "b2"));
         push(&mut edges, format!("g{prefix}a2b1"), pair("a2", "b1"));
         push(&mut edges, format!("g{prefix}a1a2"), pair("a1", "a2"));
         // E_B
-        push(&mut edges, format!("g{prefix}b1c1M1"), with("b1", "c1", big1));
-        push(&mut edges, format!("g{prefix}b2c2M2"), with("b2", "c2", big2));
+        push(
+            &mut edges,
+            format!("g{prefix}b1c1M1"),
+            with("b1", "c1", big1),
+        );
+        push(
+            &mut edges,
+            format!("g{prefix}b2c2M2"),
+            with("b2", "c2", big2),
+        );
         push(&mut edges, format!("g{prefix}b1c2"), pair("b1", "c2"));
         push(&mut edges, format!("g{prefix}b2c1"), pair("b2", "c1"));
         push(&mut edges, format!("g{prefix}b1b2"), pair("b1", "b2"));
         push(&mut edges, format!("g{prefix}c1c2"), pair("c1", "c2"));
         // E_C
-        push(&mut edges, format!("g{prefix}c1d1M1"), with("c1", "d1", big1));
-        push(&mut edges, format!("g{prefix}c2d2M2"), with("c2", "d2", big2));
+        push(
+            &mut edges,
+            format!("g{prefix}c1d1M1"),
+            with("c1", "d1", big1),
+        );
+        push(
+            &mut edges,
+            format!("g{prefix}c2d2M2"),
+            with("c2", "d2", big2),
+        );
         push(&mut edges, format!("g{prefix}c1d2"), pair("c1", "d2"));
         push(&mut edges, format!("g{prefix}c2d1"), pair("c2", "d1"));
         push(&mut edges, format!("g{prefix}d1d2"), pair("d1", "d2"));
@@ -274,7 +308,10 @@ pub fn build(cnf: &Cnf) -> Reduction {
         pos.iter().skip_while(|&&q| q < p).map(|q| a[q]).collect()
     };
     let ap_prefix = |p: (usize, usize)| -> VertexSet {
-        pos.iter().take_while(|&&q| q <= p).map(|q| a_prime[q]).collect()
+        pos.iter()
+            .take_while(|&&q| q <= p)
+            .map(|q| a_prime[q])
+            .collect()
     };
 
     let mut e_p = HashMap::new();
@@ -450,7 +487,10 @@ mod tests {
         let edge = r.hypergraph.edge(e);
         assert!(edge.contains(r.z[1]));
         assert!(edge.contains(r.s[&(QPos::P(3, 1), 1)]));
-        assert!(!edge.contains(r.y_prime[0]), "y1' must be excluded (x1 positive)");
+        assert!(
+            !edge.contains(r.y_prime[0]),
+            "y1' must be excluded (x1 positive)"
+        );
         assert!(edge.contains(r.y_prime[1]));
         assert!(edge.contains(r.y_prime[2]));
         // A'_(3,1) = the first 2*... positions up to (3,1): (1,1),(1,2),(2,1),(2,2),(3,1).
@@ -473,7 +513,9 @@ mod tests {
         let e1 = r.hypergraph.edge(r.e_lit[&(p, 1, 1)]);
         assert!(!e0.contains(r.y[0]));
         assert!(e0.contains(r.y[1]) && e0.contains(r.y[2]));
-        assert!(e1.contains(r.y_prime[0]) && e1.contains(r.y_prime[1]) && e1.contains(r.y_prime[2]));
+        assert!(
+            e1.contains(r.y_prime[0]) && e1.contains(r.y_prime[1]) && e1.contains(r.y_prime[2])
+        );
     }
 
     #[test]

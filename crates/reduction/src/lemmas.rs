@@ -64,7 +64,10 @@ pub fn min_cover_weight(r: &Reduction, target: &VertexSet) -> Option<Rational> {
 /// `S ∪ {z1, z2}` with `weight(γ) <= 2`, the maximum of
 /// `Σ_{e ∈ lo} γ(e) − Σ_{e' ∈ hi} γ(e')` for a complementary class pair.
 /// The lemma asserts this maximum is exactly 0 (equal weights are forced).
-pub fn lemma_3_5_max_imbalance(r: &Reduction, class: &(Vec<usize>, Vec<usize>)) -> Option<Rational> {
+pub fn lemma_3_5_max_imbalance(
+    r: &Reduction,
+    class: &(Vec<usize>, Vec<usize>),
+) -> Option<Rational> {
     let mut target = r.s_set();
     target.insert(r.z[0]);
     target.insert(r.z[1]);
@@ -208,13 +211,17 @@ mod tests {
         // and the (0,0) specials.
         let pairs = complementary_pairs(&r);
         let p = (1usize, 1usize);
-        let expected = (r.e_lit[&(p, 1, 0)].min(r.e_lit[&(p, 1, 1)]),
-                        r.e_lit[&(p, 1, 0)].max(r.e_lit[&(p, 1, 1)]));
+        let expected = (
+            r.e_lit[&(p, 1, 0)].min(r.e_lit[&(p, 1, 1)]),
+            r.e_lit[&(p, 1, 0)].max(r.e_lit[&(p, 1, 1)]),
+        );
         assert!(pairs.contains(&expected));
         let especial = (r.e_00[0].min(r.e_00[1]), r.e_00[0].max(r.e_00[1]));
         assert!(pairs.contains(&especial));
         // The M1/M2 gadget classes are genuinely non-singleton.
-        assert!(classes.iter().any(|(lo, hi)| lo.len() == 3 && hi.len() == 3));
+        assert!(classes
+            .iter()
+            .any(|(lo, hi)| lo.len() == 3 && hi.len() == 3));
     }
 
     #[test]
@@ -258,7 +265,11 @@ mod tests {
         let p = (2usize, 1usize);
         let (max_other, min_sum0, max_sum0) =
             lemma_3_6_certificates(&r, p).expect("the bag is coverable");
-        assert_eq!(max_other, Rational::zero(), "only e^{{k,b}}_p may carry weight");
+        assert_eq!(
+            max_other,
+            Rational::zero(),
+            "only e^{{k,b}}_p may carry weight"
+        );
         assert_eq!(min_sum0, Rational::one());
         assert_eq!(max_sum0, Rational::one());
     }
@@ -267,6 +278,9 @@ mod tests {
     fn claim_d_is_infeasible_at_weight_2() {
         let r = small();
         let w = claim_d_min_weight(&r).expect("coverable in general");
-        assert!(w > rat(2, 1), "S ∪ {{z1,z2,a1,a1'}} must cost more than 2, got {w}");
+        assert!(
+            w > rat(2, 1),
+            "S ∪ {{z1,z2,a1,a1'}} must cost more than 2, got {w}"
+        );
     }
 }

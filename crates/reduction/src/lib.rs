@@ -15,6 +15,9 @@ pub mod witness;
 
 pub use cnf::{Clause, Cnf, Literal};
 pub use construction::{build, gadget, QPos, Reduction};
-pub use lemmas::{claim_d_min_weight, complementary_classes, complementary_pairs, lemma_3_5_max_imbalance, lemma_3_6_certificates};
+pub use lemmas::{
+    claim_d_min_weight, complementary_classes, complementary_pairs, lemma_3_5_max_imbalance,
+    lemma_3_6_certificates,
+};
 pub use lift::{lift_integer, lift_rational};
 pub use witness::{witness_from_solver, witness_ghd};

@@ -15,7 +15,9 @@ pub fn lift_integer(h: &Hypergraph, ell: usize) -> Hypergraph {
     let fresh = 2 * ell;
     let mut names: Vec<String> = (0..n).map(|v| h.vertex_name(v).to_string()).collect();
     names.extend((0..fresh).map(|i| format!("lift{i}")));
-    let mut edge_names: Vec<String> = (0..h.num_edges()).map(|e| h.edge_name(e).to_string()).collect();
+    let mut edge_names: Vec<String> = (0..h.num_edges())
+        .map(|e| h.edge_name(e).to_string())
+        .collect();
     let mut edges: Vec<Vec<usize>> = h.edges().iter().map(|e| e.to_vec()).collect();
     for i in 0..fresh {
         for j in (i + 1)..fresh {
@@ -37,7 +39,9 @@ pub fn lift_rational(h: &Hypergraph, r: usize, q: usize) -> Hypergraph {
     let n = h.num_vertices();
     let mut names: Vec<String> = (0..n).map(|v| h.vertex_name(v).to_string()).collect();
     names.extend((0..r).map(|i| format!("lift{i}")));
-    let mut edge_names: Vec<String> = (0..h.num_edges()).map(|e| h.edge_name(e).to_string()).collect();
+    let mut edge_names: Vec<String> = (0..h.num_edges())
+        .map(|e| h.edge_name(e).to_string())
+        .collect();
     let mut edges: Vec<Vec<usize>> = h.edges().iter().map(|e| e.to_vec()).collect();
     for i in 0..r {
         edge_names.push(format!("cyc{i}"));

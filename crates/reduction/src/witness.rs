@@ -23,7 +23,10 @@ pub fn witness_ghd(r: &Reduction, assignment: &[bool]) -> Decomposition {
     let ap_all: VertexSet = r.a_prime.values().copied().collect();
     let core = |name: &str| r.core[name];
     let h = &r.hypergraph;
-    let edge = |name: &str| h.edge_by_name(name).unwrap_or_else(|| panic!("edge {name}"));
+    let edge = |name: &str| {
+        h.edge_by_name(name)
+            .unwrap_or_else(|| panic!("edge {name}"))
+    };
 
     // For each clause j: the first literal index k (1-based) satisfied by σ.
     let kp: Vec<u8> = r
@@ -98,19 +101,28 @@ pub fn witness_ghd(r: &Reduction, assignment: &[bool]) -> Decomposition {
     for v in ["a1'", "a2'", "b1'", "b2'"] {
         bag.insert(core(v));
     }
-    let upa = d.add_child(umax, Node::integral(bag, [edge("g'a1b1M1"), edge("g'a2b2M2")]));
+    let upa = d.add_child(
+        umax,
+        Node::integral(bag, [edge("g'a1b1M1"), edge("g'a2b2M2")]),
+    );
     let mut bag = base.union(&s_all);
     bag.union_with(&yp_all);
     for v in ["b1'", "b2'", "c1'", "c2'"] {
         bag.insert(core(v));
     }
-    let upb = d.add_child(upa, Node::integral(bag, [edge("g'b1c1M1"), edge("g'b2c2M2")]));
+    let upb = d.add_child(
+        upa,
+        Node::integral(bag, [edge("g'b1c1M1"), edge("g'b2c2M2")]),
+    );
     let mut bag = base.union(&s_all);
     bag.union_with(&yp_all);
     for v in ["c1'", "c2'", "d1'", "d2'"] {
         bag.insert(core(v));
     }
-    d.add_child(upb, Node::integral(bag, [edge("g'c1d1M1"), edge("g'c2d2M2")]));
+    d.add_child(
+        upb,
+        Node::integral(bag, [edge("g'c1d1M1"), edge("g'c2d2M2")]),
+    );
 
     d
 }

@@ -1,0 +1,502 @@
+//! The shared decomposition-search engine behind every exact width solver in
+//! the workspace.
+//!
+//! `det-k-decomp` (Gottlob–Leone–Scarcello), the exact `ghw`/`fhw` baselines
+//! and Algorithm 3 (`frac-decomp`) all share one recursion scheme: work on a
+//! pair `(C, conn)` where `C` is a connected component of the hypergraph
+//! minus the separator chosen above, and `conn` is the part of the parent
+//! separator visible from `C`; guess a separator/bag for the node covering
+//! `conn`, split `C` into sub-components, and recurse. The algorithms differ
+//! only in *which candidate bags they enumerate* and *how a candidate is
+//! priced* (edge counts, `ρ`, `ρ*`, or an LP for the fractional part).
+//!
+//! This crate owns the recursion: [`SearchContext`] carries the
+//! `(component, connector)` memo table keyed on [`VertexSet`] pairs, performs
+//! component splitting, applies the cutoff, and assembles the witness
+//! [`Decomposition`] from the recorded plans. Concrete solvers implement
+//! [`WidthSolver`] — a pure strategy that proposes cheap combinatorial
+//! guesses ([`WidthSolver::propose`]) and then prices/validates them
+//! ([`WidthSolver::admit`], where set covers and LPs run).
+//!
+//! Decision strategies (`Check(HD, k)`, `frac-decomp`) accept the first
+//! admitted candidate whose sub-components all decompose; minimizing
+//! strategies (exact `ghw` / `fhw`) exhaust the candidate space and return
+//! the smallest achievable maximum cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use arith::Rational;
+use decomp::{Decomposition, Node};
+use hypergraph::{components, Hypergraph, VertexSet};
+use std::collections::HashMap;
+
+/// Practical vertex limit for the subset-enumerating exact strategies
+/// (`ghw`/`fhw` baselines): those strategies propose every bag
+/// `conn ⊆ B ⊆ conn ∪ C`, which is exponential in `|C|`.
+pub const MAX_SUBSET_SEARCH_VERTICES: usize = 18;
+
+/// A cheap combinatorial guess for one search node, produced by
+/// [`WidthSolver::propose`] before any cover/LP pricing runs. A guess is
+/// deliberately *cheap* — combinatorial payload only, no derived vertex
+/// sets — so that decision strategies keep their first-success early exit:
+/// the per-candidate set unions, covers and LPs all run lazily in
+/// [`WidthSolver::admit`].
+#[derive(Clone, Debug)]
+pub struct Guess {
+    /// The chosen integral separator edges (`supp(λ)`), if the strategy
+    /// works with explicit edge sets.
+    pub edges: Vec<usize>,
+    /// Strategy-specific vertex payload: the candidate bag for the subset
+    /// strategies, the fractional shadow `W_s` for `frac-decomp`, empty
+    /// for `det-k-decomp`.
+    pub extra: VertexSet,
+}
+
+/// The priced result of admitting a [`Guess`]: the separator geometry plus
+/// its cost and witness edge weights.
+#[derive(Clone, Debug)]
+pub struct Admission<C> {
+    /// Vertices removed when splitting the component. Children are the
+    /// `[split]`-components inside the current component, and a child's
+    /// connector is `split ∩ ⋃ edges(child)`.
+    ///
+    /// `det-k-decomp` splits on the *full* `V(S)` (this is what enforces the
+    /// special condition); the GHD/FHD strategies split on the clipped bag.
+    pub split: VertexSet,
+    /// The candidate bag before witness clipping; the final bag of the
+    /// assembled node is `bag ∩ (component ∪ parent bag)`.
+    pub bag: VertexSet,
+    /// The cost the engine minimizes (maximum over the witness tree).
+    pub cost: C,
+    /// Sparse edge weights `(edge, weight)` recorded on the witness node.
+    pub weights: Vec<(usize, Rational)>,
+}
+
+/// One `(component, connector)` search state, handed to the strategy.
+pub struct SearchState<'a> {
+    /// The current component `C`.
+    pub comp: &'a VertexSet,
+    /// The visible part of the parent separator,
+    /// `conn = sep ∩ ⋃ edges(C)` — must be covered by every candidate bag.
+    pub conn: &'a VertexSet,
+    /// `edges(C)`: indices of edges intersecting `C`.
+    pub comp_edges: &'a [usize],
+}
+
+/// A width-solver strategy: everything that distinguishes `det-k-decomp`
+/// from the exact `ghw`/`fhw` searches and from `frac-decomp`.
+pub trait WidthSolver {
+    /// Cost type of a node (edge count, `ρ`, `ρ*`, ...).
+    type Cost: Ord + Clone;
+
+    /// Decision strategies stop at the first admitted candidate whose
+    /// sub-components all decompose; minimizers exhaust the space.
+    fn is_decision(&self) -> bool;
+
+    /// Global cutoff: admitted candidates with `cost >= cutoff` are
+    /// discarded, so the search fails iff every decomposition reaches it.
+    fn cutoff(&self) -> Option<Self::Cost> {
+        None
+    }
+
+    /// Enumerates combinatorial candidates for a state. Cheap: no covers,
+    /// LPs or per-candidate unions here — those run in
+    /// [`WidthSolver::admit`], which the engine calls lazily (decision
+    /// strategies often stop long before the end of the candidate list).
+    fn propose(&mut self, h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess>;
+
+    /// Prices and validates a guess — the expensive per-candidate work
+    /// (set unions, covers, LPs) lives here. Returns the separator
+    /// geometry, cost and witness weights; `None` rejects the candidate.
+    fn admit(
+        &mut self,
+        h: &Hypergraph,
+        state: &SearchState<'_>,
+        guess: &Guess,
+    ) -> Option<Admission<Self::Cost>>;
+}
+
+/// A successful node choice recorded during the search; the plan arena plus
+/// the memo table are what [`SearchContext::assemble`] replays into the
+/// witness decomposition.
+#[derive(Clone, Debug)]
+struct Plan<C> {
+    bag: VertexSet,
+    weights: Vec<(usize, Rational)>,
+    children: Vec<(VertexSet, usize)>,
+    #[allow(dead_code)]
+    cost: C,
+}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search states entered (memo misses).
+    pub states: usize,
+    /// Memo hits.
+    pub memo_hits: usize,
+    /// Guesses proposed by the strategy.
+    pub proposed: usize,
+    /// Guesses admitted (priced successfully).
+    pub admitted: usize,
+}
+
+/// The shared search engine: memoized `(component, connector)` recursion
+/// with witness assembly.
+pub struct SearchContext<C> {
+    /// `(component, connector) -> (best cost, plan)`; `None` records failure.
+    memo: HashMap<(VertexSet, VertexSet), Option<(C, usize)>>,
+    plans: Vec<Plan<C>>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+impl<C: Ord + Clone> SearchContext<C> {
+    /// An empty context.
+    pub fn new() -> Self {
+        SearchContext {
+            memo: HashMap::new(),
+            plans: Vec::new(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Decomposes the whole hypergraph with `strategy`; returns the achieved
+    /// cost (maximum over nodes) and the witness.
+    pub fn run<S: WidthSolver<Cost = C>>(
+        &mut self,
+        h: &Hypergraph,
+        strategy: &mut S,
+    ) -> Option<(C, Decomposition)> {
+        if h.num_vertices() == 0 {
+            return None;
+        }
+        let root = h.all_vertices();
+        let (cost, plan) = self.solve(h, strategy, &root, &VertexSet::new())?;
+        let d = self.assemble(&root, plan);
+        Some((cost, d))
+    }
+
+    /// Solves one `(component, connector)` state: the minimum achievable
+    /// maximum cost of a decomposition fragment covering `comp` whose apex
+    /// bag contains `conn`, or `None` if none exists under the cutoff.
+    pub fn solve<S: WidthSolver<Cost = C>>(
+        &mut self,
+        h: &Hypergraph,
+        strategy: &mut S,
+        comp: &VertexSet,
+        conn: &VertexSet,
+    ) -> Option<(C, usize)> {
+        let key = (comp.clone(), conn.clone());
+        if let Some(hit) = self.memo.get(&key) {
+            self.stats.memo_hits += 1;
+            return hit.clone();
+        }
+        self.stats.states += 1;
+        let comp_edges = h.edges_intersecting(comp);
+        let state = SearchState {
+            comp,
+            conn,
+            comp_edges: &comp_edges,
+        };
+        let guesses = strategy.propose(h, &state);
+        self.stats.proposed += guesses.len();
+        let cutoff = strategy.cutoff();
+        let decision = strategy.is_decision();
+        let mut best: Option<(C, usize)> = None;
+
+        'guesses: for guess in &guesses {
+            // Admission runs first — it derives the separator geometry and
+            // prices it, rejecting structurally or cost-wise hopeless
+            // guesses without the engine ever materializing them.
+            let Some(admission) = strategy.admit(h, &state, guess) else {
+                continue;
+            };
+            self.stats.admitted += 1;
+            // Progress: the separator must eat into the component.
+            if !admission.split.intersects(comp) {
+                continue;
+            }
+            // Cover condition: the connector must sit inside the bag.
+            if !conn.is_subset(&admission.bag) {
+                continue;
+            }
+            if let Some(cut) = &cutoff {
+                if &admission.cost >= cut {
+                    continue;
+                }
+            }
+            if let Some((best_cost, _)) = &best {
+                // max(cost, children) >= cost, so this cannot improve.
+                if &admission.cost >= best_cost {
+                    continue;
+                }
+            }
+            // Split into sub-components and make sure no component edge is
+            // lost: each edge of the region must lie inside the bag's span
+            // or continue into exactly one sub-component.
+            let subs: Vec<VertexSet> = components::components(h, &admission.split)
+                .into_iter()
+                .filter(|sub| sub.is_subset(comp))
+                .collect();
+            for &e in &comp_edges {
+                let edge = h.edge(e);
+                if edge.is_subset(&admission.split) {
+                    continue;
+                }
+                let remainder = edge.difference(&admission.split);
+                if !subs.iter().any(|sub| remainder.is_subset(sub)) {
+                    continue 'guesses;
+                }
+            }
+            let mut total = admission.cost.clone();
+            let mut children = Vec::with_capacity(subs.len());
+            for sub in &subs {
+                let sub_edges = h.edges_intersecting(sub);
+                let span = h.union_of_edges(sub_edges.iter().copied());
+                let sub_conn = admission.split.intersection(&span);
+                let Some((child_cost, child_plan)) = self.solve(h, strategy, sub, &sub_conn) else {
+                    continue 'guesses;
+                };
+                total = total.max(child_cost);
+                children.push((sub.clone(), child_plan));
+            }
+            let improves = match &best {
+                None => true,
+                Some((best_cost, _)) => &total < best_cost,
+            };
+            if improves {
+                self.plans.push(Plan {
+                    bag: admission.bag,
+                    weights: admission.weights,
+                    children,
+                    cost: total.clone(),
+                });
+                best = Some((total, self.plans.len() - 1));
+                if decision {
+                    break;
+                }
+            }
+        }
+        self.memo.insert(key, best.clone());
+        best
+    }
+
+    /// Materializes the witness decomposition rooted at `plan`. The root bag
+    /// is used as-is; below, bags are clipped to `component ∪ parent bag`
+    /// (the witness-tree construction every strategy shares).
+    fn assemble(&self, root_comp: &VertexSet, plan: usize) -> Decomposition {
+        let p = &self.plans[plan];
+        let root_bag = p.bag.intersection(root_comp);
+        let mut d = Decomposition::new(Node {
+            bag: root_bag.clone(),
+            weights: p.weights.clone(),
+        });
+        for (sub, child) in &p.children {
+            self.attach(&mut d, 0, &root_bag, *child, sub);
+        }
+        d
+    }
+
+    fn attach(
+        &self,
+        d: &mut Decomposition,
+        parent: usize,
+        parent_bag: &VertexSet,
+        plan: usize,
+        comp: &VertexSet,
+    ) {
+        let p = &self.plans[plan];
+        let bag = p.bag.intersection(&comp.union(parent_bag));
+        let id = d.add_child(
+            parent,
+            Node {
+                bag: bag.clone(),
+                weights: p.weights.clone(),
+            },
+        );
+        for (sub, child) in &p.children {
+            self.attach(d, id, &bag, *child, sub);
+        }
+    }
+}
+
+impl<C: Ord + Clone> Default for SearchContext<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Enumerates every bag `conn ⊆ B ⊆ conn ∪ C` (smallest first) as the
+/// `extra` payload, splitting on the bag itself — the candidate space of
+/// the exact `ghw`/`fhw` strategies, which price bags by `ρ` / `ρ*` at
+/// admission. Returns nothing when the component exceeds
+/// [`MAX_SUBSET_SEARCH_VERTICES`].
+pub fn propose_subset_bags(state: &SearchState<'_>) -> Vec<Guess> {
+    let free: Vec<usize> = state.comp.to_vec();
+    let m = free.len();
+    if m == 0 || m > MAX_SUBSET_SEARCH_VERTICES {
+        return Vec::new();
+    }
+    // Emit small bags first (cheap covers early, which tightens the
+    // engine's best-so-far prune) by walking each popcount class with
+    // Gosper's hack instead of materializing-and-sorting.
+    let limit: u64 = 1u64 << m;
+    let mut out: Vec<Guess> = Vec::with_capacity(limit as usize - 1);
+    for size in 1..=m {
+        let mut mask: u64 = (1u64 << size) - 1;
+        while mask < limit {
+            let mut bag = state.conn.clone();
+            for (i, &v) in free.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    bag.insert(v);
+                }
+            }
+            out.push(Guess {
+                edges: Vec::new(),
+                extra: bag,
+            });
+            // Next mask of the same popcount (exits via `mask < limit`).
+            let low = mask & mask.wrapping_neg();
+            let ripple = mask + low;
+            mask = (((ripple ^ mask) >> 2) / low) | ripple;
+        }
+    }
+    out
+}
+
+/// Enumerates all subsets of `items` with `1 <= size <= max_size` in order
+/// of increasing size (small separators first — the order every strategy
+/// wants). Shared by the edge-separator strategies.
+pub fn subsets_up_to<T: Copy>(items: &[T], max_size: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    for size in 1..=max_size.min(items.len()) {
+        subsets_rec(items, size, 0, &mut current, &mut out);
+    }
+    out
+}
+
+fn subsets_rec<T: Copy>(
+    items: &[T],
+    size: usize,
+    start: usize,
+    current: &mut Vec<T>,
+    out: &mut Vec<Vec<T>>,
+) {
+    if current.len() == size {
+        out.push(current.clone());
+        return;
+    }
+    let needed = size - current.len();
+    for i in start..=items.len().saturating_sub(needed) {
+        current.push(items[i]);
+        subsets_rec(items, size, i + 1, current, out);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy decision strategy: bags are single full edges (width-1 HD
+    /// search), enough to exercise the engine plumbing end to end.
+    struct SingleEdge;
+
+    impl WidthSolver for SingleEdge {
+        type Cost = usize;
+
+        fn is_decision(&self) -> bool {
+            true
+        }
+
+        fn propose(&mut self, _h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
+            state
+                .comp_edges
+                .iter()
+                .map(|&e| Guess {
+                    edges: vec![e],
+                    extra: VertexSet::new(),
+                })
+                .collect()
+        }
+
+        fn admit(
+            &mut self,
+            h: &Hypergraph,
+            _state: &SearchState<'_>,
+            guess: &Guess,
+        ) -> Option<Admission<usize>> {
+            let vs = h.union_of_edges(guess.edges.iter().copied());
+            Some(Admission {
+                split: vs.clone(),
+                bag: vs,
+                cost: guess.edges.len(),
+                weights: guess.edges.iter().map(|&e| (e, Rational::one())).collect(),
+            })
+        }
+    }
+
+    fn path(n: usize) -> Hypergraph {
+        Hypergraph::from_edges(n, (0..n - 1).map(|i| vec![i, i + 1]).collect())
+    }
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::from_edges(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]])
+    }
+
+    #[test]
+    fn acyclic_instances_decompose_with_single_edges() {
+        let h = path(5);
+        let mut cx = SearchContext::new();
+        let (cost, d) = cx.run(&h, &mut SingleEdge).expect("paths have hw 1");
+        assert_eq!(cost, 1);
+        assert_eq!(decomp::validate_hd(&h, &d), Ok(()), "{}", d.render(&h));
+        assert!(cx.stats.states > 0);
+    }
+
+    #[test]
+    fn cyclic_instances_fail_with_single_edges() {
+        let h = triangle();
+        let mut cx = SearchContext::new();
+        assert!(cx.run(&h, &mut SingleEdge).is_none());
+    }
+
+    #[test]
+    fn memo_is_keyed_on_component_and_connector() {
+        // A star: every leaf component after removing the center edge is a
+        // fresh state; re-solving the same hypergraph reuses the memo.
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        let mut cx = SearchContext::new();
+        cx.run(&h, &mut SingleEdge).expect("stars have hw 1");
+        let states = cx.stats.states;
+        cx.run(&h, &mut SingleEdge).expect("second run");
+        assert_eq!(cx.stats.states, states, "second run is all memo hits");
+        assert!(cx.stats.memo_hits > 0);
+    }
+
+    #[test]
+    fn subset_enumeration_orders_by_size() {
+        let subs = subsets_up_to(&[1, 2, 3], 2);
+        assert_eq!(
+            subs,
+            vec![
+                vec![1],
+                vec![2],
+                vec![3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+        assert!(subsets_up_to::<usize>(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn empty_hypergraph_refused() {
+        let h = Hypergraph::from_edges(0, vec![]);
+        assert!(SearchContext::new().run(&h, &mut SingleEdge).is_none());
+    }
+}

@@ -18,18 +18,26 @@ fn main() {
     // Algorithm 3 with the budget right at the optimum.
     let d = fhd::frac_decomp(
         &h,
-        &FracDecompParams { k: Rational::one(), eps: rat(1, 2), c: 3 },
+        &FracDecompParams {
+            k: Rational::one(),
+            eps: rat(1, 2),
+            c: 3,
+        },
     )
     .expect("accepts at k + ε = 3/2");
     println!("Algorithm 3 witness width: {}", d.width());
 
     // Algorithm 4: PTAAS over an exact oracle, ε sweep.
     println!("\nPTAAS (Algorithm 4) on C5 (fhw = 2), K = 4:");
-    println!("{:>8} {:>10} {:>10} {:>12} {:>10}", "eps", "width", "lower", "iterations", "predicted");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10}",
+        "eps", "width", "lower", "iterations", "predicted"
+    );
     for (p, q) in [(1i64, 1i64), (1, 2), (1, 4), (1, 8)] {
         let eps = rat(p, q);
-        let res = fhd::fhw_approximation(&generators::cycle(5), &rat(4, 1), &eps, fhd::exact_oracle)
-            .expect("fhw(C5) = 2 <= 4");
+        let res =
+            fhd::fhw_approximation(&generators::cycle(5), &rat(4, 1), &eps, fhd::exact_oracle)
+                .expect("fhw(C5) = 2 <= 4");
         println!(
             "{:>8} {:>10} {:>10} {:>12} {:>10}",
             eps.to_string(),

@@ -21,8 +21,14 @@ fn main() {
         ("clique(6)".into(), generators::clique(6)),
         ("example_4_3".into(), generators::example_4_3()),
         ("example_5_1(5)".into(), generators::example_5_1(5)),
-        ("rand_bip(12)".into(), generators::random_bip(12, 8, 2, 3, 7)),
-        ("rand_bdp(12)".into(), generators::random_bounded_degree(12, 8, 3, 3, 7)),
+        (
+            "rand_bip(12)".into(),
+            generators::random_bip(12, 8, 2, 3, 7),
+        ),
+        (
+            "rand_bdp(12)".into(),
+            generators::random_bounded_degree(12, 8, 3, 3, 7),
+        ),
     ];
 
     println!(

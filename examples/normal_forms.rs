@@ -29,7 +29,10 @@ fn main() {
     );
     fig6a.add_child(
         u_prime,
-        Node::integral(bag(&["v3", "v4", "v5", "v6", "v9", "v10"]), [e("e3"), e("e5")]),
+        Node::integral(
+            bag(&["v3", "v4", "v5", "v6", "v9", "v10"]),
+            [e("e3"), e("e5")],
+        ),
     );
     let u1 = fig6a.add_child(
         0,
@@ -37,7 +40,10 @@ fn main() {
     );
     fig6a.add_child(
         u1,
-        Node::integral(bag(&["v1", "v2", "v3", "v8", "v9", "v10"]), [e("e2"), e("e8")]),
+        Node::integral(
+            bag(&["v1", "v2", "v3", "v8", "v9", "v10"]),
+            [e("e2"), e("e8")],
+        ),
     );
 
     println!("Figure 6(a) — valid width-2 GHD, but not bag-maximal:");

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_baseline.json: runs the exact width engines over the
+# generator corpus (median of three, release profile) and records the
+# timings for perf-trajectory comparisons across PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run -p hypertree-bench --bin baseline --release -- BENCH_baseline.json
+echo "BENCH_baseline.json refreshed:"
+head -5 BENCH_baseline.json

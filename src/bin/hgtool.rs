@@ -71,7 +71,9 @@ fn structure(h: &Hypergraph) -> Result<(), String> {
     println!("intersection width:  {} (BIP i)", s.intersection_width);
     println!(
         "multi-intersections: c=2:{} c=3:{} c=4:{}",
-        s.multi_intersection_widths[0], s.multi_intersection_widths[1], s.multi_intersection_widths[2]
+        s.multi_intersection_widths[0],
+        s.multi_intersection_widths[1],
+        s.multi_intersection_widths[2]
     );
     match s.vc_dimension {
         Some(vc) => println!("VC-dimension:        {vc}"),
@@ -118,7 +120,11 @@ fn check(method: &str, k: &str, h: &Hypergraph) -> Result<(), String> {
                 "ghd" => validate::validate_ghd(h, &d).is_ok(),
                 _ => validate::validate_fhd(h, &d).is_ok(),
             };
-            println!("YES: width {} ({} nodes, validated: {ok})", d.width(), d.len());
+            println!(
+                "YES: width {} ({} nodes, validated: {ok})",
+                d.width(),
+                d.len()
+            );
             print!("{}", d.render(h));
             Ok(())
         }

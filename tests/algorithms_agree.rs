@@ -18,7 +18,10 @@ fn small_corpus() -> Vec<(String, Hypergraph)> {
         ("grid2x3".into(), generators::grid(2, 3)),
     ];
     for seed in 0..3u64 {
-        out.push((format!("bip{seed}"), generators::random_bip(8, 5, 2, 3, seed)));
+        out.push((
+            format!("bip{seed}"),
+            generators::random_bip(8, 5, 2, 3, seed),
+        ));
     }
     out
 }
@@ -26,7 +29,9 @@ fn small_corpus() -> Vec<(String, Hypergraph)> {
 #[test]
 fn bip_ghd_check_matches_exact_ghw() {
     for (name, h) in small_corpus() {
-        let Some((ghw, _)) = ghd::ghw_exact(&h, None) else { continue };
+        let Some((ghw, _)) = ghd::ghw_exact(&h, None) else {
+            continue;
+        };
         let limits = SubedgeLimits::default();
         assert!(
             ghd::check_ghd_bip(&h, ghw, limits).is_yes(),
@@ -47,7 +52,9 @@ fn bdp_fhd_check_matches_exact_fhw() {
         if hypertree::hypergraph::properties::degree(&h) > 3 {
             continue; // keep the support bound small
         }
-        let Some((fhw, _)) = fhd::fhw_exact(&h, None) else { continue };
+        let Some((fhw, _)) = fhd::fhw_exact(&h, None) else {
+            continue;
+        };
         let ans = fhd::check_fhd_bdp(&h, &fhw, HdkParams::default());
         assert!(ans.is_yes(), "{name}: BDP check rejects k = fhw = {fhw}");
         let d = ans.decomposition().unwrap();
@@ -83,15 +90,25 @@ fn frac_decomp_sound_and_complete_at_fhw() {
 fn transformations_preserve_validity_and_width() {
     // FNF + bag-maximalization over decompositions from every engine.
     for (name, h) in small_corpus().into_iter().take(6) {
-        let Some((_, d)) = ghd::ghw_exact(&h, None) else { continue };
+        let Some((_, d)) = ghd::ghw_exact(&h, None) else {
+            continue;
+        };
         let w = d.width();
         let maximal = decomp::make_bag_maximal(&h, &d);
-        assert_eq!(validate::validate_ghd(&h, &maximal), Ok(()), "{name} (bag-max)");
+        assert_eq!(
+            validate::validate_ghd(&h, &maximal),
+            Ok(()),
+            "{name} (bag-max)"
+        );
         assert_eq!(maximal.width(), w, "{name}: bag-max changed width");
         assert!(decomp::is_bag_maximal(&h, &maximal), "{name}");
         let fnf = decomp::to_fnf(&h, &maximal);
         assert_eq!(validate::validate_ghd(&h, &fnf), Ok(()), "{name} (fnf)");
-        assert_eq!(validate::validate_fnf(&h, &fnf), Ok(()), "{name} (fnf cond)");
+        assert_eq!(
+            validate::validate_fnf(&h, &fnf),
+            Ok(()),
+            "{name} (fnf cond)"
+        );
         assert!(fnf.width() <= w, "{name}: FNF increased width");
         assert!(fnf.len() <= h.num_vertices(), "{name}: Lemma 6.9 bound");
     }
@@ -133,13 +150,16 @@ fn lemma_6_4_rounding_then_conversion_pipeline() {
 fn subedge_augmentation_never_changes_ghw() {
     // Adding subedges leaves ghw invariant (the foundation of Section 4).
     for (name, h) in small_corpus().into_iter().take(4) {
-        let Some((ghw, _)) = ghd::ghw_exact(&h, None) else { continue };
+        let Some((ghw, _)) = ghd::ghw_exact(&h, None) else {
+            continue;
+        };
         let f = ghd::bip_subedges(&h, 2, SubedgeLimits::default());
         let aug = ghd::augment(&h, f);
-        if aug.hypergraph.num_vertices() > 20 {
+        if aug.hypergraph.num_vertices() > hypertree::solver::MAX_SUBSET_SEARCH_VERTICES {
             continue;
         }
-        let Some((ghw2, _)) = ghd::ghw_exact(&aug.hypergraph, None) else { continue };
+        let (ghw2, _) = ghd::ghw_exact(&aug.hypergraph, None)
+            .expect("augmentation adds edges, not vertices, so the exact engine must answer");
         assert_eq!(ghw, ghw2, "{name}: subedges changed ghw");
     }
 }

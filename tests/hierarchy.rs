@@ -20,7 +20,10 @@ fn corpus() -> Vec<(String, Hypergraph)> {
         ("snowflake".into(), generators::cq_snowflake(3, 2)),
     ];
     for seed in 0..4u64 {
-        out.push((format!("bip{seed}"), generators::random_bip(9, 6, 2, 3, seed)));
+        out.push((
+            format!("bip{seed}"),
+            generators::random_bip(9, 6, 2, 3, seed),
+        ));
         out.push((
             format!("bdp{seed}"),
             generators::random_bounded_degree(9, 6, 3, 3, seed),
@@ -64,7 +67,9 @@ fn odd_cliques_separate_fractional_from_integral() {
 #[test]
 fn lemma_2_7_induced_subhypergraph_monotonicity() {
     for (name, h) in corpus().into_iter().take(6) {
-        let Some((fhw, _)) = fhd::fhw_exact(&h, None) else { continue };
+        let Some((fhw, _)) = fhd::fhw_exact(&h, None) else {
+            continue;
+        };
         // Remove each single vertex in turn.
         for drop in 0..h.num_vertices().min(4) {
             let mut w = h.all_vertices();

@@ -59,8 +59,16 @@ fn satisfiable_formulas_yield_validated_width_2_witnesses() {
         let r = reduction::build(&cnf);
         let d = reduction::witness_ghd(&r, &plant);
         assert_eq!(d.width(), Rational::from(2usize), "seed {seed}");
-        assert_eq!(validate::validate_ghd(&r.hypergraph, &d), Ok(()), "seed {seed}");
-        assert_eq!(validate::validate_fhd(&r.hypergraph, &d), Ok(()), "seed {seed}");
+        assert_eq!(
+            validate::validate_ghd(&r.hypergraph, &d),
+            Ok(()),
+            "seed {seed}"
+        );
+        assert_eq!(
+            validate::validate_fhd(&r.hypergraph, &d),
+            Ok(()),
+            "seed {seed}"
+        );
     }
 }
 
@@ -79,7 +87,10 @@ fn witness_respects_lemma_3_6_structure() {
         let cover = d.node(u).support();
         assert_eq!(cover.len(), 2, "u_p uses exactly two edges");
         let key = (cover[0].min(cover[1]), cover[0].max(cover[1]));
-        assert!(pairs.contains(&key), "u_p cover must be a complementary pair");
+        assert!(
+            pairs.contains(&key),
+            "u_p cover must be a complementary pair"
+        );
     }
 }
 
