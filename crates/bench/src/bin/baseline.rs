@@ -1,40 +1,61 @@
 //! Records a performance baseline of the exact width engines on the
 //! generator corpus and writes it as JSON (default: `BENCH_baseline.json`
-//! in the current directory) for future perf-trajectory comparisons.
+//! in the current directory) for future perf-trajectory comparisons. Each
+//! instance also records the fhw engine's counters (states, memo hits,
+//! streamed/admitted candidates, LP price-cache hits), so the baseline
+//! tracks candidate-generation discipline alongside wall-clock.
 //!
 //! ```sh
 //! cargo run -p hypertree-bench --bin baseline --release -- [out.json]
+//! cargo run -p hypertree-bench --bin baseline --release -- --smoke [out.json]
 //! ```
+//!
+//! `--smoke` is the CI mode: single iteration over a small corpus prefix,
+//! just enough to prove the bin and the `hypertree-bench-baseline/v1`
+//! schema have not rotted (see `scripts/bench_baseline.sh --smoke`).
 
 use hypertree_bench as workloads;
+use hypertree_core::solver::SearchStats;
 use hypertree_core::{fhd, ghd, hd};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Median-of-three wall-clock measurement, in microseconds.
-fn time3<T>(mut f: impl FnMut() -> T) -> (T, u128) {
-    let mut times = Vec::with_capacity(3);
+/// Median-of-`iters` wall-clock measurement, in microseconds.
+fn time_median<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, u128) {
+    let mut times = Vec::with_capacity(iters);
     let mut out = None;
-    for _ in 0..3 {
+    for _ in 0..iters {
         let t = Instant::now();
         out = Some(f());
         times.push(t.elapsed().as_micros());
     }
     times.sort_unstable();
-    (out.expect("ran at least once"), times[1])
+    (out.expect("ran at least once"), times[iters / 2])
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let mut smoke = false;
+    let mut out_path = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let iters = if smoke { 1 } else { 3 };
     let mut body = String::new();
     body.push_str("{\n");
     body.push_str("  \"schema\": \"hypertree-bench-baseline/v1\",\n");
     body.push_str("  \"command\": \"cargo run -p hypertree-bench --bin baseline --release\",\n");
     let _ = writeln!(body, "  \"profile\": \"{}\",", profile());
     body.push_str("  \"instances\": [\n");
-    let corpus = workloads::corpus();
+    let mut corpus = workloads::corpus();
+    if smoke {
+        // The smallest handful is enough to exercise all three engines.
+        corpus.truncate(5);
+    }
     let total = corpus.len();
     for (i, w) in corpus.into_iter().enumerate() {
         let h = &w.hypergraph;
@@ -46,26 +67,30 @@ fn main() {
             h.num_vertices(),
             h.num_edges()
         );
-        let (hw, t_hw) = time3(|| hd::hypertree_width(h, 6).map(|(k, _)| k));
+        let (hw, t_hw) = time_median(iters, || hd::hypertree_width(h, 6).map(|(k, _)| k));
         match hw {
             Some(k) => {
                 let _ = write!(body, ", \"hw\": {k}, \"hw_us\": {t_hw}");
             }
             None => body.push_str(", \"hw\": null"),
         }
-        let (ghw, t_ghw) = time3(|| ghd::ghw_exact(h, None).map(|(k, _)| k));
+        let (ghw, t_ghw) = time_median(iters, || ghd::ghw_exact(h, None).map(|(k, _)| k));
         match ghw {
             Some(k) => {
                 let _ = write!(body, ", \"ghw\": {k}, \"ghw_us\": {t_ghw}");
             }
             None => body.push_str(", \"ghw\": null"),
         }
-        let (fhw, t_fhw) = time3(|| fhd::fhw_exact(h, None).map(|(k, _)| k));
+        let (fhw, t_fhw) = time_median(iters, || {
+            let (r, stats) = fhd::fhw_exact_with_stats(h, None, None);
+            (r.map(|(k, _)| k), stats)
+        });
         match fhw {
-            Some(k) => {
+            (Some(k), stats) => {
                 let _ = write!(body, ", \"fhw\": \"{k}\", \"fhw_us\": {t_fhw}");
+                let _ = write!(body, ", \"fhw_stats\": {}", stats_json(&stats));
             }
-            None => body.push_str(", \"fhw\": null"),
+            (None, _) => body.push_str(", \"fhw\": null"),
         }
         body.push('}');
         if i + 1 < total {
@@ -76,6 +101,14 @@ fn main() {
     body.push_str("  ]\n}\n");
     std::fs::write(&out_path, &body).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+}
+
+fn stats_json(s: &SearchStats) -> String {
+    format!(
+        "{{\"states\": {}, \"memo_hits\": {}, \"streamed\": {}, \"admitted\": {}, \
+         \"lp_hits\": {}, \"lp_misses\": {}}}",
+        s.states, s.memo_hits, s.streamed, s.admitted, s.price_hits, s.price_misses
+    )
 }
 
 fn profile() -> &'static str {

@@ -110,10 +110,38 @@ pub struct ExactWidths {
 /// `rho*`-priced subset strategies are thin [`solver::WidthSolver`]
 /// implementations over one memoized recursion.
 pub fn exact_widths(h: &Hypergraph, max_hw: usize) -> Option<ExactWidths> {
-    let (hw, _) = hd::hypertree_width(h, max_hw)?;
-    let (ghw, _) = ghd::ghw_exact(h, None)?;
-    let (fhw, _) = fhd::fhw_exact(h, None)?;
-    Some(ExactWidths { hw, ghw, fhw })
+    exact_widths_with_stats(h, max_hw).map(|(w, _)| w)
+}
+
+/// Per-engine counters of one [`exact_widths_with_stats`] run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WidthStats {
+    /// `det-k-decomp` counters, summed over the `k = 1..` checks.
+    pub hw: solver::SearchStats,
+    /// Exact-`ghw` subset-search counters.
+    pub ghw: solver::SearchStats,
+    /// Exact-`fhw` subset-search counters.
+    pub fhw: solver::SearchStats,
+}
+
+/// As [`exact_widths`], also reporting the engine and price-cache counters
+/// of each of the three searches (surfaced by `hgtool widths --stats` and
+/// recorded by the `baseline` bin).
+pub fn exact_widths_with_stats(h: &Hypergraph, max_hw: usize) -> Option<(ExactWidths, WidthStats)> {
+    let (hw, hw_stats) = hd::hypertree_width_with_stats(h, max_hw);
+    let (hw, _) = hw?;
+    let (ghw, ghw_stats) = ghd::ghw_exact_with_stats(h, None);
+    let (ghw, _) = ghw?;
+    let (fhw, fhw_stats) = fhd::fhw_exact_with_stats(h, None, None);
+    let (fhw, _) = fhw?;
+    Some((
+        ExactWidths { hw, ghw, fhw },
+        WidthStats {
+            hw: hw_stats,
+            ghw: ghw_stats,
+            fhw: fhw_stats,
+        },
+    ))
 }
 
 #[cfg(test)]

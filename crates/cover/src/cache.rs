@@ -1,0 +1,229 @@
+//! Concurrent, sharded price caches for `ρ` / `ρ*` cover computations.
+//!
+//! The exact width searches price the *same* bag over and over: subset bags
+//! repeat across `(component, connector)` states, and the strict-HD search
+//! re-prices separators both while checking `ρ*(H_λ) <= k` and while
+//! building the witness. Pricing (branch-and-bound set cover for `ρ`, an
+//! exact-rational LP for `ρ*`) dominates those searches, so every strategy
+//! routes its prices through one of these caches: each distinct key is
+//! priced exactly once per search, from whichever worker thread gets there
+//! first.
+//!
+//! [`ShardedCache`] is deliberately generic over key and value — the subset
+//! strategies key on the bag [`VertexSet`], the strict-HD search keys on
+//! the sorted separator edge list — and keeps hit/miss counters that the
+//! strategy wrappers surface as `SearchStats::price_hits` /
+//! `price_misses`.
+
+use crate::{FractionalCover, IntegralCover};
+use arith::Rational;
+use hypergraph::{Hypergraph, VertexSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of shards (power of two). Sized so that the engine's worker
+/// threads rarely contend on one lock.
+const SHARDS: usize = 32;
+
+/// A thread-safe memo table: `K -> V` behind `SHARDS` mutexes, with
+/// hit/miss counters. `get_or_insert_with` runs the pricing closure
+/// *outside* the shard lock, so a slow LP on one bag never blocks lookups
+/// of other bags in the same shard; the cost is that two threads racing on
+/// the same fresh key may both price it (the results are equal — pricing is
+/// deterministic — and the duplicate is dropped).
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// The cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let hit = self
+            .shard(key)
+            .lock()
+            .expect("cache poisoned")
+            .get(key)
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Inserts a value computed elsewhere (e.g. after a bound-gated skip
+    /// turned into a real price).
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, value);
+    }
+
+    /// The cached value for `key`, pricing it with `price` on a miss. The
+    /// closure runs without holding the shard lock.
+    pub fn get_or_insert_with(&self, key: &K, price: impl FnOnce() -> V) -> V
+    where
+        K: Clone,
+    {
+        if let Some(hit) = {
+            let shard = self.shard(key).lock().expect("cache poisoned");
+            shard.get(key).cloned()
+        } {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = price();
+        self.shard(key)
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone(), value.clone());
+        value
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").len())
+            .sum()
+    }
+
+    /// True iff nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A priced integral cover: `(ρ(bag), minimum cover edges)`; `None` when
+/// the bag is uncoverable.
+pub type PricedRho = Option<(usize, Vec<usize>)>;
+
+/// A priced fractional cover: `(ρ*(bag), sparse optimal weights)`; `None`
+/// when the bag is uncoverable.
+pub type PricedRhoStar = Option<(Rational, Vec<(usize, Rational)>)>;
+
+/// Shared `ρ` price cache, keyed by the bag.
+pub type RhoCache = ShardedCache<VertexSet, PricedRho>;
+
+/// Shared `ρ*` price cache, keyed by the bag.
+pub type RhoStarCache = ShardedCache<VertexSet, PricedRhoStar>;
+
+/// `ρ(bag)` with its minimum cover, through the shared cache.
+pub fn rho_priced(h: &Hypergraph, bag: &VertexSet, cache: &RhoCache) -> PricedRho {
+    cache.get_or_insert_with(bag, || {
+        crate::integral_cover(h, bag).map(|c: IntegralCover| (c.weight(), c.edges))
+    })
+}
+
+/// `ρ*(bag)` with its sparse optimal weights, through the shared cache.
+pub fn rho_star_priced(h: &Hypergraph, bag: &VertexSet, cache: &RhoStarCache) -> PricedRhoStar {
+    cache.get_or_insert_with(bag, || {
+        crate::fractional_cover(h, bag).map(|c: FractionalCover| {
+            let weights: Vec<(usize, Rational)> = c
+                .weights
+                .into_iter()
+                .enumerate()
+                .filter(|(_, w)| !w.is_zero())
+                .collect();
+            (c.weight, weights)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arith::rat;
+    use hypergraph::generators;
+
+    #[test]
+    fn prices_each_bag_once() {
+        let h = generators::cycle(3);
+        let cache = RhoStarCache::new();
+        let bag = h.all_vertices();
+        let first = rho_star_priced(&h, &bag, &cache).expect("coverable");
+        assert_eq!(first.0, rat(3, 2));
+        let again = rho_star_priced(&h, &bag, &cache).expect("coverable");
+        assert_eq!(first, again);
+        let (hits, misses) = cache.counters();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn integral_prices_agree_with_direct_covers() {
+        let h = generators::clique(5);
+        let cache = RhoCache::new();
+        let bag = h.all_vertices();
+        let (w, edges) = rho_priced(&h, &bag, &cache).expect("coverable");
+        assert_eq!(w, 3);
+        assert_eq!(edges.len(), 3);
+        let direct = crate::integral_cover(&h, &bag).expect("coverable");
+        assert_eq!(direct.weight(), w);
+    }
+
+    #[test]
+    fn uncoverable_bags_cache_their_failure() {
+        let h = hypergraph::Hypergraph::from_edges(3, vec![vec![0, 1]]);
+        let cache = RhoStarCache::new();
+        let bag = VertexSet::from_iter([2]);
+        assert_eq!(rho_star_priced(&h, &bag, &cache), None);
+        assert_eq!(rho_star_priced(&h, &bag, &cache), None);
+        assert_eq!(cache.counters(), (1, 1));
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let h = generators::clique(4);
+        let cache = RhoStarCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for v in 0..h.num_vertices() {
+                        let mut bag = h.all_vertices();
+                        bag.remove(v);
+                        let (w, _) = rho_star_priced(&h, &bag, &cache).expect("coverable");
+                        assert_eq!(w, rat(3, 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 4);
+    }
+}

@@ -31,6 +31,57 @@ impl FractionalCover {
     }
 }
 
+/// `max_e |e ∩ bag|`: the largest number of bag vertices any single edge
+/// covers. Since a cover's total coverage satisfies
+/// `Σ_e γ(e)·|e ∩ bag| >= |bag|`, this yields the counting lower bounds
+/// `rho*(bag) >= |bag| / bag_rank` and `rho(bag) >= ⌈|bag| / bag_rank⌉`
+/// that gate the width searches' pricing. Zero iff no edge meets the bag.
+pub fn bag_rank(h: &Hypergraph, bag: &VertexSet) -> usize {
+    (0..h.num_edges())
+        .map(|e| h.edge(e).intersection_len(bag))
+        .max()
+        .unwrap_or(0)
+}
+
+/// A scattered-set lower bound on cover prices: any set of bag vertices
+/// that pairwise share no edge have disjoint incident edge sets, and each
+/// needs incident weight `>= 1`, so `rho*(bag) >=` its size (and a greedy
+/// maximal such set is found in one pass over the bag). Precomputes the
+/// closed neighborhoods once so the per-bag bound is a few block ops.
+pub struct ScatterBound {
+    /// `nbrs[v] = ⋃ {e : v ∈ e}` — every vertex reachable from `v` in one
+    /// edge (including `v` itself when it is not isolated).
+    nbrs: Vec<VertexSet>,
+}
+
+impl ScatterBound {
+    /// Precomputes the closed neighborhoods of `h`.
+    pub fn new(h: &Hypergraph) -> Self {
+        let mut nbrs = vec![VertexSet::new(); h.num_vertices()];
+        for e in 0..h.num_edges() {
+            let edge = h.edge(e);
+            for v in edge.iter() {
+                nbrs[v].union_with(edge);
+            }
+        }
+        ScatterBound { nbrs }
+    }
+
+    /// Greedy maximal scattered subset of `bag`: a valid lower bound on
+    /// `rho*(bag)` (hence on `rho(bag)`).
+    pub fn lower_bound(&self, bag: &VertexSet) -> usize {
+        let mut blocked = VertexSet::new();
+        let mut count = 0;
+        for v in bag.iter() {
+            if !blocked.contains(v) {
+                count += 1;
+                blocked.union_with(&self.nbrs[v]);
+            }
+        }
+        count
+    }
+}
+
 /// `B(γ)` for an arbitrary edge-weight function.
 pub fn covered_vertices(h: &Hypergraph, weights: &[Rational]) -> VertexSet {
     let mut out = VertexSet::new();

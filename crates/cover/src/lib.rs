@@ -3,6 +3,8 @@
 //! * [`integral`] — edge cover number `rho` (ILP via branch-and-bound) and
 //!   the greedy ln(n)-approximation.
 //! * [`fractional`] — fractional edge cover number `rho*` via exact LP.
+//! * [`cache`] — concurrent sharded `ρ`/`ρ*` price caches shared by the
+//!   width-search strategies (each distinct bag is priced once per search).
 //! * [`transversal`] — `tau`, `tau*`, and the integrality gap `tigap`.
 //! * [`support`] — Füredi's bounded-support theorem (Corollary 5.5) and the
 //!   Lemma 5.6 support-reduction transformation.
@@ -10,13 +12,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod fractional;
 pub mod integral;
 pub mod support;
 pub mod transversal;
 
+pub use cache::{
+    rho_priced, rho_star_priced, PricedRho, PricedRhoStar, RhoCache, RhoStarCache, ShardedCache,
+};
 pub use fractional::{
-    covered_vertices, fractional_cover, is_fractional_cover, rho_star, FractionalCover,
+    bag_rank, covered_vertices, fractional_cover, is_fractional_cover, rho_star, FractionalCover,
+    ScatterBound,
 };
 pub use integral::{greedy_cover, integral_cover, integral_cover_bounded, rho, IntegralCover};
 pub use support::{bound_support, furedi_bound};

@@ -5,10 +5,12 @@
 //! literal fraction.
 
 use arith::Rational;
+use cover::{RhoStarCache, ShardedCache};
 use decomp::Decomposition;
-use hypergraph::{Hypergraph, VertexSet};
-use solver::{Admission, Guess, SearchContext, SearchState, WidthSolver};
-use std::collections::HashMap;
+use hypergraph::{properties, Hypergraph};
+use solver::{
+    Admission, CandidateStream, Guess, SearchContext, SearchState, SearchStats, WidthSolver,
+};
 
 /// Computes `fhw(H)` exactly together with an optimal FHD.
 ///
@@ -19,19 +21,42 @@ use std::collections::HashMap;
 /// instead. Returns `None` when `H` is larger still, has isolated
 /// vertices, or `cutoff` is given and `fhw(H) >= cutoff`.
 pub fn fhw_exact(h: &Hypergraph, cutoff: Option<Rational>) -> Option<(Rational, Decomposition)> {
+    fhw_exact_with_stats(h, cutoff, None).0
+}
+
+/// As [`fhw_exact`], also reporting engine and LP price-cache counters
+/// (all-zero when the elimination-DP fallback answered). `threads` pins the
+/// engine's worker count (`None` = host default; `Some(1)` = sequential) —
+/// the determinism tests compare the two.
+pub fn fhw_exact_with_stats(
+    h: &Hypergraph,
+    cutoff: Option<Rational>,
+    threads: Option<usize>,
+) -> (Option<(Rational, Decomposition)>, SearchStats) {
     if h.has_isolated_vertices() {
-        return None;
+        return (None, SearchStats::default());
     }
     if h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
-        return fhw_by_elimination(h, cutoff);
+        return (fhw_by_elimination(h, cutoff), SearchStats::default());
     }
-    let mut strategy = FhwSearch {
+    let strategy = FhwSearch {
         cutoff,
-        cover_cache: HashMap::new(),
+        rank: properties::rank(h),
+        scatter: cover::ScatterBound::new(h),
+        cover_cache: RhoStarCache::new(),
+        gate: ShardedCache::new(),
     };
-    let (width, d) = SearchContext::new().run(h, &mut strategy)?;
-    debug_assert!(d.width() <= width);
-    Some((width, d))
+    let cx = match threads {
+        Some(n) => SearchContext::with_threads(n),
+        None => SearchContext::new(),
+    };
+    let result = cx.run(h, &strategy).map(|(width, d)| {
+        debug_assert!(d.width() <= width);
+        (width, d)
+    });
+    let mut stats = cx.stats();
+    (stats.price_hits, stats.price_misses) = strategy.cover_cache.counters();
+    (result, stats)
 }
 
 /// The pre-engine implementation, kept for 19–24-vertex instances.
@@ -60,16 +85,47 @@ fn fhw_by_elimination(
     Some((width, d))
 }
 
-/// A priced fractional cover: `(rho*(bag), optimal weights)`.
-type PricedCover = Option<(Rational, Vec<(usize, Rational)>)>;
-
-/// The exact-`fhw` strategy: subset bags priced by `rho*` with a
-/// [`VertexSet`]-keyed LP cache.
+/// The exact-`fhw` strategy: subset bags priced by `rho*` through the
+/// shared concurrent LP price cache.
 struct FhwSearch {
     cutoff: Option<Rational>,
+    /// `rank(H)`: counting coverage gives `rho*(bag) >= |bag| / rank`, the
+    /// lower bound that gates the LP against the engine bound.
+    rank: usize,
+    /// Scattered-set lower bound (pairwise non-adjacent bag vertices each
+    /// force a unit of cover weight) — the sharpest of the pre-LP gates.
+    scatter: cover::ScatterBound,
     /// `bag -> (rho*(bag), optimal weights)` — the LP is admission's
-    /// dominant cost and bags repeat across search states.
-    cover_cache: HashMap<VertexSet, PricedCover>,
+    /// dominant cost and bags repeat across search states and worker
+    /// threads; each distinct bag is priced once per search.
+    cover_cache: RhoStarCache,
+    /// Memoized integer form of the bound gate, keyed by the bound:
+    /// `thresholds[r]` is the smallest `|bag|` rejected when at most `r`
+    /// bag vertices fit in one edge (`⌈bound · r⌉`, exact at integers).
+    /// Bounds alternate between parent and child states along the
+    /// recursion, so this is a real (small, sharded) map rather than a
+    /// one-slot memo — only a handful of distinct bounds ever occur.
+    gate: ShardedCache<Rational, Vec<usize>>,
+}
+
+impl FhwSearch {
+    /// Per-edge-coverage rejection thresholds under `bound`.
+    fn thresholds(&self, bound: &Rational) -> Vec<usize> {
+        self.gate.get_or_insert_with(bound, || {
+            (0..=self.rank)
+                .map(|r| {
+                    let product = bound * &Rational::from(r);
+                    let floor = product.floor().to_i64().unwrap_or(i64::MAX).max(0) as usize;
+                    let t = if Rational::from(floor) == product {
+                        floor
+                    } else {
+                        floor + 1
+                    };
+                    t.max(1)
+                })
+                .collect()
+        })
+    }
 }
 
 impl WidthSolver for FhwSearch {
@@ -83,32 +139,40 @@ impl WidthSolver for FhwSearch {
         self.cutoff.clone()
     }
 
-    fn propose(&mut self, _h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
-        solver::propose_subset_bags(state)
+    fn candidates<'a>(&'a self, _h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
+        solver::stream_subset_bags(state)
     }
 
     fn admit(
-        &mut self,
+        &self,
         h: &Hypergraph,
-        _state: &SearchState<'_>,
+        _state: SearchState<'_>,
         guess: &Guess,
+        bound: Option<&Rational>,
     ) -> Option<Admission<Rational>> {
         let bag = &guess.extra;
-        let (weight, weights) = self
-            .cover_cache
-            .entry(bag.clone())
-            .or_insert_with(|| {
-                cover::fractional_cover(h, bag).map(|c| {
-                    let weights: Vec<(usize, Rational)> = c
-                        .weights
-                        .into_iter()
-                        .enumerate()
-                        .filter(|(_, w)| !w.is_zero())
-                        .collect();
-                    (c.weight, weights)
-                })
-            })
-            .clone()?;
+        // Bound gates ahead of everything: a cover's total coverage gives
+        // rho*(bag) >= |bag| / r where r bounds how many bag vertices one
+        // edge covers; a bag whose bound is already at the engine bound
+        // can neither beat it nor survive the cost check, so it dies here
+        // — no LP, no cache traffic, no admission construction. The cheap
+        // global-rank gate runs first; survivors pay one O(edges) scan for
+        // the per-bag rank, which is far sharper on sparse instances.
+        // Subset bags stream smallest first, so a cheap decomposition
+        // tightens both gates early.
+        if let Some(b) = bound {
+            let t = self.thresholds(b);
+            if bag.len() >= t[self.rank]
+                || self.scatter.lower_bound(bag) >= t[1.min(self.rank)]
+                // The O(edges) per-bag rank only sharpens the global gate
+                // when rank > 2: at rank <= 2 its r = 1 case is the
+                // scattered bound's independent-bag case.
+                || (self.rank > 2 && bag.len() >= t[cover::bag_rank(h, bag).min(self.rank)])
+            {
+                return None;
+            }
+        }
+        let (weight, weights) = cover::rho_star_priced(h, bag, &self.cover_cache)?;
         Some(Admission {
             split: bag.clone(),
             bag: bag.clone(),

@@ -20,7 +20,7 @@ use arith::Rational;
 use decomp::Decomposition;
 use hypergraph::{Hypergraph, VertexSet};
 use lp::{Cmp, LinearProgram, LpResult};
-use solver::{Admission, Guess, SearchContext, SearchState, WidthSolver};
+use solver::{Admission, CandidateStream, Guess, SearchContext, SearchState, WidthSolver};
 
 /// Parameters of Algorithm 3.
 #[derive(Clone, Debug)]
@@ -45,12 +45,12 @@ pub fn frac_decomp(h: &Hypergraph, params: &FracDecompParams) -> Option<Decompos
     let budget = &params.k + &params.eps;
     let l_max_big = budget.floor();
     let l_max = l_max_big.to_i64().unwrap_or(0).max(0) as usize;
-    let mut strategy = FracDecomp {
+    let strategy = FracDecomp {
         budget,
         l_max,
         c: params.c,
     };
-    let (_, d) = SearchContext::new().run(h, &mut strategy)?;
+    let (_, d) = SearchContext::new().run(h, &strategy)?;
     Some(d)
 }
 
@@ -85,14 +85,16 @@ pub fn fhw_frac_search(
     best
 }
 
-/// The Algorithm 3 strategy: guesses `(S, W_s)` pairs combinatorially; the
+/// The Algorithm 3 strategy: streams `(S, W_s)` pairs combinatorially; the
 /// LP for the fractional part runs at admission time, so the engine's
 /// first-success cutoff skips it for losing guesses.
 ///
 /// The `(S, W_s)` shadow space is exponential in `c` by nature (that is
-/// Algorithm 3's guess space); `propose` materializes it per state, which
-/// is fine for the paper-scale `c` but is the first thing to make lazy if
-/// the engine ever grows streaming candidate support (see ROADMAP).
+/// Algorithm 3's guess space), which is exactly why the enumeration is a
+/// lazy two-level stream — the outer level walks integral parts `S`, the
+/// inner level walks shadows `W_s` for the current `S` — so the engine
+/// holds one guess at a time and a first witness leaves the rest of the
+/// space unenumerated.
 struct FracDecomp {
     budget: Rational,
     l_max: usize,
@@ -106,55 +108,58 @@ impl WidthSolver for FracDecomp {
         true
     }
 
-    fn propose(&mut self, h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
+    fn candidates<'a>(&'a self, h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
         let neighborhood = h.union_of_edges(state.comp_edges.iter().copied());
         let candidates: Vec<usize> = (0..h.num_edges())
             .filter(|&e| h.edge(e).intersects(&neighborhood))
             .collect();
         // W_s candidates: interface ∪ comp (other vertices are useless).
         let w_space: Vec<usize> = state.conn.union(state.comp).to_vec();
-        let mut seps = vec![Vec::new()];
-        seps.extend(solver::subsets_up_to(&candidates, self.l_max));
-        let mut out = Vec::new();
-        for sep in seps {
+        let c = self.c;
+        let seps =
+            std::iter::once(Vec::new()).chain(solver::stream_subsets_up_to(candidates, self.l_max));
+        let stream = seps.filter_map(move |sep| {
             let vs = h.union_of_edges(sep.iter().copied());
             // (2.b) pre-check: the uncovered part of the interface must fit
             // in W_s.
             let missing = state.conn.difference(&vs);
-            if missing.len() > self.c {
-                continue;
+            if missing.len() > c {
+                return None;
             }
             let extras: Vec<usize> = w_space
                 .iter()
                 .copied()
                 .filter(|&v| !vs.contains(v) && !missing.contains(v))
                 .collect();
-            let slots = self.c - missing.len();
-            let mut shadows = vec![Vec::new()];
-            shadows.extend(solver::subsets_up_to(&extras, slots));
-            for shadow in shadows {
+            let slots = c - missing.len();
+            let shadows =
+                std::iter::once(Vec::new()).chain(solver::stream_subsets_up_to(extras, slots));
+            let comp = state.comp;
+            let inner = shadows.filter_map(move |shadow| {
                 let mut ws = missing.clone();
                 ws.extend(shadow.iter().copied());
                 // (2.c) pre-check: V(S) ∪ W_s must eat into the component —
                 // filtered here so the admission LP never runs on
                 // structurally hopeless guesses.
-                if !vs.intersects(state.comp) && !ws.intersects(state.comp) {
-                    continue;
+                if !vs.intersects(comp) && !ws.intersects(comp) {
+                    return None;
                 }
-                out.push(Guess {
+                Some(Guess {
                     edges: sep.clone(),
                     extra: ws,
-                });
-            }
-        }
-        out
+                })
+            });
+            Some(inner)
+        });
+        CandidateStream::new(stream.flatten())
     }
 
     fn admit(
-        &mut self,
+        &self,
         h: &Hypergraph,
-        _state: &SearchState<'_>,
+        _state: SearchState<'_>,
         guess: &Guess,
+        _bound: Option<&Rational>,
     ) -> Option<Admission<Rational>> {
         let vs = h.union_of_edges(guess.edges.iter().copied());
         let bag = vs.union(&guess.extra);

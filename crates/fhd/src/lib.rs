@@ -29,8 +29,11 @@ pub mod ptaas;
 pub mod subedges;
 
 pub use approx_bip::{approx_fhd_bip, bound_fractional_part, lemma_6_4_c};
-pub use bdp::{check_fhd_bdp, fhw_bdp_integer_search, FhdAnswer};
-pub use exact::fhw_exact;
+pub use bdp::{
+    check_fhd_bdp, check_fhd_bdp_legacy, check_fhd_bdp_with_stats, fhw_bdp_integer_search,
+    FhdAnswer,
+};
+pub use exact::{fhw_exact, fhw_exact_with_stats};
 pub use forest::{intersection_forest, IntersectionForest};
 pub use frac_decomp::{fhw_frac_search, frac_decomp, FracDecompParams};
 pub use loglog::{approx_ghw_via_fhw, cigap_bound, ghd_from_fhd, CoverMode};

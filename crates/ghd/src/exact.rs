@@ -8,10 +8,12 @@
 //! algorithms.
 
 use arith::Rational;
+use cover::RhoCache;
 use decomp::Decomposition;
-use hypergraph::{Hypergraph, VertexSet};
-use solver::{Admission, Guess, SearchContext, SearchState, WidthSolver};
-use std::collections::HashMap;
+use hypergraph::{properties, Hypergraph};
+use solver::{
+    Admission, CandidateStream, Guess, SearchContext, SearchState, SearchStats, WidthSolver,
+};
 
 pub use solver::MAX_SUBSET_SEARCH_VERTICES;
 
@@ -24,19 +26,35 @@ pub use solver::MAX_SUBSET_SEARCH_VERTICES;
 /// instead. Returns `None` when `H` is larger still, has isolated
 /// vertices, or `cutoff` is given and `ghw(H) >= cutoff`.
 pub fn ghw_exact(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomposition)> {
+    ghw_exact_with_stats(h, cutoff).0
+}
+
+/// As [`ghw_exact`], also reporting engine and price-cache counters
+/// (all-zero when the elimination-DP fallback answered).
+pub fn ghw_exact_with_stats(
+    h: &Hypergraph,
+    cutoff: Option<usize>,
+) -> (Option<(usize, Decomposition)>, SearchStats) {
     if h.has_isolated_vertices() {
-        return None;
+        return (None, SearchStats::default());
     }
     if h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
-        return ghw_by_elimination(h, cutoff);
+        return (ghw_by_elimination(h, cutoff), SearchStats::default());
     }
-    let mut strategy = GhwSearch {
+    let strategy = GhwSearch {
         cutoff,
-        cover_cache: HashMap::new(),
+        rank: properties::rank(h),
+        scatter: cover::ScatterBound::new(h),
+        cover_cache: RhoCache::new(),
     };
-    let (width, d) = SearchContext::new().run(h, &mut strategy)?;
-    debug_assert!(d.width() <= Rational::from(width));
-    Some((width, d))
+    let cx = SearchContext::new();
+    let result = cx.run(h, &strategy).map(|(width, d)| {
+        debug_assert!(d.width() <= Rational::from(width));
+        (width, d)
+    });
+    let mut stats = cx.stats();
+    (stats.price_hits, stats.price_misses) = strategy.cover_cache.counters();
+    (result, stats)
 }
 
 /// The pre-engine implementation, kept for 19–24-vertex instances.
@@ -63,13 +81,20 @@ fn ghw_by_elimination(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, D
 }
 
 /// The exact-`ghw` strategy: every bag between the connector and the whole
-/// component, priced by `rho` with a [`VertexSet`]-keyed cover cache.
+/// component, priced by `rho` through the shared concurrent cover cache.
 struct GhwSearch {
     cutoff: Option<usize>,
+    /// `rank(H)`: a bag needs at least `⌈|bag| / rank⌉` cover edges, the
+    /// lower bound that gates branch-and-bound pricing against the engine
+    /// bound.
+    rank: usize,
+    /// Scattered-set lower bound (pairwise non-adjacent bag vertices each
+    /// force a whole cover edge) — the sharpest of the pre-pricing gates.
+    scatter: cover::ScatterBound,
     /// `bag -> (rho(bag), minimum cover)` — bags repeat heavily across
-    /// search states, and the branch-and-bound cover search is the
-    /// expensive part of admission.
-    cover_cache: HashMap<VertexSet, Option<(usize, Vec<usize>)>>,
+    /// search states and worker threads, and the branch-and-bound cover
+    /// search is the expensive part of admission.
+    cover_cache: RhoCache,
 }
 
 impl WidthSolver for GhwSearch {
@@ -83,22 +108,44 @@ impl WidthSolver for GhwSearch {
         self.cutoff
     }
 
-    fn propose(&mut self, _h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
-        solver::propose_subset_bags(state)
+    fn candidates<'a>(&'a self, _h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
+        solver::stream_subset_bags(state)
     }
 
     fn admit(
-        &mut self,
+        &self,
         h: &Hypergraph,
-        _state: &SearchState<'_>,
+        _state: SearchState<'_>,
         guess: &Guess,
+        bound: Option<&usize>,
     ) -> Option<Admission<usize>> {
         let bag = &guess.extra;
-        let (weight, edges) = self
-            .cover_cache
-            .entry(bag.clone())
-            .or_insert_with(|| cover::integral_cover(h, bag).map(|c| (c.weight(), c.edges)))
-            .clone()?;
+        // Bound gates ahead of pricing: rho(bag) >= ceil(|bag| / r) where
+        // r bounds how many bag vertices one edge covers, so once a cheap
+        // decomposition is known, hopeless bags are rejected without a
+        // cover search, cache traffic or admission construction. The
+        // global rank runs first; survivors pay one O(edges) scan for the
+        // sharper per-bag rank.
+        if let Some(b) = bound {
+            if bag.len().div_ceil(self.rank) >= *b {
+                return None;
+            }
+            // Scattered-set bound: pairwise non-adjacent bag vertices each
+            // force a whole cover edge of their own.
+            if self.scatter.lower_bound(bag) >= *b {
+                return None;
+            }
+            // The O(edges) per-bag rank only sharpens the global gate when
+            // rank > 2: at rank <= 2 its r = 1 case is the scattered
+            // bound's independent-bag case.
+            if self.rank > 2 {
+                let r = cover::bag_rank(h, bag);
+                if r == 0 || bag.len().div_ceil(r) >= *b {
+                    return None;
+                }
+            }
+        }
+        let (weight, edges) = cover::rho_priced(h, bag, &self.cover_cache)?;
         Some(Admission {
             split: bag.clone(),
             bag: bag.clone(),

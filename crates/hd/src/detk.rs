@@ -20,24 +20,52 @@
 use arith::Rational;
 use decomp::Decomposition;
 use hypergraph::{Hypergraph, VertexSet};
-use solver::{Admission, Guess, SearchContext, SearchState, WidthSolver};
+use solver::{
+    Admission, CandidateStream, Guess, SearchContext, SearchState, SearchStats, WidthSolver,
+};
 
 /// Decides `Check(HD, k)`: returns a hypertree decomposition of width
 /// `<= k` if one exists, `None` otherwise.
 pub fn check_hd(h: &Hypergraph, k: usize) -> Option<Decomposition> {
+    check_hd_with_stats(h, k).0
+}
+
+/// As [`check_hd`], also reporting the engine counters of this check.
+pub fn check_hd_with_stats(h: &Hypergraph, k: usize) -> (Option<Decomposition>, SearchStats) {
     assert!(k >= 1, "width bound must be positive");
     if h.has_isolated_vertices() {
-        return None;
+        return (None, SearchStats::default());
     }
-    let mut strategy = DetK { k };
-    let (_, d) = SearchContext::new().run(h, &mut strategy)?;
-    Some(d)
+    let strategy = DetK { k };
+    let cx = SearchContext::new();
+    let result = cx.run(h, &strategy).map(|(_, d)| d);
+    (result, cx.stats())
 }
 
 /// `hw(H)` by iterating `k = 1, 2, ...` up to `max_k`; returns the width and
 /// a witness HD, or `None` if `hw(H) > max_k`.
 pub fn hypertree_width(h: &Hypergraph, max_k: usize) -> Option<(usize, Decomposition)> {
     (1..=max_k).find_map(|k| check_hd(h, k).map(|d| (k, d)))
+}
+
+/// As [`hypertree_width`], also reporting the engine counters summed over
+/// the `k = 1, 2, ...` checks.
+pub fn hypertree_width_with_stats(
+    h: &Hypergraph,
+    max_k: usize,
+) -> (Option<(usize, Decomposition)>, SearchStats) {
+    let mut total = SearchStats::default();
+    for k in 1..=max_k {
+        let (d, stats) = check_hd_with_stats(h, k);
+        total.states += stats.states;
+        total.memo_hits += stats.memo_hits;
+        total.streamed += stats.streamed;
+        total.admitted += stats.admitted;
+        if let Some(d) = d {
+            return (Some((k, d)), total);
+        }
+    }
+    (None, total)
 }
 
 /// The `det-k-decomp` strategy: separators are edge sets `S` with
@@ -54,7 +82,7 @@ impl WidthSolver for DetK {
         true
     }
 
-    fn propose(&mut self, h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
+    fn candidates<'a>(&'a self, h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
         // Candidate separator edges: anything touching the component's
         // closed neighborhood (others can be dropped from any valid S
         // without affecting the checks or the components inside `comp`).
@@ -63,21 +91,22 @@ impl WidthSolver for DetK {
             .filter(|&e| h.edge(e).intersects(&neighborhood))
             .collect();
         // Combinatorial only — V(S) and the (2.b) check are deferred to
-        // `admit` so a first-success exit skips them for untried guesses.
-        solver::subsets_up_to(&candidates, self.k)
-            .into_iter()
-            .map(|sep| Guess {
+        // `admit`, and the subset enumeration is lazy, so the first-success
+        // exit leaves the untried tail of the space unenumerated.
+        CandidateStream::new(
+            solver::stream_subsets_up_to(candidates, self.k).map(|sep| Guess {
                 edges: sep,
                 extra: VertexSet::new(),
-            })
-            .collect()
+            }),
+        )
     }
 
     fn admit(
-        &mut self,
+        &self,
         h: &Hypergraph,
-        state: &SearchState<'_>,
+        state: SearchState<'_>,
         guess: &Guess,
+        _bound: Option<&usize>,
     ) -> Option<Admission<usize>> {
         let vs = h.union_of_edges(guess.edges.iter().copied());
         // (2.b): conn ⊆ V(S).

@@ -8,4 +8,4 @@
 
 mod detk;
 
-pub use detk::{check_hd, hypertree_width};
+pub use detk::{check_hd, check_hd_with_stats, hypertree_width, hypertree_width_with_stats};

@@ -161,6 +161,17 @@ impl VertexSet {
         s
     }
 
+    /// `|self ∩ other|` without materializing the intersection — the hot
+    /// primitive behind the width searches' cover lower bounds.
+    #[inline]
+    pub fn intersection_len(&self, other: &VertexSet) -> usize {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// True iff `self ⊆ other`.
     #[inline]
     pub fn is_subset(&self, other: &VertexSet) -> bool {
@@ -265,6 +276,8 @@ mod tests {
         let b = VertexSet::from_iter([3, 64, 65]);
         assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 64, 65]);
         assert_eq!(a.intersection(&b).to_vec(), vec![3, 64]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.intersection_len(&VertexSet::new()), 0);
         assert_eq!(a.difference(&b).to_vec(), vec![1, 2]);
         assert!(a.intersection(&b).is_subset(&a));
         assert!(a.intersection(&b).is_subset(&b));

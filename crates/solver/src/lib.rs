@@ -1,55 +1,74 @@
 //! The shared decomposition-search engine behind every exact width solver in
 //! the workspace.
 //!
-//! `det-k-decomp` (Gottlob–Leone–Scarcello), the exact `ghw`/`fhw` baselines
-//! and Algorithm 3 (`frac-decomp`) all share one recursion scheme: work on a
-//! pair `(C, conn)` where `C` is a connected component of the hypergraph
-//! minus the separator chosen above, and `conn` is the part of the parent
-//! separator visible from `C`; guess a separator/bag for the node covering
-//! `conn`, split `C` into sub-components, and recurse. The algorithms differ
-//! only in *which candidate bags they enumerate* and *how a candidate is
-//! priced* (edge counts, `ρ`, `ρ*`, or an LP for the fractional part).
+//! `det-k-decomp` (Gottlob–Leone–Scarcello), the exact `ghw`/`fhw` baselines,
+//! Algorithm 3 (`frac-decomp`) and the Theorem 5.2 strict-HD search all share
+//! one recursion scheme: work on a pair `(C, conn)` where `C` is a connected
+//! component of the hypergraph minus the separator chosen above, and `conn`
+//! is the part of the parent separator visible from `C`; guess a
+//! separator/bag for the node covering `conn`, split `C` into
+//! sub-components, and recurse. The algorithms differ only in *which
+//! candidate bags they enumerate* and *how a candidate is priced* (edge
+//! counts, `ρ`, `ρ*`, or an LP for the fractional part).
 //!
 //! This crate owns the recursion: [`SearchContext`] carries the
-//! `(component, connector)` memo table keyed on [`VertexSet`] pairs, performs
-//! component splitting, applies the cutoff, and assembles the witness
-//! [`Decomposition`] from the recorded plans. Concrete solvers implement
-//! [`WidthSolver`] — a pure strategy that proposes cheap combinatorial
-//! guesses ([`WidthSolver::propose`]) and then prices/validates them
-//! ([`WidthSolver::admit`], where set covers and LPs run).
+//! `(component, connector)` memo table keyed on [`VertexSet`] tuples,
+//! performs component splitting, applies the cutoff, and assembles the
+//! witness [`Decomposition`] from the recorded plans. Concrete solvers
+//! implement [`WidthSolver`] — a pure strategy that *streams* cheap
+//! combinatorial guesses ([`WidthSolver::candidates`]) and then
+//! prices/validates them ([`WidthSolver::admit`], where set covers and LPs
+//! run).
 //!
-//! Decision strategies (`Check(HD, k)`, `frac-decomp`) accept the first
-//! admitted candidate whose sub-components all decompose; minimizing
-//! strategies (exact `ghw` / `fhw`) exhaust the candidate space and return
-//! the smallest achievable maximum cost.
+//! Three engine properties the strategies rely on:
+//!
+//! * **Streaming.** Candidates are pulled one at a time from a lazy
+//!   [`CandidateStream`]; nothing is materialized ahead of the cursor, so
+//!   decision strategies run in `O(depth)` candidate memory and
+//!   short-circuit on the first witness.
+//! * **Parallelism.** Minimizing strategies must exhaust their candidate
+//!   space, so independent candidates of one node are evaluated across
+//!   worker threads (std scoped threads) over the sharded memo. The result
+//!   is deterministic — the minimum over an exhausted candidate space does
+//!   not depend on evaluation order — only the witness choice among
+//!   equal-cost decompositions may vary.
+//! * **State keys.** A strategy whose admissible candidates depend on more
+//!   than `(C, conn)` (the strict-HD search couples to the parent
+//!   separator's full vertex span) extends the memo key through
+//!   [`WidthSolver::state_key`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use arith::Rational;
+use cover::ShardedCache;
 use decomp::{Decomposition, Node};
 use hypergraph::{components, Hypergraph, VertexSet};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Practical vertex limit for the subset-enumerating exact strategies
 /// (`ghw`/`fhw` baselines): those strategies propose every bag
 /// `conn ⊆ B ⊆ conn ∪ C`, which is exponential in `|C|`.
 pub const MAX_SUBSET_SEARCH_VERTICES: usize = 18;
 
-/// A cheap combinatorial guess for one search node, produced by
-/// [`WidthSolver::propose`] before any cover/LP pricing runs. A guess is
-/// deliberately *cheap* — combinatorial payload only, no derived vertex
-/// sets — so that decision strategies keep their first-success early exit:
-/// the per-candidate set unions, covers and LPs all run lazily in
-/// [`WidthSolver::admit`].
+/// Upper bound on worker threads per search, whatever the host reports.
+const MAX_THREADS: usize = 8;
+
+/// A cheap combinatorial guess for one search node, produced by the
+/// strategy's [`CandidateStream`] before any cover/LP pricing runs. A guess
+/// is deliberately *cheap* — combinatorial payload only, no derived vertex
+/// sets beyond what the enumerator had in hand — so that decision
+/// strategies keep their first-success early exit: the per-candidate set
+/// unions, covers and LPs all run lazily in [`WidthSolver::admit`].
 #[derive(Clone, Debug)]
 pub struct Guess {
     /// The chosen integral separator edges (`supp(λ)`), if the strategy
     /// works with explicit edge sets.
     pub edges: Vec<usize>,
     /// Strategy-specific vertex payload: the candidate bag for the subset
-    /// strategies, the fractional shadow `W_s` for `frac-decomp`, empty
-    /// for `det-k-decomp`.
+    /// strategies, the fractional shadow `W_s` for `frac-decomp`, the
+    /// separator union for the strict-HD search, empty for `det-k-decomp`.
     pub extra: VertexSet,
 }
 
@@ -74,6 +93,10 @@ pub struct Admission<C> {
 }
 
 /// One `(component, connector)` search state, handed to the strategy.
+///
+/// `Copy`: the state is three-plus-one borrows, cheap to capture by value
+/// inside the closures that make up a lazy [`CandidateStream`].
+#[derive(Clone, Copy)]
 pub struct SearchState<'a> {
     /// The current component `C`.
     pub comp: &'a VertexSet,
@@ -82,13 +105,60 @@ pub struct SearchState<'a> {
     pub conn: &'a VertexSet,
     /// `edges(C)`: indices of edges intersecting `C`.
     pub comp_edges: &'a [usize],
+    /// The parent node's *full* split set (`V(S)` of the node above; empty
+    /// at the root). Most strategies ignore it — `conn` is the part that
+    /// matters for the cover condition — but strategies with a
+    /// [`WidthSolver::state_key`] (the strict-HD search) read the trace of
+    /// the parent separator beyond `conn` from here.
+    pub parent_split: &'a VertexSet,
+}
+
+/// A pull-based, lazily evaluated stream of [`Guess`]es for one search
+/// state. Strategies build it from closures/iterators that enumerate their
+/// candidate space on demand; the engine pulls guesses one at a time
+/// (decision strategies) or in bounded rounds (parallel minimizers), so the
+/// enumeration never materializes more than the engine's current window.
+pub struct CandidateStream<'a> {
+    inner: Box<dyn Iterator<Item = Guess> + Send + 'a>,
+}
+
+impl<'a> CandidateStream<'a> {
+    /// Wraps any (sendable) iterator of guesses.
+    pub fn new<I>(iter: I) -> Self
+    where
+        I: Iterator<Item = Guess> + Send + 'a,
+    {
+        CandidateStream {
+            inner: Box::new(iter),
+        }
+    }
+
+    /// The empty stream (no candidates for this state).
+    pub fn empty() -> Self {
+        CandidateStream {
+            inner: Box::new(std::iter::empty()),
+        }
+    }
+}
+
+impl Iterator for CandidateStream<'_> {
+    type Item = Guess;
+
+    fn next(&mut self) -> Option<Guess> {
+        self.inner.next()
+    }
 }
 
 /// A width-solver strategy: everything that distinguishes `det-k-decomp`
-/// from the exact `ghw`/`fhw` searches and from `frac-decomp`.
-pub trait WidthSolver {
+/// from the exact `ghw`/`fhw` searches, `frac-decomp` and the strict-HD
+/// search.
+///
+/// `Sync` + `&self` methods: the engine calls [`WidthSolver::admit`] from
+/// worker threads, so per-strategy caches must be interior-mutable and
+/// thread-safe (see `cover::cache::ShardedCache`).
+pub trait WidthSolver: Sync {
     /// Cost type of a node (edge count, `ρ`, `ρ*`, ...).
-    type Cost: Ord + Clone;
+    type Cost: Ord + Clone + Send + Sync;
 
     /// Decision strategies stop at the first admitted candidate whose
     /// sub-components all decompose; minimizers exhaust the space.
@@ -100,20 +170,47 @@ pub trait WidthSolver {
         None
     }
 
-    /// Enumerates combinatorial candidates for a state. Cheap: no covers,
-    /// LPs or per-candidate unions here — those run in
+    /// Declares whether [`WidthSolver::state_key`] can return `Some`. When
+    /// `false` (the default) the engine skips the per-state derivation
+    /// (`edges_intersecting` + the state-key call) on the memo-hit fast
+    /// path, so hits cost one probe.
+    fn has_state_key(&self) -> bool {
+        false
+    }
+
+    /// Extra memo-key component for strategies whose candidate space
+    /// depends on more of the parent context than `(comp, conn)`. The
+    /// strict-HD search returns the strictness `allowed` trace
+    /// (`comp ∪ (parent_split ∩ span(candidate edges))`); everyone else
+    /// keeps the default `None`. Implementors must also override
+    /// [`WidthSolver::has_state_key`].
+    fn state_key(&self, h: &Hypergraph, state: SearchState<'_>) -> Option<VertexSet> {
+        let _ = (h, state);
+        None
+    }
+
+    /// Opens the lazy candidate stream for a state. Cheap per pulled
+    /// guess: no covers, LPs or per-candidate unions here — those run in
     /// [`WidthSolver::admit`], which the engine calls lazily (decision
-    /// strategies often stop long before the end of the candidate list).
-    fn propose(&mut self, h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess>;
+    /// strategies often stop long before the stream is dry).
+    fn candidates<'a>(&'a self, h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a>;
 
     /// Prices and validates a guess — the expensive per-candidate work
     /// (set unions, covers, LPs) lives here. Returns the separator
     /// geometry, cost and witness weights; `None` rejects the candidate.
+    ///
+    /// `bound` is a pruning contract, not a hint: the engine discards any
+    /// admission with `cost >= bound` (it is the minimum of the strategy
+    /// cutoff and the best cost already achieved for this state), so the
+    /// strategy may return `None` without pricing whenever a cheap lower
+    /// bound on the cost already reaches `bound`. Skipping this way never
+    /// changes the computed width.
     fn admit(
-        &mut self,
+        &self,
         h: &Hypergraph,
-        state: &SearchState<'_>,
+        state: SearchState<'_>,
         guess: &Guess,
+        bound: Option<&Self::Cost>,
     ) -> Option<Admission<Self::Cost>>;
 }
 
@@ -129,51 +226,122 @@ struct Plan<C> {
     cost: C,
 }
 
-/// Counters exposed for tests and benchmarks.
+/// Engine counters, exposed through [`SearchContext::stats`] for tests,
+/// `hgtool widths --stats` and the `baseline` bin. The `price_*` fields are
+/// filled in by the strategy wrappers from their shared cover-price caches
+/// (the engine itself never prices anything).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Search states entered (memo misses).
     pub states: usize,
     /// Memo hits.
     pub memo_hits: usize,
-    /// Guesses proposed by the strategy.
-    pub proposed: usize,
-    /// Guesses admitted (priced successfully).
+    /// Guesses pulled from candidate streams. With eager `Vec` proposal
+    /// this used to equal the whole candidate space; streaming decision
+    /// searches stop pulling at the first witness.
+    pub streamed: usize,
+    /// Guesses admitted (priced successfully under the bound).
     pub admitted: usize,
+    /// Cover/LP price-cache hits (ρ/ρ* priced bags served from cache).
+    pub price_hits: usize,
+    /// Cover/LP price-cache misses (ρ/ρ* prices actually computed).
+    pub price_misses: usize,
 }
 
-/// The shared search engine: memoized `(component, connector)` recursion
-/// with witness assembly.
+impl SearchStats {
+    /// Price-cache hit rate over all price lookups.
+    pub fn price_hit_rate(&self) -> f64 {
+        let total = self.price_hits + self.price_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.price_hits as f64 / total as f64
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    streamed: AtomicUsize,
+    admitted: AtomicUsize,
+}
+
+/// Memo key: `(component, connector)` plus the optional strategy state key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    comp: VertexSet,
+    conn: VertexSet,
+    skey: Option<VertexSet>,
+}
+
+/// The shared search engine: memoized `(component, connector[, state key])`
+/// recursion with witness assembly. The memo is a concurrent
+/// [`ShardedCache`] and every search method takes `&self`, so worker
+/// threads evaluating sibling candidates recurse through one context
+/// concurrently. The cache's hit/miss counters double as the
+/// `memo_hits`/`states` stats (every miss becomes a computed state).
 pub struct SearchContext<C> {
-    /// `(component, connector) -> (best cost, plan)`; `None` records failure.
-    memo: HashMap<(VertexSet, VertexSet), Option<(C, usize)>>,
-    plans: Vec<Plan<C>>,
-    /// Search counters.
-    pub stats: SearchStats,
+    memo: ShardedCache<MemoKey, Option<(C, usize)>>,
+    plans: Mutex<Vec<Plan<C>>>,
+    stats: AtomicStats,
+    /// Configured worker-thread budget (1 = sequential).
+    threads: usize,
+    /// Spare worker permits; states fan out only while permits last, which
+    /// caps total live threads at `threads` without nested oversubscription.
+    permits: AtomicUsize,
 }
 
-impl<C: Ord + Clone> SearchContext<C> {
-    /// An empty context.
+impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
+    /// A context with the default parallelism (host parallelism, capped).
+    /// Decision strategies always run sequentially regardless — parallel
+    /// speculation would break their first-witness short-circuit.
     pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_THREADS);
+        Self::with_threads(threads)
+    }
+
+    /// A context evaluating candidates on up to `threads` workers
+    /// (`1` = strictly sequential; used by the determinism tests).
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
         SearchContext {
-            memo: HashMap::new(),
-            plans: Vec::new(),
-            stats: SearchStats::default(),
+            memo: ShardedCache::new(),
+            plans: Mutex::new(Vec::new()),
+            stats: AtomicStats::default(),
+            threads,
+            permits: AtomicUsize::new(threads - 1),
+        }
+    }
+
+    /// Snapshot of the engine counters (the `price_*` fields are zero here;
+    /// strategy wrappers merge their cache counters on top).
+    pub fn stats(&self) -> SearchStats {
+        let (memo_hits, states) = self.memo.counters();
+        SearchStats {
+            states,
+            memo_hits,
+            streamed: self.stats.streamed.load(Ordering::Relaxed),
+            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            price_hits: 0,
+            price_misses: 0,
         }
     }
 
     /// Decomposes the whole hypergraph with `strategy`; returns the achieved
     /// cost (maximum over nodes) and the witness.
     pub fn run<S: WidthSolver<Cost = C>>(
-        &mut self,
+        &self,
         h: &Hypergraph,
-        strategy: &mut S,
+        strategy: &S,
     ) -> Option<(C, Decomposition)> {
         if h.num_vertices() == 0 {
             return None;
         }
         let root = h.all_vertices();
-        let (cost, plan) = self.solve(h, strategy, &root, &VertexSet::new())?;
+        let empty = VertexSet::new();
+        let (cost, plan) = self.solve(h, strategy, &root, &empty, &empty)?;
         let d = self.assemble(&root, plan);
         Some((cost, d))
     }
@@ -182,219 +350,412 @@ impl<C: Ord + Clone> SearchContext<C> {
     /// maximum cost of a decomposition fragment covering `comp` whose apex
     /// bag contains `conn`, or `None` if none exists under the cutoff.
     pub fn solve<S: WidthSolver<Cost = C>>(
-        &mut self,
+        &self,
         h: &Hypergraph,
-        strategy: &mut S,
+        strategy: &S,
         comp: &VertexSet,
         conn: &VertexSet,
+        parent_split: &VertexSet,
     ) -> Option<(C, usize)> {
-        let key = (comp.clone(), conn.clone());
-        if let Some(hit) = self.memo.get(&key) {
-            self.stats.memo_hits += 1;
-            return hit.clone();
+        if strategy.has_state_key() {
+            // The memo key needs the derived state, so build it up front.
+            let comp_edges = h.edges_intersecting(comp);
+            let state = SearchState {
+                comp,
+                conn,
+                comp_edges: &comp_edges,
+                parent_split,
+            };
+            let key = MemoKey {
+                comp: comp.clone(),
+                conn: conn.clone(),
+                skey: strategy.state_key(h, state),
+            };
+            if let Some(hit) = self.memo.get(&key) {
+                return hit;
+            }
+            self.compute_state(h, strategy, state, key)
+        } else {
+            // Fast path: probe on `(comp, conn)` alone — a memo hit costs
+            // one lookup, no edge scan.
+            let key = MemoKey {
+                comp: comp.clone(),
+                conn: conn.clone(),
+                skey: None,
+            };
+            if let Some(hit) = self.memo.get(&key) {
+                return hit;
+            }
+            let comp_edges = h.edges_intersecting(comp);
+            let state = SearchState {
+                comp,
+                conn,
+                comp_edges: &comp_edges,
+                parent_split,
+            };
+            self.compute_state(h, strategy, state, key)
         }
-        self.stats.states += 1;
-        let comp_edges = h.edges_intersecting(comp);
-        let state = SearchState {
-            comp,
-            conn,
-            comp_edges: &comp_edges,
-        };
-        let guesses = strategy.propose(h, &state);
-        self.stats.proposed += guesses.len();
-        let cutoff = strategy.cutoff();
-        let decision = strategy.is_decision();
-        let mut best: Option<(C, usize)> = None;
+    }
 
-        'guesses: for guess in &guesses {
-            // Admission runs first — it derives the separator geometry and
-            // prices it, rejecting structurally or cost-wise hopeless
-            // guesses without the engine ever materializing them.
-            let Some(admission) = strategy.admit(h, &state, guess) else {
-                continue;
-            };
-            self.stats.admitted += 1;
-            // Progress: the separator must eat into the component.
-            if !admission.split.intersects(comp) {
-                continue;
-            }
-            // Cover condition: the connector must sit inside the bag.
-            if !conn.is_subset(&admission.bag) {
-                continue;
-            }
-            if let Some(cut) = &cutoff {
-                if &admission.cost >= cut {
-                    continue;
-                }
-            }
-            if let Some((best_cost, _)) = &best {
-                // max(cost, children) >= cost, so this cannot improve.
-                if &admission.cost >= best_cost {
-                    continue;
-                }
-            }
-            // Split into sub-components and make sure no component edge is
-            // lost: each edge of the region must lie inside the bag's span
-            // or continue into exactly one sub-component.
-            let subs: Vec<VertexSet> = components::components(h, &admission.split)
-                .into_iter()
-                .filter(|sub| sub.is_subset(comp))
-                .collect();
-            for &e in &comp_edges {
-                let edge = h.edge(e);
-                if edge.is_subset(&admission.split) {
-                    continue;
-                }
-                let remainder = edge.difference(&admission.split);
-                if !subs.iter().any(|sub| remainder.is_subset(sub)) {
-                    continue 'guesses;
-                }
-            }
-            let mut total = admission.cost.clone();
-            let mut children = Vec::with_capacity(subs.len());
-            for sub in &subs {
-                let sub_edges = h.edges_intersecting(sub);
-                let span = h.union_of_edges(sub_edges.iter().copied());
-                let sub_conn = admission.split.intersection(&span);
-                let Some((child_cost, child_plan)) = self.solve(h, strategy, sub, &sub_conn) else {
-                    continue 'guesses;
+    /// Evaluates a freshly entered (memo-missed) state and records the
+    /// result.
+    fn compute_state<S: WidthSolver<Cost = C>>(
+        &self,
+        h: &Hypergraph,
+        strategy: &S,
+        state: SearchState<'_>,
+        key: MemoKey,
+    ) -> Option<(C, usize)> {
+        let decision = strategy.is_decision();
+        let stream = strategy.candidates(h, state);
+        let best: Option<(C, Plan<C>)> = if decision || self.threads == 1 {
+            self.evaluate_sequential(h, strategy, state, stream, decision)
+        } else {
+            self.evaluate_parallel(h, strategy, state, stream)
+        };
+
+        let entry = best.map(|(cost, plan)| {
+            let mut plans = self.plans.lock().expect("plan arena poisoned");
+            plans.push(plan);
+            (cost, plans.len() - 1)
+        });
+        self.memo.insert(key, entry.clone());
+        entry
+    }
+
+    /// The sequential candidate loop: pull, evaluate, keep the minimum.
+    /// Decision strategies return at the first fully decomposing candidate.
+    fn evaluate_sequential<S: WidthSolver<Cost = C>>(
+        &self,
+        h: &Hypergraph,
+        strategy: &S,
+        state: SearchState<'_>,
+        stream: CandidateStream<'_>,
+        decision: bool,
+    ) -> Option<(C, Plan<C>)> {
+        let cutoff = strategy.cutoff();
+        let mut best: Option<(C, Plan<C>)> = None;
+        let mut streamed = 0usize;
+        for guess in stream {
+            streamed += 1;
+            let bound = tighter(cutoff.as_ref(), best.as_ref().map(|(c, _)| c));
+            if let Some(found) = self.evaluate_candidate(h, strategy, state, &guess, bound) {
+                let improves = match &best {
+                    None => true,
+                    Some((best_cost, _)) => &found.0 < best_cost,
                 };
-                total = total.max(child_cost);
-                children.push((sub.clone(), child_plan));
-            }
-            let improves = match &best {
-                None => true,
-                Some((best_cost, _)) => &total < best_cost,
-            };
-            if improves {
-                self.plans.push(Plan {
-                    bag: admission.bag,
-                    weights: admission.weights,
-                    children,
-                    cost: total.clone(),
-                });
-                best = Some((total, self.plans.len() - 1));
-                if decision {
-                    break;
+                if improves {
+                    best = Some(found);
+                    if decision {
+                        break;
+                    }
                 }
             }
         }
-        self.memo.insert(key, best.clone());
+        self.stats.streamed.fetch_add(streamed, Ordering::Relaxed);
         best
+    }
+
+    /// The parallel candidate loop for minimizing strategies: one set of
+    /// scoped worker threads per state, each pulling guesses from the
+    /// shared stream (one at a time — nothing is materialized) and running
+    /// admission, pricing and the recursive descent through the sharded
+    /// memo independently, merging into the shared best. The minimum over
+    /// the exhausted space is order-independent, so the returned cost
+    /// equals the sequential one.
+    ///
+    /// The whole state holds its worker permits until the stream is dry;
+    /// states deeper in the recursion find no spare permits and run
+    /// sequentially, which caps live threads at the configured budget
+    /// without nested oversubscription.
+    fn evaluate_parallel<S: WidthSolver<Cost = C>>(
+        &self,
+        h: &Hypergraph,
+        strategy: &S,
+        state: SearchState<'_>,
+        stream: CandidateStream<'_>,
+    ) -> Option<(C, Plan<C>)> {
+        let extra = self.acquire_permits(self.threads - 1);
+        if extra == 0 {
+            return self.evaluate_sequential(h, strategy, state, stream, false);
+        }
+        let cutoff = strategy.cutoff();
+        let stream = Mutex::new(stream);
+        let best: Mutex<Option<(C, Plan<C>)>> = Mutex::new(None);
+        let worker = || {
+            let mut streamed = 0usize;
+            loop {
+                let Some(guess) = stream.lock().expect("stream poisoned").next() else {
+                    break;
+                };
+                streamed += 1;
+                let bound: Option<C> = {
+                    let slot = best.lock().expect("best poisoned");
+                    tighter(cutoff.as_ref(), slot.as_ref().map(|(c, _)| c)).cloned()
+                };
+                if let Some(found) =
+                    self.evaluate_candidate(h, strategy, state, &guess, bound.as_ref())
+                {
+                    merge_min(&best, found);
+                }
+            }
+            self.stats.streamed.fetch_add(streamed, Ordering::Relaxed);
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..extra {
+                scope.spawn(worker);
+            }
+            worker();
+        });
+        self.release_permits(extra);
+        best.into_inner().expect("best poisoned")
+    }
+
+    /// Admits one guess and, if it survives the structural checks, solves
+    /// all sub-components; returns the candidate's achieved cost and plan.
+    fn evaluate_candidate<S: WidthSolver<Cost = C>>(
+        &self,
+        h: &Hypergraph,
+        strategy: &S,
+        state: SearchState<'_>,
+        guess: &Guess,
+        bound: Option<&C>,
+    ) -> Option<(C, Plan<C>)> {
+        // Admission runs first — it derives the separator geometry and
+        // prices it, rejecting structurally or cost-wise hopeless guesses
+        // without the engine ever materializing them.
+        let admission = strategy.admit(h, state, guess, bound)?;
+        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        // Progress: the separator must eat into the component.
+        if !admission.split.intersects(state.comp) {
+            return None;
+        }
+        // Cover condition: the connector must sit inside the bag.
+        if !state.conn.is_subset(&admission.bag) {
+            return None;
+        }
+        if let Some(b) = bound {
+            // Covers the strategy cutoff and the best-so-far prune alike:
+            // max(cost, children) >= cost >= bound cannot improve.
+            if &admission.cost >= b {
+                return None;
+            }
+        }
+        // Split into sub-components and make sure no component edge is
+        // lost: each edge of the region must lie inside the bag's span
+        // or continue into exactly one sub-component.
+        let subs: Vec<VertexSet> = components::components(h, &admission.split)
+            .into_iter()
+            .filter(|sub| sub.is_subset(state.comp))
+            .collect();
+        for &e in state.comp_edges {
+            let edge = h.edge(e);
+            if edge.is_subset(&admission.split) {
+                continue;
+            }
+            let remainder = edge.difference(&admission.split);
+            if !subs.iter().any(|sub| remainder.is_subset(sub)) {
+                return None;
+            }
+        }
+        let mut total = admission.cost.clone();
+        let mut children = Vec::with_capacity(subs.len());
+        for sub in &subs {
+            let sub_edges = h.edges_intersecting(sub);
+            let span = h.union_of_edges(sub_edges.iter().copied());
+            let sub_conn = admission.split.intersection(&span);
+            let (child_cost, child_plan) =
+                self.solve(h, strategy, sub, &sub_conn, &admission.split)?;
+            total = total.max(child_cost);
+            children.push((sub.clone(), child_plan));
+        }
+        Some((
+            total.clone(),
+            Plan {
+                bag: admission.bag,
+                weights: admission.weights,
+                children,
+                cost: total,
+            },
+        ))
+    }
+
+    fn acquire_permits(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut got = 0;
+        let _ = self
+            .permits
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |avail| {
+                got = avail.min(want);
+                Some(avail - got)
+            });
+        got
+    }
+
+    fn release_permits(&self, n: usize) {
+        if n > 0 {
+            self.permits.fetch_add(n, Ordering::AcqRel);
+        }
     }
 
     /// Materializes the witness decomposition rooted at `plan`. The root bag
     /// is used as-is; below, bags are clipped to `component ∪ parent bag`
     /// (the witness-tree construction every strategy shares).
     fn assemble(&self, root_comp: &VertexSet, plan: usize) -> Decomposition {
-        let p = &self.plans[plan];
+        let plans = self.plans.lock().expect("plan arena poisoned");
+        let p = &plans[plan];
         let root_bag = p.bag.intersection(root_comp);
         let mut d = Decomposition::new(Node {
             bag: root_bag.clone(),
             weights: p.weights.clone(),
         });
         for (sub, child) in &p.children {
-            self.attach(&mut d, 0, &root_bag, *child, sub);
+            attach(&plans, &mut d, 0, &root_bag, *child, sub);
         }
         d
     }
+}
 
-    fn attach(
-        &self,
-        d: &mut Decomposition,
-        parent: usize,
-        parent_bag: &VertexSet,
-        plan: usize,
-        comp: &VertexSet,
-    ) {
-        let p = &self.plans[plan];
-        let bag = p.bag.intersection(&comp.union(parent_bag));
-        let id = d.add_child(
-            parent,
-            Node {
-                bag: bag.clone(),
-                weights: p.weights.clone(),
-            },
-        );
-        for (sub, child) in &p.children {
-            self.attach(d, id, &bag, *child, sub);
-        }
+fn attach<C>(
+    plans: &[Plan<C>],
+    d: &mut Decomposition,
+    parent: usize,
+    parent_bag: &VertexSet,
+    plan: usize,
+    comp: &VertexSet,
+) {
+    let p = &plans[plan];
+    let bag = p.bag.intersection(&comp.union(parent_bag));
+    let id = d.add_child(
+        parent,
+        Node {
+            bag: bag.clone(),
+            weights: p.weights.clone(),
+        },
+    );
+    for (sub, child) in &p.children {
+        attach(plans, d, id, &bag, *child, sub);
     }
 }
 
-impl<C: Ord + Clone> Default for SearchContext<C> {
+/// The tighter of the cutoff and the best-so-far cost — the engine's
+/// discard bound for new admissions.
+fn tighter<'a, C: Ord>(cutoff: Option<&'a C>, best: Option<&'a C>) -> Option<&'a C> {
+    match (cutoff, best) {
+        (None, None) => None,
+        (Some(c), None) => Some(c),
+        (None, Some(b)) => Some(b),
+        (Some(c), Some(b)) => Some(c.min(b)),
+    }
+}
+
+fn merge_min<C: Ord + Clone>(best: &Mutex<Option<(C, Plan<C>)>>, found: (C, Plan<C>)) {
+    let mut slot = best.lock().expect("best poisoned");
+    let improves = match &*slot {
+        None => true,
+        Some((cost, _)) => found.0 < *cost,
+    };
+    if improves {
+        *slot = Some(found);
+    }
+}
+
+impl<C: Ord + Clone + Send + Sync> Default for SearchContext<C> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-/// Enumerates every bag `conn ⊆ B ⊆ conn ∪ C` (smallest first) as the
-/// `extra` payload, splitting on the bag itself — the candidate space of
-/// the exact `ghw`/`fhw` strategies, which price bags by `ρ` / `ρ*` at
-/// admission. Returns nothing when the component exceeds
-/// [`MAX_SUBSET_SEARCH_VERTICES`].
-pub fn propose_subset_bags(state: &SearchState<'_>) -> Vec<Guess> {
+/// Streams every bag `conn ⊆ B ⊆ conn ∪ C` (smallest first) as the `extra`
+/// payload — the candidate space of the exact `ghw`/`fhw` strategies, which
+/// price bags by `ρ` / `ρ*` at admission and split on the bag itself.
+/// Empty when the component exceeds [`MAX_SUBSET_SEARCH_VERTICES`].
+///
+/// Lazy: each pull advances one Gosper-hack mask, so the `2^|C| - 1` bags
+/// are never materialized; small bags come first, which finds cheap covers
+/// early and tightens the engine's best-so-far prune.
+pub fn stream_subset_bags<'a>(state: SearchState<'a>) -> CandidateStream<'a> {
     let free: Vec<usize> = state.comp.to_vec();
     let m = free.len();
     if m == 0 || m > MAX_SUBSET_SEARCH_VERTICES {
-        return Vec::new();
+        return CandidateStream::empty();
     }
-    // Emit small bags first (cheap covers early, which tightens the
-    // engine's best-so-far prune) by walking each popcount class with
-    // Gosper's hack instead of materializing-and-sorting.
+    let conn = state.conn.clone();
     let limit: u64 = 1u64 << m;
-    let mut out: Vec<Guess> = Vec::with_capacity(limit as usize - 1);
-    for size in 1..=m {
-        let mut mask: u64 = (1u64 << size) - 1;
-        while mask < limit {
-            let mut bag = state.conn.clone();
-            for (i, &v) in free.iter().enumerate() {
-                if mask >> i & 1 == 1 {
-                    bag.insert(v);
+    let mut size = 1usize;
+    let mut mask: u64 = 1;
+    CandidateStream::new(std::iter::from_fn(move || {
+        while size <= m {
+            if mask < limit {
+                let cur = mask;
+                // Next mask of the same popcount (Gosper's hack; exits the
+                // popcount class via `mask < limit`).
+                let low = cur & cur.wrapping_neg();
+                let ripple = cur + low;
+                mask = (((ripple ^ cur) >> 2) / low) | ripple;
+                let mut bag = conn.clone();
+                for (i, &v) in free.iter().enumerate() {
+                    if cur >> i & 1 == 1 {
+                        bag.insert(v);
+                    }
                 }
+                return Some(Guess {
+                    edges: Vec::new(),
+                    extra: bag,
+                });
             }
-            out.push(Guess {
-                edges: Vec::new(),
-                extra: bag,
-            });
-            // Next mask of the same popcount (exits via `mask < limit`).
-            let low = mask & mask.wrapping_neg();
-            let ripple = mask + low;
-            mask = (((ripple ^ mask) >> 2) / low) | ripple;
+            size += 1;
+            mask = (1u64 << size) - 1;
         }
-    }
-    out
+        None
+    }))
 }
 
-/// Enumerates all subsets of `items` with `1 <= size <= max_size` in order
-/// of increasing size (small separators first — the order every strategy
-/// wants). Shared by the edge-separator strategies.
-pub fn subsets_up_to<T: Copy>(items: &[T], max_size: usize) -> Vec<Vec<T>> {
-    let mut out = Vec::new();
-    let mut current = Vec::new();
-    for size in 1..=max_size.min(items.len()) {
-        subsets_rec(items, size, 0, &mut current, &mut out);
-    }
-    out
-}
-
-fn subsets_rec<T: Copy>(
-    items: &[T],
-    size: usize,
-    start: usize,
-    current: &mut Vec<T>,
-    out: &mut Vec<Vec<T>>,
-) {
-    if current.len() == size {
-        out.push(current.clone());
-        return;
-    }
-    let needed = size - current.len();
-    for i in start..=items.len().saturating_sub(needed) {
-        current.push(items[i]);
-        subsets_rec(items, size, i + 1, current, out);
-        current.pop();
-    }
+/// Lazily enumerates all subsets of `items` with `1 <= size <= max_size` in
+/// order of increasing size (small separators first — the order every
+/// strategy wants), lexicographic within a size. Shared by the
+/// edge-separator strategies; the streaming replacement for the retired
+/// eager `subsets_up_to`.
+pub fn stream_subsets_up_to<T: Copy + Send>(
+    items: Vec<T>,
+    max_size: usize,
+) -> impl Iterator<Item = Vec<T>> + Send {
+    let max_size = max_size.min(items.len());
+    // Combination odometer: `idx` holds the current positions for the
+    // current size; advancing finds the rightmost index that can move.
+    let mut size = 1usize;
+    let mut idx: Vec<usize> = Vec::new();
+    let mut fresh = true;
+    std::iter::from_fn(move || loop {
+        if size > max_size || items.is_empty() {
+            return None;
+        }
+        if fresh {
+            idx = (0..size).collect();
+            fresh = false;
+            return Some(idx.iter().map(|&i| items[i]).collect());
+        }
+        // Advance the odometer.
+        let n = items.len();
+        let mut pos = size;
+        loop {
+            if pos == 0 {
+                size += 1;
+                fresh = true;
+                break;
+            }
+            pos -= 1;
+            if idx[pos] < n - (size - pos) {
+                idx[pos] += 1;
+                for j in pos + 1..size {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                return Some(idx.iter().map(|&i| items[i]).collect());
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -412,28 +773,74 @@ mod tests {
             true
         }
 
-        fn propose(&mut self, _h: &Hypergraph, state: &SearchState<'_>) -> Vec<Guess> {
-            state
-                .comp_edges
-                .iter()
-                .map(|&e| Guess {
-                    edges: vec![e],
-                    extra: VertexSet::new(),
-                })
-                .collect()
+        fn candidates<'a>(
+            &'a self,
+            _h: &'a Hypergraph,
+            state: SearchState<'a>,
+        ) -> CandidateStream<'a> {
+            CandidateStream::new(state.comp_edges.iter().map(|&e| Guess {
+                edges: vec![e],
+                extra: VertexSet::new(),
+            }))
         }
 
         fn admit(
-            &mut self,
+            &self,
             h: &Hypergraph,
-            _state: &SearchState<'_>,
+            _state: SearchState<'_>,
             guess: &Guess,
+            _bound: Option<&usize>,
         ) -> Option<Admission<usize>> {
             let vs = h.union_of_edges(guess.edges.iter().copied());
             Some(Admission {
                 split: vs.clone(),
                 bag: vs,
                 cost: guess.edges.len(),
+                weights: guess.edges.iter().map(|&e| (e, Rational::one())).collect(),
+            })
+        }
+    }
+
+    /// A minimizing variant of [`SingleEdge`] whose cost is the bag size —
+    /// exercises the parallel evaluation path (minimizers fan out).
+    struct SmallestEdge;
+
+    impl WidthSolver for SmallestEdge {
+        type Cost = usize;
+
+        fn is_decision(&self) -> bool {
+            false
+        }
+
+        fn candidates<'a>(
+            &'a self,
+            _h: &'a Hypergraph,
+            state: SearchState<'a>,
+        ) -> CandidateStream<'a> {
+            CandidateStream::new(state.comp_edges.iter().map(|&e| Guess {
+                edges: vec![e],
+                extra: VertexSet::new(),
+            }))
+        }
+
+        fn admit(
+            &self,
+            h: &Hypergraph,
+            _state: SearchState<'_>,
+            guess: &Guess,
+            bound: Option<&usize>,
+        ) -> Option<Admission<usize>> {
+            let vs = h.union_of_edges(guess.edges.iter().copied());
+            let cost = vs.len();
+            if let Some(b) = bound {
+                if &cost >= b {
+                    return None;
+                }
+            }
+            Some(Admission {
+                split: vs.clone(),
+                bag: vs,
+                cost,
                 weights: guess.edges.iter().map(|&e| (e, Rational::one())).collect(),
             })
         }
@@ -450,18 +857,18 @@ mod tests {
     #[test]
     fn acyclic_instances_decompose_with_single_edges() {
         let h = path(5);
-        let mut cx = SearchContext::new();
-        let (cost, d) = cx.run(&h, &mut SingleEdge).expect("paths have hw 1");
+        let cx = SearchContext::new();
+        let (cost, d) = cx.run(&h, &SingleEdge).expect("paths have hw 1");
         assert_eq!(cost, 1);
         assert_eq!(decomp::validate_hd(&h, &d), Ok(()), "{}", d.render(&h));
-        assert!(cx.stats.states > 0);
+        assert!(cx.stats().states > 0);
     }
 
     #[test]
     fn cyclic_instances_fail_with_single_edges() {
         let h = triangle();
-        let mut cx = SearchContext::new();
-        assert!(cx.run(&h, &mut SingleEdge).is_none());
+        let cx = SearchContext::new();
+        assert!(cx.run(&h, &SingleEdge).is_none());
     }
 
     #[test]
@@ -469,17 +876,55 @@ mod tests {
         // A star: every leaf component after removing the center edge is a
         // fresh state; re-solving the same hypergraph reuses the memo.
         let h = Hypergraph::from_edges(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
-        let mut cx = SearchContext::new();
-        cx.run(&h, &mut SingleEdge).expect("stars have hw 1");
-        let states = cx.stats.states;
-        cx.run(&h, &mut SingleEdge).expect("second run");
-        assert_eq!(cx.stats.states, states, "second run is all memo hits");
-        assert!(cx.stats.memo_hits > 0);
+        let cx = SearchContext::new();
+        cx.run(&h, &SingleEdge).expect("stars have hw 1");
+        let states = cx.stats().states;
+        cx.run(&h, &SingleEdge).expect("second run");
+        assert_eq!(cx.stats().states, states, "second run is all memo hits");
+        assert!(cx.stats().memo_hits > 0);
     }
 
     #[test]
-    fn subset_enumeration_orders_by_size() {
-        let subs = subsets_up_to(&[1, 2, 3], 2);
+    fn decision_streams_stop_at_the_first_witness() {
+        // A path decomposes with the very first candidates; far fewer
+        // guesses must be pulled than the full per-state edge count.
+        let h = path(6);
+        let cx = SearchContext::new();
+        cx.run(&h, &SingleEdge).expect("paths have hw 1");
+        let stats = cx.stats();
+        assert!(
+            stats.streamed <= stats.states * 3,
+            "decision search pulled {} guesses over {} states",
+            stats.streamed,
+            stats.states
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_minimization_agree() {
+        for n in 3..7 {
+            let h = path(n);
+            let seq = SearchContext::with_threads(1)
+                .run(&h, &SmallestEdge)
+                .map(|(c, _)| c);
+            let par = SearchContext::with_threads(4)
+                .run(&h, &SmallestEdge)
+                .map(|(c, _)| c);
+            assert_eq!(seq, par, "path({n})");
+        }
+        let h = triangle();
+        let seq = SearchContext::with_threads(1)
+            .run(&h, &SmallestEdge)
+            .map(|(c, _)| c);
+        let par = SearchContext::with_threads(4)
+            .run(&h, &SmallestEdge)
+            .map(|(c, _)| c);
+        assert_eq!(seq, par, "triangle");
+    }
+
+    #[test]
+    fn subset_stream_orders_by_size() {
+        let subs: Vec<Vec<i32>> = stream_subsets_up_to(vec![1, 2, 3], 2).collect();
         assert_eq!(
             subs,
             vec![
@@ -491,12 +936,38 @@ mod tests {
                 vec![2, 3]
             ]
         );
-        assert!(subsets_up_to::<usize>(&[], 3).is_empty());
+        assert_eq!(stream_subsets_up_to::<i32>(Vec::new(), 3).count(), 0);
+        // Full powerset (minus the empty set) when max_size >= len.
+        assert_eq!(stream_subsets_up_to(vec![1, 2, 3, 4], 9).count(), 15);
+    }
+
+    #[test]
+    fn subset_bag_stream_is_lazy_and_complete() {
+        let comp = VertexSet::from_iter([0, 1, 2]);
+        let conn = VertexSet::new();
+        let edges: Vec<usize> = Vec::new();
+        let parent = VertexSet::new();
+        let state = SearchState {
+            comp: &comp,
+            conn: &conn,
+            comp_edges: &edges,
+            parent_split: &parent,
+        };
+        let bags: Vec<VertexSet> = stream_subset_bags(state).map(|g| g.extra).collect();
+        assert_eq!(bags.len(), 7, "2^3 - 1 bags");
+        // Ordered by size.
+        let sizes: Vec<usize> = bags.iter().map(|b| b.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+        // All distinct.
+        let set: std::collections::HashSet<_> = bags.iter().map(|b| b.to_vec()).collect();
+        assert_eq!(set.len(), 7);
     }
 
     #[test]
     fn empty_hypergraph_refused() {
         let h = Hypergraph::from_edges(0, vec![]);
-        assert!(SearchContext::new().run(&h, &mut SingleEdge).is_none());
+        assert!(SearchContext::new().run(&h, &SingleEdge).is_none());
     }
 }

@@ -1,9 +1,39 @@
 #!/usr/bin/env bash
 # Refreshes BENCH_baseline.json: runs the exact width engines over the
 # generator corpus (median of three, release profile) and records the
-# timings for perf-trajectory comparisons across PRs.
+# timings + fhw engine counters for perf-trajectory comparisons across PRs.
+#
+#   scripts/bench_baseline.sh           full refresh of BENCH_baseline.json
+#   scripts/bench_baseline.sh --smoke   CI mode: single iteration over a
+#                                       small corpus prefix, written to a
+#                                       scratch file — proves the baseline
+#                                       bin still runs and still emits the
+#                                       hypertree-bench-baseline/v1 schema
+#
+# Either mode fails hard when the emitted schema tag drifts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo run -p hypertree-bench --bin baseline --release -- BENCH_baseline.json
-echo "BENCH_baseline.json refreshed:"
-head -5 BENCH_baseline.json
+
+SCHEMA='hypertree-bench-baseline/v1'
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  out="$(mktemp /tmp/bench_baseline_smoke.XXXXXX.json)"
+  trap 'rm -f "$out"' EXIT
+  cargo run -p hypertree-bench --bin baseline --release -- --smoke "$out"
+else
+  out=BENCH_baseline.json
+  cargo run -p hypertree-bench --bin baseline --release -- "$out"
+fi
+
+if ! grep -q "\"schema\": \"$SCHEMA\"" "$out"; then
+  echo "bench_baseline.sh: schema drift — $out does not declare $SCHEMA" >&2
+  exit 1
+fi
+# Structural sanity: every instance row carries the timing columns.
+if ! grep -q '"fhw_us":' "$out"; then
+  echo "bench_baseline.sh: schema drift — no fhw_us columns in $out" >&2
+  exit 1
+fi
+
+echo "$out validated against $SCHEMA:"
+head -5 "$out"

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! hgtool structure <file>             structural profile (BIP/BMIP/BDP/VC)
-//! hgtool widths <file>                exact hw / ghw / fhw (small instances)
+//! hgtool widths [--stats] <file>      exact hw / ghw / fhw (small instances);
+//!                                     --stats adds engine + LP-cache counters
 //! hgtool check <hd|ghd|fhd> <k> <file>   decide width <= k, print witness
 //! hgtool reduce <n> <m> [seed]        build the Thm 3.2 reduction for a
 //!                                     random planted 3SAT instance and
@@ -17,7 +18,7 @@ use hypertree::fhd::{self, HdkParams};
 use hypertree::ghd::{self, SubedgeLimits};
 use hypertree::hypergraph::{parser, Hypergraph};
 use hypertree::reduction::{self, Cnf};
-use hypertree::{analyze_structure, exact_widths, hd};
+use hypertree::{analyze_structure, exact_widths_with_stats, hd};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -30,7 +31,7 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  hgtool structure <file>");
-            eprintln!("  hgtool widths <file>");
+            eprintln!("  hgtool widths [--stats] <file>");
             eprintln!("  hgtool check <hd|ghd|fhd> <k> <file>");
             eprintln!("  hgtool reduce <n> <m> [seed]");
             ExitCode::FAILURE
@@ -41,7 +42,8 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     match args {
         [cmd, file] if cmd == "structure" => structure(&load(file)?),
-        [cmd, file] if cmd == "widths" => widths(&load(file)?),
+        [cmd, file] if cmd == "widths" => widths(&load(file)?, false),
+        [cmd, flag, file] if cmd == "widths" && flag == "--stats" => widths(&load(file)?, true),
         [cmd, method, k, file] if cmd == "check" => check(method, k, &load(file)?),
         [cmd, n, m] if cmd == "reduce" => reduce(n, m, "0"),
         [cmd, n, m, seed] if cmd == "reduce" => reduce(n, m, seed),
@@ -83,11 +85,27 @@ fn structure(h: &Hypergraph) -> Result<(), String> {
     Ok(())
 }
 
-fn widths(h: &Hypergraph) -> Result<(), String> {
-    let w = exact_widths(h, 8).ok_or("instance too large for the exact engines")?;
+fn widths(h: &Hypergraph, stats: bool) -> Result<(), String> {
+    let (w, s) = exact_widths_with_stats(h, 8).ok_or("instance too large for the exact engines")?;
     println!("hw  = {}", w.hw);
     println!("ghw = {}", w.ghw);
     println!("fhw = {}", w.fhw);
+    if stats {
+        println!();
+        println!("engine        states  memo-hits   streamed   admitted   lp-cache");
+        for (name, t) in [("hw", &s.hw), ("ghw", &s.ghw), ("fhw", &s.fhw)] {
+            println!(
+                "{name:<10} {:>9} {:>10} {:>10} {:>10}   {}/{} ({:.0}% hit)",
+                t.states,
+                t.memo_hits,
+                t.streamed,
+                t.admitted,
+                t.price_hits,
+                t.price_hits + t.price_misses,
+                100.0 * t.price_hit_rate(),
+            );
+        }
+    }
     Ok(())
 }
 

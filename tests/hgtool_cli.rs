@@ -61,6 +61,25 @@ fn widths_reports_the_example_4_3_headline_numbers() {
 }
 
 #[test]
+fn widths_stats_surfaces_engine_counters() {
+    let (ok, out) = hgtool(&["widths", "--stats", "-"], Some(&example_4_3_text()));
+    assert!(ok, "hgtool widths --stats failed:\n{out}");
+    assert!(out.contains("hw  = 3"), "missing hw = 3 in:\n{out}");
+    assert!(
+        out.contains("states") && out.contains("streamed") && out.contains("lp-cache"),
+        "missing stats header in:\n{out}"
+    );
+    for engine in ["hw", "ghw", "fhw"] {
+        // A stats *row* (not the width line): engine name plus a hit rate.
+        assert!(
+            out.lines()
+                .any(|l| l.starts_with(engine) && l.contains("% hit")),
+            "missing {engine} stats row in:\n{out}"
+        );
+    }
+}
+
+#[test]
 fn check_hd_accepts_3_and_rejects_2() {
     let (ok, out) = hgtool(&["check", "hd", "3", "-"], Some(&example_4_3_text()));
     assert!(ok, "check hd 3 failed:\n{out}");
