@@ -15,7 +15,7 @@
 //! schema have not rotted (see `scripts/bench_baseline.sh --smoke`).
 
 use hypertree_bench as workloads;
-use hypertree_core::solver::SearchStats;
+use hypertree_core::solver::{self, SearchStats};
 use hypertree_core::{fhd, ghd, hd};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -82,7 +82,7 @@ fn main() {
             None => body.push_str(", \"ghw\": null"),
         }
         let (fhw, t_fhw) = time_median(iters, || {
-            let (r, stats) = fhd::fhw_exact_with_stats(h, None, None);
+            let (r, stats) = fhd::fhw_exact_with_stats(h, None, solver::EngineOptions::default());
             (r.map(|(k, _)| k), stats)
         });
         match fhw {
@@ -104,10 +104,18 @@ fn main() {
 }
 
 fn stats_json(s: &SearchStats) -> String {
+    // `threads` records the engine's worker count for provenance; the
+    // counters themselves are thread-count-invariant by design.
     format!(
-        "{{\"states\": {}, \"memo_hits\": {}, \"streamed\": {}, \"admitted\": {}, \
-         \"lp_hits\": {}, \"lp_misses\": {}}}",
-        s.states, s.memo_hits, s.streamed, s.admitted, s.price_hits, s.price_misses
+        "{{\"threads\": {}, \"states\": {}, \"memo_hits\": {}, \"streamed\": {}, \
+         \"admitted\": {}, \"lp_hits\": {}, \"lp_misses\": {}}}",
+        solver::default_thread_count(),
+        s.states,
+        s.memo_hits,
+        s.streamed,
+        s.admitted,
+        s.price_hits,
+        s.price_misses
     )
 }
 

@@ -126,13 +126,16 @@ pub struct WidthStats {
 
 /// As [`exact_widths`], also reporting the engine and price-cache counters
 /// of each of the three searches (surfaced by `hgtool widths --stats` and
-/// recorded by the `baseline` bin).
+/// recorded by the `baseline` bin). All three engines run with the default
+/// scheduling ([`solver::default_thread_count`], honoring `HGTOOL_THREADS`);
+/// the counters are identical at every thread count.
 pub fn exact_widths_with_stats(h: &Hypergraph, max_hw: usize) -> Option<(ExactWidths, WidthStats)> {
-    let (hw, hw_stats) = hd::hypertree_width_with_stats(h, max_hw);
+    let opts = solver::EngineOptions::default();
+    let (hw, hw_stats) = hd::hypertree_width_with_stats(h, max_hw, opts);
     let (hw, _) = hw?;
-    let (ghw, ghw_stats) = ghd::ghw_exact_with_stats(h, None);
+    let (ghw, ghw_stats) = ghd::ghw_exact_with_stats(h, None, opts);
     let (ghw, _) = ghw?;
-    let (fhw, fhw_stats) = fhd::fhw_exact_with_stats(h, None, None);
+    let (fhw, fhw_stats) = fhd::fhw_exact_with_stats(h, None, opts);
     let (fhw, _) = fhw?;
     Some((
         ExactWidths { hw, ghw, fhw },

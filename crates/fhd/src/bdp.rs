@@ -28,7 +28,8 @@ use decomp::{Decomposition, Node};
 use ghd::check::{augment, Augmented};
 use hypergraph::{components, properties, Hypergraph, VertexSet};
 use solver::{
-    Admission, CandidateStream, Guess, SearchContext, SearchState, SearchStats, WidthSolver,
+    Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
+    WidthSolver,
 };
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -67,15 +68,18 @@ impl FhdAnswer {
 /// (galactic) defaults the algorithm is complete; with practical caps the
 /// `No` answer degrades to `Unknown` when truncation occurred.
 pub fn check_fhd_bdp(h: &Hypergraph, k: &Rational, params: HdkParams) -> FhdAnswer {
-    check_fhd_bdp_with_stats(h, k, params).0
+    check_fhd_bdp_with_stats(h, k, params, EngineOptions::default()).0
 }
 
 /// As [`check_fhd_bdp`], also reporting engine and separator-LP cache
-/// counters.
+/// counters. The strict-HD search is a decision strategy, so it runs
+/// sequentially unless [`EngineOptions::speculate`] lets it race separator
+/// guesses across the worker pool.
 pub fn check_fhd_bdp_with_stats(
     h: &Hypergraph,
     k: &Rational,
     params: HdkParams,
+    opts: EngineOptions,
 ) -> (FhdAnswer, SearchStats) {
     let Some((aug, bounds)) = prepare(h, k, params) else {
         return (FhdAnswer::No, SearchStats::default());
@@ -90,7 +94,7 @@ pub fn check_fhd_bdp_with_stats(
         sep_cache: ShardedCache::new(),
         scope_cache: Mutex::new(None),
     };
-    let cx = SearchContext::new();
+    let cx = SearchContext::with_options(opts);
     let result = cx.run(hp, &strategy);
     let mut stats = cx.stats();
     (stats.price_hits, stats.price_misses) = strategy.sep_cache.counters();
@@ -175,8 +179,9 @@ struct StrictHd<'a> {
     /// [`WidthSolver::state_key`] and then [`WidthSolver::candidates`] on
     /// the same state back to back, and both need the `(usable, allowed)`
     /// pair — cache it so the O(edges) scan plus span unions run once per
-    /// state, not twice. (Strict-HD is a decision strategy, so the engine
-    /// never interleaves states across threads here.)
+    /// state, not twice. The slot re-checks its key before use, so it
+    /// stays correct (merely colder) when speculation interleaves states
+    /// across workers.
     scope_cache: Mutex<Option<ScopedState>>,
 }
 
@@ -726,7 +731,8 @@ mod tests {
     #[test]
     fn strict_search_reports_lp_cache_activity() {
         let h = generators::cycle(3);
-        let (ans, stats) = check_fhd_bdp_with_stats(&h, &rat(3, 2), params());
+        let (ans, stats) =
+            check_fhd_bdp_with_stats(&h, &rat(3, 2), params(), EngineOptions::default());
         assert!(ans.is_yes());
         assert!(stats.states > 0);
         assert!(stats.streamed >= stats.admitted);

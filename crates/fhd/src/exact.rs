@@ -9,7 +9,8 @@ use cover::{RhoStarCache, ShardedCache};
 use decomp::Decomposition;
 use hypergraph::{properties, Hypergraph};
 use solver::{
-    Admission, CandidateStream, Guess, SearchContext, SearchState, SearchStats, WidthSolver,
+    Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
+    WidthSolver,
 };
 
 /// Computes `fhw(H)` exactly together with an optimal FHD.
@@ -21,17 +22,17 @@ use solver::{
 /// instead. Returns `None` when `H` is larger still, has isolated
 /// vertices, or `cutoff` is given and `fhw(H) >= cutoff`.
 pub fn fhw_exact(h: &Hypergraph, cutoff: Option<Rational>) -> Option<(Rational, Decomposition)> {
-    fhw_exact_with_stats(h, cutoff, None).0
+    fhw_exact_with_stats(h, cutoff, EngineOptions::default()).0
 }
 
 /// As [`fhw_exact`], also reporting engine and LP price-cache counters
-/// (all-zero when the elimination-DP fallback answered). `threads` pins the
-/// engine's worker count (`None` = host default; `Some(1)` = sequential) —
-/// the determinism tests compare the two.
+/// (all-zero when the elimination-DP fallback answered). `opts` pins the
+/// engine scheduling; width, witness and stats are identical at every
+/// thread count (the determinism tests compare them).
 pub fn fhw_exact_with_stats(
     h: &Hypergraph,
     cutoff: Option<Rational>,
-    threads: Option<usize>,
+    opts: EngineOptions,
 ) -> (Option<(Rational, Decomposition)>, SearchStats) {
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
@@ -46,10 +47,7 @@ pub fn fhw_exact_with_stats(
         cover_cache: RhoStarCache::new(),
         gate: ShardedCache::new(),
     };
-    let cx = match threads {
-        Some(n) => SearchContext::with_threads(n),
-        None => SearchContext::new(),
-    };
+    let cx = SearchContext::with_options(opts);
     let result = cx.run(h, &strategy).map(|(width, d)| {
         debug_assert!(d.width() <= width);
         (width, d)

@@ -20,7 +20,10 @@ use arith::Rational;
 use decomp::Decomposition;
 use hypergraph::{Hypergraph, VertexSet};
 use lp::{Cmp, LinearProgram, LpResult};
-use solver::{Admission, CandidateStream, Guess, SearchContext, SearchState, WidthSolver};
+use solver::{
+    Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
+    WidthSolver,
+};
 
 /// Parameters of Algorithm 3.
 #[derive(Clone, Debug)]
@@ -38,9 +41,21 @@ pub struct FracDecompParams {
 /// Runs `(k, ε, c)-frac-decomp`; on acceptance returns the witness FHD
 /// (width `<= k + ε`, weak special condition; Theorem 6.16).
 pub fn frac_decomp(h: &Hypergraph, params: &FracDecompParams) -> Option<Decomposition> {
+    frac_decomp_with_stats(h, params, EngineOptions::default()).0
+}
+
+/// As [`frac_decomp`], also reporting the engine counters, with explicit
+/// scheduling. Algorithm 3 is a decision strategy, so it runs sequentially
+/// unless [`EngineOptions::speculate`] lets it race `(S, W_s)` guesses
+/// across the worker pool, aborting sibling LPs at the first witness.
+pub fn frac_decomp_with_stats(
+    h: &Hypergraph,
+    params: &FracDecompParams,
+    opts: EngineOptions,
+) -> (Option<Decomposition>, SearchStats) {
     assert!(params.eps.is_positive(), "ε must be positive");
     if h.has_isolated_vertices() {
-        return None;
+        return (None, SearchStats::default());
     }
     let budget = &params.k + &params.eps;
     let l_max_big = budget.floor();
@@ -50,8 +65,9 @@ pub fn frac_decomp(h: &Hypergraph, params: &FracDecompParams) -> Option<Decompos
         l_max,
         c: params.c,
     };
-    let (_, d) = SearchContext::new().run(h, &strategy)?;
-    Some(d)
+    let cx = SearchContext::with_options(opts);
+    let result = cx.run(h, &strategy).map(|(_, d)| d);
+    (result, cx.stats())
 }
 
 /// Upper-bounds `fhw(H)` by running Algorithm 3 on a decreasing sequence of

@@ -35,7 +35,7 @@ pub use bdp::{
 };
 pub use exact::{fhw_exact, fhw_exact_with_stats};
 pub use forest::{intersection_forest, IntersectionForest};
-pub use frac_decomp::{fhw_frac_search, frac_decomp, FracDecompParams};
+pub use frac_decomp::{fhw_frac_search, frac_decomp, frac_decomp_with_stats, FracDecompParams};
 pub use loglog::{approx_ghw_via_fhw, cigap_bound, ghd_from_fhd, CoverMode};
 pub use ptaas::{exact_oracle, fhw_approximation, predicted_iterations, PtaasResult};
 pub use subedges::{d_intersections, hdk_subedges, HdkParams};

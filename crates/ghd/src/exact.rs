@@ -12,7 +12,8 @@ use cover::RhoCache;
 use decomp::Decomposition;
 use hypergraph::{properties, Hypergraph};
 use solver::{
-    Admission, CandidateStream, Guess, SearchContext, SearchState, SearchStats, WidthSolver,
+    Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
+    WidthSolver,
 };
 
 pub use solver::MAX_SUBSET_SEARCH_VERTICES;
@@ -26,14 +27,17 @@ pub use solver::MAX_SUBSET_SEARCH_VERTICES;
 /// instead. Returns `None` when `H` is larger still, has isolated
 /// vertices, or `cutoff` is given and `ghw(H) >= cutoff`.
 pub fn ghw_exact(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomposition)> {
-    ghw_exact_with_stats(h, cutoff).0
+    ghw_exact_with_stats(h, cutoff, EngineOptions::default()).0
 }
 
 /// As [`ghw_exact`], also reporting engine and price-cache counters
-/// (all-zero when the elimination-DP fallback answered).
+/// (all-zero when the elimination-DP fallback answered). `opts` pins the
+/// engine scheduling; the reported stats are identical at every thread
+/// count (the determinism tests compare them).
 pub fn ghw_exact_with_stats(
     h: &Hypergraph,
     cutoff: Option<usize>,
+    opts: EngineOptions,
 ) -> (Option<(usize, Decomposition)>, SearchStats) {
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
@@ -47,7 +51,7 @@ pub fn ghw_exact_with_stats(
         scatter: cover::ScatterBound::new(h),
         cover_cache: RhoCache::new(),
     };
-    let cx = SearchContext::new();
+    let cx = SearchContext::with_options(opts);
     let result = cx.run(h, &strategy).map(|(width, d)| {
         debug_assert!(d.width() <= Rational::from(width));
         (width, d)

@@ -21,23 +21,31 @@ use arith::Rational;
 use decomp::Decomposition;
 use hypergraph::{Hypergraph, VertexSet};
 use solver::{
-    Admission, CandidateStream, Guess, SearchContext, SearchState, SearchStats, WidthSolver,
+    Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
+    WidthSolver,
 };
 
 /// Decides `Check(HD, k)`: returns a hypertree decomposition of width
 /// `<= k` if one exists, `None` otherwise.
 pub fn check_hd(h: &Hypergraph, k: usize) -> Option<Decomposition> {
-    check_hd_with_stats(h, k).0
+    check_hd_with_stats(h, k, EngineOptions::default()).0
 }
 
 /// As [`check_hd`], also reporting the engine counters of this check.
-pub fn check_hd_with_stats(h: &Hypergraph, k: usize) -> (Option<Decomposition>, SearchStats) {
+/// `opts` pins the engine scheduling — `det-k-decomp` is a decision
+/// strategy, so it runs sequentially unless [`EngineOptions::speculate`]
+/// lets it race candidates across the worker pool.
+pub fn check_hd_with_stats(
+    h: &Hypergraph,
+    k: usize,
+    opts: EngineOptions,
+) -> (Option<Decomposition>, SearchStats) {
     assert!(k >= 1, "width bound must be positive");
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
     let strategy = DetK { k };
-    let cx = SearchContext::new();
+    let cx = SearchContext::with_options(opts);
     let result = cx.run(h, &strategy).map(|(_, d)| d);
     (result, cx.stats())
 }
@@ -53,10 +61,11 @@ pub fn hypertree_width(h: &Hypergraph, max_k: usize) -> Option<(usize, Decomposi
 pub fn hypertree_width_with_stats(
     h: &Hypergraph,
     max_k: usize,
+    opts: EngineOptions,
 ) -> (Option<(usize, Decomposition)>, SearchStats) {
     let mut total = SearchStats::default();
     for k in 1..=max_k {
-        let (d, stats) = check_hd_with_stats(h, k);
+        let (d, stats) = check_hd_with_stats(h, k, opts);
         total.states += stats.states;
         total.memo_hits += stats.memo_hits;
         total.streamed += stats.streamed;

@@ -23,15 +23,16 @@
 //! Three engine properties the strategies rely on:
 //!
 //! * **Streaming.** Candidates are pulled one at a time from a lazy
-//!   [`CandidateStream`]; nothing is materialized ahead of the cursor, so
-//!   decision strategies run in `O(depth)` candidate memory and
-//!   short-circuit on the first witness.
-//! * **Parallelism.** Minimizing strategies must exhaust their candidate
-//!   space, so independent candidates of one node are evaluated across
-//!   worker threads (std scoped threads) over the sharded memo. The result
-//!   is deterministic — the minimum over an exhausted candidate space does
-//!   not depend on evaluation order — only the witness choice among
-//!   equal-cost decompositions may vary.
+//!   [`CandidateStream`]; nothing is materialized ahead of the cursor
+//!   (beyond one bounded round for minimizers), so decision strategies run
+//!   in `O(depth)` candidate memory and short-circuit on the first witness.
+//! * **Parallelism.** One persistent work-stealing worker pool per search:
+//!   minimizing strategies evaluate candidate rounds across the pool over
+//!   the sharded memo, with in-flight entry states guaranteeing each state
+//!   is evaluated exactly once. Widths, witnesses *and* [`SearchStats`]
+//!   are identical at every thread count. Decision strategies run
+//!   sequentially by default; [`EngineOptions::speculate`] lets them race
+//!   candidates across the pool with sibling cancellation.
 //! * **State keys.** A strategy whose admissible candidates depend on more
 //!   than `(C, conn)` (the strict-HD search couples to the parent
 //!   separator's full vertex span) extends the memo key through
@@ -41,11 +42,12 @@
 #![warn(missing_docs)]
 
 use arith::Rational;
-use cover::ShardedCache;
+use cover::{Claim, ShardedCache};
 use decomp::{Decomposition, Node};
 use hypergraph::{components, Hypergraph, VertexSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Practical vertex limit for the subset-enumerating exact strategies
 /// (`ghw`/`fhw` baselines): those strategies propose every bag
@@ -54,6 +56,83 @@ pub const MAX_SUBSET_SEARCH_VERTICES: usize = 18;
 
 /// Upper bound on worker threads per search, whatever the host reports.
 const MAX_THREADS: usize = 8;
+
+/// Candidates per minimizer round once a best is known. Rounds are the
+/// engine's determinism unit: every candidate of one round is admitted
+/// against the *same* bound snapshot (the best cost achieved in earlier
+/// rounds), so which candidates get priced — and therefore every
+/// [`SearchStats`] counter — is a pure function of the strategy,
+/// independent of thread count and scheduling. Until the first success a
+/// state probes with rounds of size 1 (see
+/// `SearchContext::evaluate_rounds`). Smaller rounds tighten the prune
+/// faster; larger rounds expose more parallelism. The value matches
+/// [`MAX_THREADS`] (wider rounds would add staleness without adding
+/// parallel width) and is deliberately *not* scaled by the actual thread
+/// count (that would make the counters depend on it).
+const ROUND: usize = 8;
+
+/// Consecutive non-improving width-1 rounds required before a minimizer
+/// state starts ramping its round size (see
+/// `SearchContext::evaluate_rounds`): a cheap deterministic signal that
+/// the bound has settled and fanning out will not price candidates a
+/// sequential scan would have rejected.
+const STREAK: usize = 4;
+
+/// The worker-thread budget used by [`SearchContext::new`] when
+/// [`EngineOptions::threads`] is `None`: the `HGTOOL_THREADS` environment
+/// variable if set to a positive integer, otherwise the host parallelism,
+/// either way capped at the engine maximum of 8.
+pub fn default_thread_count() -> usize {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let configured = std::env::var("HGTOOL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(host);
+    configured.min(MAX_THREADS)
+}
+
+/// Scheduling options for a [`SearchContext`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOptions {
+    /// Worker-thread budget (`1` = strictly sequential). `None` picks
+    /// [`default_thread_count`]. Values are clamped to `1..=8`.
+    pub threads: Option<usize>,
+    /// Let decision strategies speculate candidates across the pool: a
+    /// round of candidates races, the first witness cancels its siblings
+    /// (which abandon their in-flight memo claims). The yes/no answer and
+    /// witness validity are unchanged, but `streamed`/`states` counters
+    /// become schedule-dependent — so this is opt-in and off everywhere
+    /// stats reproducibility matters.
+    pub speculate: bool,
+}
+
+impl EngineOptions {
+    /// Sequential execution (one worker, no speculation).
+    pub fn sequential() -> Self {
+        EngineOptions {
+            threads: Some(1),
+            speculate: false,
+        }
+    }
+
+    /// A fixed worker budget.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineOptions {
+            threads: Some(threads),
+            speculate: false,
+        }
+    }
+
+    /// Enables decision-strategy speculation (see
+    /// [`EngineOptions::speculate`]).
+    pub fn speculative(mut self) -> Self {
+        self.speculate = true;
+        self
+    }
+}
 
 /// A cheap combinatorial guess for one search node, produced by the
 /// strategy's [`CandidateStream`] before any cover/LP pricing runs. A guess
@@ -201,10 +280,11 @@ pub trait WidthSolver: Sync {
     ///
     /// `bound` is a pruning contract, not a hint: the engine discards any
     /// admission with `cost >= bound` (it is the minimum of the strategy
-    /// cutoff and the best cost already achieved for this state), so the
-    /// strategy may return `None` without pricing whenever a cheap lower
-    /// bound on the cost already reaches `bound`. Skipping this way never
-    /// changes the computed width.
+    /// cutoff and the best cost achieved in *earlier rounds* for this
+    /// state), so the strategy may return `None` without pricing whenever a
+    /// cheap lower bound on the cost already reaches `bound`. Skipping this
+    /// way never changes the computed width, and because the bound is a
+    /// per-round snapshot it is identical at every thread count.
     fn admit(
         &self,
         h: &Hypergraph,
@@ -230,11 +310,16 @@ struct Plan<C> {
 /// `hgtool widths --stats` and the `baseline` bin. The `price_*` fields are
 /// filled in by the strategy wrappers from their shared cover-price caches
 /// (the engine itself never prices anything).
+///
+/// Deterministic: with speculation off (the default), every counter is
+/// identical at every thread count and across runs — states are evaluated
+/// exactly once (in-flight memo dedup) and candidates are admitted against
+/// per-round bound snapshots.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Search states entered (memo misses).
+    /// Search states evaluated (memo misses; exactly once per state).
     pub states: usize,
-    /// Memo hits.
+    /// Memo hits (including waits on an in-flight evaluation).
     pub memo_hits: usize,
     /// Guesses pulled from candidate streams. With eager `Vec` proposal
     /// this used to equal the whole candidate space; streaming decision
@@ -265,6 +350,35 @@ struct AtomicStats {
     admitted: AtomicUsize,
 }
 
+/// Counter increments accumulated locally and flushed on drop — one atomic
+/// add per state instead of one per pulled candidate, on every exit path
+/// (including cancellation unwinds).
+struct Tally<'a> {
+    counter: &'a AtomicUsize,
+    pending: usize,
+}
+
+impl<'a> Tally<'a> {
+    fn new(counter: &'a AtomicUsize) -> Self {
+        Tally {
+            counter,
+            pending: 0,
+        }
+    }
+
+    fn add(&mut self, n: usize) {
+        self.pending += n;
+    }
+}
+
+impl Drop for Tally<'_> {
+    fn drop(&mut self) {
+        if self.pending > 0 {
+            self.counter.fetch_add(self.pending, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Memo key: `(component, connector)` plus the optional strategy state key.
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct MemoKey {
@@ -273,46 +387,370 @@ struct MemoKey {
     skey: Option<VertexSet>,
 }
 
+/// The evaluation of this branch was interrupted by a cancellation scope
+/// (a speculative sibling found a witness first). Never memoized — the
+/// partial work is abandoned and the state stays re-claimable.
+#[derive(Debug)]
+struct Canceled;
+
+/// A cooperative cancellation scope: one flag per speculative round,
+/// chained to the enclosing scope so an ancestor's cancellation reaches
+/// nested speculation. Checked between candidates and before every child
+/// descent — cancellation is prompt but never preempts a running LP.
+struct CancelScope {
+    flag: AtomicBool,
+    parent: Option<Arc<CancelScope>>,
+}
+
+impl CancelScope {
+    fn is_canceled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.parent {
+            Some(p) => p.is_canceled(),
+            None => false,
+        }
+    }
+
+    fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+}
+
+/// A queued unit of work: claims candidate slots from the batch it was
+/// advertised for. Receives the pool and the executing worker's index so
+/// nested rounds push to the right deque.
+type Job<'e> = Box<dyn FnOnce(&Pool<'e>, usize) + Send + 'e>;
+
+/// The per-search worker pool: one deque per worker (including the calling
+/// thread, worker 0) with stealing. Spawn overhead is paid once per search
+/// — the workers persist across every state of the recursion and park on
+/// `wake` when all deques are empty.
+struct Pool<'e> {
+    queues: Vec<Mutex<VecDeque<Job<'e>>>>,
+    /// Sleep gate: `true` once the search is over. Pushers notify under
+    /// this lock so parked workers cannot miss a wakeup.
+    gate: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl<'e> Pool<'e> {
+    fn new(workers: usize) -> Self {
+        Pool {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            gate: Mutex::new(false),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Queues a job on `worker`'s deque and wakes a parked worker.
+    fn push(&self, worker: usize, job: Job<'e>) {
+        self.queues[worker]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        let _gate = self.gate.lock().expect("pool gate poisoned");
+        self.wake.notify_all();
+    }
+
+    /// Pops `me`'s newest job (LIFO keeps the working set hot), else steals
+    /// the *oldest* job of another worker (FIFO steals the biggest pending
+    /// subtrees first).
+    fn grab(&self, me: usize) -> Option<Job<'e>> {
+        if let Some(job) = self.queues[me]
+            .lock()
+            .expect("pool queue poisoned")
+            .pop_back()
+        {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for delta in 1..n {
+            let victim = (me + delta) % n;
+            if let Some(job) = self.queues[victim]
+                .lock()
+                .expect("pool queue poisoned")
+                .pop_front()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn has_queued(&self) -> bool {
+        self.queues
+            .iter()
+            .any(|q| !q.lock().expect("pool queue poisoned").is_empty())
+    }
+
+    /// The spawned workers' loop: run jobs until the search shuts down.
+    fn worker_loop(&self, me: usize) {
+        loop {
+            if let Some(job) = self.grab(me) {
+                job(self, me);
+                continue;
+            }
+            let mut shutdown = self.gate.lock().expect("pool gate poisoned");
+            if *shutdown {
+                return;
+            }
+            // Re-check under the gate: a push between our failed grab and
+            // this lock already notified (notifications happen under the
+            // gate), so waiting here cannot miss it.
+            if self.has_queued() {
+                continue;
+            }
+            shutdown = self.wake.wait(shutdown).expect("pool gate poisoned");
+            if *shutdown {
+                return;
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        *self.gate.lock().expect("pool gate poisoned") = true;
+        self.wake.notify_all();
+    }
+}
+
+/// Per-branch execution handle threaded through the recursion: where this
+/// branch runs (pool + deque index) and which cancellation scope governs
+/// it. Plain refs — cloned cheaply at scope boundaries only.
+struct Exec<'p, 'e> {
+    pool: Option<&'p Pool<'e>>,
+    worker: usize,
+    cancel: Option<Arc<CancelScope>>,
+}
+
+impl<'p, 'e> Exec<'p, 'e> {
+    /// No pool, no cancellation: the sequential engine.
+    fn sequential() -> Self {
+        Exec {
+            pool: None,
+            worker: 0,
+            cancel: None,
+        }
+    }
+
+    fn is_canceled(&self) -> bool {
+        match &self.cancel {
+            Some(scope) => scope.is_canceled(),
+            None => false,
+        }
+    }
+}
+
+/// A fully evaluated candidate: its achieved cost and recorded plan.
+type Found<C> = (C, Plan<C>);
+
+/// Outcome of evaluating one candidate. The engine's fan-out policy keys
+/// on the `Rejected`/priced distinction: rounds whose candidates are all
+/// bound-gated (`Rejected` without pricing) are pure scans not worth
+/// dispatching to the pool.
+enum Evaluated<C> {
+    /// `admit` returned `None` (bound-gated or structurally hopeless) —
+    /// no pricing ran.
+    Rejected,
+    /// Priced by the strategy, but discarded afterwards (engine checks,
+    /// bound, or a failing sub-component).
+    Admitted,
+    /// Fully decomposed: cost and plan.
+    Solved(Found<C>),
+}
+
+impl<C> Evaluated<C> {
+    /// True iff the strategy actually priced the candidate.
+    fn priced(&self) -> bool {
+        !matches!(self, Evaluated::Rejected)
+    }
+}
+
+/// The per-slot outcomes of one evaluation round, in stream order.
+type RoundOutcome<C> = Vec<Option<Evaluated<C>>>;
+
+/// Decision-speculation state of a batch: the scope that cancels losing
+/// siblings and the winning candidate (lowest slot wins ties so repeated
+/// runs prefer the same witness).
+struct SpecState<C> {
+    scope: Arc<CancelScope>,
+    winner: Mutex<Option<(usize, Found<C>)>>,
+}
+
+/// One evaluation batch: a round of candidates of a single state, shared
+/// with the pool via `Arc`. Workers claim slots through `cursor` (so an
+/// advertisement popped after the batch is drained is a cheap no-op), write
+/// into `results`, and the owner parks on `done` until every claimed slot
+/// has finished. Owns clones of the state sets — jobs outlive the owner's
+/// stack frame only through this `Arc`, which is what keeps the whole pool
+/// free of `unsafe`.
+struct BatchCtx<'e, C, S> {
+    engine: &'e SearchContext<C>,
+    h: &'e Hypergraph,
+    strategy: &'e S,
+    comp: VertexSet,
+    conn: VertexSet,
+    parent_split: VertexSet,
+    comp_edges: Vec<usize>,
+    guesses: Vec<Guess>,
+    /// The round's bound snapshot (minimizers) or the strategy cutoff
+    /// (speculation).
+    bound: Option<C>,
+    /// The enclosing cancellation scope, if any.
+    inherited: Option<Arc<CancelScope>>,
+    /// `Some` for speculative decision rounds.
+    spec: Option<SpecState<C>>,
+    cursor: AtomicUsize,
+    results: Mutex<RoundOutcome<C>>,
+    /// Set when a slot was killed by an *ancestor* scope (not by a sibling
+    /// win): the whole batch result is then discarded as canceled.
+    failed: AtomicBool,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<'e, C, S> BatchCtx<'e, C, S>
+where
+    C: Ord + Clone + Send + Sync,
+    S: WidthSolver<Cost = C>,
+{
+    /// Claims and evaluates candidate slots until the batch is drained.
+    /// Runs on the owner and on any worker that popped an advertisement.
+    fn work(&self, pool: &Pool<'e>, worker: usize) {
+        let cancel = match &self.spec {
+            Some(spec) => Some(Arc::clone(&spec.scope)),
+            None => self.inherited.clone(),
+        };
+        let exec = Exec {
+            pool: Some(pool),
+            worker,
+            cancel,
+        };
+        loop {
+            let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if slot >= self.guesses.len() {
+                return;
+            }
+            let state = SearchState {
+                comp: &self.comp,
+                conn: &self.conn,
+                comp_edges: &self.comp_edges,
+                parent_split: &self.parent_split,
+            };
+            let outcome = if exec.is_canceled() {
+                Err(Canceled)
+            } else {
+                self.engine.evaluate_candidate(
+                    self.h,
+                    self.strategy,
+                    state,
+                    &self.guesses[slot],
+                    self.bound.as_ref(),
+                    &exec,
+                )
+            };
+            match outcome {
+                Ok(Evaluated::Solved(found)) if self.spec.is_some() => {
+                    let spec = self.spec.as_ref().expect("speculative batch");
+                    let mut winner = spec.winner.lock().expect("winner poisoned");
+                    let better = match &*winner {
+                        None => true,
+                        Some((best_slot, _)) => slot < *best_slot,
+                    };
+                    if better {
+                        *winner = Some((slot, found));
+                    }
+                    drop(winner);
+                    spec.scope.cancel();
+                }
+                Ok(_) if self.spec.is_some() => {}
+                Ok(evaluated) => {
+                    self.results.lock().expect("batch results poisoned")[slot] = Some(evaluated);
+                }
+                Err(Canceled) => {
+                    // Losing a speculative race is the expected outcome;
+                    // only an ancestor cancellation fails the batch itself.
+                    let ancestor = match &self.inherited {
+                        Some(scope) => scope.is_canceled(),
+                        None => false,
+                    };
+                    if ancestor || self.spec.is_none() {
+                        self.failed.store(true, Ordering::Release);
+                    }
+                }
+            }
+            let mut left = self.remaining.lock().expect("batch latch poisoned");
+            *left -= 1;
+            if *left == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Parks the owner until every slot has finished (slots claimed by
+    /// thieves keep running on their workers).
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("batch latch poisoned");
+        while *left > 0 {
+            left = self.done.wait(left).expect("batch latch poisoned");
+        }
+    }
+}
+
 /// The shared search engine: memoized `(component, connector[, state key])`
 /// recursion with witness assembly. The memo is a concurrent
-/// [`ShardedCache`] and every search method takes `&self`, so worker
-/// threads evaluating sibling candidates recurse through one context
-/// concurrently. The cache's hit/miss counters double as the
-/// `memo_hits`/`states` stats (every miss becomes a computed state).
+/// [`ShardedCache`] with in-flight entry states — a state racing into
+/// multiple workers is evaluated by exactly one while the others park on
+/// it — and every search method takes `&self`, so worker threads recurse
+/// through one context concurrently. The cache's hit/miss counters double
+/// as the `memo_hits`/`states` stats (every miss becomes a computed state,
+/// computed exactly once).
 pub struct SearchContext<C> {
     memo: ShardedCache<MemoKey, Option<(C, usize)>>,
     plans: Mutex<Vec<Plan<C>>>,
     stats: AtomicStats,
     /// Configured worker-thread budget (1 = sequential).
     threads: usize,
-    /// Spare worker permits; states fan out only while permits last, which
-    /// caps total live threads at `threads` without nested oversubscription.
-    permits: AtomicUsize,
+    /// Decision-strategy speculation (see [`EngineOptions::speculate`]).
+    speculate: bool,
 }
 
 impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
-    /// A context with the default parallelism (host parallelism, capped).
-    /// Decision strategies always run sequentially regardless — parallel
-    /// speculation would break their first-witness short-circuit.
+    /// A context with the default parallelism ([`default_thread_count`])
+    /// and no speculation.
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(MAX_THREADS);
-        Self::with_threads(threads)
+        Self::with_options(EngineOptions::default())
     }
 
     /// A context evaluating candidates on up to `threads` workers
     /// (`1` = strictly sequential; used by the determinism tests).
     pub fn with_threads(threads: usize) -> Self {
-        let threads = threads.max(1);
+        Self::with_options(EngineOptions::with_threads(threads))
+    }
+
+    /// A context with explicit [`EngineOptions`]. A requested thread count
+    /// of `0` is meaningless and clamps to `1` (debug builds assert).
+    pub fn with_options(opts: EngineOptions) -> Self {
+        let threads = match opts.threads {
+            Some(n) => {
+                debug_assert!(n > 0, "with_threads(0) is meaningless; it clamps to 1");
+                n.clamp(1, MAX_THREADS)
+            }
+            None => default_thread_count(),
+        };
         SearchContext {
             memo: ShardedCache::new(),
             plans: Mutex::new(Vec::new()),
             stats: AtomicStats::default(),
             threads,
-            permits: AtomicUsize::new(threads - 1),
+            speculate: opts.speculate,
         }
+    }
+
+    /// The resolved worker-thread budget of this context.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Snapshot of the engine counters (the `price_*` fields are zero here;
@@ -331,24 +769,54 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
 
     /// Decomposes the whole hypergraph with `strategy`; returns the achieved
     /// cost (maximum over nodes) and the witness.
-    pub fn run<S: WidthSolver<Cost = C>>(
-        &self,
-        h: &Hypergraph,
-        strategy: &S,
+    ///
+    /// With `threads > 1` this spawns the search's worker pool (scoped
+    /// threads living for the whole search), runs the root state on the
+    /// calling thread as worker 0, and joins the pool before returning.
+    pub fn run<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
     ) -> Option<(C, Decomposition)> {
         if h.num_vertices() == 0 {
             return None;
         }
         let root = h.all_vertices();
         let empty = VertexSet::new();
-        let (cost, plan) = self.solve(h, strategy, &root, &empty, &empty)?;
+        // Decision strategies without speculation never push a job, so
+        // spawning (and immediately parking) a pool for them is pure
+        // overhead.
+        let wants_pool = self.threads > 1 && (!strategy.is_decision() || self.speculate);
+        let solved = if !wants_pool {
+            self.solve_inner(h, strategy, &root, &empty, &empty, &Exec::sequential())
+        } else {
+            let pool = Pool::new(self.threads);
+            std::thread::scope(|scope| {
+                for worker in 1..self.threads {
+                    let pool = &pool;
+                    scope.spawn(move || pool.worker_loop(worker));
+                }
+                let exec = Exec {
+                    pool: Some(&pool),
+                    worker: 0,
+                    cancel: None,
+                };
+                let out = self.solve_inner(h, strategy, &root, &empty, &empty, &exec);
+                pool.shutdown();
+                out
+            })
+        };
+        let entry = solved.expect("the root branch has no cancellation scope");
+        let (cost, plan) = entry?;
         let d = self.assemble(&root, plan);
         Some((cost, d))
     }
 
-    /// Solves one `(component, connector)` state: the minimum achievable
-    /// maximum cost of a decomposition fragment covering `comp` whose apex
-    /// bag contains `conn`, or `None` if none exists under the cutoff.
+    /// Solves one `(component, connector)` state sequentially: the minimum
+    /// achievable maximum cost of a decomposition fragment covering `comp`
+    /// whose apex bag contains `conn`, or `None` if none exists under the
+    /// cutoff. Standalone entry point — [`SearchContext::run`] drives the
+    /// same recursion through the worker pool.
     pub fn solve<S: WidthSolver<Cost = C>>(
         &self,
         h: &Hypergraph,
@@ -357,6 +825,25 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
         conn: &VertexSet,
         parent_split: &VertexSet,
     ) -> Option<(C, usize)> {
+        self.solve_inner(h, strategy, comp, conn, parent_split, &Exec::sequential())
+            .expect("the sequential engine has no cancellation scope")
+    }
+
+    /// The memoized recursion step: claim the state's memo entry (parking
+    /// through another worker's in-flight evaluation), evaluating it only
+    /// as the claim owner.
+    fn solve_inner<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
+        comp: &VertexSet,
+        conn: &VertexSet,
+        parent_split: &VertexSet,
+        exec: &Exec<'_, 'e>,
+    ) -> Result<Option<(C, usize)>, Canceled> {
+        if exec.is_canceled() {
+            return Err(Canceled);
+        }
         if strategy.has_state_key() {
             // The memo key needs the derived state, so build it up front.
             let comp_edges = h.edges_intersecting(comp);
@@ -371,174 +858,427 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
                 conn: conn.clone(),
                 skey: strategy.state_key(h, state),
             };
-            if let Some(hit) = self.memo.get(&key) {
-                return hit;
+            match self.memo.claim(&key) {
+                Claim::Hit(hit) => Ok(hit),
+                Claim::Owner => self.compute_claimed(h, strategy, state, key, exec),
             }
-            self.compute_state(h, strategy, state, key)
         } else {
-            // Fast path: probe on `(comp, conn)` alone — a memo hit costs
-            // one lookup, no edge scan.
+            // Fast path: claim on `(comp, conn)` alone — a memo hit costs
+            // one probe, no edge scan.
             let key = MemoKey {
                 comp: comp.clone(),
                 conn: conn.clone(),
                 skey: None,
             };
-            if let Some(hit) = self.memo.get(&key) {
-                return hit;
+            match self.memo.claim(&key) {
+                Claim::Hit(hit) => Ok(hit),
+                Claim::Owner => {
+                    let comp_edges = h.edges_intersecting(comp);
+                    let state = SearchState {
+                        comp,
+                        conn,
+                        comp_edges: &comp_edges,
+                        parent_split,
+                    };
+                    self.compute_claimed(h, strategy, state, key, exec)
+                }
             }
-            let comp_edges = h.edges_intersecting(comp);
-            let state = SearchState {
-                comp,
-                conn,
-                comp_edges: &comp_edges,
-                parent_split,
-            };
-            self.compute_state(h, strategy, state, key)
         }
     }
 
-    /// Evaluates a freshly entered (memo-missed) state and records the
-    /// result.
-    fn compute_state<S: WidthSolver<Cost = C>>(
-        &self,
-        h: &Hypergraph,
-        strategy: &S,
+    /// Evaluates a state this branch owns the memo claim for, completing
+    /// the entry with the result — or abandoning the claim on cancellation
+    /// and unwind, so parked waiters re-claim instead of hanging.
+    fn compute_claimed<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
         state: SearchState<'_>,
         key: MemoKey,
-    ) -> Option<(C, usize)> {
-        let decision = strategy.is_decision();
-        let stream = strategy.candidates(h, state);
-        let best: Option<(C, Plan<C>)> = if decision || self.threads == 1 {
-            self.evaluate_sequential(h, strategy, state, stream, decision)
-        } else {
-            self.evaluate_parallel(h, strategy, state, stream)
+        exec: &Exec<'_, 'e>,
+    ) -> Result<Option<(C, usize)>, Canceled> {
+        struct Release<'r, C: Clone> {
+            memo: &'r ShardedCache<MemoKey, Option<(C, usize)>>,
+            key: Option<MemoKey>,
+        }
+        impl<C: Clone> Drop for Release<'_, C> {
+            fn drop(&mut self) {
+                if let Some(key) = self.key.take() {
+                    self.memo.abandon(&key);
+                }
+            }
+        }
+        let mut release = Release {
+            memo: &self.memo,
+            key: Some(key),
         };
-
+        let best = self.evaluate_state(h, strategy, state, exec)?;
         let entry = best.map(|(cost, plan)| {
             let mut plans = self.plans.lock().expect("plan arena poisoned");
             plans.push(plan);
             (cost, plans.len() - 1)
         });
-        self.memo.insert(key, entry.clone());
-        entry
+        let key = release.key.take().expect("claim released exactly once");
+        self.memo.complete(key, entry.clone());
+        Ok(entry)
     }
 
-    /// The sequential candidate loop: pull, evaluate, keep the minimum.
-    /// Decision strategies return at the first fully decomposing candidate.
-    fn evaluate_sequential<S: WidthSolver<Cost = C>>(
-        &self,
-        h: &Hypergraph,
-        strategy: &S,
+    /// Dispatches a freshly claimed state to its evaluation mode.
+    fn evaluate_state<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
+        state: SearchState<'_>,
+        exec: &Exec<'_, 'e>,
+    ) -> Result<Option<(C, Plan<C>)>, Canceled> {
+        let stream = strategy.candidates(h, state);
+        if strategy.is_decision() {
+            if self.speculate && exec.pool.is_some() {
+                self.evaluate_speculative(h, strategy, state, stream, exec)
+            } else {
+                self.evaluate_sequential(h, strategy, state, stream, exec)
+            }
+        } else {
+            self.evaluate_rounds(h, strategy, state, stream, exec)
+        }
+    }
+
+    /// The sequential decision loop: pull, evaluate, return the first
+    /// fully decomposing candidate.
+    fn evaluate_sequential<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
         state: SearchState<'_>,
         stream: CandidateStream<'_>,
-        decision: bool,
-    ) -> Option<(C, Plan<C>)> {
+        exec: &Exec<'_, 'e>,
+    ) -> Result<Option<(C, Plan<C>)>, Canceled> {
         let cutoff = strategy.cutoff();
-        let mut best: Option<(C, Plan<C>)> = None;
-        let mut streamed = 0usize;
+        let mut streamed = Tally::new(&self.stats.streamed);
         for guess in stream {
-            streamed += 1;
-            let bound = tighter(cutoff.as_ref(), best.as_ref().map(|(c, _)| c));
-            if let Some(found) = self.evaluate_candidate(h, strategy, state, &guess, bound) {
-                let improves = match &best {
-                    None => true,
-                    Some((best_cost, _)) => &found.0 < best_cost,
+            if exec.is_canceled() {
+                return Err(Canceled);
+            }
+            streamed.add(1);
+            if let Evaluated::Solved(found) =
+                self.evaluate_candidate(h, strategy, state, &guess, cutoff.as_ref(), exec)?
+            {
+                return Ok(Some(found));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The minimizer loop: exhaust the stream in rounds, each round
+    /// admitted against the bound snapshot from the rounds before it. The
+    /// snapshot makes every counter — and the first-minimum merge makes
+    /// the witness — independent of scheduling.
+    ///
+    /// The round schedule is the engine's pruning/parallelism balance, and
+    /// it is a deterministic function of the evaluation results alone:
+    ///
+    /// * **Probe.** While no candidate has fully decomposed — and again
+    ///   whenever the previous round improved the best — rounds have size
+    ///   1: the bound tightens after *every* candidate, exactly like a
+    ///   plain sequential scan, so successes (cheap-first streams put them
+    ///   early) immediately arm the strategy's pre-pricing gates. Fanning
+    ///   out while the bound is still dropping would price candidates the
+    ///   sequential engine rejects, exploding the descent.
+    /// * **Ramp.** Only after [`STREAK`] consecutive non-improving
+    ///   candidates does the round size start growing, by one per round up
+    ///   to [`ROUND`]. Staleness costs nothing in a round without an
+    ///   improvement, so long scans earn full width; improvement-dense
+    ///   phases (fractional costs often descend in many small steps) stay
+    ///   at width 1, so almost no candidate ever sees a stale bound.
+    /// * **Fan-out.** A round goes to the pool only when the *previous*
+    ///   round priced at least two candidates. Rounds the gates reject
+    ///   wholesale are microsecond scans; dispatching them would cost more
+    ///   than the scan itself.
+    fn evaluate_rounds<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
+        state: SearchState<'_>,
+        mut stream: CandidateStream<'_>,
+        exec: &Exec<'_, 'e>,
+    ) -> Result<Option<(C, Plan<C>)>, Canceled> {
+        let cutoff = strategy.cutoff();
+        let mut streamed = Tally::new(&self.stats.streamed);
+        let mut best: Option<(C, Plan<C>)> = None;
+        let mut fan_out = false;
+        let mut improving = true;
+        let mut stable = 0usize;
+        let mut want = 1usize;
+        loop {
+            if exec.is_canceled() {
+                return Err(Canceled);
+            }
+            want = if improving {
+                stable = 0;
+                1
+            } else if want == 1 && stable < STREAK {
+                stable += 1;
+                1
+            } else {
+                (want + 1).min(ROUND)
+            };
+            if want == 1 {
+                // Allocation-free fast path: probing rounds dominate the
+                // candidate count, so they run exactly like the plain
+                // sequential loop.
+                let Some(guess) = stream.next() else {
+                    return Ok(best);
                 };
-                if improves {
-                    best = Some(found);
-                    if decision {
-                        break;
+                streamed.add(1);
+                let bound = tighter(cutoff.as_ref(), best.as_ref().map(|(c, _)| c));
+                let evaluated = self.evaluate_candidate(h, strategy, state, &guess, bound, exec)?;
+                improving = best.is_none();
+                if let Evaluated::Solved(found) = evaluated {
+                    let improves = match &best {
+                        None => true,
+                        Some((cost, _)) => found.0 < *cost,
+                    };
+                    if improves {
+                        best = Some(found);
+                        improving = true;
+                    }
+                }
+                fan_out = false;
+                continue;
+            }
+            let mut batch = Vec::with_capacity(want);
+            while batch.len() < want {
+                let Some(guess) = stream.next() else { break };
+                batch.push(guess);
+            }
+            if batch.is_empty() {
+                return Ok(best);
+            }
+            streamed.add(batch.len());
+            let bound = tighter(cutoff.as_ref(), best.as_ref().map(|(c, _)| c)).cloned();
+            let results = self.evaluate_batch(h, strategy, state, batch, bound, fan_out, exec)?;
+            // Results arrive in slot (= stream) order, so a strict `<`
+            // keeps the earliest candidate among equal costs — the same
+            // witness the sequential engine picks.
+            let mut priced = 0usize;
+            improving = best.is_none();
+            for evaluated in results.into_iter().flatten() {
+                if evaluated.priced() {
+                    priced += 1;
+                }
+                if let Evaluated::Solved(found) = evaluated {
+                    let improves = match &best {
+                        None => true,
+                        Some((cost, _)) => found.0 < *cost,
+                    };
+                    if improves {
+                        best = Some(found);
+                        improving = true;
                     }
                 }
             }
+            fan_out = priced >= 2;
         }
-        self.stats.streamed.fetch_add(streamed, Ordering::Relaxed);
-        best
     }
 
-    /// The parallel candidate loop for minimizing strategies: one set of
-    /// scoped worker threads per state, each pulling guesses from the
-    /// shared stream (one at a time — nothing is materialized) and running
-    /// admission, pricing and the recursive descent through the sharded
-    /// memo independently, merging into the shared best. The minimum over
-    /// the exhausted space is order-independent, so the returned cost
-    /// equals the sequential one.
-    ///
-    /// The whole state holds its worker permits until the stream is dry;
-    /// states deeper in the recursion find no spare permits and run
-    /// sequentially, which caps live threads at the configured budget
-    /// without nested oversubscription.
-    fn evaluate_parallel<S: WidthSolver<Cost = C>>(
-        &self,
-        h: &Hypergraph,
-        strategy: &S,
+    /// Evaluates one round of candidates: across the pool when the round
+    /// policy asks for it (the owner claims slots too, then parks until
+    /// thieves finish theirs), inline otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_batch<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
         state: SearchState<'_>,
-        stream: CandidateStream<'_>,
-    ) -> Option<(C, Plan<C>)> {
-        let extra = self.acquire_permits(self.threads - 1);
-        if extra == 0 {
-            return self.evaluate_sequential(h, strategy, state, stream, false);
-        }
-        let cutoff = strategy.cutoff();
-        let stream = Mutex::new(stream);
-        let best: Mutex<Option<(C, Plan<C>)>> = Mutex::new(None);
-        let worker = || {
-            let mut streamed = 0usize;
-            loop {
-                let Some(guess) = stream.lock().expect("stream poisoned").next() else {
-                    break;
-                };
-                streamed += 1;
-                let bound: Option<C> = {
-                    let slot = best.lock().expect("best poisoned");
-                    tighter(cutoff.as_ref(), slot.as_ref().map(|(c, _)| c)).cloned()
-                };
-                if let Some(found) =
-                    self.evaluate_candidate(h, strategy, state, &guess, bound.as_ref())
-                {
-                    merge_min(&best, found);
+        guesses: Vec<Guess>,
+        bound: Option<C>,
+        fan_out: bool,
+        exec: &Exec<'_, 'e>,
+    ) -> Result<RoundOutcome<C>, Canceled> {
+        let pool = match exec.pool {
+            Some(pool) if fan_out && guesses.len() > 1 => pool,
+            _ => {
+                let mut out = Vec::with_capacity(guesses.len());
+                for guess in &guesses {
+                    if exec.is_canceled() {
+                        return Err(Canceled);
+                    }
+                    out.push(Some(self.evaluate_candidate(
+                        h,
+                        strategy,
+                        state,
+                        guess,
+                        bound.as_ref(),
+                        exec,
+                    )?));
                 }
+                return Ok(out);
             }
-            self.stats.streamed.fetch_add(streamed, Ordering::Relaxed);
         };
-        std::thread::scope(|scope| {
-            for _ in 0..extra {
-                scope.spawn(worker);
-            }
-            worker();
+        let slots = guesses.len();
+        let ctx = Arc::new(BatchCtx {
+            engine: self,
+            h,
+            strategy,
+            comp: state.comp.clone(),
+            conn: state.conn.clone(),
+            parent_split: state.parent_split.clone(),
+            comp_edges: state.comp_edges.to_vec(),
+            guesses,
+            bound,
+            inherited: exec.cancel.clone(),
+            spec: None,
+            cursor: AtomicUsize::new(0),
+            results: Mutex::new((0..slots).map(|_| None).collect()),
+            failed: AtomicBool::new(false),
+            remaining: Mutex::new(slots),
+            done: Condvar::new(),
         });
-        self.release_permits(extra);
-        best.into_inner().expect("best poisoned")
+        self.offer_and_work(pool, exec.worker, &ctx);
+        if ctx.failed.load(Ordering::Acquire) {
+            return Err(Canceled);
+        }
+        let results = std::mem::take(&mut *ctx.results.lock().expect("batch results poisoned"));
+        Ok(results)
+    }
+
+    /// The speculative decision loop: rounds of `threads` candidates race
+    /// across the pool under a fresh cancellation scope; the first witness
+    /// (ties broken toward the lowest slot) cancels its siblings, which
+    /// abandon their in-flight memo claims mid-descent.
+    fn evaluate_speculative<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
+        state: SearchState<'_>,
+        mut stream: CandidateStream<'_>,
+        exec: &Exec<'_, 'e>,
+    ) -> Result<Option<(C, Plan<C>)>, Canceled> {
+        let pool = exec.pool.expect("speculation requires a pool");
+        let cutoff = strategy.cutoff();
+        let mut streamed = Tally::new(&self.stats.streamed);
+        loop {
+            if exec.is_canceled() {
+                return Err(Canceled);
+            }
+            let mut batch = Vec::with_capacity(self.threads);
+            while batch.len() < self.threads {
+                let Some(guess) = stream.next() else { break };
+                batch.push(guess);
+            }
+            if batch.is_empty() {
+                return Ok(None);
+            }
+            streamed.add(batch.len());
+            if batch.len() == 1 {
+                if let Evaluated::Solved(found) =
+                    self.evaluate_candidate(h, strategy, state, &batch[0], cutoff.as_ref(), exec)?
+                {
+                    return Ok(Some(found));
+                }
+                continue;
+            }
+            let slots = batch.len();
+            let scope = Arc::new(CancelScope {
+                flag: AtomicBool::new(false),
+                parent: exec.cancel.clone(),
+            });
+            let ctx = Arc::new(BatchCtx {
+                engine: self,
+                h,
+                strategy,
+                comp: state.comp.clone(),
+                conn: state.conn.clone(),
+                parent_split: state.parent_split.clone(),
+                comp_edges: state.comp_edges.to_vec(),
+                guesses: batch,
+                bound: cutoff.clone(),
+                inherited: exec.cancel.clone(),
+                spec: Some(SpecState {
+                    scope,
+                    winner: Mutex::new(None),
+                }),
+                cursor: AtomicUsize::new(0),
+                results: Mutex::new(Vec::new()),
+                failed: AtomicBool::new(false),
+                remaining: Mutex::new(slots),
+                done: Condvar::new(),
+            });
+            self.offer_and_work(pool, exec.worker, &ctx);
+            if ctx.failed.load(Ordering::Acquire) {
+                return Err(Canceled);
+            }
+            let spec = ctx.spec.as_ref().expect("speculative batch");
+            let winner = spec.winner.lock().expect("winner poisoned").take();
+            if let Some((_, found)) = winner {
+                return Ok(Some(found));
+            }
+            // No winner and no ancestor cancellation: every candidate of
+            // the round genuinely failed — keep streaming.
+        }
+    }
+
+    /// Advertises a batch to the pool (one job per slot a helper could
+    /// take), works it on the calling thread, and parks until stolen slots
+    /// finish.
+    fn offer_and_work<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        pool: &Pool<'e>,
+        worker: usize,
+        ctx: &Arc<BatchCtx<'e, C, S>>,
+    ) {
+        let helpers = (ctx.guesses.len() - 1).min(self.threads - 1);
+        for _ in 0..helpers {
+            // Weak adverts: a queued job never extends the round's life.
+            // Once the owner returns from wait() and drops its Arc, stale
+            // adverts still sitting in a deque fail to upgrade and are
+            // no-ops — the round's guesses and results free immediately
+            // instead of lingering until some worker pops them.
+            let advert = Arc::downgrade(ctx);
+            pool.push(
+                worker,
+                Box::new(move |pool, me| {
+                    if let Some(ctx) = advert.upgrade() {
+                        ctx.work(pool, me);
+                    }
+                }),
+            );
+        }
+        ctx.work(pool, worker);
+        ctx.wait();
     }
 
     /// Admits one guess and, if it survives the structural checks, solves
     /// all sub-components; returns the candidate's achieved cost and plan.
-    fn evaluate_candidate<S: WidthSolver<Cost = C>>(
-        &self,
-        h: &Hypergraph,
-        strategy: &S,
+    fn evaluate_candidate<'e, S: WidthSolver<Cost = C>>(
+        &'e self,
+        h: &'e Hypergraph,
+        strategy: &'e S,
         state: SearchState<'_>,
         guess: &Guess,
         bound: Option<&C>,
-    ) -> Option<(C, Plan<C>)> {
+        exec: &Exec<'_, 'e>,
+    ) -> Result<Evaluated<C>, Canceled> {
         // Admission runs first — it derives the separator geometry and
         // prices it, rejecting structurally or cost-wise hopeless guesses
         // without the engine ever materializing them.
-        let admission = strategy.admit(h, state, guess, bound)?;
+        let Some(admission) = strategy.admit(h, state, guess, bound) else {
+            return Ok(Evaluated::Rejected);
+        };
         self.stats.admitted.fetch_add(1, Ordering::Relaxed);
         // Progress: the separator must eat into the component.
         if !admission.split.intersects(state.comp) {
-            return None;
+            return Ok(Evaluated::Admitted);
         }
         // Cover condition: the connector must sit inside the bag.
         if !state.conn.is_subset(&admission.bag) {
-            return None;
+            return Ok(Evaluated::Admitted);
         }
         if let Some(b) = bound {
             // Covers the strategy cutoff and the best-so-far prune alike:
             // max(cost, children) >= cost >= bound cannot improve.
             if &admission.cost >= b {
-                return None;
+                return Ok(Evaluated::Admitted);
             }
         }
         // Split into sub-components and make sure no component edge is
@@ -555,21 +1295,27 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
             }
             let remainder = edge.difference(&admission.split);
             if !subs.iter().any(|sub| remainder.is_subset(sub)) {
-                return None;
+                return Ok(Evaluated::Admitted);
             }
         }
         let mut total = admission.cost.clone();
         let mut children = Vec::with_capacity(subs.len());
         for sub in &subs {
+            if exec.is_canceled() {
+                return Err(Canceled);
+            }
             let sub_edges = h.edges_intersecting(sub);
             let span = h.union_of_edges(sub_edges.iter().copied());
             let sub_conn = admission.split.intersection(&span);
-            let (child_cost, child_plan) =
-                self.solve(h, strategy, sub, &sub_conn, &admission.split)?;
+            let Some((child_cost, child_plan)) =
+                self.solve_inner(h, strategy, sub, &sub_conn, &admission.split, exec)?
+            else {
+                return Ok(Evaluated::Admitted);
+            };
             total = total.max(child_cost);
             children.push((sub.clone(), child_plan));
         }
-        Some((
+        Ok(Evaluated::Solved((
             total.clone(),
             Plan {
                 bag: admission.bag,
@@ -577,27 +1323,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
                 children,
                 cost: total,
             },
-        ))
-    }
-
-    fn acquire_permits(&self, want: usize) -> usize {
-        if want == 0 {
-            return 0;
-        }
-        let mut got = 0;
-        let _ = self
-            .permits
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |avail| {
-                got = avail.min(want);
-                Some(avail - got)
-            });
-        got
-    }
-
-    fn release_permits(&self, n: usize) {
-        if n > 0 {
-            self.permits.fetch_add(n, Ordering::AcqRel);
-        }
+        )))
     }
 
     /// Materializes the witness decomposition rooted at `plan`. The root bag
@@ -648,17 +1374,6 @@ fn tighter<'a, C: Ord>(cutoff: Option<&'a C>, best: Option<&'a C>) -> Option<&'a
         (Some(c), None) => Some(c),
         (None, Some(b)) => Some(b),
         (Some(c), Some(b)) => Some(c.min(b)),
-    }
-}
-
-fn merge_min<C: Ord + Clone>(best: &Mutex<Option<(C, Plan<C>)>>, found: (C, Plan<C>)) {
-    let mut slot = best.lock().expect("best poisoned");
-    let improves = match &*slot {
-        None => true,
-        Some((cost, _)) => found.0 < *cost,
-    };
-    if improves {
-        *slot = Some(found);
     }
 }
 
@@ -802,7 +1517,7 @@ mod tests {
     }
 
     /// A minimizing variant of [`SingleEdge`] whose cost is the bag size —
-    /// exercises the parallel evaluation path (minimizers fan out).
+    /// exercises the round-based pool evaluation path (minimizers fan out).
     struct SmallestEdge;
 
     impl WidthSolver for SmallestEdge {
@@ -920,6 +1635,67 @@ mod tests {
             .run(&h, &SmallestEdge)
             .map(|(c, _)| c);
         assert_eq!(seq, par, "triangle");
+    }
+
+    #[test]
+    fn stats_and_witnesses_are_thread_count_invariant() {
+        // The in-flight memo dedup plus round-snapshot bounds make every
+        // counter — and the first-minimum merge makes the witness — a pure
+        // function of the strategy, whatever the worker count.
+        for n in [4usize, 6, 9] {
+            let h = path(n);
+            let seq = SearchContext::with_threads(1);
+            let baseline = seq.run(&h, &SmallestEdge);
+            for threads in [2usize, 4, 8] {
+                let par = SearchContext::with_threads(threads);
+                let result = par.run(&h, &SmallestEdge);
+                assert_eq!(baseline, result, "path({n}) at {threads} threads");
+                assert_eq!(
+                    seq.stats(),
+                    par.stats(),
+                    "path({n}) stats at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_decision_searches_agree_with_sequential() {
+        // Speculation may pick a different (equally valid) witness but
+        // must return the same yes/no and cost on decision strategies.
+        for n in 3..8 {
+            let h = path(n);
+            let seq = SearchContext::with_threads(1)
+                .run(&h, &SingleEdge)
+                .map(|(c, _)| c);
+            let cx = SearchContext::with_options(EngineOptions::with_threads(4).speculative());
+            let spec = cx.run(&h, &SingleEdge);
+            assert_eq!(seq, spec.as_ref().map(|(c, _)| *c), "path({n})");
+            if let Some((_, d)) = spec {
+                assert_eq!(decomp::validate_hd(&h, &d), Ok(()), "{}", d.render(&h));
+            }
+        }
+        let h = triangle();
+        let cx = SearchContext::with_options(EngineOptions::with_threads(4).speculative());
+        assert!(cx.run(&h, &SingleEdge).is_none(), "no width-1 HD exists");
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "with_threads(0) is meaningless")
+    )]
+    fn with_threads_zero_clamps_to_one() {
+        // Debug builds assert on the nonsensical request; release builds
+        // clamp to a well-defined sequential context.
+        let cx = SearchContext::<usize>::with_threads(0);
+        assert_eq!(cx.threads(), 1);
+    }
+
+    #[test]
+    fn default_thread_count_is_positive_and_capped() {
+        let n = default_thread_count();
+        assert!((1..=8).contains(&n));
     }
 
     #[test]

@@ -34,6 +34,11 @@ if ! grep -q '"fhw_us":' "$out"; then
   echo "bench_baseline.sh: schema drift — no fhw_us columns in $out" >&2
   exit 1
 fi
+# The stats block must record the worker-thread provenance.
+if ! grep -q '"threads":' "$out"; then
+  echo "bench_baseline.sh: schema drift — no threads field in the stats blocks of $out" >&2
+  exit 1
+fi
 
 echo "$out validated against $SCHEMA:"
 head -5 "$out"

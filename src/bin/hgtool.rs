@@ -92,6 +92,10 @@ fn widths(h: &Hypergraph, stats: bool) -> Result<(), String> {
     println!("fhw = {}", w.fhw);
     if stats {
         println!();
+        println!(
+            "threads: {} (override with HGTOOL_THREADS; counters are identical at every count)",
+            hypertree::solver::default_thread_count()
+        );
         println!("engine        states  memo-hits   streamed   admitted   lp-cache");
         for (name, t) in [("hw", &s.hw), ("ghw", &s.ghw), ("fhw", &s.fhw)] {
             println!(

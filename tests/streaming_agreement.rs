@@ -3,13 +3,18 @@
 //! pre-engine implementations kept exactly for this purpose — the retired
 //! elimination-order DP (`ghd::elimination`) for `ghw`/`fhw`, and the
 //! legacy private strict-HD recursion (`fhd::check_fhd_bdp_legacy`) for
-//! `Check(FHD, k)` — and parallel and single-threaded searches must return
-//! identical widths.
+//! `Check(FHD, k)` — and searches at every thread count must return
+//! identical widths, witnesses *and* [`SearchStats`] (the in-flight memo
+//! dedup plus round-snapshot bounds make the whole search deterministic).
+//!
+//! The `HGTOOL_THREADS` environment variable shifts the default worker
+//! count of every engine entry point; CI runs this suite at 1 and 4.
 
 use hypertree::arith::{rat, Rational};
 use hypertree::cover;
 use hypertree::decomp::validate;
-use hypertree::hypergraph::{generators, Hypergraph};
+use hypertree::hypergraph::{generators, parser, Hypergraph};
+use hypertree::solver::EngineOptions;
 use hypertree::{fhd, ghd, hd};
 use proptest::prelude::*;
 
@@ -64,19 +69,63 @@ proptest! {
         prop_assert!(ghw <= hw, "ghw {} > hw {}", ghw, hw);
         prop_assert!(hw <= 3 * ghw + 1, "hw {} vs ghw {}", hw, ghw);
     }
+}
 
+proptest! {
+    // Each case runs the fhw search at four thread counts, twice (with and
+    // without a cutoff); fewer cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The work-stealing pool is fully deterministic: widths, witnesses
+    /// and every `SearchStats` counter are identical at thread counts
+    /// 1, 2, 4 and 8 — including under cutoffs, where the bound snapshot
+    /// is the tighter of cutoff and best-so-far.
     #[test]
-    fn parallel_and_sequential_searches_return_identical_widths(h in arb_hypergraph()) {
-        let (seq, _) = fhd::fhw_exact_with_stats(&h, None, Some(1));
-        let (par, _) = fhd::fhw_exact_with_stats(&h, None, Some(4));
-        let seq_w = seq.map(|(w, _)| w);
-        let par_w = par.as_ref().map(|(w, _)| w.clone());
-        prop_assert_eq!(seq_w, par_w, "threads=1 vs threads=4 on {:?}", h);
-        // The parallel witness itself must still validate.
-        if let Some((w, d)) = par {
-            prop_assert_eq!(validate::validate_fhd(&h, &d), Ok(()));
-            prop_assert!(d.width() <= w);
+    fn searches_are_identical_across_thread_counts(h in arb_hypergraph()) {
+        for cutoff in [None, Some(rat(2, 1))] {
+            let (baseline, base_stats) =
+                fhd::fhw_exact_with_stats(&h, cutoff.clone(), EngineOptions::sequential());
+            for threads in [2usize, 4, 8] {
+                let (result, stats) = fhd::fhw_exact_with_stats(
+                    &h,
+                    cutoff.clone(),
+                    EngineOptions::with_threads(threads),
+                );
+                // Width AND witness: the first-minimum merge reproduces the
+                // sequential engine's plan choice exactly.
+                prop_assert_eq!(
+                    &baseline, &result,
+                    "fhw result at {} threads (cutoff {:?}) on {:?}", threads, cutoff, h
+                );
+                prop_assert_eq!(
+                    &base_stats, &stats,
+                    "fhw stats at {} threads (cutoff {:?}) on {:?}", threads, cutoff, h
+                );
+            }
+            if let Some((w, d)) = baseline {
+                prop_assert_eq!(validate::validate_fhd(&h, &d), Ok(()));
+                prop_assert!(d.width() <= w);
+            }
         }
+    }
+
+    /// Speculative decision searches (candidates racing across the pool
+    /// with sibling cancellation) must return the same yes/no answer as
+    /// the sequential engine, with a valid witness.
+    #[test]
+    fn speculative_hw_agrees_with_sequential(h in arb_hypergraph()) {
+        let seq = hd::hypertree_width(&h, 4).map(|(w, _)| w);
+        let spec_opts = EngineOptions::with_threads(4).speculative();
+        let mut spec = None;
+        for k in 1..=4 {
+            let (d, _) = hd::check_hd_with_stats(&h, k, spec_opts);
+            if let Some(d) = d {
+                prop_assert_eq!(validate::validate_hd(&h, &d), Ok(()), "{}", d.render(&h));
+                spec = Some(k);
+                break;
+            }
+        }
+        prop_assert_eq!(seq, spec, "sequential vs speculative det-k-decomp on {:?}", h);
     }
 }
 
@@ -101,20 +150,69 @@ proptest! {
         }
         let engine = fhd::check_fhd_bdp(&h, &k, fhd::HdkParams::default());
         let legacy = fhd::check_fhd_bdp_legacy(&h, &k, fhd::HdkParams::default());
+        // The speculative strict-HD search races separator guesses with
+        // sibling cancellation; its yes/no must match both.
+        let (spec, _) = fhd::check_fhd_bdp_with_stats(
+            &h,
+            &k,
+            fhd::HdkParams::default(),
+            EngineOptions::with_threads(4).speculative(),
+        );
         prop_assert_eq!(
             engine.is_yes(),
             legacy.is_yes(),
             "engine vs legacy at k = {} on {:?}", k, h
         );
+        prop_assert_eq!(
+            spec.is_yes(),
+            legacy.is_yes(),
+            "speculative vs legacy at k = {} on {:?}", k, h
+        );
         if !below {
             prop_assert!(engine.is_yes(), "strict check must accept fhw = {}", fhw);
         }
-        for (name, ans) in [("engine", &engine), ("legacy", &legacy)] {
+        for (name, ans) in [("engine", &engine), ("legacy", &legacy), ("speculative", &spec)] {
             if let Some(d) = ans.decomposition() {
                 prop_assert_eq!(validate::validate_fhd(&h, &d.clone()), Ok(()), "{}", name);
                 prop_assert!(d.width() <= k, "{} witness exceeds {}", name, k);
             }
         }
+    }
+}
+
+/// The in-flight memo dedup regression (ROADMAP's `threads > 1` stats bug):
+/// on the whole bench corpus plus the shipped example instance, `ghw` and
+/// `fhw` stats from `with_threads(4)` equal `with_threads(1)` exactly —
+/// states are no longer double-evaluated and counters no longer inflate.
+#[test]
+fn stats_are_thread_count_invariant_on_the_example_instances() {
+    let mut instances: Vec<(String, Hypergraph)> = hypertree_bench::corpus()
+        .into_iter()
+        .map(|w| (w.name, w.hypergraph))
+        .collect();
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/data/example_4_3.hg"
+    ))
+    .expect("example instance file");
+    instances.push((
+        "examples/data/example_4_3.hg".into(),
+        parser::parse(&text).expect("parsable example"),
+    ));
+    for (name, h) in instances {
+        let (ghw_seq, ghw_seq_stats) =
+            ghd::ghw_exact_with_stats(&h, None, EngineOptions::sequential());
+        let (ghw_par, ghw_par_stats) =
+            ghd::ghw_exact_with_stats(&h, None, EngineOptions::with_threads(4));
+        assert_eq!(ghw_seq, ghw_par, "{name}: ghw result");
+        assert_eq!(ghw_seq_stats, ghw_par_stats, "{name}: ghw stats");
+
+        let (fhw_seq, fhw_seq_stats) =
+            fhd::fhw_exact_with_stats(&h, None, EngineOptions::sequential());
+        let (fhw_par, fhw_par_stats) =
+            fhd::fhw_exact_with_stats(&h, None, EngineOptions::with_threads(4));
+        assert_eq!(fhw_seq, fhw_par, "{name}: fhw result");
+        assert_eq!(fhw_seq_stats, fhw_par_stats, "{name}: fhw stats");
     }
 }
 
@@ -124,7 +222,7 @@ proptest! {
 #[test]
 fn decision_searches_short_circuit_on_the_first_witness() {
     let h = generators::cq_chain(5, 3, 1);
-    let (d, stats) = hd::check_hd_with_stats(&h, 1);
+    let (d, stats) = hd::check_hd_with_stats(&h, 1, EngineOptions::default());
     assert!(d.is_some(), "chains are acyclic");
     assert!(stats.streamed > 0);
     assert!(
@@ -140,7 +238,7 @@ fn decision_searches_short_circuit_on_the_first_witness() {
 #[test]
 fn fhw_price_cache_dedups_identical_bags() {
     let h = generators::cycle(6);
-    let (result, stats) = fhd::fhw_exact_with_stats(&h, None, Some(1));
+    let (result, stats) = fhd::fhw_exact_with_stats(&h, None, EngineOptions::sequential());
     let (w, _) = result.expect("cycles decompose");
     assert_eq!(w, Rational::from(2usize));
     assert!(
@@ -152,4 +250,29 @@ fn fhw_price_cache_dedups_identical_bags() {
     // 2^6 - 1 subset bags exist per full component; far fewer LPs may run
     // thanks to the bound gate, and none twice.
     assert!(stats.price_misses > 0);
+}
+
+/// Speculative Algorithm 3 (frac-decomp) must accept and reject exactly
+/// like the sequential engine, with a validating witness.
+#[test]
+fn speculative_frac_decomp_agrees_with_sequential() {
+    let spec = EngineOptions::with_threads(4).speculative();
+    let h = generators::cycle(3);
+    let accept = fhd::FracDecompParams {
+        k: Rational::one(),
+        eps: rat(1, 2),
+        c: 3,
+    };
+    let (d, stats) = fhd::frac_decomp_with_stats(&h, &accept, spec);
+    let d = d.expect("fhw(C3) = 3/2 fits the 3/2 budget");
+    assert_eq!(validate::validate_fhd(&h, &d), Ok(()), "{}", d.render(&h));
+    assert!(d.width() <= rat(3, 2));
+    assert!(stats.states > 0);
+    let reject = fhd::FracDecompParams {
+        k: Rational::one(),
+        eps: rat(1, 3),
+        c: 3,
+    };
+    let (none, _) = fhd::frac_decomp_with_stats(&h, &reject, spec);
+    assert!(none.is_none(), "4/3 budget must still be rejected");
 }
