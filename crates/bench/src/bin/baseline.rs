@@ -2,8 +2,16 @@
 //! generator corpus and writes it as JSON (default: `BENCH_baseline.json`
 //! in the current directory) for future perf-trajectory comparisons. Each
 //! instance also records the fhw engine's counters (states, memo hits,
-//! streamed/admitted candidates, LP price-cache hits), so the baseline
-//! tracks candidate-generation discipline alongside wall-clock.
+//! streamed/admitted candidates, LP price-cache hits), the preprocessing
+//! pipeline's reduction counts (vertices/edges removed, block count) and
+//! the cross-call price-cache reuse of a repeated fhw search — so the
+//! baseline tracks candidate-generation *and* reduction discipline
+//! alongside wall-clock.
+//!
+//! Timed runs use fresh per-search price caches (`reuse_prices: false`),
+//! so the medians measure cold searches; the cross-call column then
+//! repeats the fhw search twice through the fingerprint-keyed registry
+//! and records how many of the second run's lookups came back warm.
 //!
 //! ```sh
 //! cargo run -p hypertree-bench --bin baseline --release -- [out.json]
@@ -11,7 +19,7 @@
 //! ```
 //!
 //! `--smoke` is the CI mode: single iteration over a small corpus prefix,
-//! just enough to prove the bin and the `hypertree-bench-baseline/v1`
+//! just enough to prove the bin and the `hypertree-bench-baseline/v2`
 //! schema have not rotted (see `scripts/bench_baseline.sh --smoke`).
 
 use hypertree_bench as workloads;
@@ -47,7 +55,7 @@ fn main() {
     let iters = if smoke { 1 } else { 3 };
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"hypertree-bench-baseline/v1\",\n");
+    body.push_str("  \"schema\": \"hypertree-bench-baseline/v2\",\n");
     body.push_str("  \"command\": \"cargo run -p hypertree-bench --bin baseline --release\",\n");
     let _ = writeln!(body, "  \"profile\": \"{}\",", profile());
     body.push_str("  \"instances\": [\n");
@@ -67,14 +75,24 @@ fn main() {
             h.num_vertices(),
             h.num_edges()
         );
-        let (hw, t_hw) = time_median(iters, || hd::hypertree_width(h, 6).map(|(k, _)| k));
+        // Cold searches: fresh price caches per call, so the medians stay
+        // comparable across runs regardless of process history.
+        let cold = solver::EngineOptions {
+            reuse_prices: false,
+            ..Default::default()
+        };
+        let (hw, t_hw) = time_median(iters, || {
+            hd::hypertree_width_with_stats(h, 6, cold).0.map(|(k, _)| k)
+        });
         match hw {
             Some(k) => {
                 let _ = write!(body, ", \"hw\": {k}, \"hw_us\": {t_hw}");
             }
             None => body.push_str(", \"hw\": null"),
         }
-        let (ghw, t_ghw) = time_median(iters, || ghd::ghw_exact(h, None).map(|(k, _)| k));
+        let (ghw, t_ghw) = time_median(iters, || {
+            ghd::ghw_exact_with_stats(h, None, cold).0.map(|(k, _)| k)
+        });
         match ghw {
             Some(k) => {
                 let _ = write!(body, ", \"ghw\": {k}, \"ghw_us\": {t_ghw}");
@@ -82,13 +100,29 @@ fn main() {
             None => body.push_str(", \"ghw\": null"),
         }
         let (fhw, t_fhw) = time_median(iters, || {
-            let (r, stats) = fhd::fhw_exact_with_stats(h, None, solver::EngineOptions::default());
+            let (r, stats) = fhd::fhw_exact_with_stats(h, None, cold);
             (r.map(|(k, _)| k), stats)
         });
         match fhw {
             (Some(k), stats) => {
                 let _ = write!(body, ", \"fhw\": \"{k}\", \"fhw_us\": {t_fhw}");
                 let _ = write!(body, ", \"fhw_stats\": {}", stats_json(&stats));
+                // Reduction + cross-call columns: the prep counters of the
+                // cold run, plus a warmed repeat through the
+                // fingerprint-keyed registry.
+                let warm = solver::EngineOptions::default();
+                let _ = fhd::fhw_exact_with_stats(h, None, warm);
+                let (_, rerun) = fhd::fhw_exact_with_stats(h, None, warm);
+                let _ = write!(
+                    body,
+                    ", \"prep\": {{\"vertices_removed\": {}, \"edges_removed\": {}, \
+                     \"blocks\": {}, \"rerun_warm_hits\": {}, \"rerun_lookups\": {}}}",
+                    stats.prep_vertices_removed,
+                    stats.prep_edges_removed,
+                    stats.prep_blocks,
+                    rerun.price_warm_hits,
+                    rerun.price_hits + rerun.price_misses,
+                );
             }
             (None, _) => body.push_str(", \"fhw\": null"),
         }

@@ -31,6 +31,7 @@ pub use ghd;
 pub use hd;
 pub use hypergraph;
 pub use lp;
+pub use prep;
 pub use reduction;
 pub use solver;
 
@@ -130,7 +131,17 @@ pub struct WidthStats {
 /// scheduling ([`solver::default_thread_count`], honoring `HGTOOL_THREADS`);
 /// the counters are identical at every thread count.
 pub fn exact_widths_with_stats(h: &Hypergraph, max_hw: usize) -> Option<(ExactWidths, WidthStats)> {
-    let opts = solver::EngineOptions::default();
+    exact_widths_with_opts(h, max_hw, solver::EngineOptions::default())
+}
+
+/// As [`exact_widths_with_stats`] with explicit [`solver::EngineOptions`]
+/// — the hook for `hgtool widths --no-prep` and for callers that want
+/// fresh per-search price caches (`reuse_prices: false`).
+pub fn exact_widths_with_opts(
+    h: &Hypergraph,
+    max_hw: usize,
+    opts: solver::EngineOptions,
+) -> Option<(ExactWidths, WidthStats)> {
     let (hw, hw_stats) = hd::hypertree_width_with_stats(h, max_hw, opts);
     let (hw, _) = hw?;
     let (ghw, ghw_stats) = ghd::ghw_exact_with_stats(h, None, opts);

@@ -32,20 +32,21 @@ use hypergraph::{Hypergraph, VertexSet};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Number of shards (power of two). Sized so that the engine's worker
 /// threads rarely contend on one lock.
 const SHARDS: usize = 32;
 
-/// Entry state: claimed-but-computing, or computed.
+/// Entry state: claimed-but-computing, or computed (tagged with the cache
+/// generation it was completed in, so cross-call reuse is countable).
 enum Slot<V> {
     /// A thread claimed the key and is computing the value; arrivals park
     /// on the shard condvar.
     Pending,
-    /// The computed value.
-    Done(V),
+    /// The computed value, tagged with the generation that computed it.
+    Done(V, u32),
 }
 
 /// One shard: the map plus the condvar `Pending` waiters park on. The
@@ -88,6 +89,13 @@ pub struct ShardedCache<K, V> {
     shards: Vec<Shard<K, V>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Hits on entries completed in an *earlier generation* — i.e. served
+    /// from a previous search session sharing this cache (see
+    /// [`ShardedCache::advance_generation`]).
+    warm_hits: AtomicUsize,
+    /// The current generation. Freshly constructed caches are generation 0
+    /// and never count warm hits until a session boundary advances it.
+    generation: AtomicU32,
 }
 
 impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
@@ -103,6 +111,8 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
                 .collect(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            warm_hits: AtomicUsize::new(0),
+            generation: AtomicU32::new(0),
         }
     }
 
@@ -124,9 +134,12 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
         let mut map = shard.map.lock().expect("cache poisoned");
         loop {
             match map.get(key) {
-                Some(Slot::Done(v)) => {
+                Some(Slot::Done(v, gen)) => {
                     let v = v.clone();
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if *gen < self.generation.load(Ordering::Relaxed) {
+                        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     return Claim::Hit(v);
                 }
                 Some(Slot::Pending) => {
@@ -146,12 +159,13 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     /// Resolves a claim (or unconditionally stores a value computed
     /// elsewhere) and wakes every thread parked on the entry.
     pub fn complete(&self, key: K, value: V) {
+        let gen = self.generation.load(Ordering::Relaxed);
         let shard = self.shard(&key);
         shard
             .map
             .lock()
             .expect("cache poisoned")
-            .insert(key, Slot::Done(value));
+            .insert(key, Slot::Done(value, gen));
         shard.wake();
     }
 
@@ -175,9 +189,12 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
         let mut map = shard.map.lock().expect("cache poisoned");
         loop {
             match map.get(key) {
-                Some(Slot::Done(v)) => {
+                Some(Slot::Done(v, gen)) => {
                     let v = v.clone();
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if *gen < self.generation.load(Ordering::Relaxed) {
+                        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     return Some(v);
                 }
                 Some(Slot::Pending) => {
@@ -235,6 +252,22 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
         )
     }
 
+    /// Hits served from entries completed before the last
+    /// [`ShardedCache::advance_generation`] — the cross-call reuse count
+    /// when the cache outlives one search (the `prep` global price cache).
+    /// Always 0 on a cache whose generation was never advanced.
+    pub fn warm_hits(&self) -> usize {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Marks a session boundary: entries completed so far become "warm",
+    /// and hits on them are counted by [`ShardedCache::warm_hits`]. Called
+    /// by the cross-call price registry each time a new search borrows the
+    /// cache; per-search caches never call it.
+    pub fn advance_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of cached (`Done`) entries.
     pub fn len(&self) -> usize {
         self.shards
@@ -244,7 +277,7 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
                     .lock()
                     .expect("cache poisoned")
                     .values()
-                    .filter(|slot| matches!(slot, Slot::Done(_)))
+                    .filter(|slot| matches!(slot, Slot::Done(..)))
                     .count()
             })
             .sum()
@@ -415,6 +448,24 @@ mod tests {
             assert!(waiter.join().expect("waiter"), "waiter re-claims");
         });
         assert_eq!(cache.get(&3), Some(9));
+    }
+
+    #[test]
+    fn generations_count_cross_call_hits() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new();
+        cache.complete(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.warm_hits(), 0, "same-generation hits are not warm");
+        cache.advance_generation();
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.warm_hits(), 1, "pre-boundary entries read as warm");
+        cache.complete(2, 20);
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(
+            cache.warm_hits(),
+            1,
+            "entries of the current generation stay cold"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use solver::{
     Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
     WidthSolver,
 };
+use std::sync::Arc;
 
 /// Computes `fhw(H)` exactly together with an optimal FHD.
 ///
@@ -29,6 +30,15 @@ pub fn fhw_exact(h: &Hypergraph, cutoff: Option<Rational>) -> Option<(Rational, 
 /// (all-zero when the elimination-DP fallback answered). `opts` pins the
 /// engine scheduling; width, witness and stats are identical at every
 /// thread count (the determinism tests compare them).
+///
+/// Unless opted out (`opts.prep` / `HGTOOL_NO_PREP`), the instance first
+/// runs through `prep`'s minimizer pipeline: GYO-style simplification plus
+/// biconnected-block splitting, each block solved independently (the
+/// per-block vertex counts — not the original's — are what the
+/// [`solver::MAX_SUBSET_SEARCH_VERTICES`] gate sees), the width combined
+/// as the maximum and the witness lifted back to `h`. With
+/// `opts.reuse_prices` the `ρ*` LP prices are shared process-wide across
+/// calls keyed by each block's fingerprint.
 pub fn fhw_exact_with_stats(
     h: &Hypergraph,
     cutoff: Option<Rational>,
@@ -37,14 +47,55 @@ pub fn fhw_exact_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
+    if !prep::enabled(opts.prep) {
+        return fhw_piece(h, cutoff, opts);
+    }
+    let prepared = prep::prepare(h, prep::Profile::Minimizer);
+    let mut stats = SearchStats {
+        prep_vertices_removed: prepared.stats.vertices_removed,
+        prep_edges_removed: prepared.stats.edges_removed,
+        prep_blocks: prepared.stats.blocks,
+        ..SearchStats::default()
+    };
+    let mut parts = Vec::with_capacity(prepared.blocks.len());
+    let mut best: Option<Rational> = None;
+    for block in &prepared.blocks {
+        let (result, s) = fhw_piece(&block.hypergraph, cutoff.clone(), opts);
+        stats.merge(&s);
+        let Some((w, d)) = result else {
+            // Too large for the exact engines, or the cutoff bit: either
+            // way the whole instance answers `None` (width = max of block
+            // widths).
+            return (None, stats);
+        };
+        if best.as_ref().is_none_or(|b| w > *b) {
+            best = Some(w);
+        }
+        parts.push(d);
+    }
+    let width = best.expect("at least one block");
+    let d = prepared.lift(parts);
+    debug_assert!(d.width() <= width);
+    (Some((width, d)), stats)
+}
+
+/// Solves one (already preprocessed) piece: the shared-engine subset
+/// search when small enough, the elimination DP in the 19–24-vertex
+/// window, `None` beyond.
+fn fhw_piece(
+    h: &Hypergraph,
+    cutoff: Option<Rational>,
+    opts: EngineOptions,
+) -> (Option<(Rational, Decomposition)>, SearchStats) {
     if h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
         return (fhw_by_elimination(h, cutoff), SearchStats::default());
     }
+    let session = prep::SessionCache::open(h, "fhw-rho-star", opts.reuse_prices);
     let strategy = FhwSearch {
         cutoff,
         rank: properties::rank(h),
         scatter: cover::ScatterBound::new(h),
-        cover_cache: RhoStarCache::new(),
+        cover_cache: Arc::clone(&session.cache),
         gate: ShardedCache::new(),
     };
     let cx = SearchContext::with_options(opts);
@@ -53,7 +104,7 @@ pub fn fhw_exact_with_stats(
         (width, d)
     });
     let mut stats = cx.stats();
-    (stats.price_hits, stats.price_misses) = strategy.cover_cache.counters();
+    (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
     (result, stats)
 }
 
@@ -95,8 +146,9 @@ struct FhwSearch {
     scatter: cover::ScatterBound,
     /// `bag -> (rho*(bag), optimal weights)` — the LP is admission's
     /// dominant cost and bags repeat across search states and worker
-    /// threads; each distinct bag is priced once per search.
-    cover_cache: RhoStarCache,
+    /// threads; each distinct bag is priced once per search (once per
+    /// *process* when the session is backed by the cross-call registry).
+    cover_cache: Arc<RhoStarCache>,
     /// Memoized integer form of the bound gate, keyed by the bound:
     /// `thresholds[r]` is the smallest `|bag|` rejected when at most `r`
     /// bag vertices fit in one edge (`⌈bound · r⌉`, exact at integers).

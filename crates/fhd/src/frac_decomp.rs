@@ -17,6 +17,7 @@
 //! with the engine recursing on the `[V(S) ∪ W_s]`-components inside `C_r`.
 
 use arith::Rational;
+use cover::ShardedCache;
 use decomp::Decomposition;
 use hypergraph::{Hypergraph, VertexSet};
 use lp::{Cmp, LinearProgram, LpResult};
@@ -24,6 +25,7 @@ use solver::{
     Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
     WidthSolver,
 };
+use std::sync::Arc;
 
 /// Parameters of Algorithm 3.
 #[derive(Clone, Debug)]
@@ -57,17 +59,48 @@ pub fn frac_decomp_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
+    if !prep::enabled(opts.prep) {
+        return frac_decomp_piece(h, params, opts);
+    }
+    // Decision profile: duplicate-edge and twin-vertex collapse only —
+    // the passes whose lifts preserve the weak special condition. The
+    // `c` bound is checked on the *reduced* instance, so acceptance is
+    // one-sided monotone: anything the unprepped algorithm accepts is
+    // still accepted (an FHD with a c-bounded part projects onto the
+    // collapsed instance), and everything accepted lifts to a valid
+    // width-(k+ε) witness of `h` — but collapsed twins need fewer `W_s`
+    // slots, so prep can accept where the raw algorithm's c-relative
+    // completeness gave up.
+    let prepared = prep::prepare(h, prep::Profile::Decision);
+    let block = &prepared.blocks[0];
+    let (result, mut stats) = frac_decomp_piece(&block.hypergraph, params, opts);
+    stats.prep_vertices_removed = prepared.stats.vertices_removed;
+    stats.prep_edges_removed = prepared.stats.edges_removed;
+    stats.prep_blocks = prepared.stats.blocks;
+    (result.map(|d| prepared.lift(vec![d])), stats)
+}
+
+/// Runs Algorithm 3 proper on an (already preprocessed) instance.
+fn frac_decomp_piece(
+    h: &Hypergraph,
+    params: &FracDecompParams,
+    opts: EngineOptions,
+) -> (Option<Decomposition>, SearchStats) {
     let budget = &params.k + &params.eps;
     let l_max_big = budget.floor();
     let l_max = l_max_big.to_i64().unwrap_or(0).max(0) as usize;
+    let session = prep::SessionCache::open(h, "frac-shadow-lp", opts.reuse_prices);
     let strategy = FracDecomp {
         budget,
         l_max,
         c: params.c,
+        shadow: Arc::clone(&session.cache),
     };
     let cx = SearchContext::with_options(opts);
     let result = cx.run(h, &strategy).map(|(_, d)| d);
-    (result, cx.stats())
+    let mut stats = cx.stats();
+    (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
+    (result, stats)
 }
 
 /// Upper-bounds `fhw(H)` by running Algorithm 3 on a decreasing sequence of
@@ -115,7 +148,16 @@ struct FracDecomp {
     budget: Rational,
     l_max: usize,
     c: usize,
+    /// Memoized (2.a) LPs: `(budget, S, W_s)` fully determines the shadow
+    /// cover, and the same `(S, W_s)` pair is guessed again and again
+    /// across sibling search states — and across *calls* at one budget
+    /// when the session is backed by the cross-call registry (the
+    /// PTAAS-style iteration loops re-run identical budgets).
+    shadow: Arc<ShadowCache>,
 }
+
+/// `(budget, sorted separator, shadow) -> γ` memo for the (2.a) LP.
+type ShadowCache = ShardedCache<(Rational, Vec<usize>, VertexSet), Option<Vec<(usize, Rational)>>>;
 
 impl WidthSolver for FracDecomp {
     type Cost = Rational;
@@ -189,7 +231,14 @@ impl WidthSolver for FracDecomp {
         if slack.is_negative() {
             return None;
         }
-        let gamma = cover_shadow(h, &need, &guess.edges, &slack, &bag)?;
+        let key = (
+            self.budget.clone(),
+            guess.edges.clone(),
+            guess.extra.clone(),
+        );
+        let gamma = self
+            .shadow
+            .get_or_insert_with(&key, || cover_shadow(h, &need, &guess.edges, &slack, &bag))?;
         let mut weights: Vec<(usize, Rational)> =
             guess.edges.iter().map(|&e| (e, Rational::one())).collect();
         let mut cost = Rational::from(weights.len());

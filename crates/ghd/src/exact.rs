@@ -15,6 +15,7 @@ use solver::{
     Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
     WidthSolver,
 };
+use std::sync::Arc;
 
 pub use solver::MAX_SUBSET_SEARCH_VERTICES;
 
@@ -42,14 +43,55 @@ pub fn ghw_exact_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
+    if !prep::enabled(opts.prep) {
+        return ghw_piece(h, cutoff, opts);
+    }
+    // The minimizer pipeline: GYO-style simplification, then biconnected
+    // blocks solved independently (the subset-search vertex gate applies
+    // per block), width = max, witness stitched and lifted back to `h`.
+    let prepared = prep::prepare(h, prep::Profile::Minimizer);
+    let mut stats = SearchStats {
+        prep_vertices_removed: prepared.stats.vertices_removed,
+        prep_edges_removed: prepared.stats.edges_removed,
+        prep_blocks: prepared.stats.blocks,
+        ..SearchStats::default()
+    };
+    let mut parts = Vec::with_capacity(prepared.blocks.len());
+    let mut best: Option<usize> = None;
+    for block in &prepared.blocks {
+        let (result, s) = ghw_piece(&block.hypergraph, cutoff, opts);
+        stats.merge(&s);
+        let Some((w, d)) = result else {
+            return (None, stats);
+        };
+        if best.is_none_or(|b| w > b) {
+            best = Some(w);
+        }
+        parts.push(d);
+    }
+    let width = best.expect("at least one block");
+    let d = prepared.lift(parts);
+    debug_assert!(d.width() <= Rational::from(width));
+    (Some((width, d)), stats)
+}
+
+/// Solves one (already preprocessed) piece: shared-engine subset search
+/// when small enough, elimination DP in the 19–24-vertex window, `None`
+/// beyond.
+fn ghw_piece(
+    h: &Hypergraph,
+    cutoff: Option<usize>,
+    opts: EngineOptions,
+) -> (Option<(usize, Decomposition)>, SearchStats) {
     if h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
         return (ghw_by_elimination(h, cutoff), SearchStats::default());
     }
+    let session = prep::SessionCache::open(h, "ghw-rho", opts.reuse_prices);
     let strategy = GhwSearch {
         cutoff,
         rank: properties::rank(h),
         scatter: cover::ScatterBound::new(h),
-        cover_cache: RhoCache::new(),
+        cover_cache: Arc::clone(&session.cache),
     };
     let cx = SearchContext::with_options(opts);
     let result = cx.run(h, &strategy).map(|(width, d)| {
@@ -57,7 +99,7 @@ pub fn ghw_exact_with_stats(
         (width, d)
     });
     let mut stats = cx.stats();
-    (stats.price_hits, stats.price_misses) = strategy.cover_cache.counters();
+    (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
     (result, stats)
 }
 
@@ -97,8 +139,9 @@ struct GhwSearch {
     scatter: cover::ScatterBound,
     /// `bag -> (rho(bag), minimum cover)` — bags repeat heavily across
     /// search states and worker threads, and the branch-and-bound cover
-    /// search is the expensive part of admission.
-    cover_cache: RhoCache,
+    /// search is the expensive part of admission. Shared process-wide
+    /// when the session is backed by the cross-call registry.
+    cover_cache: Arc<RhoCache>,
 }
 
 impl WidthSolver for GhwSearch {

@@ -35,6 +35,12 @@ pub fn check_hd(h: &Hypergraph, k: usize) -> Option<Decomposition> {
 /// `opts` pins the engine scheduling — `det-k-decomp` is a decision
 /// strategy, so it runs sequentially unless [`EngineOptions::speculate`]
 /// lets it race candidates across the worker pool.
+///
+/// Unless opted out (`opts.prep` / `HGTOOL_NO_PREP`), the instance first
+/// runs through `prep`'s *decision* profile — duplicate-edge and
+/// twin-vertex collapse only, the passes that provably preserve `hw`'s
+/// special condition (no block splitting: re-rooting a block tree is not
+/// special-condition-safe) — and the witness is lifted back to `h`.
 pub fn check_hd_with_stats(
     h: &Hypergraph,
     k: usize,
@@ -44,6 +50,24 @@ pub fn check_hd_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
+    if !prep::enabled(opts.prep) {
+        return check_hd_piece(h, k, opts);
+    }
+    let prepared = prep::prepare(h, prep::Profile::Decision);
+    let block = &prepared.blocks[0];
+    let (result, mut stats) = check_hd_piece(&block.hypergraph, k, opts);
+    stats.prep_vertices_removed = prepared.stats.vertices_removed;
+    stats.prep_edges_removed = prepared.stats.edges_removed;
+    stats.prep_blocks = prepared.stats.blocks;
+    (result.map(|d| prepared.lift(vec![d])), stats)
+}
+
+/// Runs `det-k-decomp` proper on an (already preprocessed) instance.
+fn check_hd_piece(
+    h: &Hypergraph,
+    k: usize,
+    opts: EngineOptions,
+) -> (Option<Decomposition>, SearchStats) {
     let strategy = DetK { k };
     let cx = SearchContext::with_options(opts);
     let result = cx.run(h, &strategy).map(|(_, d)| d);
@@ -57,21 +81,38 @@ pub fn hypertree_width(h: &Hypergraph, max_k: usize) -> Option<(usize, Decomposi
 }
 
 /// As [`hypertree_width`], also reporting the engine counters summed over
-/// the `k = 1, 2, ...` checks.
+/// the `k = 1, 2, ...` checks. The prep pipeline (which is `k`-independent)
+/// runs once up front; every check of the iteration searches the same
+/// reduced instance and only the final witness is lifted.
 pub fn hypertree_width_with_stats(
     h: &Hypergraph,
     max_k: usize,
     opts: EngineOptions,
 ) -> (Option<(usize, Decomposition)>, SearchStats) {
+    if h.has_isolated_vertices() {
+        return (None, SearchStats::default());
+    }
     let mut total = SearchStats::default();
+    if !prep::enabled(opts.prep) {
+        for k in 1..=max_k {
+            let (d, stats) = check_hd_piece(h, k, opts);
+            total.merge(&stats);
+            if let Some(d) = d {
+                return (Some((k, d)), total);
+            }
+        }
+        return (None, total);
+    }
+    let prepared = prep::prepare(h, prep::Profile::Decision);
+    let block = &prepared.blocks[0];
+    total.prep_vertices_removed = prepared.stats.vertices_removed;
+    total.prep_edges_removed = prepared.stats.edges_removed;
+    total.prep_blocks = prepared.stats.blocks;
     for k in 1..=max_k {
-        let (d, stats) = check_hd_with_stats(h, k, opts);
-        total.states += stats.states;
-        total.memo_hits += stats.memo_hits;
-        total.streamed += stats.streamed;
-        total.admitted += stats.admitted;
+        let (d, stats) = check_hd_piece(&block.hypergraph, k, opts);
+        total.merge(&stats);
         if let Some(d) = d {
-            return (Some((k, d)), total);
+            return (Some((k, prepared.lift(vec![d]))), total);
         }
     }
     (None, total)

@@ -6,9 +6,13 @@
 //! edge3(d, e).
 //! ```
 //!
-//! Edge separators may be `,` or newlines; an optional trailing `.` ends the
-//! list; `%`-prefixed lines are comments. This is the format of the public
-//! benchmark corpus referenced by the paper (\[23\]).
+//! Edge separators may be `,` or newlines; an optional trailing `.` ends
+//! the list. The parser tolerates the variants found across the public
+//! HyperBench corpus referenced by the paper (\[23\]): comment lines and
+//! inline comments (`%`, `#`, `//` to end of line), blank lines (including
+//! whitespace-only ones), trailing whitespace and CRLF line endings.
+//! Comment markers are reserved characters — they cannot occur inside
+//! vertex or edge names.
 
 use crate::hypergraph::Hypergraph;
 use std::collections::HashMap;
@@ -41,9 +45,20 @@ pub fn parse(input: &str) -> Result<Hypergraph, ParseError> {
     let mut edge_names: Vec<String> = Vec::new();
     let mut edges: Vec<Vec<usize>> = Vec::new();
 
+    // Strip comments (whole-line or inline; `%` is HyperBench's marker,
+    // `#` and `//` occur in converted corpora) and normalize line endings;
+    // blank and whitespace-only lines fall out via separator trimming.
     let cleaned: String = input
         .lines()
-        .filter(|l| !l.trim_start().starts_with('%'))
+        .map(|l| {
+            let mut line = l;
+            for marker in ["%", "#", "//"] {
+                if let Some(i) = line.find(marker) {
+                    line = &line[..i];
+                }
+            }
+            line.trim_end()
+        })
         .collect::<Vec<_>>()
         .join("\n");
 
@@ -137,6 +152,51 @@ mod tests {
     fn deduplicates_repeated_vertices_in_an_edge() {
         let h = parse("r1(a,a,b)").unwrap();
         assert_eq!(h.edge(0).len(), 2);
+    }
+
+    #[test]
+    fn hash_comment_lines_are_ignored() {
+        let h = parse("# generated by a converter\nr1(a,b),\n# midway\nr2(b,c)").unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.num_vertices(), 3);
+    }
+
+    #[test]
+    fn slash_slash_comment_lines_are_ignored() {
+        let h = parse("// header\nr1(a,b),\nr2(b,c)\n// trailer").unwrap();
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn inline_comments_are_stripped() {
+        let h = parse("r1(a,b), % first relation\nr2(b,c) // second\nr3(c,a) # third").unwrap();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_vertices(), 3);
+    }
+
+    #[test]
+    fn blank_and_whitespace_only_lines_are_ignored() {
+        let h = parse("\nr1(a,b),\n\n   \n\t\nr2(b,c)\n\n").unwrap();
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn trailing_whitespace_is_tolerated() {
+        let h = parse("r1(a,b),   \nr2(b,c).   \n   ").unwrap();
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn crlf_line_endings_are_tolerated() {
+        let h = parse("r1(a,b),\r\nr2(b,c)\r\n").unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.vertex_by_name("b"), Some(1), "no \\r glued onto names");
+    }
+
+    #[test]
+    fn comment_after_final_period_is_tolerated() {
+        let h = parse("r1(a,b).\n% done\n").unwrap();
+        assert_eq!(h.num_edges(), 1);
     }
 
     #[test]

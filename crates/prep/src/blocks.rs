@@ -1,0 +1,204 @@
+//! Biconnected-block splitting.
+//!
+//! A cut vertex of the primal (Gaifman) graph separates the width
+//! computation: `ghw`/`fhw` of the whole hypergraph is the maximum over
+//! its biconnected blocks, because (a) every hyperedge is a primal clique
+//! and therefore lies inside exactly one block, (b) each block instance is
+//! (up to useless singleton edges) an induced subhypergraph, so its width
+//! is at most the whole's (Lemma 2.7 monotonicity), and (c) block
+//! decompositions glue back: re-root the child block's tree at a node
+//! containing the shared cut vertex and hang it under any node of the
+//! parent block containing that vertex — connectivity, covers and width
+//! are all preserved because distinct blocks share nothing but the cut
+//! vertex. Re-rooting is what makes this a `ghw`/`fhw` (not `hw`)
+//! transformation: the special condition is orientation-sensitive.
+
+use hypergraph::{Hypergraph, VertexSet};
+
+/// One biconnected block: its vertices, plus the cut vertex ("anchor")
+/// linking it to an earlier block in the output order (`None` for the
+/// first block of each connected component).
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The block's vertices.
+    pub vertices: VertexSet,
+    /// A vertex shared with the union of all earlier blocks, if any.
+    pub anchor: Option<usize>,
+}
+
+/// Splits `h` into biconnected blocks of its primal graph, ordered so
+/// every block after the first of its component carries an `anchor` cut
+/// vertex shared with an earlier block. Vertices without primal neighbors
+/// (only singleton edges) become singleton blocks.
+pub fn split(h: &Hypergraph) -> Vec<Block> {
+    let adj = h.primal_graph();
+    let raw = biconnected_components(&adj);
+    order_with_anchors(raw)
+}
+
+/// Hopcroft–Tarjan biconnected components over an adjacency list, each
+/// returned as its vertex set. Iterative (explicit DFS stack), so deep
+/// paths cannot overflow the call stack.
+fn biconnected_components(adj: &[VertexSet]) -> Vec<VertexSet> {
+    let n = adj.len();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut timer = 0usize;
+    let mut blocks: Vec<VertexSet> = Vec::new();
+    let mut edge_stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        if adj[root].is_empty() {
+            // Primal-isolated vertex: its own (degenerate) block.
+            blocks.push(VertexSet::from_iter([root]));
+            continue;
+        }
+        // Frame: (vertex, parent, neighbor iterator position).
+        let mut stack: Vec<(usize, usize, Vec<usize>, usize)> = Vec::new();
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        stack.push((root, usize::MAX, adj[root].to_vec(), 0));
+        while let Some(frame) = stack.last_mut() {
+            let (u, parent, neighbors, cursor) = (frame.0, frame.1, &frame.2, frame.3);
+            if cursor < neighbors.len() {
+                let v = neighbors[cursor];
+                frame.3 += 1;
+                if disc[v] == usize::MAX {
+                    edge_stack.push((u, v));
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, u, adj[v].to_vec(), 0));
+                } else if v != parent && disc[v] < disc[u] {
+                    edge_stack.push((u, v));
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(above) = stack.last_mut() {
+                    let p = above.0;
+                    low[p] = low[p].min(low[u]);
+                    if low[u] >= disc[p] {
+                        // `p` articulates `u`'s subtree: pop its block.
+                        let mut block = VertexSet::new();
+                        while let Some(&(a, b)) = edge_stack.last() {
+                            if disc[a] >= disc[u] || (a, b) == (p, u) {
+                                block.insert(a);
+                                block.insert(b);
+                                edge_stack.pop();
+                                if (a, b) == (p, u) {
+                                    break;
+                                }
+                            } else {
+                                break;
+                            }
+                        }
+                        if !block.is_empty() {
+                            blocks.push(block);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    blocks
+}
+
+/// Orders blocks so each one (after its component's first) names a cut
+/// vertex shared with an earlier block.
+fn order_with_anchors(mut raw: Vec<VertexSet>) -> Vec<Block> {
+    let mut out: Vec<Block> = Vec::new();
+    let mut placed = VertexSet::new();
+    while !raw.is_empty() {
+        // First block touching the placed set; otherwise a new component.
+        let pos = raw.iter().position(|b| b.intersects(&placed)).unwrap_or(0);
+        let vertices = raw.remove(pos);
+        let anchor = vertices.intersection(&placed).first();
+        placed.union_with(&vertices);
+        out.push(Block { vertices, anchor });
+    }
+    out
+}
+
+/// Assigns every edge of `h` to the unique block containing all its
+/// vertices (singleton edges pick the first such block). Returns, per
+/// block, the edge indices in ascending order.
+pub fn assign_edges(h: &Hypergraph, blocks: &[Block]) -> Vec<Vec<usize>> {
+    let mut per_block: Vec<Vec<usize>> = vec![Vec::new(); blocks.len()];
+    for e in 0..h.num_edges() {
+        let edge = h.edge(e);
+        let slot = blocks
+            .iter()
+            .position(|b| edge.is_subset(&b.vertices))
+            .unwrap_or_else(|| panic!("edge {e} crosses biconnected blocks"));
+        per_block[slot].push(e);
+    }
+    per_block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::generators;
+
+    #[test]
+    fn cycles_are_one_block() {
+        let h = generators::cycle(5);
+        let blocks = split(&h);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].vertices.len(), 5);
+        assert_eq!(blocks[0].anchor, None);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex_split() {
+        // Triangles {0,1,2} and {2,3,4} share the cut vertex 2.
+        let h = Hypergraph::from_edges(
+            5,
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 0],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 2],
+            ],
+        );
+        let blocks = split(&h);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].anchor, None);
+        assert_eq!(blocks[1].anchor, Some(2));
+        let mut union = VertexSet::new();
+        for b in &blocks {
+            assert_eq!(b.vertices.len(), 3);
+            union.union_with(&b.vertices);
+        }
+        assert_eq!(union, h.all_vertices());
+        let edges = assign_edges(&h, &blocks);
+        assert_eq!(edges.iter().map(Vec::len).sum::<usize>(), 6);
+        assert!(edges.iter().all(|e| e.len() == 3));
+    }
+
+    #[test]
+    fn bridges_are_their_own_blocks() {
+        let h = generators::path(4);
+        let blocks = split(&h);
+        assert_eq!(blocks.len(), 3, "each path edge is a block");
+        for b in &blocks[1..] {
+            assert!(b.anchor.is_some());
+        }
+    }
+
+    #[test]
+    fn disconnected_components_get_no_anchor() {
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1], vec![2, 3]]);
+        let blocks = split(&h);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].anchor, None);
+        assert_eq!(blocks[1].anchor, None);
+    }
+}

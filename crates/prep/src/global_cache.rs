@@ -1,0 +1,257 @@
+//! The process-lifetime, fingerprint-keyed cross-call price cache.
+//!
+//! The per-search `ρ`/`ρ*` caches of PR 2 die with their search, so
+//! repeated searches on one instance (`hgtool widths` running three
+//! engines, `fhw_frac_search` iterating budgets, the strict-HD integer
+//! search, the agreement test suites) re-price every bag from scratch.
+//! This registry keeps one [`cover::ShardedCache`] per
+//! `(hypergraph fingerprint, cache slot)` alive for the process lifetime,
+//! so a bag priced once is priced never again — across calls, strategies
+//! and thread counts.
+//!
+//! Soundness: a price is only valid for the instance it was computed on,
+//! so the registry stores the full [`CanonicalForm`] next to the caches
+//! and compares it on every lookup. A fingerprint collision (or any
+//! mismatch) falls back to a fresh, unregistered session — never to wrong
+//! prices. Eviction is FIFO over fingerprints, capped at
+//! [`MAX_FINGERPRINTS`], which bounds memory across long test runs.
+//!
+//! Determinism: widths and witnesses are unaffected by reuse (prices are
+//! exact values). The `price_*` counters of a session *are* affected —
+//! that is the point — so the engine determinism tests run with
+//! `reuse_prices` off and fresh caches instead.
+
+use crate::fingerprint::{canonical_form, fingerprint_of_canon, CanonicalForm, Fingerprint};
+use cover::ShardedCache;
+use hypergraph::Hypergraph;
+use std::any::Any;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum registered fingerprints before FIFO eviction.
+const MAX_FINGERPRINTS: usize = 64;
+
+/// One registered instance: its exact incidence structure (collision
+/// guard) and a slot map of type-erased shared caches.
+struct Entry {
+    canon: CanonicalForm,
+    num_vertices: usize,
+    slots: HashMap<&'static str, Arc<dyn Any + Send + Sync>>,
+}
+
+/// The process-lifetime registry. Obtain it through [`global`].
+pub struct GlobalPriceCache {
+    entries: Mutex<(HashMap<u128, Entry>, Vec<u128>)>,
+}
+
+/// The process-wide registry instance.
+pub fn global() -> &'static GlobalPriceCache {
+    static GLOBAL: OnceLock<GlobalPriceCache> = OnceLock::new();
+    GLOBAL.get_or_init(|| GlobalPriceCache {
+        entries: Mutex::new((HashMap::new(), Vec::new())),
+    })
+}
+
+impl GlobalPriceCache {
+    /// Opens a price session for `h`: cached slots of the same instance
+    /// are shared (their generation advanced, so reuse shows up in
+    /// [`cover::ShardedCache::warm_hits`]); an unknown instance is
+    /// registered; a fingerprint collision yields a fresh unshared
+    /// session.
+    pub fn session(&self, h: &Hypergraph) -> PriceSession {
+        let canon = canonical_form(h);
+        let fp = fingerprint_of_canon(h.num_vertices(), &canon);
+        let mut guard = self.entries.lock().expect("price registry poisoned");
+        let (entries, order) = &mut *guard;
+        match entries.get(&fp.0) {
+            Some(entry) if entry.canon == canon && entry.num_vertices == h.num_vertices() => {
+                PriceSession { registry: Some(fp) }
+            }
+            Some(_) => PriceSession::fresh(), // collision: never share
+            None => {
+                if order.len() >= MAX_FINGERPRINTS {
+                    let evict = order.remove(0);
+                    entries.remove(&evict);
+                }
+                entries.insert(
+                    fp.0,
+                    Entry {
+                        canon,
+                        num_vertices: h.num_vertices(),
+                        slots: HashMap::new(),
+                    },
+                );
+                order.push(fp.0);
+                PriceSession { registry: Some(fp) }
+            }
+        }
+    }
+
+    /// The registered shared cache for `(fingerprint, slot)`, created on
+    /// first use. `None` when the fingerprint was evicted meanwhile.
+    fn slot<K, V>(&self, fp: Fingerprint, name: &'static str) -> Option<Arc<ShardedCache<K, V>>>
+    where
+        K: Eq + Hash + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+    {
+        let mut guard = self.entries.lock().expect("price registry poisoned");
+        let (entries, _) = &mut *guard;
+        let entry = entries.get_mut(&fp.0)?;
+        let slot = entry
+            .slots
+            .entry(name)
+            .or_insert_with(|| Arc::new(ShardedCache::<K, V>::new()) as Arc<dyn Any + Send + Sync>);
+        let cache = Arc::clone(slot)
+            .downcast::<ShardedCache<K, V>>()
+            .expect("slot name reused with a different cache type");
+        Some(cache)
+    }
+
+    /// Registered fingerprints (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("price registry poisoned")
+            .1
+            .len()
+    }
+
+    /// True when nothing is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A per-search handle to the shared caches of one instance (or to fresh
+/// private caches when reuse is off / collided / evicted).
+pub struct PriceSession {
+    /// `Some(fp)` when backed by the registry.
+    registry: Option<Fingerprint>,
+}
+
+impl PriceSession {
+    /// A session with private caches only (reuse disabled).
+    pub fn fresh() -> Self {
+        PriceSession { registry: None }
+    }
+
+    /// True when backed by the process-lifetime registry.
+    pub fn is_shared(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The cache for `slot`, shared across calls when the session is
+    /// registry-backed (its generation is advanced so cross-call hits are
+    /// counted as warm), private otherwise.
+    pub fn cache<K, V>(&self, slot: &'static str) -> Arc<ShardedCache<K, V>>
+    where
+        K: Eq + Hash + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+    {
+        let shared = self.registry.and_then(|fp| global().slot::<K, V>(fp, slot));
+        match shared {
+            Some(cache) => {
+                cache.advance_generation();
+                cache
+            }
+            None => Arc::new(ShardedCache::new()),
+        }
+    }
+}
+
+/// One strategy cache checked out of a session, carrying the counter
+/// baselines taken at checkout so a search can report *its own* traffic —
+/// the shared cache's counters are cumulative across every search that
+/// ever borrowed it. This is the one place the baseline/delta bookkeeping
+/// lives; the strategy wrappers in `hd`/`ghd`/`fhd` all go through it.
+pub struct SessionCache<K, V> {
+    /// The (shared or private) cache itself.
+    pub cache: Arc<ShardedCache<K, V>>,
+    base_hits: usize,
+    base_misses: usize,
+    base_warm: usize,
+}
+
+impl<K, V> SessionCache<K, V>
+where
+    K: Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Opens the `slot` cache for `h`: registry-backed when `reuse` asks
+    /// for it (and `HGTOOL_NO_PREP` doesn't veto it), private otherwise —
+    /// with counter baselines snapshotted for [`SessionCache::deltas`].
+    pub fn open(h: &Hypergraph, slot: &'static str, reuse: bool) -> Self {
+        let session = if crate::reuse_enabled(reuse) {
+            global().session(h)
+        } else {
+            PriceSession::fresh()
+        };
+        let cache = session.cache::<K, V>(slot);
+        let (base_hits, base_misses) = cache.counters();
+        let base_warm = cache.warm_hits();
+        SessionCache {
+            cache,
+            base_hits,
+            base_misses,
+            base_warm,
+        }
+    }
+
+    /// `(hits, misses, warm_hits)` accumulated since checkout — what the
+    /// strategy wrappers surface as `price_hits`/`price_misses`/
+    /// `price_warm_hits`. Process-history-independent on private caches;
+    /// on shared ones, concurrent borrowers' traffic is included (which is
+    /// why the determinism suites run with reuse off).
+    pub fn deltas(&self) -> (usize, usize, usize) {
+        let (hits, misses) = self.cache.counters();
+        (
+            hits - self.base_hits,
+            misses - self.base_misses,
+            self.cache.warm_hits() - self.base_warm,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::generators;
+
+    #[test]
+    fn session_cache_reports_per_checkout_deltas() {
+        let h = generators::path(3);
+        let first: SessionCache<u32, u32> = SessionCache::open(&h, "test-slot-deltas", true);
+        first.cache.get_or_insert_with(&1, || 10);
+        first.cache.get_or_insert_with(&1, || 10);
+        assert_eq!(first.deltas(), (1, 1, 0));
+        let second: SessionCache<u32, u32> = SessionCache::open(&h, "test-slot-deltas", true);
+        second.cache.get_or_insert_with(&1, || 10);
+        assert_eq!(second.deltas(), (1, 0, 1), "cross-checkout hit is warm");
+    }
+
+    #[test]
+    fn repeated_sessions_share_and_warm() {
+        let h = generators::cycle(4);
+        let s1 = global().session(&h);
+        assert!(s1.is_shared());
+        let c1 = s1.cache::<u32, u32>("test-slot-a");
+        c1.complete(7, 9);
+        let s2 = global().session(&h);
+        let c2 = s2.cache::<u32, u32>("test-slot-a");
+        assert_eq!(c2.get(&7), Some(9), "second session sees cached prices");
+        assert!(c2.warm_hits() >= 1, "cross-call hit counted as warm");
+    }
+
+    #[test]
+    fn fresh_sessions_are_private() {
+        let h = generators::cycle(5);
+        let s1 = PriceSession::fresh();
+        let c1 = s1.cache::<u32, u32>("test-slot-b");
+        c1.complete(1, 2);
+        let s2 = PriceSession::fresh();
+        let c2 = s2.cache::<u32, u32>("test-slot-b");
+        assert_eq!(c2.get(&1), None);
+        let _ = &h;
+    }
+}

@@ -1,0 +1,211 @@
+//! Lifting witnesses from the reduced instance back to the original.
+//!
+//! The contract: every pipeline stage that shrinks the instance knows how
+//! to transform a valid decomposition of its output into an equally valid,
+//! equally wide decomposition of its input. Lifting therefore runs the
+//! stages in reverse:
+//!
+//! 1. translate each block witness from block-local to original indices,
+//! 2. stitch the block witnesses into one tree along the cut vertices
+//!    (re-rooting the child block at a node containing the cut vertex),
+//! 3. undo the simplification steps last-to-first — twins re-enter every
+//!    bag holding their representative, degree-one vertices re-enter as a
+//!    fresh leaf covering their edge, removed edges need nothing.
+//!
+//! Each undo keeps the invariant "the current tree is a valid
+//! decomposition of the hypergraph as it was *before* the step", so the
+//! final tree is valid for the original hypergraph and the width never
+//! changes (reinstated leaves cost exactly 1 ≤ width).
+
+use crate::simplify::Step;
+use arith::Rational;
+use decomp::{Decomposition, Node};
+use hypergraph::VertexSet;
+
+/// Renumbers a decomposition's bags and edge weights through
+/// `vertex_origin` / `edge_origin` (block-local index → original index).
+pub fn translate(
+    d: &Decomposition,
+    vertex_origin: &[usize],
+    edge_origin: &[usize],
+) -> Decomposition {
+    let map_node = |n: &Node| Node {
+        bag: n.bag.iter().map(|v| vertex_origin[v]).collect(),
+        weights: n
+            .weights
+            .iter()
+            .map(|&(e, ref w)| (edge_origin[e], w.clone()))
+            .collect(),
+    };
+    let mut out = Decomposition::new(map_node(d.node(d.root())));
+    let mut queue: Vec<(usize, usize)> = d.children(d.root()).iter().map(|&c| (c, 0)).collect();
+    while let Some((src, dst_parent)) = queue.pop() {
+        let id = out.add_child(dst_parent, map_node(d.node(src)));
+        queue.extend(d.children(src).iter().map(|&c| (c, id)));
+    }
+    out
+}
+
+/// Rebuilds `d` rooted at `new_root` (tree edges reoriented). Valid for
+/// GHDs/FHDs — their conditions are orientation-independent — and used
+/// when stitching a child block onto its cut vertex.
+pub fn reroot(d: &Decomposition, new_root: usize) -> Decomposition {
+    let mut out = Decomposition::new(d.node(new_root).clone());
+    // Undirected adjacency walk from the new root.
+    let neighbors = |u: usize| {
+        let mut out: Vec<usize> = d.children(u).to_vec();
+        out.extend(d.parent(u));
+        out
+    };
+    let mut visited = vec![false; d.len()];
+    visited[new_root] = true;
+    let mut queue: Vec<(usize, usize)> = neighbors(new_root).into_iter().map(|n| (n, 0)).collect();
+    while let Some((src, dst_parent)) = queue.pop() {
+        if visited[src] {
+            continue;
+        }
+        visited[src] = true;
+        let id = out.add_child(dst_parent, d.node(src).clone());
+        queue.extend(
+            neighbors(src)
+                .into_iter()
+                .filter(|&n| !visited[n])
+                .map(|n| (n, id)),
+        );
+    }
+    out
+}
+
+/// Grafts all of `src` (keeping its root orientation) under `dst[at]`.
+pub fn attach(dst: &mut Decomposition, at: usize, src: &Decomposition) {
+    let root_id = dst.add_child(at, src.node(src.root()).clone());
+    let mut queue: Vec<(usize, usize)> = src
+        .children(src.root())
+        .iter()
+        .map(|&c| (c, root_id))
+        .collect();
+    while let Some((node, dst_parent)) = queue.pop() {
+        let id = dst.add_child(dst_parent, src.node(node).clone());
+        queue.extend(src.children(node).iter().map(|&c| (c, id)));
+    }
+}
+
+/// Stitches block witnesses (already in original indices, ordered like the
+/// blocks) into one tree: each anchored block re-roots at a node holding
+/// its cut vertex and hangs under a node of the stitched tree holding the
+/// same vertex; anchor-less blocks (new connected components) hang under
+/// the global root.
+pub fn stitch(parts: Vec<(Decomposition, Option<usize>)>) -> Decomposition {
+    let mut parts = parts.into_iter();
+    let (mut out, first_anchor) = parts.next().expect("at least one block");
+    debug_assert!(first_anchor.is_none(), "the first block has no anchor");
+    for (part, anchor) in parts {
+        match anchor {
+            Some(c) => {
+                let part_node = node_containing(&part, c)
+                    .expect("the cut vertex appears in a bag of its block witness");
+                let rerooted = reroot(&part, part_node);
+                let at = node_containing(&out, c)
+                    .expect("the cut vertex appears in a bag of an earlier block witness");
+                attach(&mut out, at, &rerooted);
+            }
+            None => {
+                // Disjoint component: no shared vertices, any edge of the
+                // tree keeps every condition intact.
+                attach(&mut out, 0, &part);
+            }
+        }
+    }
+    out
+}
+
+fn node_containing(d: &Decomposition, v: usize) -> Option<usize> {
+    (0..d.len()).find(|&u| d.node(u).bag.contains(v))
+}
+
+/// Undoes the simplification trace (last step first) on a decomposition of
+/// the reduced instance expressed in original indices.
+pub fn undo_steps(d: &mut Decomposition, steps: &[Step]) {
+    for step in steps.iter().rev() {
+        match step {
+            // Removed edges never appear in reduced-instance covers, and
+            // their content is inside the kept edge's covering bag, so the
+            // tree is already valid for the pre-step instance.
+            Step::EdgeSubsumed { .. } => {}
+            Step::TwinVertex { removed, twin } => {
+                for u in 0..d.len() {
+                    if d.node(u).bag.contains(*twin) {
+                        d.node_mut(u).bag.insert(*removed);
+                    }
+                }
+            }
+            Step::DegreeOneVertex { vertex, edge, rest } => {
+                let at = (0..d.len())
+                    .find(|&u| rest.is_subset(&d.node(u).bag))
+                    .expect("the reduced edge is covered by some bag");
+                let mut bag: VertexSet = rest.clone();
+                bag.insert(*vertex);
+                d.add_child(
+                    at,
+                    Node {
+                        bag,
+                        weights: vec![(*edge, Rational::one())],
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp::validate;
+    use hypergraph::Hypergraph;
+
+    #[test]
+    fn reroot_preserves_nodes_and_adjacency() {
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0]), [0]));
+        let a = d.add_child(0, Node::integral(VertexSet::from_iter([1]), [1]));
+        let b = d.add_child(a, Node::integral(VertexSet::from_iter([2]), [2]));
+        let r = reroot(&d, b);
+        assert_eq!(r.len(), 3);
+        assert!(r.node(0).bag.contains(2));
+        // The old root is now the deepest node.
+        let leaf = (0..r.len()).find(|&u| r.children(u).is_empty()).unwrap();
+        assert!(r.node(leaf).bag.contains(0));
+    }
+
+    #[test]
+    fn degree_one_undo_attaches_a_covering_leaf() {
+        // Path a-b-c; pretend c was removed from edge {b,c} as degree-one.
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1], vec![1, 2]]);
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1]), [0]));
+        undo_steps(
+            &mut d,
+            &[Step::DegreeOneVertex {
+                vertex: 2,
+                edge: 1,
+                rest: VertexSet::from_iter([1]),
+            }],
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+    }
+
+    #[test]
+    fn twin_undo_mirrors_the_representative() {
+        // Edge {0,1,2} with 2 a twin of 1.
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1, 2]]);
+        let mut d = Decomposition::new(Node::integral(VertexSet::from_iter([0, 1]), [0]));
+        undo_steps(
+            &mut d,
+            &[Step::TwinVertex {
+                removed: 2,
+                twin: 1,
+            }],
+        );
+        assert_eq!(d.node(0).bag.to_vec(), vec![0, 1, 2]);
+        assert_eq!(validate::validate_ghd(&h, &d), Ok(()));
+    }
+}

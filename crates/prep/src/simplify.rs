@@ -1,0 +1,332 @@
+//! Width-preserving simplification passes.
+//!
+//! Each pass shrinks the hypergraph while provably preserving the target
+//! width notion, and records a [`Step`] so witnesses lift back (see
+//! `crate::lift`). Passes run to a joint fixpoint — the combination of
+//! [`Pass::DegreeOneVertices`] and [`Pass::SubsumedEdges`] iterated to
+//! exhaustion is exactly the GYO ear-elimination: an α-acyclic hypergraph
+//! reduces to a single edge.
+//!
+//! Safety matrix (which pass is exact for which width — see the crate
+//! README for the proofs/arguments):
+//!
+//! | pass                | `hw` | `ghw` | `fhw` |
+//! |---------------------|------|-------|-------|
+//! | `DuplicateEdges`    |  ✓   |   ✓   |   ✓   |
+//! | `TwinVertices`      |  ✓   |   ✓   |   ✓   |
+//! | `SubsumedEdges`     |  ✗   |   ✓   |   ✓   |
+//! | `DegreeOneVertices` |  ✗   |   ✓   |   ✓   |
+//!
+//! The two `✗`s are the special condition: replacing a subsumed edge by
+//! its superset inside a `λ` enlarges `V(λ_b)`, and attaching a fresh leaf
+//! for a reinstated degree-one vertex puts that vertex under ancestors
+//! whose `λ` may use its edge — either can violate
+//! `V(T_b) ∩ V(λ_b) ⊆ B_b`. Decision strategies bound to the (weak)
+//! special condition therefore run the conservative profile.
+
+use hypergraph::{Hypergraph, VertexSet};
+
+/// One simplification pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pass {
+    /// Remove an edge whose content equals another's (the lower-indexed
+    /// copy is kept). Safe for `hw`/`ghw`/`fhw`.
+    DuplicateEdges,
+    /// Remove an edge whose content is a *strict* subset of another's
+    /// (edge domination). Safe for `ghw`/`fhw`.
+    SubsumedEdges,
+    /// Collapse vertices with identical incidence (mutually dominating
+    /// "twins") onto the lowest-indexed representative. Safe for
+    /// `hw`/`ghw`/`fhw`.
+    TwinVertices,
+    /// Remove a vertex that appears in exactly one edge (of size ≥ 2).
+    /// Safe for `ghw`/`fhw`.
+    DegreeOneVertices,
+}
+
+/// One recorded reduction step, in **original** vertex/edge indices.
+/// Steps are recorded in application order; lifting replays them in
+/// reverse.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Edge `removed` was dropped because its content (at that point) was
+    /// contained in edge `kept`'s; `equal` distinguishes exact duplicates
+    /// from strict subsumption.
+    EdgeSubsumed {
+        /// The dropped edge (original index).
+        removed: usize,
+        /// The covering edge (original index).
+        kept: usize,
+        /// True when the contents were identical.
+        equal: bool,
+    },
+    /// Vertex `removed` had the same incidence as `twin` and was dropped.
+    TwinVertex {
+        /// The dropped vertex (original index).
+        removed: usize,
+        /// The kept representative (original index).
+        twin: usize,
+    },
+    /// Vertex `vertex` appeared only in `edge`; `rest` is that edge's
+    /// other content at removal time (original indices) — the anchor the
+    /// lift attaches the reinstated leaf node to.
+    DegreeOneVertex {
+        /// The dropped vertex (original index).
+        vertex: usize,
+        /// Its single edge (original index).
+        edge: usize,
+        /// `edge`'s content minus `vertex` at removal time.
+        rest: VertexSet,
+    },
+}
+
+/// The outcome of running passes to fixpoint: the surviving structure (in
+/// original indices) plus the step trace.
+#[derive(Clone, Debug)]
+pub struct Simplified {
+    /// Steps in application order.
+    pub steps: Vec<Step>,
+    /// Surviving vertices (original indices).
+    pub alive_vertices: VertexSet,
+    /// Surviving edges (original indices, ascending).
+    pub alive_edges: Vec<usize>,
+}
+
+impl Simplified {
+    /// Vertices removed.
+    pub fn vertices_removed(&self, h: &Hypergraph) -> usize {
+        h.num_vertices() - self.alive_vertices.len()
+    }
+
+    /// Edges removed.
+    pub fn edges_removed(&self, h: &Hypergraph) -> usize {
+        h.num_edges() - self.alive_edges.len()
+    }
+}
+
+/// Mutable reduction state over the original hypergraph: which vertices
+/// and edges survive; an edge's *content* is its original vertex set
+/// intersected with the alive set.
+struct State<'a> {
+    h: &'a Hypergraph,
+    alive_v: VertexSet,
+    alive_e: Vec<bool>,
+    content: Vec<VertexSet>,
+    steps: Vec<Step>,
+}
+
+impl State<'_> {
+    fn alive_edges(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.h.num_edges()).filter(|&e| self.alive_e[e])
+    }
+
+    fn remove_vertex(&mut self, v: usize) {
+        self.alive_v.remove(v);
+        for e in 0..self.h.num_edges() {
+            if self.alive_e[e] {
+                self.content[e].remove(v);
+            }
+        }
+    }
+
+    /// One sweep of edge dedup/subsumption. `strict` also removes strict
+    /// subsets; otherwise only exact duplicates go.
+    fn edge_pass(&mut self, strict: bool) -> bool {
+        let mut changed = false;
+        let edges: Vec<usize> = self.alive_edges().collect();
+        for &e in &edges {
+            if !self.alive_e[e] {
+                continue;
+            }
+            for &f in &edges {
+                if e == f || !self.alive_e[f] || !self.alive_e[e] {
+                    continue;
+                }
+                let equal = self.content[e] == self.content[f];
+                // On equality drop the higher index, so the survivor is
+                // deterministic whichever way the pair is visited.
+                let drop_e = if equal {
+                    e > f
+                } else {
+                    strict && self.content[e].is_subset(&self.content[f])
+                };
+                if drop_e {
+                    self.alive_e[e] = false;
+                    self.steps.push(Step::EdgeSubsumed {
+                        removed: e,
+                        kept: f,
+                        equal,
+                    });
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        changed
+    }
+
+    /// One sweep of twin-vertex collapse: vertices with identical alive
+    /// incidence collapse onto the lowest index (one pass over the
+    /// incidence signatures, not a pairwise scan).
+    fn twin_pass(&mut self) -> bool {
+        let mut changed = false;
+        let mut groups: std::collections::HashMap<Vec<usize>, usize> =
+            std::collections::HashMap::new();
+        for v in self.alive_v.to_vec() {
+            let signature: Vec<usize> = self
+                .alive_edges()
+                .filter(|&e| self.content[e].contains(v))
+                .collect();
+            match groups.entry(signature) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(v);
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    // `to_vec` iterates ascending, so the group holder is
+                    // the lowest index.
+                    let twin = *slot.get();
+                    self.remove_vertex(v);
+                    self.steps.push(Step::TwinVertex { removed: v, twin });
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// One sweep of degree-one vertex removal: a vertex in exactly one
+    /// alive edge of size ≥ 2 is dropped (recording the edge's remaining
+    /// content as the lift anchor).
+    fn degree_one_pass(&mut self) -> bool {
+        let mut changed = false;
+        for v in self.alive_v.to_vec() {
+            let incident: Vec<usize> = self
+                .alive_edges()
+                .filter(|&e| self.content[e].contains(v))
+                .take(2)
+                .collect();
+            let [only] = incident[..] else {
+                continue; // several edges, or isolated (the caller's problem)
+            };
+            if self.content[only].len() < 2 {
+                continue;
+            }
+            let mut rest = self.content[only].clone();
+            rest.remove(v);
+            self.remove_vertex(v);
+            self.steps.push(Step::DegreeOneVertex {
+                vertex: v,
+                edge: only,
+                rest,
+            });
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// Runs `passes` to a joint fixpoint on `h`. The pass order within one
+/// round follows the slice; rounds repeat until nothing changes, so the
+/// result is the closure (for the minimizer profile: the GYO reduction
+/// interleaved with twin collapse).
+pub fn simplify(h: &Hypergraph, passes: &[Pass]) -> Simplified {
+    let mut state = State {
+        h,
+        alive_v: h.all_vertices(),
+        alive_e: vec![true; h.num_edges()],
+        content: h.edges().to_vec(),
+        steps: Vec::new(),
+    };
+    loop {
+        let mut changed = false;
+        for pass in passes {
+            changed |= match pass {
+                Pass::DuplicateEdges => state.edge_pass(false),
+                Pass::SubsumedEdges => state.edge_pass(true),
+                Pass::TwinVertices => state.twin_pass(),
+                Pass::DegreeOneVertices => state.degree_one_pass(),
+            };
+        }
+        if !changed {
+            break;
+        }
+    }
+    Simplified {
+        steps: state.steps,
+        alive_vertices: state.alive_v,
+        alive_edges: (0..h.num_edges()).filter(|&e| state.alive_e[e]).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::generators;
+
+    const ALL: &[Pass] = &[
+        Pass::DuplicateEdges,
+        Pass::SubsumedEdges,
+        Pass::TwinVertices,
+        Pass::DegreeOneVertices,
+    ];
+
+    #[test]
+    fn acyclic_reduces_to_a_single_small_edge() {
+        // GYO: paths are α-acyclic, so the fixpoint is one tiny edge.
+        let h = generators::path(6);
+        let s = simplify(&h, ALL);
+        assert_eq!(s.alive_edges.len(), 1);
+        assert!(s.alive_vertices.len() <= 2);
+    }
+
+    #[test]
+    fn cycles_are_irreducible() {
+        let h = generators::cycle(5);
+        let s = simplify(&h, ALL);
+        assert!(s.steps.is_empty());
+        assert_eq!(s.alive_edges.len(), 5);
+        assert_eq!(s.alive_vertices.len(), 5);
+    }
+
+    #[test]
+    fn twins_collapse_onto_the_lowest_index() {
+        // Vertices 1 and 2 sit in exactly the same edges.
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1, 2], vec![1, 2, 3], vec![0, 3]]);
+        let s = simplify(&h, &[Pass::TwinVertices]);
+        assert!(!s.alive_vertices.contains(2));
+        assert!(s.alive_vertices.contains(1));
+        assert!(matches!(
+            s.steps[..],
+            [Step::TwinVertex {
+                removed: 2,
+                twin: 1
+            }]
+        ));
+    }
+
+    #[test]
+    fn duplicate_edges_keep_the_first_copy() {
+        let h = Hypergraph::from_edges(2, vec![vec![0, 1], vec![0, 1]]);
+        let s = simplify(&h, &[Pass::DuplicateEdges]);
+        assert_eq!(s.alive_edges, vec![0]);
+    }
+
+    #[test]
+    fn conservative_profile_skips_strict_subsumption() {
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1, 2], vec![0, 1]]);
+        let s = simplify(&h, &[Pass::DuplicateEdges]);
+        assert_eq!(s.alive_edges.len(), 2, "strict subset must survive");
+        let s = simplify(&h, &[Pass::SubsumedEdges]);
+        assert_eq!(s.alive_edges, vec![0], "strict subset removed");
+    }
+
+    #[test]
+    fn degree_one_never_empties_an_edge() {
+        // A single 1-vertex edge: the vertex has degree one but removing
+        // it would empty the edge, so nothing happens.
+        let h = Hypergraph::from_edges(1, vec![vec![0]]);
+        let s = simplify(&h, ALL);
+        assert!(s.steps.is_empty());
+        assert_eq!(s.alive_vertices.len(), 1);
+    }
+}

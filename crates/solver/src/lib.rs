@@ -94,8 +94,14 @@ pub fn default_thread_count() -> usize {
     configured.min(MAX_THREADS)
 }
 
-/// Scheduling options for a [`SearchContext`].
-#[derive(Clone, Copy, Debug, Default)]
+/// Scheduling and preprocessing options for a search.
+///
+/// The `threads`/`speculate` pair configures the [`SearchContext`] proper;
+/// `prep`/`reuse_prices` are consumed by the strategy wrappers (the
+/// `_with_stats` entry points of the five width solvers), which run the
+/// `prep` crate's simplification/block pipeline and the fingerprint-keyed
+/// cross-call price cache *around* the engine.
+#[derive(Clone, Copy, Debug)]
 pub struct EngineOptions {
     /// Worker-thread budget (`1` = strictly sequential). `None` picks
     /// [`default_thread_count`]. Values are clamped to `1..=8`.
@@ -107,22 +113,56 @@ pub struct EngineOptions {
     /// become schedule-dependent — so this is opt-in and off everywhere
     /// stats reproducibility matters.
     pub speculate: bool,
+    /// Run the width-preserving preprocessing pipeline (simplification
+    /// passes + biconnected-block splitting where the strategy supports
+    /// it) before the search, lifting the witness back to the original
+    /// hypergraph. On by default; `HGTOOL_NO_PREP` (any value) overrides
+    /// it off process-wide.
+    pub prep: bool,
+    /// Serve `ρ`/`ρ*` (and strategy-specific LP) prices from the
+    /// process-lifetime cache keyed by hypergraph fingerprint, so repeated
+    /// searches on one instance reuse prices across calls. Widths and
+    /// witnesses are unaffected, but the `price_*` counters then depend on
+    /// process history — [`EngineOptions::sequential`] and
+    /// [`EngineOptions::with_threads`] leave it off so stats stay
+    /// reproducible in tests.
+    pub reuse_prices: bool,
+}
+
+impl Default for EngineOptions {
+    /// Default scheduling: default thread count, no speculation,
+    /// preprocessing on, cross-call price reuse on.
+    fn default() -> Self {
+        EngineOptions {
+            threads: None,
+            speculate: false,
+            prep: true,
+            reuse_prices: true,
+        }
+    }
 }
 
 impl EngineOptions {
-    /// Sequential execution (one worker, no speculation).
+    /// Sequential execution (one worker, no speculation, fresh per-search
+    /// price caches — fully reproducible stats).
     pub fn sequential() -> Self {
         EngineOptions {
             threads: Some(1),
             speculate: false,
+            prep: true,
+            reuse_prices: false,
         }
     }
 
-    /// A fixed worker budget.
+    /// A fixed worker budget (fresh per-search price caches — stats are
+    /// identical at every thread count, which the determinism tests rely
+    /// on).
     pub fn with_threads(threads: usize) -> Self {
         EngineOptions {
             threads: Some(threads),
             speculate: false,
+            prep: true,
+            reuse_prices: false,
         }
     }
 
@@ -130,6 +170,20 @@ impl EngineOptions {
     /// [`EngineOptions::speculate`]).
     pub fn speculative(mut self) -> Self {
         self.speculate = true;
+        self
+    }
+
+    /// Disables the preprocessing pipeline (A/B debugging; also reachable
+    /// via `hgtool widths --no-prep` and the `HGTOOL_NO_PREP` env var).
+    pub fn without_prep(mut self) -> Self {
+        self.prep = false;
+        self
+    }
+
+    /// Enables the fingerprint-keyed cross-call price cache (see
+    /// [`EngineOptions::reuse_prices`]).
+    pub fn with_price_reuse(mut self) -> Self {
+        self.reuse_prices = true;
         self
     }
 }
@@ -331,6 +385,17 @@ pub struct SearchStats {
     pub price_hits: usize,
     /// Cover/LP price-cache misses (ρ/ρ* prices actually computed).
     pub price_misses: usize,
+    /// Price lookups served from entries cached by an *earlier* search in
+    /// this process (the fingerprint-keyed cross-call cache). Always 0
+    /// with [`EngineOptions::reuse_prices`] off.
+    pub price_warm_hits: usize,
+    /// Vertices removed by the preprocessing pipeline (0 with prep off).
+    pub prep_vertices_removed: usize,
+    /// Edges removed by the preprocessing pipeline (0 with prep off).
+    pub prep_edges_removed: usize,
+    /// Biconnected blocks solved independently (0 with prep off; 1 when
+    /// prep ran but the instance is a single block).
+    pub prep_blocks: usize,
 }
 
 impl SearchStats {
@@ -341,6 +406,22 @@ impl SearchStats {
             return 0.0;
         }
         self.price_hits as f64 / total as f64
+    }
+
+    /// Accumulates another search's counters into this one (used when one
+    /// logical call runs several searches: the det-k `k`-iteration, the
+    /// per-block searches of the preprocessing pipeline).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.states += other.states;
+        self.memo_hits += other.memo_hits;
+        self.streamed += other.streamed;
+        self.admitted += other.admitted;
+        self.price_hits += other.price_hits;
+        self.price_misses += other.price_misses;
+        self.price_warm_hits += other.price_warm_hits;
+        self.prep_vertices_removed += other.prep_vertices_removed;
+        self.prep_edges_removed += other.prep_edges_removed;
+        self.prep_blocks += other.prep_blocks;
     }
 }
 
@@ -762,8 +843,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
             memo_hits,
             streamed: self.stats.streamed.load(Ordering::Relaxed),
             admitted: self.stats.admitted.load(Ordering::Relaxed),
-            price_hits: 0,
-            price_misses: 0,
+            ..SearchStats::default()
         }
     }
 

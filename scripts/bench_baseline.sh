@@ -8,13 +8,13 @@
 #                                       small corpus prefix, written to a
 #                                       scratch file — proves the baseline
 #                                       bin still runs and still emits the
-#                                       hypertree-bench-baseline/v1 schema
+#                                       hypertree-bench-baseline/v2 schema
 #
 # Either mode fails hard when the emitted schema tag drifts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA='hypertree-bench-baseline/v1'
+SCHEMA='hypertree-bench-baseline/v2'
 
 if [[ "${1:-}" == "--smoke" ]]; then
   out="$(mktemp /tmp/bench_baseline_smoke.XXXXXX.json)"
@@ -37,6 +37,16 @@ fi
 # The stats block must record the worker-thread provenance.
 if ! grep -q '"threads":' "$out"; then
   echo "bench_baseline.sh: schema drift — no threads field in the stats blocks of $out" >&2
+  exit 1
+fi
+# v2: every instance carries the preprocessing block (vertices/edges
+# removed, block count, cross-call cache reuse of a repeated search).
+if ! grep -q '"prep":' "$out"; then
+  echo "bench_baseline.sh: schema drift — no prep blocks in $out" >&2
+  exit 1
+fi
+if ! grep -q '"rerun_warm_hits":' "$out"; then
+  echo "bench_baseline.sh: schema drift — no rerun_warm_hits in the prep blocks of $out" >&2
   exit 1
 fi
 

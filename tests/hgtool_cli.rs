@@ -80,6 +80,70 @@ fn widths_stats_surfaces_engine_counters() {
 }
 
 #[test]
+fn widths_stats_reports_cross_call_reuse() {
+    let (ok, out) = hgtool(&["widths", "--stats", "-"], Some(&example_4_3_text()));
+    assert!(ok, "hgtool widths --stats failed:\n{out}");
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("cross-call price cache"))
+        .unwrap_or_else(|| panic!("missing cross-call line in:\n{out}"));
+    // The repeated fhw search must reuse prices cached by the first one.
+    assert!(
+        !line.contains("served 0 of"),
+        "repeated search saw no warm hits: {line}"
+    );
+}
+
+#[test]
+fn widths_no_prep_matches_default_widths() {
+    let (ok, out) = hgtool(
+        &["widths", "--stats", "--no-prep", "-"],
+        Some(&example_4_3_text()),
+    );
+    assert!(ok, "hgtool widths --no-prep failed:\n{out}");
+    assert!(out.contains("hw  = 3"), "missing hw = 3 in:\n{out}");
+    assert!(out.contains("ghw = 2"), "missing ghw = 2 in:\n{out}");
+    assert!(out.contains("prep: off"), "missing prep-off marker:\n{out}");
+}
+
+#[test]
+fn hgtool_no_prep_env_bypasses_the_pipeline() {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hgtool"));
+    cmd.args(["widths", "--stats", "-"])
+        .env("HGTOOL_NO_PREP", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn hgtool");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(example_4_3_text().as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("run hgtool");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(out.status.success(), "env override run failed:\n{text}");
+    assert!(
+        text.contains("hw  = 3"),
+        "widths must still compute:\n{text}"
+    );
+    assert!(text.contains("prep: off"), "env override ignored:\n{text}");
+}
+
+#[test]
+fn prep_prints_the_reduction_trace() {
+    // An α-acyclic chain: GYO must collapse it and say so.
+    let input = "r1(a,b,c),\nr2(c,d),\nr3(d,e).";
+    let (ok, out) = hgtool(&["prep", "-"], Some(input));
+    assert!(ok, "hgtool prep failed:\n{out}");
+    assert!(out.contains("original: 5 vertices, 3 edges"), "{out}");
+    assert!(out.contains("degree-one"), "no GYO steps in:\n{out}");
+    assert!(out.contains("fingerprint"), "no fingerprints in:\n{out}");
+    assert!(out.contains("blocks: 1"), "no block summary in:\n{out}");
+}
+
+#[test]
 fn check_hd_accepts_3_and_rejects_2() {
     let (ok, out) = hgtool(&["check", "hd", "3", "-"], Some(&example_4_3_text()));
     assert!(ok, "check hd 3 failed:\n{out}");
