@@ -1,0 +1,73 @@
+//! Candidate-bag generation for the width-search strategies.
+//!
+//! The exact `ghw`/`fhw` minimizers used to enumerate raw vertex subsets
+//! (`O(2^n)` bags per component, hard-gated at 18 vertices). This crate
+//! owns the two replacements that break that wall:
+//!
+//! * [`edge_union`] — streams candidate bags in the bag-maximal normal
+//!   form (component-restricted unions of at most `k` edges),
+//!   deduplicated, restriction-maximal, balanced-separator-filtered and
+//!   pre-gated — an `O(m^k)` space in the edge count;
+//! * [`ub`] — heuristic, witness-backed upper bounds from min-degree /
+//!   min-fill elimination orderings plus a greedy local-search pass,
+//!   whose `ub(h)` seeds the minimizers' cutoffs from the first round
+//!   (and certifies a failed seeded search as the exact answer).
+//!
+//! The crate sits below `solver` (beside `prep`): it produces plain
+//! iterators and decompositions; the strategy crates wrap them into the
+//! engine's `CandidateStream`s. The old subset enumerator survives in
+//! `solver::stream_subset_bags` as the `fhw` completeness tail and the
+//! small-instance cross-check oracle. See `src/README.md` for the
+//! enumeration order, the balancedness argument and the oracle contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edge_union;
+pub mod ub;
+
+pub use edge_union::{
+    edge_union_bags, restriction_pool, stream_size_bound, EdgeUnionConfig, DEFAULT_BALANCE,
+    DEFAULT_STREAM_CAP,
+};
+pub use ub::{elimination_order, upper_bound, OrderHeuristic, PricedBag};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Concurrent tallies of one enumeration: how many candidate bags were
+/// generated and how many the filters discarded. Strategies hold one per
+/// search and surface the totals as `SearchStats::cand_generated` /
+/// `cand_filtered`. Deterministic: streams are pulled in a fixed order by
+/// the engine's round schedule, so the totals are thread-count-invariant.
+#[derive(Debug, Default)]
+pub struct Counters {
+    generated: AtomicUsize,
+    filtered: AtomicUsize,
+}
+
+impl Counters {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Records one generated candidate.
+    pub fn count_generated(&self) {
+        self.generated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one filtered (discarded) candidate.
+    pub fn count_filtered(&self) {
+        self.filtered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total candidates generated so far.
+    pub fn generated(&self) -> usize {
+        self.generated.load(Ordering::Relaxed)
+    }
+
+    /// Total candidates filtered so far.
+    pub fn filtered(&self) -> usize {
+        self.filtered.load(Ordering::Relaxed)
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub use arith;
+pub use candgen;
 pub use cover;
 pub use decomp;
 pub use fhd;

@@ -84,21 +84,24 @@ pub fn check_fhd_bdp_with_stats(
     if h.has_isolated_vertices() || !k.is_positive() {
         return (FhdAnswer::No, SearchStats::default());
     }
-    if !prep::enabled(opts.prep) {
-        return check_fhd_bdp_piece(h, k, params, opts);
-    }
     // Decision profile (duplicate edges + twin vertices): `fhw` and the
     // strictness trace are preserved exactly, and the lifted witness
-    // stays a valid FHD of `h` at the same width.
-    let prepared = prep::prepare(h, prep::Profile::Decision);
-    let block = &prepared.blocks[0];
-    let (answer, mut stats) = check_fhd_bdp_piece(&block.hypergraph, k, params, opts);
-    stats.prep_vertices_removed = prepared.stats.vertices_removed;
-    stats.prep_edges_removed = prepared.stats.edges_removed;
-    stats.prep_blocks = prepared.stats.blocks;
-    let answer = match answer {
-        FhdAnswer::Yes(d) => FhdAnswer::Yes(Box::new(prepared.lift(vec![*d]))),
-        other => other,
+    // stays a valid FHD of `h` at the same width. The `No`/`Unknown`
+    // distinction travels around the generic wrapper in `verdict`.
+    let mut verdict = FhdAnswer::No;
+    let (result, stats) = prep::run_decision(h, opts.prep, |block| {
+        let (answer, s) = check_fhd_bdp_piece(block, k, params, opts);
+        match answer {
+            FhdAnswer::Yes(d) => (Some(((), *d)), s),
+            other => {
+                verdict = other;
+                (None, s)
+            }
+        }
+    });
+    let answer = match result {
+        Some((_, d)) => FhdAnswer::Yes(Box::new(d)),
+        None => verdict,
     };
     (answer, stats)
 }

@@ -1,41 +1,66 @@
 //! Exact `fhw` baseline, expressed as a minimizing strategy over the shared
-//! [`solver`] engine: candidate bags are all sets `conn ⊆ B ⊆ conn ∪ C`
-//! priced by the fractional edge cover number `rho*(B)` (computed by exact
-//! LP). Widths are exact rationals — e.g. `fhw(C3) = 3/2` comes out as the
-//! literal fraction.
+//! [`solver`] engine, with candidate bags priced by the fractional edge
+//! cover number `rho*(B)` (computed by exact LP). Widths are exact
+//! rationals — e.g. `fhw(C3) = 3/2` comes out as the literal fraction.
+//!
+//! Candidate generation is hybrid: the `candgen` edge-union stream runs
+//! first (component-restricted unions of at most `⌈ub⌉` edges — the bags
+//! of bag-maximal GHD normal form, which are usually where cheap
+//! fractional covers live), then the subset stream completes the space.
+//! Unlike the integral case, *fractional* covers do not normalize to
+//! unions of few edges (a bag's `B(γ)` can be a strict subset of
+//! `⋃ supp(γ)`), so the subset tail is what keeps the search exact — the
+//! edge-union prefix only front-loads good candidates so the
+//! witness-backed heuristic bound `ub` and the engine's pre-pricing gates
+//! prune the tail hard. A search failing at the seeded cutoff *is* the
+//! exact answer `ub`. Pieces beyond the subset range fall back to the
+//! elimination DP (its cutoff also seeded by `ub`), and the subset-only
+//! path survives as [`fhw_exact_subset_oracle`].
 
 use arith::Rational;
 use cover::{RhoStarCache, ShardedCache};
 use decomp::Decomposition;
-use hypergraph::{properties, Hypergraph};
+use hypergraph::{properties, Hypergraph, VertexSet};
 use solver::{
     Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
     WidthSolver,
 };
+use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Edge-union feasibility cap for the hybrid prefix (shared with the
+/// `ghw` engine through `candgen`): when the per-state enumeration would
+/// exceed this many unions the prefix is skipped (the subset tail alone
+/// is the old, still-exact behavior).
+const CANDGEN_STREAM_CAP: u64 = candgen::DEFAULT_STREAM_CAP;
+
+/// Minimum piece size for the candgen apparatus (heuristic seed and
+/// edge-union prefix): below this the subset space is at most `2^8` bags
+/// and the plain engine beats any seeding or reordering overhead.
+const PREFIX_MIN_VERTICES: usize = 9;
 
 /// Computes `fhw(H)` exactly together with an optimal FHD.
 ///
-/// Instances up to [`solver::MAX_SUBSET_SEARCH_VERTICES`] vertices run on
-/// the shared-engine subset search; between that and
-/// [`ghd::elimination::MAX_EXACT_VERTICES`] vertices (where the subset
-/// enumeration is infeasible) the legacy elimination-order DP answers
-/// instead. Returns `None` when `H` is larger still, has isolated
-/// vertices, or `cutoff` is given and `fhw(H) >= cutoff`.
+/// Pieces up to [`solver::MAX_SUBSET_SEARCH_VERTICES`] vertices run on
+/// the shared-engine hybrid search; between that and
+/// [`ghd::elimination::MAX_EXACT_VERTICES`] vertices the elimination-order
+/// DP answers (seeded with the heuristic upper bound). Returns `None` when
+/// a piece is larger still, `H` has isolated vertices, or `cutoff` is
+/// given and `fhw(H) >= cutoff`.
 pub fn fhw_exact(h: &Hypergraph, cutoff: Option<Rational>) -> Option<(Rational, Decomposition)> {
     fhw_exact_with_stats(h, cutoff, EngineOptions::default()).0
 }
 
-/// As [`fhw_exact`], also reporting engine and LP price-cache counters
-/// (all-zero when the elimination-DP fallback answered). `opts` pins the
-/// engine scheduling; width, witness and stats are identical at every
-/// thread count (the determinism tests compare them).
+/// As [`fhw_exact`], also reporting engine, LP price-cache and
+/// candidate-generation counters (engine counters are zero when the
+/// elimination-DP fallback answered). `opts` pins the engine scheduling;
+/// width, witness and stats are identical at every thread count (the
+/// determinism tests compare them).
 ///
 /// Unless opted out (`opts.prep` / `HGTOOL_NO_PREP`), the instance first
 /// runs through `prep`'s minimizer pipeline: GYO-style simplification plus
-/// biconnected-block splitting, each block solved independently (the
-/// per-block vertex counts — not the original's — are what the
-/// [`solver::MAX_SUBSET_SEARCH_VERTICES`] gate sees), the width combined
+/// biconnected-block splitting, each block solved independently (candidate
+/// generation and the heuristic bound run per block), the width combined
 /// as the maximum and the witness lifted back to `h`. With
 /// `opts.reuse_prices` the `ρ*` LP prices are shared process-wide across
 /// calls keyed by each block's fingerprint.
@@ -47,68 +72,189 @@ pub fn fhw_exact_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    if !prep::enabled(opts.prep) {
-        return fhw_piece(h, cutoff, opts);
-    }
-    let prepared = prep::prepare(h, prep::Profile::Minimizer);
-    let mut stats = SearchStats {
-        prep_vertices_removed: prepared.stats.vertices_removed,
-        prep_edges_removed: prepared.stats.edges_removed,
-        prep_blocks: prepared.stats.blocks,
-        ..SearchStats::default()
-    };
-    let mut parts = Vec::with_capacity(prepared.blocks.len());
-    let mut best: Option<Rational> = None;
-    for block in &prepared.blocks {
-        let (result, s) = fhw_piece(&block.hypergraph, cutoff.clone(), opts);
-        stats.merge(&s);
-        let Some((w, d)) = result else {
-            // Too large for the exact engines, or the cutoff bit: either
-            // way the whole instance answers `None` (width = max of block
-            // widths).
-            return (None, stats);
-        };
-        if best.as_ref().is_none_or(|b| w > *b) {
-            best = Some(w);
-        }
-        parts.push(d);
-    }
-    let width = best.expect("at least one block");
-    let d = prepared.lift(parts);
-    debug_assert!(d.width() <= width);
-    (Some((width, d)), stats)
+    prep::run_minimizer(h, opts.prep, |block| fhw_piece(block, cutoff.clone(), opts))
 }
 
-/// Solves one (already preprocessed) piece: the shared-engine subset
-/// search when small enough, the elimination DP in the 19–24-vertex
-/// window, `None` beyond.
+/// Computes the heuristic upper bound on `fhw(H)` (min-degree / min-fill
+/// elimination orderings plus local search, bags priced by `ρ*`) together
+/// with its witness FHD — no exact search. This is the bound that seeds
+/// [`fhw_exact`]'s cutoff; `hgtool widths --heuristic-only` surfaces it
+/// directly. Returns `None` only for empty or isolated-vertex inputs.
+pub fn fhw_upper_bound(h: &Hypergraph) -> Option<(Rational, Decomposition)> {
+    fhw_upper_bound_with_stats(h, EngineOptions::default()).0
+}
+
+/// As [`fhw_upper_bound`] with explicit options (preprocessing still
+/// applies: bounds are computed per reduced block and the witness is
+/// stitched and lifted like any exact result).
+pub fn fhw_upper_bound_with_stats(
+    h: &Hypergraph,
+    opts: EngineOptions,
+) -> (Option<(Rational, Decomposition)>, SearchStats) {
+    if h.num_vertices() == 0 || h.has_isolated_vertices() {
+        return (None, SearchStats::default());
+    }
+    prep::run_minimizer(h, opts.prep, |block| {
+        let (ub, d) = candgen::upper_bound(block, rho_star_price(block));
+        let stats = SearchStats {
+            ub_width: Some(ub.clone()),
+            ..SearchStats::default()
+        };
+        (Some((ub, d)), stats)
+    })
+}
+
+/// The subset-bag cross-check oracle: the pre-candgen search proposing
+/// every bag `conn ⊆ B ⊆ conn ∪ C`, kept as an independent certification
+/// path for the hybrid engine (routine use up to
+/// [`solver::MAX_SUBSET_ORACLE_VERTICES`] vertices; hard-gated at
+/// [`solver::MAX_SUBSET_SEARCH_VERTICES`]). Runs without preprocessing or
+/// heuristic seeding.
+pub fn fhw_exact_subset_oracle(
+    h: &Hypergraph,
+    cutoff: Option<Rational>,
+) -> Option<(Rational, Decomposition)> {
+    if h.has_isolated_vertices() || h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
+        return None;
+    }
+    let session = prep::SessionCache::open(h, "fhw-rho-star", false);
+    let strategy = FhwSearch::new(h, cutoff, Arc::clone(&session.cache), BagMode::Subset);
+    let cx = SearchContext::with_options(EngineOptions::sequential());
+    cx.run(h, &strategy)
+}
+
+/// The `ρ*` bag pricer shared by the heuristic bound and its tests.
+fn rho_star_price(h: &Hypergraph) -> impl FnMut(&VertexSet) -> candgen::PricedBag<Rational> + '_ {
+    |bag| {
+        let c = cover::fractional_cover(h, bag)
+            .expect("no isolated vertices, so every bag is coverable");
+        (
+            c.weight.clone(),
+            c.weights
+                .into_iter()
+                .enumerate()
+                .filter(|(_, w)| !w.is_zero())
+                .collect(),
+        )
+    }
+}
+
+/// Solves one (already preprocessed) piece: heuristic upper bound first,
+/// then the hybrid engine under the seeded cutoff when the piece fits the
+/// subset range, the elimination DP in the window above it, `None`
+/// beyond.
 fn fhw_piece(
     h: &Hypergraph,
     cutoff: Option<Rational>,
     opts: EngineOptions,
 ) -> (Option<(Rational, Decomposition)>, SearchStats) {
-    if h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
-        return (fhw_by_elimination(h, cutoff), SearchStats::default());
+    // Tiny pieces skip the candgen apparatus entirely: with at most
+    // `2^8` subset bags the plain engine is already optimal, and the
+    // heuristic seed (let alone the prefix) cannot pay for its own
+    // computation. This keeps the toy-corpus fhw columns at their
+    // pre-candgen timings exactly.
+    if h.num_vertices() < PREFIX_MIN_VERTICES {
+        let session = prep::SessionCache::open(h, "fhw-rho-star", opts.reuse_prices);
+        let strategy = FhwSearch::new(h, cutoff, Arc::clone(&session.cache), BagMode::Subset);
+        let cx = SearchContext::with_options(opts);
+        let result = cx.run(h, &strategy).map(|(w, d)| {
+            debug_assert!(d.width() <= w);
+            (w, d)
+        });
+        let mut stats = cx.stats();
+        (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
+        return (result, stats);
     }
-    let session = prep::SessionCache::open(h, "fhw-rho-star", opts.reuse_prices);
-    let strategy = FhwSearch {
-        cutoff,
-        rank: properties::rank(h),
-        scatter: cover::ScatterBound::new(h),
-        cover_cache: Arc::clone(&session.cache),
-        gate: ShardedCache::new(),
-    };
-    let cx = SearchContext::with_options(opts);
-    let result = cx.run(h, &strategy).map(|(width, d)| {
-        debug_assert!(d.width() <= width);
-        (width, d)
+    // The seed is the *integral* (`ρ`-priced) heuristic bound: since
+    // `fhw <= ghw`, its witness — integral weights are a valid fractional
+    // cover — upper-bounds `fhw` too, and branch-and-bound covers cost
+    // microseconds where the `ρ*` LPs cost milliseconds (the LP-tight
+    // bound is still available separately via [`fhw_upper_bound`]). A
+    // looser seed only delays the gates; exactness never depends on it.
+    let (ub_int, ub_witness) = candgen::upper_bound(h, |bag| {
+        let c =
+            cover::integral_cover(h, bag).expect("no isolated vertices, so every bag is coverable");
+        let weight = c.weight();
+        (
+            weight,
+            c.edges.into_iter().map(|e| (e, Rational::one())).collect(),
+        )
     });
-    let mut stats = cx.stats();
-    (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
+    let ub = Rational::from(ub_int);
+    let seeded = cutoff.as_ref().is_none_or(|c| ub < *c);
+    let eff = if seeded {
+        ub.clone()
+    } else {
+        cutoff.expect("unseeded")
+    };
+    let mut stats = SearchStats {
+        ub_width: Some(ub.clone()),
+        ..SearchStats::default()
+    };
+    let searched = if eff <= Rational::one() {
+        // Every nonempty bag costs rho* >= 1, so nothing beats eff <= 1:
+        // the trivial search already failed.
+        Some(None)
+    } else if h.num_vertices() <= solver::MAX_SUBSET_SEARCH_VERTICES {
+        // Edge-union prefix budget: `⌈eff⌉` edges (where integral-cover
+        // normal forms live); completeness comes from the subset tail, so
+        // the prefix is skipped outright (budget 0) whenever it would not
+        // pay — on small subset spaces (the prefix is pure reordering
+        // there, and the tail's smallest-first discipline is already
+        // good) and whenever its union count rivals the subset space
+        // itself (dense instances like cliques) or the feasibility cap.
+        let subset_space = 1u64
+            .checked_shl(h.num_vertices() as u32)
+            .unwrap_or(u64::MAX);
+        let prefix_cap = (CANDGEN_STREAM_CAP.min(subset_space)) / 4;
+        let budget = if h.num_vertices() >= PREFIX_MIN_VERTICES {
+            let b = eff.ceil().to_i64().unwrap_or(0).max(0) as usize;
+            if candgen::stream_size_bound(h.num_edges(), b, prefix_cap) < prefix_cap {
+                b
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        let session = prep::SessionCache::open(h, "fhw-rho-star", opts.reuse_prices);
+        let strategy = FhwSearch::new(
+            h,
+            Some(eff),
+            Arc::clone(&session.cache),
+            BagMode::Hybrid(candgen::EdgeUnionConfig::with_budget(budget)),
+        );
+        let cx = SearchContext::with_options(opts);
+        let result = cx.run(h, &strategy);
+        let engine = cx.stats();
+        stats.merge(&engine);
+        (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
+        stats.cand_generated = strategy.counters.generated();
+        stats.cand_filtered = strategy.counters.filtered();
+        Some(result)
+    } else if h.num_vertices() <= ghd::elimination::MAX_EXACT_VERTICES {
+        Some(fhw_by_elimination(h, Some(eff)))
+    } else {
+        None
+    };
+    let result = match searched {
+        Some(Some((w, d))) => {
+            debug_assert!(d.width() <= w);
+            Some((w, d))
+        }
+        // The search below `eff` is complete, so failing it pins the width
+        // to exactly `ub` when the cutoff was ours.
+        Some(None) if seeded => {
+            debug_assert!(ub_witness.width() <= ub);
+            Some((ub, ub_witness))
+        }
+        _ => None,
+    };
     (result, stats)
 }
 
-/// The pre-engine implementation, kept for 19–24-vertex instances.
+/// The pre-engine elimination-order DP, the fallback for pieces between
+/// the subset range and 24 vertices.
 fn fhw_by_elimination(
     h: &Hypergraph,
     cutoff: Option<Rational>,
@@ -134,7 +280,16 @@ fn fhw_by_elimination(
     Some((width, d))
 }
 
-/// The exact-`fhw` strategy: subset bags priced by `rho*` through the
+/// Which candidate-bag space the strategy streams.
+enum BagMode {
+    /// The `candgen` edge-union prefix followed by the (deduplicated)
+    /// subset tail — the primary, exact path.
+    Hybrid(candgen::EdgeUnionConfig),
+    /// The full subset space alone — the cross-check oracle.
+    Subset,
+}
+
+/// The exact-`fhw` strategy: candidate bags priced by `rho*` through the
 /// shared concurrent LP price cache.
 struct FhwSearch {
     cutoff: Option<Rational>,
@@ -156,9 +311,34 @@ struct FhwSearch {
     /// recursion, so this is a real (small, sharded) map rather than a
     /// one-slot memo — only a handful of distinct bounds ever occur.
     gate: ShardedCache<Rational, Vec<usize>>,
+    /// Candidate space (hybrid on the primary path, subsets on the
+    /// oracle).
+    bags: BagMode,
+    /// Generated/filtered tallies of the edge-union prefix streams.
+    counters: candgen::Counters,
 }
 
 impl FhwSearch {
+    /// A strategy over `h` with the given candidate space: derived fields
+    /// (rank, scattered-set bound, gate memo, counters) are uniform across
+    /// the oracle, the tiny-piece fast path and the hybrid engine.
+    fn new(
+        h: &Hypergraph,
+        cutoff: Option<Rational>,
+        cover_cache: Arc<RhoStarCache>,
+        bags: BagMode,
+    ) -> Self {
+        FhwSearch {
+            cutoff,
+            rank: properties::rank(h),
+            scatter: cover::ScatterBound::new(h),
+            cover_cache,
+            gate: ShardedCache::new(),
+            bags,
+            counters: candgen::Counters::new(),
+        }
+    }
+
     /// Per-edge-coverage rejection thresholds under `bound`.
     fn thresholds(&self, bound: &Rational) -> Vec<usize> {
         self.gate.get_or_insert_with(bound, || {
@@ -189,8 +369,53 @@ impl WidthSolver for FhwSearch {
         self.cutoff.clone()
     }
 
-    fn candidates<'a>(&'a self, _h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
-        solver::stream_subset_bags(state)
+    fn candidates<'a>(&'a self, h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
+        let cfg = match &self.bags {
+            BagMode::Subset => return solver::stream_subset_bags(state),
+            // A zero prefix budget (small subset space, or an infeasible
+            // union count) degrades to the plain subset stream — skip the
+            // prefix plumbing (restriction pool, dedup set) entirely.
+            BagMode::Hybrid(cfg) if cfg.max_edges == 0 => return solver::stream_subset_bags(state),
+            BagMode::Hybrid(cfg) => cfg,
+        };
+        // The rank/scatter pre-pricing gates, hoisted into the generator
+        // against the static seeded cutoff (admission re-applies them
+        // against the tighter running bound). A gated union reappears in
+        // the subset tail, where admission rejects it just as cheaply.
+        let thresholds = self.cutoff.as_ref().map(|b| self.thresholds(b));
+        let rank = self.rank;
+        let scatter = &self.scatter;
+        let gate = move |bag: &VertexSet| match &thresholds {
+            Some(t) => bag.len() < t[rank] && scatter.lower_bound(bag) < t[1.min(rank)],
+            None => true,
+        };
+        let mut prefix = Some(candgen::edge_union_bags(
+            h,
+            state.comp,
+            state.conn,
+            cfg,
+            &self.counters,
+            gate,
+        ));
+        let mut tail = solver::stream_subset_bags(state);
+        let mut seen: HashSet<VertexSet> = HashSet::new();
+        CandidateStream::new(std::iter::from_fn(move || {
+            // Stream the edge-union prefix first, remembering its bags so
+            // the completing subset tail never re-streams one. The tail
+            // only starts once the prefix is dry, so `seen` is complete
+            // when first consulted.
+            if let Some(p) = prefix.as_mut() {
+                if let Some(bag) = p.next() {
+                    seen.insert(bag.clone());
+                    return Some(Guess {
+                        edges: Vec::new(),
+                        extra: bag,
+                    });
+                }
+                prefix = None;
+            }
+            tail.by_ref().find(|g| !seen.contains(&g.extra))
+        }))
     }
 
     fn admit(
@@ -208,8 +433,8 @@ impl WidthSolver for FhwSearch {
         // — no LP, no cache traffic, no admission construction. The cheap
         // global-rank gate runs first; survivors pay one O(edges) scan for
         // the per-bag rank, which is far sharper on sparse instances.
-        // Subset bags stream smallest first, so a cheap decomposition
-        // tightens both gates early.
+        // Candidate streams order cheap bags first, so a cheap
+        // decomposition tightens both gates early.
         if let Some(b) = bound {
             let t = self.thresholds(b);
             if bag.len() >= t[self.rank]
@@ -240,7 +465,7 @@ mod tests {
     use hypergraph::generators;
 
     fn assert_fhw(h: &Hypergraph, expected: Rational) {
-        let (w, d) = fhw_exact(h, None).expect("small instance");
+        let (w, d) = fhw_exact(h, None).expect("in range");
         assert_eq!(w, expected);
         assert_eq!(validate::validate_fhd(h, &d), Ok(()), "{}", d.render(h));
         assert!(d.width() <= expected);
@@ -283,6 +508,17 @@ mod tests {
     }
 
     #[test]
+    fn nineteen_plus_vertices_reach_the_dp_window_seeded() {
+        // 20 vertices: the elimination DP answers, its cutoff seeded by
+        // the heuristic bound (which is tight here, so the DP only has to
+        // refute an improvement — formerly an unseeded 2^20 sweep).
+        let h = generators::cycle(20);
+        let (w, d) = fhw_exact(&h, None).expect("DP window");
+        assert_eq!(w, rat(2, 1));
+        assert_eq!(validate::validate_fhd(&h, &d), Ok(()), "{}", d.render(&h));
+    }
+
+    #[test]
     fn hierarchy_fhw_le_ghw_le_hw() {
         // Lemma-level sanity across engines on a mixed corpus.
         for seed in 0..4u64 {
@@ -317,6 +553,38 @@ mod tests {
         let h = generators::cycle(3);
         assert!(fhw_exact(&h, Some(rat(3, 2))).is_none());
         assert_eq!(fhw_exact(&h, Some(rat(2, 1))).unwrap().0, rat(3, 2));
+    }
+
+    #[test]
+    fn subset_oracle_agrees_with_the_hybrid_engine() {
+        let corpus = vec![
+            generators::cycle(3),
+            generators::cycle(6),
+            generators::clique(5),
+            generators::triangle_chain(2),
+            generators::example_5_1(4),
+        ];
+        for h in corpus {
+            let primary = fhw_exact(&h, None).map(|(w, _)| w);
+            let oracle = fhw_exact_subset_oracle(&h, None).map(|(w, _)| w);
+            assert_eq!(primary, oracle, "engine vs subset oracle on {h:?}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_witnessed_and_sound() {
+        for h in [
+            generators::cycle(3),
+            generators::clique(5),
+            generators::example_5_1(4),
+            generators::example_4_3(),
+        ] {
+            let (ub, d) = fhw_upper_bound(&h).expect("valid instance");
+            let (exact, _) = fhw_exact(&h, None).expect("small");
+            assert!(ub >= exact, "ub {ub} < exact {exact} on {h:?}");
+            assert_eq!(validate::validate_fhd(&h, &d), Ok(()), "{}", d.render(&h));
+            assert!(d.width() <= ub);
+        }
     }
 
     #[test]

@@ -59,9 +59,6 @@ pub fn frac_decomp_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    if !prep::enabled(opts.prep) {
-        return frac_decomp_piece(h, params, opts);
-    }
     // Decision profile: duplicate-edge and twin-vertex collapse only —
     // the passes whose lifts preserve the weak special condition. The
     // `c` bound is checked on the *reduced* instance, so acceptance is
@@ -71,13 +68,11 @@ pub fn frac_decomp_with_stats(
     // width-(k+ε) witness of `h` — but collapsed twins need fewer `W_s`
     // slots, so prep can accept where the raw algorithm's c-relative
     // completeness gave up.
-    let prepared = prep::prepare(h, prep::Profile::Decision);
-    let block = &prepared.blocks[0];
-    let (result, mut stats) = frac_decomp_piece(&block.hypergraph, params, opts);
-    stats.prep_vertices_removed = prepared.stats.vertices_removed;
-    stats.prep_edges_removed = prepared.stats.edges_removed;
-    stats.prep_blocks = prepared.stats.blocks;
-    (result.map(|d| prepared.lift(vec![d])), stats)
+    let (result, stats) = prep::run_decision(h, opts.prep, |block| {
+        let (d, s) = frac_decomp_piece(block, params, opts);
+        (d.map(|d| ((), d)), s)
+    });
+    (result.map(|(_, d)| d), stats)
 }
 
 /// Runs Algorithm 3 proper on an (already preprocessed) instance.

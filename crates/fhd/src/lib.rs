@@ -33,7 +33,10 @@ pub use bdp::{
     check_fhd_bdp, check_fhd_bdp_legacy, check_fhd_bdp_with_stats, fhw_bdp_integer_search,
     FhdAnswer,
 };
-pub use exact::{fhw_exact, fhw_exact_with_stats};
+pub use exact::{
+    fhw_exact, fhw_exact_subset_oracle, fhw_exact_with_stats, fhw_upper_bound,
+    fhw_upper_bound_with_stats,
+};
 pub use forest::{intersection_forest, IntersectionForest};
 pub use frac_decomp::{fhw_frac_search, frac_decomp, frac_decomp_with_stats, FracDecompParams};
 pub use loglog::{approx_ghw_via_fhw, cigap_bound, ghd_from_fhd, CoverMode};

@@ -1,16 +1,23 @@
-//! Exact `ghw` baseline (exponential time, small instances only), expressed
-//! as a minimizing strategy over the shared [`solver`] engine: candidate
-//! bags are *all* sets `conn ⊆ B ⊆ conn ∪ C` priced by the edge cover
-//! number `rho(B)`. Since any tree decomposition normalizes to this
-//! `(component, connector)` form and `ghw` is the minimum over tree
-//! decompositions of the maximum bag `rho`, the search is exact. Used
-//! throughout the test-suite and experiments to certify the polynomial
-//! algorithms.
+//! Exact `ghw` baseline, expressed as a minimizing strategy over the shared
+//! [`solver`] engine.
+//!
+//! Candidate bags come from the `candgen` edge-union generator: every GHD
+//! of width `< b` normalizes so each bag is a component-restricted union
+//! of `< b` edges (bag-maximal normal form), so with the witness-backed
+//! heuristic upper bound `ub` seeding the cutoff the engine only ever
+//! enumerates unions of at most `ub - 1` edges — `O(m^k)` in the edge
+//! count instead of the old `O(2^n)` subset space, which is what pushed
+//! the exact range past the 18-vertex wall. A search that fails at the
+//! seeded cutoff *is* the exact answer `ub`, certified by the heuristic
+//! witness. The subset enumerator survives as
+//! [`ghw_exact_subset_oracle`], the small-instance cross-check; the
+//! elimination DP remains the fallback when the edge-union space is
+//! infeasible (dense instances with large `ub`).
 
 use arith::Rational;
 use cover::RhoCache;
 use decomp::Decomposition;
-use hypergraph::{properties, Hypergraph};
+use hypergraph::{properties, Hypergraph, VertexSet};
 use solver::{
     Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
     WidthSolver,
@@ -19,22 +26,29 @@ use std::sync::Arc;
 
 pub use solver::MAX_SUBSET_SEARCH_VERTICES;
 
+/// Edge-union feasibility cap (shared with the `fhw` engine through
+/// `candgen`): the engine path runs only when the per-state enumeration
+/// (`Σ C(m, i)` for `i <= ub - 1`) stays below this many unions; beyond
+/// it the elimination DP answers instead.
+const CANDGEN_STREAM_CAP: u64 = candgen::DEFAULT_STREAM_CAP;
+
 /// Computes `ghw(H)` exactly together with an optimal GHD.
 ///
-/// Instances up to [`solver::MAX_SUBSET_SEARCH_VERTICES`] vertices run on
-/// the shared-engine subset search; between that and
-/// [`crate::elimination::MAX_EXACT_VERTICES`] vertices (where the subset
-/// enumeration is infeasible) the legacy elimination-order DP answers
-/// instead. Returns `None` when `H` is larger still, has isolated
-/// vertices, or `cutoff` is given and `ghw(H) >= cutoff`.
+/// The edge-union engine serves any instance whose candidate space is
+/// feasible under the heuristic bound (no vertex gate); infeasible pieces
+/// fall back to the elimination DP up to
+/// [`crate::elimination::MAX_EXACT_VERTICES`] vertices. Returns `None`
+/// when a piece is larger still, `H` has isolated vertices, or `cutoff`
+/// is given and `ghw(H) >= cutoff`.
 pub fn ghw_exact(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomposition)> {
     ghw_exact_with_stats(h, cutoff, EngineOptions::default()).0
 }
 
-/// As [`ghw_exact`], also reporting engine and price-cache counters
-/// (all-zero when the elimination-DP fallback answered). `opts` pins the
-/// engine scheduling; the reported stats are identical at every thread
-/// count (the determinism tests compare them).
+/// As [`ghw_exact`], also reporting engine, price-cache and
+/// candidate-generation counters (engine counters are zero when the
+/// elimination-DP fallback answered). `opts` pins the engine scheduling;
+/// the reported stats are identical at every thread count (the
+/// determinism tests compare them).
 pub fn ghw_exact_with_stats(
     h: &Hypergraph,
     cutoff: Option<usize>,
@@ -43,67 +57,154 @@ pub fn ghw_exact_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    if !prep::enabled(opts.prep) {
-        return ghw_piece(h, cutoff, opts);
-    }
     // The minimizer pipeline: GYO-style simplification, then biconnected
-    // blocks solved independently (the subset-search vertex gate applies
-    // per block), width = max, witness stitched and lifted back to `h`.
-    let prepared = prep::prepare(h, prep::Profile::Minimizer);
-    let mut stats = SearchStats {
-        prep_vertices_removed: prepared.stats.vertices_removed,
-        prep_edges_removed: prepared.stats.edges_removed,
-        prep_blocks: prepared.stats.blocks,
-        ..SearchStats::default()
-    };
-    let mut parts = Vec::with_capacity(prepared.blocks.len());
-    let mut best: Option<usize> = None;
-    for block in &prepared.blocks {
-        let (result, s) = ghw_piece(&block.hypergraph, cutoff, opts);
-        stats.merge(&s);
-        let Some((w, d)) = result else {
-            return (None, stats);
-        };
-        if best.is_none_or(|b| w > b) {
-            best = Some(w);
-        }
-        parts.push(d);
-    }
-    let width = best.expect("at least one block");
-    let d = prepared.lift(parts);
-    debug_assert!(d.width() <= Rational::from(width));
-    (Some((width, d)), stats)
+    // blocks solved independently (candidate generation and the heuristic
+    // bound run per block), width = max, witness stitched and lifted.
+    prep::run_minimizer(h, opts.prep, |block| ghw_piece(block, cutoff, opts))
 }
 
-/// Solves one (already preprocessed) piece: shared-engine subset search
-/// when small enough, elimination DP in the 19–24-vertex window, `None`
-/// beyond.
+/// Computes the heuristic upper bound on `ghw(H)` (min-degree / min-fill
+/// elimination orderings plus local search, bags priced by `ρ`) together
+/// with its witness GHD — no exact search. This is the bound that seeds
+/// [`ghw_exact`]'s cutoff; `hgtool widths --heuristic-only` surfaces it
+/// directly. Returns `None` only for empty or isolated-vertex inputs.
+pub fn ghw_upper_bound(h: &Hypergraph) -> Option<(usize, Decomposition)> {
+    ghw_upper_bound_with_stats(h, EngineOptions::default()).0
+}
+
+/// As [`ghw_upper_bound`] with explicit options (preprocessing still
+/// applies: bounds are computed per reduced block and the witness is
+/// stitched and lifted like any exact result).
+pub fn ghw_upper_bound_with_stats(
+    h: &Hypergraph,
+    opts: EngineOptions,
+) -> (Option<(usize, Decomposition)>, SearchStats) {
+    if h.num_vertices() == 0 || h.has_isolated_vertices() {
+        return (None, SearchStats::default());
+    }
+    prep::run_minimizer(h, opts.prep, |block| {
+        let (ub, d) = candgen::upper_bound(block, rho_price(block));
+        let stats = SearchStats {
+            ub_width: Some(Rational::from(ub)),
+            ..SearchStats::default()
+        };
+        (Some((ub, d)), stats)
+    })
+}
+
+/// The subset-bag cross-check oracle: the pre-candgen search proposing
+/// every bag `conn ⊆ B ⊆ conn ∪ C`, kept as an independent certification
+/// path for the edge-union engine (routine use up to
+/// [`solver::MAX_SUBSET_ORACLE_VERTICES`] vertices; hard-gated at
+/// [`MAX_SUBSET_SEARCH_VERTICES`]). Runs without preprocessing or
+/// heuristic seeding, so it shares nothing with the primary path beyond
+/// the engine itself.
+pub fn ghw_exact_subset_oracle(
+    h: &Hypergraph,
+    cutoff: Option<usize>,
+) -> Option<(usize, Decomposition)> {
+    if h.has_isolated_vertices() || h.num_vertices() > MAX_SUBSET_SEARCH_VERTICES {
+        return None;
+    }
+    let session = prep::SessionCache::open(h, "ghw-rho", false);
+    let strategy = GhwSearch::new(h, cutoff, Arc::clone(&session.cache), BagMode::Subset);
+    let cx = SearchContext::with_options(EngineOptions::sequential());
+    cx.run(h, &strategy)
+}
+
+/// The `ρ` bag pricer shared by the heuristic bound and its tests.
+fn rho_price(h: &Hypergraph) -> impl FnMut(&VertexSet) -> candgen::PricedBag<usize> + '_ {
+    |bag| {
+        let c =
+            cover::integral_cover(h, bag).expect("no isolated vertices, so every bag is coverable");
+        let weight = c.weight();
+        (
+            weight,
+            c.edges.into_iter().map(|e| (e, Rational::one())).collect(),
+        )
+    }
+}
+
+/// Solves one (already preprocessed) piece: heuristic upper bound first,
+/// then the edge-union engine under the seeded cutoff when feasible, the
+/// elimination DP otherwise, `None` when both are out of range.
 fn ghw_piece(
     h: &Hypergraph,
     cutoff: Option<usize>,
     opts: EngineOptions,
 ) -> (Option<(usize, Decomposition)>, SearchStats) {
-    if h.num_vertices() > solver::MAX_SUBSET_SEARCH_VERTICES {
-        return (ghw_by_elimination(h, cutoff), SearchStats::default());
-    }
+    // One price session for the whole piece: the heuristic bound prices
+    // its elimination bags through the same `ρ` cache the engine then
+    // searches with, so the seed's covers are warm capital, not overhead.
     let session = prep::SessionCache::open(h, "ghw-rho", opts.reuse_prices);
-    let strategy = GhwSearch {
-        cutoff,
-        rank: properties::rank(h),
-        scatter: cover::ScatterBound::new(h),
-        cover_cache: Arc::clone(&session.cache),
-    };
-    let cx = SearchContext::with_options(opts);
-    let result = cx.run(h, &strategy).map(|(width, d)| {
-        debug_assert!(d.width() <= Rational::from(width));
-        (width, d)
+    let (ub, ub_witness) = candgen::upper_bound(h, |bag| {
+        let (weight, edges) = cover::rho_priced(h, bag, &session.cache)
+            .expect("no isolated vertices, so every bag is coverable");
+        (
+            weight,
+            edges.into_iter().map(|e| (e, Rational::one())).collect(),
+        )
     });
-    let mut stats = cx.stats();
-    (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
+    // The search only has to beat `eff`: a failure at a *seeded* cutoff
+    // (`ub` tighter than the caller's) is the exact answer `ub`, certified
+    // by the heuristic witness in hand.
+    let seeded = cutoff.is_none_or(|c| ub < c);
+    let eff = if seeded {
+        ub
+    } else {
+        cutoff.expect("unseeded")
+    };
+    let mut stats = SearchStats {
+        ub_width: Some(Rational::from(ub)),
+        ..SearchStats::default()
+    };
+    // Any GHD of width < eff normalizes to unions of < eff edges.
+    let budget = eff.saturating_sub(1);
+    let feasible = budget >= 1
+        && candgen::stream_size_bound(h.num_edges(), budget, CANDGEN_STREAM_CAP)
+            < CANDGEN_STREAM_CAP;
+    let searched = if budget == 0 {
+        // Nothing beats width 1; the trivial search already failed.
+        Some(None)
+    } else if feasible {
+        let strategy = GhwSearch::new(
+            h,
+            Some(eff),
+            Arc::clone(&session.cache),
+            BagMode::EdgeUnion(candgen::EdgeUnionConfig::with_budget(budget)),
+        );
+        let cx = SearchContext::with_options(opts);
+        let result = cx.run(h, &strategy);
+        let engine = cx.stats();
+        stats.merge(&engine);
+        (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
+        stats.cand_generated = strategy.counters.generated();
+        stats.cand_filtered = strategy.counters.filtered();
+        Some(result)
+    } else if h.num_vertices() <= crate::elimination::MAX_EXACT_VERTICES {
+        Some(ghw_by_elimination(h, Some(eff)))
+    } else {
+        // No exact engine in range: `ub` stays an upper bound only.
+        None
+    };
+    let result = match searched {
+        Some(Some((w, d))) => {
+            debug_assert!(d.width() <= Rational::from(w));
+            Some((w, d))
+        }
+        // The search is complete below `eff`, so failing it pins the
+        // width to exactly `ub` when the cutoff was ours.
+        Some(None) if seeded => {
+            debug_assert!(ub_witness.width() <= Rational::from(ub));
+            Some((ub, ub_witness))
+        }
+        _ => None,
+    };
     (result, stats)
 }
 
-/// The pre-engine implementation, kept for 19–24-vertex instances.
+/// The pre-engine elimination-order DP, the fallback for pieces whose
+/// edge-union space is infeasible (up to 24 vertices).
 fn ghw_by_elimination(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, Decomposition)> {
     let (width, order) = crate::elimination::optimal_elimination(
         h,
@@ -126,8 +227,16 @@ fn ghw_by_elimination(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, D
     Some((width, d))
 }
 
-/// The exact-`ghw` strategy: every bag between the connector and the whole
-/// component, priced by `rho` through the shared concurrent cover cache.
+/// Which candidate-bag space the strategy streams.
+enum BagMode {
+    /// The primary `candgen` edge-union space (bag-maximal normal form).
+    EdgeUnion(candgen::EdgeUnionConfig),
+    /// The full subset space — the cross-check oracle.
+    Subset,
+}
+
+/// The exact-`ghw` strategy: candidate bags priced by `rho` through the
+/// shared concurrent cover cache.
 struct GhwSearch {
     cutoff: Option<usize>,
     /// `rank(H)`: a bag needs at least `⌈|bag| / rank⌉` cover edges, the
@@ -142,6 +251,32 @@ struct GhwSearch {
     /// search is the expensive part of admission. Shared process-wide
     /// when the session is backed by the cross-call registry.
     cover_cache: Arc<RhoCache>,
+    /// Candidate space (edge unions on the primary path, subsets on the
+    /// oracle).
+    bags: BagMode,
+    /// Generated/filtered tallies of the edge-union streams.
+    counters: candgen::Counters,
+}
+
+impl GhwSearch {
+    /// A strategy over `h` with the given candidate space: derived fields
+    /// (rank, scattered-set bound, counters) are uniform across the
+    /// oracle and the edge-union engine.
+    fn new(
+        h: &Hypergraph,
+        cutoff: Option<usize>,
+        cover_cache: Arc<RhoCache>,
+        bags: BagMode,
+    ) -> Self {
+        GhwSearch {
+            cutoff,
+            rank: properties::rank(h),
+            scatter: cover::ScatterBound::new(h),
+            cover_cache,
+            bags,
+            counters: candgen::Counters::new(),
+        }
+    }
 }
 
 impl WidthSolver for GhwSearch {
@@ -155,8 +290,29 @@ impl WidthSolver for GhwSearch {
         self.cutoff
     }
 
-    fn candidates<'a>(&'a self, _h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
-        solver::stream_subset_bags(state)
+    fn candidates<'a>(&'a self, h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
+        match &self.bags {
+            BagMode::Subset => solver::stream_subset_bags(state),
+            BagMode::EdgeUnion(cfg) => {
+                // The rank/scatter pre-pricing gates, hoisted into the
+                // generator against the static seeded cutoff (admission
+                // re-applies them against the tighter running bound).
+                let rank = self.rank;
+                let scatter = &self.scatter;
+                let bound = self.cutoff;
+                let gate = move |bag: &VertexSet| match bound {
+                    Some(b) => bag.len().div_ceil(rank) < b && scatter.lower_bound(bag) < b,
+                    None => true,
+                };
+                CandidateStream::new(
+                    candgen::edge_union_bags(h, state.comp, state.conn, cfg, &self.counters, gate)
+                        .map(|bag| Guess {
+                            edges: Vec::new(),
+                            extra: bag,
+                        }),
+                )
+            }
+        }
     }
 
     fn admit(
@@ -209,7 +365,7 @@ mod tests {
     use hypergraph::generators;
 
     fn assert_ghw(h: &Hypergraph, expected: usize) {
-        let (w, d) = ghw_exact(h, None).expect("small instance");
+        let (w, d) = ghw_exact(h, None).expect("in range");
         assert_eq!(w, expected);
         assert_eq!(validate::validate_ghd(h, &d), Ok(()), "{}", d.render(h));
         assert!(d.width() <= arith::Rational::from(expected));
@@ -229,6 +385,15 @@ mod tests {
     fn example_4_3_exact_ghw_2() {
         // Certifies the subedge-based check: ghw(H0) = 2 < hw(H0) = 3.
         assert_ghw(&generators::example_4_3(), 2);
+    }
+
+    #[test]
+    fn breaks_the_subset_vertex_wall() {
+        // 26 vertices: beyond the old 18-vertex subset gate AND the
+        // 24-vertex elimination-DP window — formerly a hard `None`.
+        assert_ghw(&generators::cycle(26), 2);
+        // 20 vertices: formerly elimination-DP territory, now engine-exact.
+        assert_ghw(&generators::grid(2, 10), 2);
     }
 
     #[test]
@@ -263,6 +428,38 @@ mod tests {
         let h = generators::clique(6); // ghw = 3
         assert!(ghw_exact(&h, Some(3)).is_none());
         assert_eq!(ghw_exact(&h, Some(4)).unwrap().0, 3);
+    }
+
+    #[test]
+    fn subset_oracle_agrees_with_the_edge_union_engine() {
+        let corpus = vec![
+            generators::cycle(5),
+            generators::clique(5),
+            generators::grid(3, 3),
+            generators::example_4_3(),
+            generators::triangle_chain(2),
+        ];
+        for h in corpus {
+            let primary = ghw_exact(&h, None).map(|(w, _)| w);
+            let oracle = ghw_exact_subset_oracle(&h, None).map(|(w, _)| w);
+            assert_eq!(primary, oracle, "engine vs subset oracle on {h:?}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_witnessed_and_sound() {
+        for h in [
+            generators::cycle(6),
+            generators::clique(5),
+            generators::grid(3, 3),
+            generators::example_4_3(),
+        ] {
+            let (ub, d) = ghw_upper_bound(&h).expect("valid instance");
+            let (exact, _) = ghw_exact(&h, None).expect("small");
+            assert!(ub >= exact, "ub {ub} < exact {exact} on {h:?}");
+            assert_eq!(validate::validate_ghd(&h, &d), Ok(()), "{}", d.render(&h));
+            assert!(d.width() <= arith::Rational::from(ub));
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub use check::{
     augment, check_ghd_bip, check_ghd_bmip, generalized_hypertree_width_bip, project_to_original,
     Augmented, GhdAnswer,
 };
-pub use exact::{ghw_exact, ghw_exact_with_stats};
+pub use exact::{
+    ghw_exact, ghw_exact_subset_oracle, ghw_exact_with_stats, ghw_upper_bound,
+    ghw_upper_bound_with_stats,
+};
 pub use subedges::{
     bip_subedges, bmip_subedges, union_of_intersections_tree, SubedgeLimits, SubedgeSet, UoiNode,
 };

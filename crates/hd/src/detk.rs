@@ -50,16 +50,11 @@ pub fn check_hd_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    if !prep::enabled(opts.prep) {
-        return check_hd_piece(h, k, opts);
-    }
-    let prepared = prep::prepare(h, prep::Profile::Decision);
-    let block = &prepared.blocks[0];
-    let (result, mut stats) = check_hd_piece(&block.hypergraph, k, opts);
-    stats.prep_vertices_removed = prepared.stats.vertices_removed;
-    stats.prep_edges_removed = prepared.stats.edges_removed;
-    stats.prep_blocks = prepared.stats.blocks;
-    (result.map(|d| prepared.lift(vec![d])), stats)
+    let (result, stats) = prep::run_decision(h, opts.prep, |block| {
+        let (d, s) = check_hd_piece(block, k, opts);
+        (d.map(|d| ((), d)), s)
+    });
+    (result.map(|(_, d)| d), stats)
 }
 
 /// Runs `det-k-decomp` proper on an (already preprocessed) instance.
@@ -92,30 +87,20 @@ pub fn hypertree_width_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    let mut total = SearchStats::default();
-    if !prep::enabled(opts.prep) {
+    // The prep pipeline (which is `k`-independent) runs once around the
+    // whole iteration; every check searches the same reduced block and
+    // only the final witness is lifted.
+    prep::run_decision(h, opts.prep, |block| {
+        let mut total = SearchStats::default();
         for k in 1..=max_k {
-            let (d, stats) = check_hd_piece(h, k, opts);
+            let (d, stats) = check_hd_piece(block, k, opts);
             total.merge(&stats);
             if let Some(d) = d {
                 return (Some((k, d)), total);
             }
         }
-        return (None, total);
-    }
-    let prepared = prep::prepare(h, prep::Profile::Decision);
-    let block = &prepared.blocks[0];
-    total.prep_vertices_removed = prepared.stats.vertices_removed;
-    total.prep_edges_removed = prepared.stats.edges_removed;
-    total.prep_blocks = prepared.stats.blocks;
-    for k in 1..=max_k {
-        let (d, stats) = check_hd_piece(&block.hypergraph, k, opts);
-        total.merge(&stats);
-        if let Some(d) = d {
-            return (Some((k, prepared.lift(vec![d]))), total);
-        }
-    }
-    (None, total)
+        (None, total)
+    })
 }
 
 /// The `det-k-decomp` strategy: separators are edge sets `S` with

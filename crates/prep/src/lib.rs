@@ -29,10 +29,12 @@ pub mod fingerprint;
 pub mod global_cache;
 pub mod lift;
 pub mod simplify;
+pub mod stats;
 
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use global_cache::{global, GlobalPriceCache, PriceSession, SessionCache};
 pub use simplify::{Pass, Step};
+pub use stats::SearchStats;
 
 use decomp::Decomposition;
 use hypergraph::Hypergraph;
@@ -149,6 +151,73 @@ impl Prepared {
     pub fn steps(&self) -> &[Step] {
         &self.steps
     }
+}
+
+/// The prepare→solve→lift wrapper shared by the decision strategies
+/// (`det-k-decomp`, `frac-decomp`, the strict-HD check): run the
+/// conservative [`Profile::Decision`] passes, solve the single reduced
+/// block with `solve`, record the reduction counts and lift the witness
+/// back to `h`. With preprocessing disabled (per-call opt-out or the
+/// `HGTOOL_NO_PREP` kill switch) `solve` runs directly on `h`.
+///
+/// `T` is whatever extra payload the strategy returns alongside its
+/// witness (the accepted `k` of a width iteration, `()` for a plain
+/// check). Callers keep their own up-front input validation (isolated
+/// vertices, parameter checks).
+pub fn run_decision<T>(
+    h: &Hypergraph,
+    opt_in: bool,
+    solve: impl FnOnce(&Hypergraph) -> (Option<(T, Decomposition)>, SearchStats),
+) -> (Option<(T, Decomposition)>, SearchStats) {
+    if !enabled(opt_in) {
+        return solve(h);
+    }
+    let prepared = prepare(h, Profile::Decision);
+    let block = &prepared.blocks[0];
+    let (result, mut stats) = solve(&block.hypergraph);
+    stats.prep_vertices_removed = prepared.stats.vertices_removed;
+    stats.prep_edges_removed = prepared.stats.edges_removed;
+    stats.prep_blocks = prepared.stats.blocks;
+    (result.map(|(t, d)| (t, prepared.lift(vec![d]))), stats)
+}
+
+/// The prepare→solve→lift wrapper shared by the minimizing strategies
+/// (`ghw`/`fhw`): run the full [`Profile::Minimizer`] pipeline, solve each
+/// biconnected block independently with `solve`, combine the width as the
+/// maximum over blocks, stitch the block witnesses and lift the result
+/// back to `h`. Any block failing (`None`, e.g. too large for the exact
+/// engines or cut off) fails the whole call, with the merged stats of the
+/// blocks solved so far.
+pub fn run_minimizer<C: PartialOrd>(
+    h: &Hypergraph,
+    opt_in: bool,
+    mut solve: impl FnMut(&Hypergraph) -> (Option<(C, Decomposition)>, SearchStats),
+) -> (Option<(C, Decomposition)>, SearchStats) {
+    if !enabled(opt_in) {
+        return solve(h);
+    }
+    let prepared = prepare(h, Profile::Minimizer);
+    let mut stats = SearchStats {
+        prep_vertices_removed: prepared.stats.vertices_removed,
+        prep_edges_removed: prepared.stats.edges_removed,
+        prep_blocks: prepared.stats.blocks,
+        ..SearchStats::default()
+    };
+    let mut parts = Vec::with_capacity(prepared.blocks.len());
+    let mut best: Option<C> = None;
+    for block in &prepared.blocks {
+        let (result, s) = solve(&block.hypergraph);
+        stats.merge(&s);
+        let Some((w, d)) = result else {
+            return (None, stats);
+        };
+        if best.as_ref().is_none_or(|b| w > *b) {
+            best = Some(w);
+        }
+        parts.push(d);
+    }
+    let width = best.expect("at least one block");
+    (Some((width, prepared.lift(parts))), stats)
 }
 
 /// Runs the `profile`'s simplification passes to fixpoint on `h`, splits

@@ -1,0 +1,125 @@
+//! The shared search-statistics record filled in by the engine, the
+//! strategy wrappers and the preprocessing pipeline.
+//!
+//! `SearchStats` lives in this crate (not in `solver`) so that the
+//! prepare→solve→lift wrappers ([`crate::run_decision`] /
+//! [`crate::run_minimizer`]) can report preprocessing counters while `prep`
+//! stays strictly below `solver` in the dependency order; `solver`
+//! re-exports the type, so engine users keep addressing it as
+//! `solver::SearchStats`.
+
+use arith::Rational;
+
+/// Counters of one width search, exposed through `SearchContext::stats`
+/// for tests, `hgtool widths --stats` and the `baseline` bin. The engine
+/// fills the state/candidate counters; the strategy wrappers merge their
+/// shared cover-price cache deltas, the candidate-generator tallies and
+/// the preprocessing reduction counts on top.
+///
+/// Deterministic: with speculation off (the default), every counter is
+/// identical at every thread count and across runs — states are evaluated
+/// exactly once (in-flight memo dedup) and candidates are admitted against
+/// per-round bound snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search states evaluated (memo misses; exactly once per state).
+    pub states: usize,
+    /// Memo hits (including waits on an in-flight evaluation).
+    pub memo_hits: usize,
+    /// Guesses pulled from candidate streams. With eager `Vec` proposal
+    /// this used to equal the whole candidate space; streaming decision
+    /// searches stop pulling at the first witness.
+    pub streamed: usize,
+    /// Guesses admitted (priced successfully under the bound).
+    pub admitted: usize,
+    /// Cover/LP price-cache hits (ρ/ρ* priced bags served from cache).
+    pub price_hits: usize,
+    /// Cover/LP price-cache misses (ρ/ρ* prices actually computed).
+    pub price_misses: usize,
+    /// Price lookups served from entries cached by an *earlier* search in
+    /// this process (the fingerprint-keyed cross-call cache). Always 0
+    /// with price reuse off.
+    pub price_warm_hits: usize,
+    /// Candidate bags produced by the `candgen` edge-union enumerator
+    /// before its filters ran (0 on the subset-oracle and fallback paths).
+    pub cand_generated: usize,
+    /// Candidate bags the enumerator discarded (duplicates, connector or
+    /// progress violations, balancedness, hoisted pre-pricing gates) —
+    /// `cand_generated - cand_filtered` is what the engine actually
+    /// streamed from `candgen`.
+    pub cand_filtered: usize,
+    /// The heuristic upper bound that seeded the search's width ramp
+    /// (`None` when no heuristic ran, e.g. the decision strategies).
+    /// Merged across per-block searches as the maximum, matching how the
+    /// block widths recombine.
+    pub ub_width: Option<Rational>,
+    /// Vertices removed by the preprocessing pipeline (0 with prep off).
+    pub prep_vertices_removed: usize,
+    /// Edges removed by the preprocessing pipeline (0 with prep off).
+    pub prep_edges_removed: usize,
+    /// Biconnected blocks solved independently (0 with prep off; 1 when
+    /// prep ran but the instance is a single block).
+    pub prep_blocks: usize,
+}
+
+impl SearchStats {
+    /// Price-cache hit rate over all price lookups.
+    pub fn price_hit_rate(&self) -> f64 {
+        let total = self.price_hits + self.price_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.price_hits as f64 / total as f64
+    }
+
+    /// Accumulates another search's counters into this one (used when one
+    /// logical call runs several searches: the det-k `k`-iteration, the
+    /// per-block searches of the preprocessing pipeline).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.states += other.states;
+        self.memo_hits += other.memo_hits;
+        self.streamed += other.streamed;
+        self.admitted += other.admitted;
+        self.price_hits += other.price_hits;
+        self.price_misses += other.price_misses;
+        self.price_warm_hits += other.price_warm_hits;
+        self.cand_generated += other.cand_generated;
+        self.cand_filtered += other.cand_filtered;
+        self.ub_width = match (self.ub_width.take(), other.ub_width.clone()) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.prep_vertices_removed += other.prep_vertices_removed;
+        self.prep_edges_removed += other.prep_edges_removed;
+        self.prep_blocks += other.prep_blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_the_seed() {
+        let mut a = SearchStats {
+            states: 2,
+            cand_generated: 5,
+            ub_width: Some(Rational::from_int(2)),
+            ..SearchStats::default()
+        };
+        let b = SearchStats {
+            states: 3,
+            cand_filtered: 4,
+            ub_width: Some(Rational::from_frac(3, 2)),
+            ..SearchStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.states, 5);
+        assert_eq!(a.cand_generated, 5);
+        assert_eq!(a.cand_filtered, 4);
+        assert_eq!(a.ub_width, Some(Rational::from_int(2)));
+        let mut c = SearchStats::default();
+        c.merge(&b);
+        assert_eq!(c.ub_width, Some(Rational::from_frac(3, 2)));
+    }
+}

@@ -49,10 +49,19 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// Practical vertex limit for the subset-enumerating exact strategies
-/// (`ghw`/`fhw` baselines): those strategies propose every bag
-/// `conn ⊆ B ⊆ conn ∪ C`, which is exponential in `|C|`.
+/// Practical vertex limit for the subset-enumerating bag stream
+/// ([`stream_subset_bags`]): it proposes every bag `conn ⊆ B ⊆ conn ∪ C`,
+/// which is exponential in `|C|`. Since the `candgen` edge-union generator
+/// became the primary `ghw`/`fhw` candidate source, this gate no longer
+/// bounds the exact range — the subset stream survives as the `fhw`
+/// completeness tail and as the small-instance cross-check oracle
+/// (`ghd::ghw_exact_subset_oracle` / `fhd::fhw_exact_subset_oracle`).
 pub const MAX_SUBSET_SEARCH_VERTICES: usize = 18;
+
+/// Recommended ceiling for routinely running the subset enumeration as a
+/// cross-check oracle against the edge-union search (the full `2^n` bag
+/// space stays cheap up to here; beyond it the oracle is test-only).
+pub const MAX_SUBSET_ORACLE_VERTICES: usize = 12;
 
 /// Upper bound on worker threads per search, whatever the host reports.
 const MAX_THREADS: usize = 8;
@@ -361,69 +370,12 @@ struct Plan<C> {
 }
 
 /// Engine counters, exposed through [`SearchContext::stats`] for tests,
-/// `hgtool widths --stats` and the `baseline` bin. The `price_*` fields are
-/// filled in by the strategy wrappers from their shared cover-price caches
-/// (the engine itself never prices anything).
-///
-/// Deterministic: with speculation off (the default), every counter is
-/// identical at every thread count and across runs — states are evaluated
-/// exactly once (in-flight memo dedup) and candidates are admitted against
-/// per-round bound snapshots.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct SearchStats {
-    /// Search states evaluated (memo misses; exactly once per state).
-    pub states: usize,
-    /// Memo hits (including waits on an in-flight evaluation).
-    pub memo_hits: usize,
-    /// Guesses pulled from candidate streams. With eager `Vec` proposal
-    /// this used to equal the whole candidate space; streaming decision
-    /// searches stop pulling at the first witness.
-    pub streamed: usize,
-    /// Guesses admitted (priced successfully under the bound).
-    pub admitted: usize,
-    /// Cover/LP price-cache hits (ρ/ρ* priced bags served from cache).
-    pub price_hits: usize,
-    /// Cover/LP price-cache misses (ρ/ρ* prices actually computed).
-    pub price_misses: usize,
-    /// Price lookups served from entries cached by an *earlier* search in
-    /// this process (the fingerprint-keyed cross-call cache). Always 0
-    /// with [`EngineOptions::reuse_prices`] off.
-    pub price_warm_hits: usize,
-    /// Vertices removed by the preprocessing pipeline (0 with prep off).
-    pub prep_vertices_removed: usize,
-    /// Edges removed by the preprocessing pipeline (0 with prep off).
-    pub prep_edges_removed: usize,
-    /// Biconnected blocks solved independently (0 with prep off; 1 when
-    /// prep ran but the instance is a single block).
-    pub prep_blocks: usize,
-}
-
-impl SearchStats {
-    /// Price-cache hit rate over all price lookups.
-    pub fn price_hit_rate(&self) -> f64 {
-        let total = self.price_hits + self.price_misses;
-        if total == 0 {
-            return 0.0;
-        }
-        self.price_hits as f64 / total as f64
-    }
-
-    /// Accumulates another search's counters into this one (used when one
-    /// logical call runs several searches: the det-k `k`-iteration, the
-    /// per-block searches of the preprocessing pipeline).
-    pub fn merge(&mut self, other: &SearchStats) {
-        self.states += other.states;
-        self.memo_hits += other.memo_hits;
-        self.streamed += other.streamed;
-        self.admitted += other.admitted;
-        self.price_hits += other.price_hits;
-        self.price_misses += other.price_misses;
-        self.price_warm_hits += other.price_warm_hits;
-        self.prep_vertices_removed += other.prep_vertices_removed;
-        self.prep_edges_removed += other.prep_edges_removed;
-        self.prep_blocks += other.prep_blocks;
-    }
-}
+/// `hgtool widths --stats` and the `baseline` bin. The struct itself lives
+/// in `prep` (so the prepare→solve→lift wrappers can fill the reduction
+/// counters while staying below this crate) and is re-exported here; the
+/// engine fills the state/candidate counters, the strategy wrappers merge
+/// price-cache and candidate-generation tallies on top.
+pub use prep::SearchStats;
 
 #[derive(Default)]
 struct AtomicStats {

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Refreshes BENCH_baseline.json: runs the exact width engines over the
-# generator corpus (median of three, release profile) and records the
+# generator corpus (noise-floor minimum of five, release profile) and records the
 # timings + fhw engine counters for perf-trajectory comparisons across PRs.
 #
 #   scripts/bench_baseline.sh           full refresh of BENCH_baseline.json
@@ -8,13 +8,13 @@
 #                                       small corpus prefix, written to a
 #                                       scratch file — proves the baseline
 #                                       bin still runs and still emits the
-#                                       hypertree-bench-baseline/v2 schema
+#                                       hypertree-bench-baseline/v3 schema
 #
 # Either mode fails hard when the emitted schema tag drifts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA='hypertree-bench-baseline/v2'
+SCHEMA='hypertree-bench-baseline/v3'
 
 if [[ "${1:-}" == "--smoke" ]]; then
   out="$(mktemp /tmp/bench_baseline_smoke.XXXXXX.json)"
@@ -49,6 +49,15 @@ if ! grep -q '"rerun_warm_hits":' "$out"; then
   echo "bench_baseline.sh: schema drift — no rerun_warm_hits in the prep blocks of $out" >&2
   exit 1
 fi
+# v3: the stats blocks track the candidate-generation discipline (candgen
+# edge-union bags generated/filtered + the seeding heuristic width), and
+# ghw — now engine-driven — records a stats block of its own.
+for field in '"cand_gen":' '"cand_filtered":' '"ub_seed":' '"ghw_stats":'; do
+  if ! grep -q "$field" "$out"; then
+    echo "bench_baseline.sh: schema drift — no $field columns in $out" >&2
+    exit 1
+  fi
+done
 
 echo "$out validated against $SCHEMA:"
 head -5 "$out"

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! hgtool structure <file>             structural profile (BIP/BMIP/BDP/VC)
-//! hgtool widths [--stats] [--no-prep] <file>
+//! hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>
 //!                                     exact hw / ghw / fhw (small instances);
-//!                                     --stats adds engine + LP-cache counters,
+//!                                     --stats adds engine + LP-cache +
+//!                                     candidate-generation counters,
 //!                                     --no-prep bypasses the preprocessing
 //!                                     pipeline and its cross-call price cache
-//!                                     (also: HGTOOL_NO_PREP env var)
+//!                                     (also: HGTOOL_NO_PREP env var),
+//!                                     --heuristic-only prints the candgen
+//!                                     upper bounds + witnesses without any
+//!                                     exact search (any instance size)
 //! hgtool prep <file>                  print the width-preserving reduction
 //!                                     trace, blocks and fingerprints
 //! hgtool check <hd|ghd|fhd> <k> <file>   decide width <= k, print witness
@@ -26,7 +30,7 @@ use hypertree::hypergraph::{parser, Hypergraph};
 use hypertree::prep;
 use hypertree::reduction::{self, Cnf};
 use hypertree::solver::EngineOptions;
-use hypertree::{analyze_structure, exact_widths_with_opts, hd};
+use hypertree::{analyze_structure, hd};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -39,7 +43,7 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  hgtool structure <file>");
-            eprintln!("  hgtool widths [--stats] [--no-prep] <file>");
+            eprintln!("  hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>");
             eprintln!("  hgtool prep <file>");
             eprintln!("  hgtool check <hd|ghd|fhd> <k> <file>");
             eprintln!("  hgtool reduce <n> <m> [seed]");
@@ -54,14 +58,20 @@ fn run(args: &[String]) -> Result<(), String> {
         [cmd, rest @ .., file] if cmd == "widths" => {
             let mut stats = false;
             let mut no_prep = false;
+            let mut heuristic_only = false;
             for flag in rest {
                 match flag.as_str() {
                     "--stats" => stats = true,
                     "--no-prep" => no_prep = true,
+                    "--heuristic-only" => heuristic_only = true,
                     other => return Err(format!("unknown widths flag {other}")),
                 }
             }
-            widths(&load(file)?, stats, no_prep)
+            if heuristic_only {
+                heuristic_widths(&load(file)?, no_prep)
+            } else {
+                widths(&load(file)?, stats, no_prep)
+            }
         }
         [cmd, file] if cmd == "prep" => prep_trace(&load(file)?),
         [cmd, method, k, file] if cmd == "check" => check(method, k, &load(file)?),
@@ -113,11 +123,27 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
         opts = opts.without_prep();
         opts.reuse_prices = false;
     }
-    let (w, s) =
-        exact_widths_with_opts(h, 8, opts).ok_or("instance too large for the exact engines")?;
-    println!("hw  = {}", w.hw);
-    println!("ghw = {}", w.ghw);
-    println!("fhw = {}", w.fhw);
+    // Per-width calls rather than `exact_widths_with_opts`: the candgen
+    // edge-union engine reaches instance sizes where the fhw subset/DP
+    // engines no longer answer, so each width degrades to `n/a`
+    // independently instead of failing the whole command.
+    let (hw, hw_stats) = hd::hypertree_width_with_stats(h, 8, opts);
+    let (ghw, ghw_stats) = ghd::ghw_exact_with_stats(h, None, opts);
+    let (fhw, fhw_stats) = fhd::fhw_exact_with_stats(h, None, opts);
+    if hw.is_none() && ghw.is_none() && fhw.is_none() {
+        return Err("instance too large for the exact engines \
+                    (try --heuristic-only for witness-backed bounds)"
+            .into());
+    }
+    let s = hypertree::WidthStats {
+        hw: hw_stats,
+        ghw: ghw_stats,
+        fhw: fhw_stats,
+    };
+    let fmt = |v: Option<String>| v.unwrap_or_else(|| "n/a (out of exact range)".into());
+    println!("hw  = {}", fmt(hw.map(|(k, _)| k.to_string())));
+    println!("ghw = {}", fmt(ghw.map(|(k, _)| k.to_string())));
+    println!("fhw = {}", fmt(fhw.map(|(k, _)| k.to_string())));
     if stats {
         println!();
         println!(
@@ -132,10 +158,13 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
         } else {
             println!("prep: off");
         }
-        println!("engine        states  memo-hits   streamed   admitted   lp-cache       prep -v/-e/blocks");
+        println!(
+            "engine        states  memo-hits   streamed   admitted   lp-cache       \
+             prep -v/-e/blocks   cand gen/filt   ub-seed"
+        );
         for (name, t) in [("hw", &s.hw), ("ghw", &s.ghw), ("fhw", &s.fhw)] {
             println!(
-                "{name:<10} {:>9} {:>10} {:>10} {:>10}   {}/{} ({:.0}% hit)   {}/{}/{}",
+                "{name:<10} {:>9} {:>10} {:>10} {:>10}   {}/{} ({:.0}% hit)   {}/{}/{}   {}/{}   {}",
                 t.states,
                 t.memo_hits,
                 t.streamed,
@@ -146,6 +175,12 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
                 t.prep_vertices_removed,
                 t.prep_edges_removed,
                 t.prep_blocks,
+                t.cand_generated,
+                t.cand_filtered,
+                t.ub_width
+                    .as_ref()
+                    .map(|w| w.to_string())
+                    .unwrap_or_else(|| "-".into()),
             );
         }
         if prep::reuse_enabled(opts.reuse_prices) {
@@ -162,6 +197,36 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// `hgtool widths --heuristic-only`: the candgen upper bounds (min-degree
+/// / min-fill elimination orderings + local search, per reduced block)
+/// with their witnesses, skipping the exact searches entirely — usable at
+/// any instance size.
+fn heuristic_widths(h: &Hypergraph, no_prep: bool) -> Result<(), String> {
+    let mut opts = EngineOptions::default();
+    if no_prep {
+        opts = opts.without_prep();
+        opts.reuse_prices = false;
+    }
+    let (ghw, ghw_d) = ghd::ghw_upper_bound_with_stats(h, opts)
+        .0
+        .ok_or("invalid instance (empty or isolated vertices)")?;
+    let (fhw, fhw_d) = fhd::fhw_upper_bound_with_stats(h, opts)
+        .0
+        .expect("same validity as ghw");
+    let ghw_ok = validate::validate_ghd(h, &ghw_d).is_ok();
+    let fhw_ok = validate::validate_fhd(h, &fhw_d).is_ok();
+    println!(
+        "ghw <= {ghw}   (witness: {} nodes, validated: {ghw_ok})",
+        ghw_d.len()
+    );
+    println!(
+        "fhw <= {fhw}   (witness: {} nodes, validated: {fhw_ok})",
+        fhw_d.len()
+    );
+    println!("(heuristic min-degree/min-fill elimination bounds; no exact search ran)");
     Ok(())
 }
 
