@@ -4,6 +4,15 @@
 //! correctness arguments (e.g. Lemmas 3.5/3.6) rely on exact ties between
 //! fractional edge weights, so every width and every LP pivot in this
 //! workspace is computed over [`Rational`] — never floating point.
+//!
+//! [`Rational`] is two-tier: values whose reduced numerator and
+//! denominator fit an `i64` live inline (no heap traffic — the entire LP
+//! pricing hot path stays in this tier) and promote to [`BigInt`] pairs
+//! only beyond that; the representation is canonical in both directions,
+//! so `Eq`/`Hash` stay structural. `Rational::as_small` exposes the
+//! inline pair for division-free cross-multiplied comparisons (the width
+//! searches' admission gates). See `rational` module docs for the
+//! invariants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

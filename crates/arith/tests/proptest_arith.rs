@@ -95,3 +95,99 @@ proptest! {
         }
     }
 }
+
+/// Reference implementation of a field operation straight over [`BigInt`]
+/// components — the path every value takes when it does not fit the inline
+/// small representation. Agreement with the `Rational` operators proves the
+/// small fast path and the promotion logic compute the same field.
+fn via_bigint(a: &Rational, b: &Rational, op: char) -> Rational {
+    let (an, ad) = (a.numer(), a.denom());
+    let (bn, bd) = (b.numer(), b.denom());
+    match op {
+        '+' => Rational::new(&an * &bd + &bn * &ad, &ad * &bd),
+        '-' => Rational::new(&an * &bd - &bn * &ad, &ad * &bd),
+        '*' => Rational::new(&an * &bn, &ad * &bd),
+        '/' => Rational::new(&an * &bd, &ad * &bn),
+        _ => unreachable!(),
+    }
+}
+
+/// Full-range numerators hit the `i64` overflow boundaries (`i64::MIN`,
+/// products near `2^126`), so promotion and demotion both fire.
+fn boundary_rational() -> impl Strategy<Value = Rational> {
+    (any::<u8>(), any::<i64>(), any::<i64>()).prop_map(|(sel, p, q)| {
+        let p = match sel % 4 {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            2 => i64::MAX - (p.unsigned_abs() % 9) as i64,
+            _ => p,
+        };
+        let q = match (sel / 4) % 4 {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            2 => 1 + (q.unsigned_abs() % 15) as i64,
+            _ if q == 0 => 1,
+            _ => q,
+        };
+        rat(p, q)
+    })
+}
+
+proptest! {
+    #[test]
+    fn small_big_agreement(
+        a in boundary_rational(),
+        b in boundary_rational(),
+        c in boundary_rational(),
+    ) {
+        // Force mixed representations: products of boundary values promote.
+        let big = &a * &b;
+        for (x, y) in [(&a, &b), (&big, &c), (&a, &big)] {
+            prop_assert_eq!(x + y, via_bigint(x, y, '+'));
+            prop_assert_eq!(x - y, via_bigint(x, y, '-'));
+            prop_assert_eq!(x * y, via_bigint(x, y, '*'));
+            if !y.is_zero() {
+                prop_assert_eq!(x / y, via_bigint(x, y, '/'));
+            }
+            // Ordering agrees with the sign of the exact difference.
+            let diff = via_bigint(x, y, '-');
+            match x.cmp(y) {
+                std::cmp::Ordering::Less => prop_assert!(diff.is_negative()),
+                std::cmp::Ordering::Equal => prop_assert!(diff.is_zero()),
+                std::cmp::Ordering::Greater => prop_assert!(diff.is_positive()),
+            }
+        }
+    }
+
+    #[test]
+    fn representation_is_canonical(a in boundary_rational(), b in boundary_rational()) {
+        // A value is stored inline iff both reduced components fit i64 —
+        // the invariant that keeps derived Eq/Hash structural.
+        for x in [&a * &b, &a + &b, a.recip_or_zero()] {
+            let fits = x.numer().to_i64().is_some() && x.denom().to_i64().is_some();
+            prop_assert_eq!(x.as_small().is_some(), fits, "non-canonical repr for {}", x);
+            if let Some((n, d)) = x.as_small() {
+                prop_assert_eq!(BigInt::from(n), x.numer());
+                prop_assert_eq!(BigInt::from(d), x.denom());
+            }
+            // Round-trip through the BigInt constructor lands on the same
+            // representation (Eq is structural).
+            prop_assert_eq!(Rational::new(x.numer(), x.denom()), x);
+        }
+    }
+}
+
+/// `recip` that maps zero to zero, so strategies need no zero filter.
+trait RecipOrZero {
+    fn recip_or_zero(&self) -> Rational;
+}
+
+impl RecipOrZero for Rational {
+    fn recip_or_zero(&self) -> Rational {
+        if self.is_zero() {
+            Rational::zero()
+        } else {
+            self.recip()
+        }
+    }
+}

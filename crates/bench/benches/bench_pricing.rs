@@ -1,0 +1,74 @@
+//! Cold vs warm `ρ*` pricing on the heuristic upper bound's bag walk —
+//! the hot path the warm-started incremental simplex was built for. The
+//! workload is `candgen::upper_bound` itself: the elimination orderings
+//! and their local search price a deterministic sequence of *neighboring*
+//! bags (consecutive closed neighborhoods share most of their vertices
+//! and edge rows), so a warm solve re-seats the previous basis and
+//! usually finishes in a few pivots. The cold variant prices every bag
+//! from scratch — the per-bag-pure discipline the parallel engine's
+//! pricing pool keeps. The pivot counts printed at the end are the
+//! "warm starts do less simplex work" demonstration in counter form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertree_core::candgen;
+use hypertree_core::cover::PricingContext;
+use hypertree_core::hypergraph::{generators, Hypergraph};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+/// One full heuristic-bound run, warm or cold, returning the context so
+/// callers can read its pivot counters.
+fn heuristic_walk(h: &Hypergraph, warm: bool) -> PricingContext {
+    let mut ctx = PricingContext::new();
+    candgen::upper_bound(h, |bag| {
+        let priced = if warm {
+            ctx.price_warm(h, bag)
+        } else {
+            ctx.price(h, bag)
+        };
+        priced.expect("no isolated vertices, so every bag is coverable")
+    });
+    ctx
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pricing/cold_vs_warm");
+    for (name, h) in [
+        ("grid5x5", generators::grid(5, 5)),
+        ("cycle24", generators::cycle(24)),
+        ("triangle_chain8", generators::triangle_chain(8)),
+        ("hypercube4", generators::hypercube(4)),
+        ("example_4_3", generators::example_4_3()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("cold", name), &h, |b, h| {
+            b.iter(|| heuristic_walk(h, false).stats().pivots)
+        });
+        g.bench_with_input(BenchmarkId::new("warm", name), &h, |b, h| {
+            b.iter(|| heuristic_walk(h, true).stats().pivots)
+        });
+        // The counter form of the speedup: one pass each, pivots compared.
+        let (cs, ws) = (
+            heuristic_walk(&h, false).stats(),
+            heuristic_walk(&h, true).stats(),
+        );
+        eprintln!(
+            "{name}: cold {} pivots / {} solves, \
+             warm {} pivots ({} warm starts, {} cold fallbacks)",
+            cs.pivots, cs.cold_solves, ws.pivots, ws.warm_starts, ws.cold_solves,
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_cold_vs_warm
+}
+criterion_main!(benches);

@@ -19,8 +19,13 @@
 //! ```
 //!
 //! `--smoke` is the CI mode: single iteration over a small corpus prefix,
-//! just enough to prove the bin and the `hypertree-bench-baseline/v3`
+//! just enough to prove the bin and the `hypertree-bench-baseline/v4`
 //! schema have not rotted (see `scripts/bench_baseline.sh --smoke`).
+//!
+//! v4 adds the exact-simplex work counters (`lp_pivots`,
+//! `lp_warm_starts`, `lp_cold_solves`) and the adaptive candidate-stream
+//! cap counter (`cand_cap_hits`) to each engine's stats object, so the
+//! baseline tracks LP effort — not just price-cache traffic — over time.
 
 use hypertree_bench as workloads;
 use hypertree_core::solver::{self, SearchStats};
@@ -59,7 +64,7 @@ fn main() {
     let iters = if smoke { 1 } else { 5 };
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"hypertree-bench-baseline/v3\",\n");
+    body.push_str("  \"schema\": \"hypertree-bench-baseline/v4\",\n");
     body.push_str("  \"command\": \"cargo run -p hypertree-bench --bin baseline --release\",\n");
     let _ = writeln!(body, "  \"profile\": \"{}\",", profile());
     body.push_str("  \"instances\": [\n");
@@ -163,14 +168,17 @@ fn main() {
 
 fn stats_json(s: &SearchStats) -> String {
     // `threads` records the engine's worker count for provenance; the
-    // counters themselves are thread-count-invariant by design. v3 adds
+    // counters themselves are thread-count-invariant by design. v3 added
     // the candidate-generation discipline: edge-union bags generated and
     // filtered by candgen, plus the heuristic width that seeded the
-    // search's cutoff.
+    // search's cutoff. v4 adds the simplex work counters (pivots,
+    // warm/cold solve split) and the adaptive stream-cap hit count.
     format!(
         "{{\"threads\": {}, \"states\": {}, \"memo_hits\": {}, \"streamed\": {}, \
          \"admitted\": {}, \"lp_hits\": {}, \"lp_misses\": {}, \
-         \"cand_gen\": {}, \"cand_filtered\": {}, \"ub_seed\": {}}}",
+         \"cand_gen\": {}, \"cand_filtered\": {}, \"cand_cap_hits\": {}, \
+         \"lp_pivots\": {}, \"lp_warm_starts\": {}, \"lp_cold_solves\": {}, \
+         \"ub_seed\": {}}}",
         solver::default_thread_count(),
         s.states,
         s.memo_hits,
@@ -180,6 +188,10 @@ fn stats_json(s: &SearchStats) -> String {
         s.price_misses,
         s.cand_generated,
         s.cand_filtered,
+        s.cand_cap_hits,
+        s.lp_pivots,
+        s.lp_warm_starts,
+        s.lp_cold_solves,
         match &s.ub_width {
             Some(w) => format!("\"{w}\""),
             None => "null".into(),

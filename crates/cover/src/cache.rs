@@ -28,9 +28,8 @@
 
 use crate::{FractionalCover, IntegralCover};
 use arith::Rational;
+use hypergraph::fx::{FxHashMap, FxHasher};
 use hypergraph::{Hypergraph, VertexSet};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -55,7 +54,7 @@ enum Slot<V> {
 /// `waiters` (maintained under the map lock) lets the uncontended
 /// completion path skip the notify entirely.
 struct Shard<K, V> {
-    map: Mutex<HashMap<K, Slot<V>>>,
+    map: Mutex<FxHashMap<K, Slot<V>>>,
     resolved: Condvar,
     waiters: AtomicUsize,
 }
@@ -104,7 +103,7 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
         ShardedCache {
             shards: (0..SHARDS)
                 .map(|_| Shard {
-                    map: Mutex::new(HashMap::new()),
+                    map: Mutex::new(FxHashMap::default()),
                     resolved: Condvar::new(),
                     waiters: AtomicUsize::new(0),
                 })
@@ -117,7 +116,7 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     }
 
     fn shard(&self, key: &K) -> &Shard<K, V> {
-        let mut hasher = DefaultHasher::new();
+        let mut hasher = FxHasher::default();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
     }

@@ -80,27 +80,76 @@ impl ScatterBound {
         }
         count
     }
+
+    /// True iff [`ScatterBound::lower_bound`] would reach `t`, stopping at
+    /// the `t`-th scattered vertex instead of completing the greedy pass —
+    /// the admission gates only compare the bound against a threshold, and
+    /// most streamed bags cross it within their first few vertices. Each
+    /// scattered vertex is found block-wise (one masked scan, not a
+    /// per-vertex walk), so the common `t = 2` rejection costs two scans.
+    pub fn at_least(&self, bag: &VertexSet, t: usize) -> bool {
+        if t == 0 {
+            return true;
+        }
+        let mut blocked = VertexSet::new();
+        let mut count = 0;
+        while let Some(v) = bag.first_not_in(&blocked) {
+            count += 1;
+            if count >= t {
+                return true;
+            }
+            blocked.union_with(&self.nbrs[v]);
+        }
+        false
+    }
+
+    /// [`ScatterBound::at_least`] against the rational threshold `⌈n/d⌉`
+    /// (`n, d > 0`) without ever computing the ceiling: an integer count
+    /// crosses it exactly when `count·d >= n`, so the 128-bit division a
+    /// `threshold` call would pay on every streamed candidate becomes one
+    /// multiply per scattered vertex.
+    pub fn at_least_ratio(&self, bag: &VertexSet, n: i64, d: i64) -> bool {
+        debug_assert!(n > 0 && d > 0);
+        let mut blocked = VertexSet::new();
+        let mut count: i128 = 0;
+        while let Some(v) = bag.first_not_in(&blocked) {
+            count += 1;
+            if count * d as i128 >= n as i128 {
+                return true;
+            }
+            blocked.union_with(&self.nbrs[v]);
+        }
+        false
+    }
+}
+
+/// Total weight incident to `v`, accumulated by reference (no per-edge
+/// clones — this runs once per vertex on every cover check).
+fn incident_weight(h: &Hypergraph, weights: &[Rational], v: usize) -> Rational {
+    let mut total = Rational::zero();
+    for &e in h.incident_edges(v) {
+        total = &total + &weights[e];
+    }
+    total
 }
 
 /// `B(γ)` for an arbitrary edge-weight function.
 pub fn covered_vertices(h: &Hypergraph, weights: &[Rational]) -> VertexSet {
     let mut out = VertexSet::new();
     for v in 0..h.num_vertices() {
-        let total: Rational = h
-            .incident_edges(v)
-            .iter()
-            .map(|&e| weights[e].clone())
-            .sum();
-        if total >= Rational::one() {
+        if incident_weight(h, weights, v) >= Rational::one() {
             out.insert(v);
         }
     }
     out
 }
 
-/// True iff `weights` is a fractional edge cover of `target`.
+/// True iff `weights` is a fractional edge cover of `target`. Checks the
+/// target vertices directly instead of materializing the full covered set.
 pub fn is_fractional_cover(h: &Hypergraph, weights: &[Rational], target: &VertexSet) -> bool {
-    target.is_subset(&covered_vertices(h, weights))
+    target
+        .iter()
+        .all(|v| incident_weight(h, weights, v) >= Rational::one())
 }
 
 /// Minimum-weight fractional edge cover of `target ⊆ V(H)` using only the

@@ -5,6 +5,8 @@
 //! * [`fractional`] — fractional edge cover number `rho*` via exact LP.
 //! * [`cache`] — concurrent sharded `ρ`/`ρ*` price caches shared by the
 //!   width-search strategies (each distinct bag is priced once per search).
+//! * [`pricing`] — pooled simplex workspaces solving `ρ*` through the
+//!   packing dual (single-phase, warm-startable, allocation-free).
 //! * [`transversal`] — `tau`, `tau*`, and the integrality gap `tigap`.
 //! * [`support`] — Füredi's bounded-support theorem (Corollary 5.5) and the
 //!   Lemma 5.6 support-reduction transformation.
@@ -15,6 +17,7 @@
 pub mod cache;
 pub mod fractional;
 pub mod integral;
+pub mod pricing;
 pub mod support;
 pub mod transversal;
 
@@ -27,6 +30,7 @@ pub use fractional::{
     ScatterBound,
 };
 pub use integral::{greedy_cover, integral_cover, integral_cover_bounded, rho, IntegralCover};
+pub use pricing::{rho_star_priced_with, PricingContext, PricingPool};
 pub use support::{bound_support, furedi_bound};
 pub use transversal::{
     fractional_transversal, minimum_transversal, tau, tau_star, tigap, FractionalTransversal,

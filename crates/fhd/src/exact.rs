@@ -18,14 +18,13 @@
 //! path survives as [`fhw_exact_subset_oracle`].
 
 use arith::Rational;
-use cover::{RhoStarCache, ShardedCache};
+use cover::{PricingContext, PricingPool, RhoStarCache};
 use decomp::Decomposition;
 use hypergraph::{properties, Hypergraph, VertexSet};
 use solver::{
     Admission, CandidateStream, EngineOptions, Guess, SearchContext, SearchState, SearchStats,
     WidthSolver,
 };
-use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Edge-union feasibility cap for the hybrid prefix (shared with the
@@ -95,9 +94,14 @@ pub fn fhw_upper_bound_with_stats(
         return (None, SearchStats::default());
     }
     prep::run_minimizer(h, opts.prep, |block| {
-        let (ub, d) = candgen::upper_bound(block, rho_star_price(block));
+        let mut ctx = PricingContext::new();
+        let (ub, d) = candgen::upper_bound(block, rho_star_price(block, &mut ctx));
+        let lp = ctx.stats();
         let stats = SearchStats {
             ub_width: Some(ub.clone()),
+            lp_pivots: lp.pivots,
+            lp_warm_starts: lp.warm_starts,
+            lp_cold_solves: lp.cold_solves,
             ..SearchStats::default()
         };
         (Some((ub, d)), stats)
@@ -123,19 +127,17 @@ pub fn fhw_exact_subset_oracle(
     cx.run(h, &strategy)
 }
 
-/// The `ρ*` bag pricer shared by the heuristic bound and its tests.
-fn rho_star_price(h: &Hypergraph) -> impl FnMut(&VertexSet) -> candgen::PricedBag<Rational> + '_ {
+/// The `ρ*` bag pricer shared by the heuristic bound and its tests. The
+/// elimination orderings walk neighboring bags, so the context carries
+/// each solve's basis into the next (warm starts) — valid here because the
+/// heuristic is strictly sequential and its bag order deterministic.
+fn rho_star_price<'a>(
+    h: &'a Hypergraph,
+    ctx: &'a mut PricingContext,
+) -> impl FnMut(&VertexSet) -> candgen::PricedBag<Rational> + 'a {
     |bag| {
-        let c = cover::fractional_cover(h, bag)
-            .expect("no isolated vertices, so every bag is coverable");
-        (
-            c.weight.clone(),
-            c.weights
-                .into_iter()
-                .enumerate()
-                .filter(|(_, w)| !w.is_zero())
-                .collect(),
-        )
+        ctx.price_warm(h, bag)
+            .expect("no isolated vertices, so every bag is coverable")
     }
 }
 
@@ -163,6 +165,7 @@ fn fhw_piece(
         });
         let mut stats = cx.stats();
         (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
+        merge_lp(&mut stats, strategy.pool.stats());
         return (result, stats);
     }
     // The seed is the *integral* (`ρ`-priced) heuristic bound: since
@@ -222,7 +225,14 @@ fn fhw_piece(
             h,
             Some(eff),
             Arc::clone(&session.cache),
-            BagMode::Hybrid(candgen::EdgeUnionConfig::with_budget(budget)),
+            BagMode::Hybrid(
+                // The subset tail completes the space, so the prefix can
+                // take the adaptive per-state cap: states whose union
+                // bound outgrows their own subset space skip straight to
+                // the tail (counted as `cand_cap_hits`).
+                candgen::EdgeUnionConfig::with_budget(budget)
+                    .with_per_state_cap(CANDGEN_STREAM_CAP),
+            ),
         );
         let cx = SearchContext::with_options(opts);
         let result = cx.run(h, &strategy);
@@ -231,9 +241,11 @@ fn fhw_piece(
         (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
         stats.cand_generated = strategy.counters.generated();
         stats.cand_filtered = strategy.counters.filtered();
+        stats.cand_cap_hits = strategy.counters.cap_hits();
+        merge_lp(&mut stats, strategy.pool.stats());
         Some(result)
     } else if h.num_vertices() <= ghd::elimination::MAX_EXACT_VERTICES {
-        Some(fhw_by_elimination(h, Some(eff)))
+        Some(fhw_by_elimination(h, Some(eff), &mut stats))
     } else {
         None
     };
@@ -253,31 +265,40 @@ fn fhw_piece(
     (result, stats)
 }
 
+/// Folds a workspace's LP counters into the search stats.
+fn merge_lp(stats: &mut SearchStats, lp: lp::LpStats) {
+    stats.lp_pivots += lp.pivots;
+    stats.lp_warm_starts += lp.warm_starts;
+    stats.lp_cold_solves += lp.cold_solves;
+}
+
 /// The pre-engine elimination-order DP, the fallback for pieces between
-/// the subset range and 24 vertices.
+/// the subset range and 24 vertices. The DP visits bags in a deterministic
+/// sequential order, so one warm pricing context serves the whole run.
 fn fhw_by_elimination(
     h: &Hypergraph,
     cutoff: Option<Rational>,
+    stats: &mut SearchStats,
 ) -> Option<(Rational, Decomposition)> {
-    let (width, order) = ghd::elimination::optimal_elimination(
+    let mut ctx = PricingContext::new();
+    let searched = ghd::elimination::optimal_elimination(
         h,
         |bag| {
-            cover::fractional_cover(h, bag)
+            ctx.price_warm(h, bag)
                 .expect("no isolated vertices, so every bag is coverable")
-                .weight
+                .0
         },
         cutoff,
-    )?;
-    let d = ghd::elimination::assemble(h, &order, |bag| {
-        let c = cover::fractional_cover(h, bag).expect("coverable");
-        c.weights
-            .into_iter()
-            .enumerate()
-            .filter(|(_, w)| !w.is_zero())
-            .collect()
+    );
+    let result = searched.map(|(width, order)| {
+        let d = ghd::elimination::assemble(h, &order, |bag| {
+            ctx.price_warm(h, bag).expect("coverable").1
+        });
+        debug_assert!(d.width() <= width);
+        (width, d)
     });
-    debug_assert!(d.width() <= width);
-    Some((width, d))
+    merge_lp(stats, ctx.stats());
+    result
 }
 
 /// Which candidate-bag space the strategy streams.
@@ -304,13 +325,11 @@ struct FhwSearch {
     /// threads; each distinct bag is priced once per search (once per
     /// *process* when the session is backed by the cross-call registry).
     cover_cache: Arc<RhoStarCache>,
-    /// Memoized integer form of the bound gate, keyed by the bound:
-    /// `thresholds[r]` is the smallest `|bag|` rejected when at most `r`
-    /// bag vertices fit in one edge (`⌈bound · r⌉`, exact at integers).
-    /// Bounds alternate between parent and child states along the
-    /// recursion, so this is a real (small, sharded) map rather than a
-    /// one-slot memo — only a handful of distinct bounds ever occur.
-    gate: ShardedCache<Rational, Vec<usize>>,
+    /// Pooled simplex workspaces pricing cache misses through the packing
+    /// dual — one context per in-flight solve, buffers reused across bags
+    /// and workers. Solves are cold (per-bag-pure), so the pooled pivot
+    /// totals are schedule-independent.
+    pool: PricingPool,
     /// Candidate space (hybrid on the primary path, subsets on the
     /// oracle).
     bags: BagMode,
@@ -333,28 +352,50 @@ impl FhwSearch {
             rank: properties::rank(h),
             scatter: cover::ScatterBound::new(h),
             cover_cache,
-            gate: ShardedCache::new(),
+            pool: PricingPool::new(),
             bags,
             counters: candgen::Counters::new(),
         }
     }
 
-    /// Per-edge-coverage rejection thresholds under `bound`.
+    /// Per-edge-coverage rejection thresholds under `bound`, for the
+    /// per-state gate closure (admission recomputes single entries through
+    /// [`threshold`] instead — per candidate, a `Vec` would be the hot
+    /// path's only allocation).
     fn thresholds(&self, bound: &Rational) -> Vec<usize> {
-        self.gate.get_or_insert_with(bound, || {
-            (0..=self.rank)
-                .map(|r| {
-                    let product = bound * &Rational::from(r);
-                    let floor = product.floor().to_i64().unwrap_or(i64::MAX).max(0) as usize;
-                    let t = if Rational::from(floor) == product {
-                        floor
-                    } else {
-                        floor + 1
-                    };
-                    t.max(1)
-                })
-                .collect()
-        })
+        (0..=self.rank).map(|r| threshold(bound, r)).collect()
+    }
+}
+
+/// The smallest `|bag|` the bound gate rejects when at most `r` bag
+/// vertices fit in one edge: `max(1, ⌈bound · r⌉)` (exact at integers).
+/// Runs on the per-candidate hot path, so the small-rational case is pure
+/// integer arithmetic — no allocation, no locks.
+fn threshold(bound: &Rational, r: usize) -> usize {
+    if let Some((n, d)) = bound.as_small() {
+        // Widths are positive, so `n >= 0` and plain ceiling division is
+        // exact; `i128` cannot overflow from reduced `i64` parts.
+        let t = ((n as i128) * (r as i128) + (d as i128) - 1).div_euclid(d as i128);
+        t.clamp(1, usize::MAX as i128) as usize
+    } else {
+        let t = (bound * &Rational::from(r))
+            .ceil()
+            .to_i64()
+            .unwrap_or(i64::MAX);
+        t.max(1) as usize
+    }
+}
+
+/// `len >= threshold(bound, r)` as one cross-multiplication: for nonempty
+/// bags (`len >= 1`) the ceiling never needs computing — `len ≥ ⌈n·r/d⌉ ⟺
+/// len·d ≥ n·r`. This replaces a division with a multiply on the gate
+/// every streamed candidate hits.
+#[inline]
+fn exceeds(bound: &Rational, r: usize, len: usize) -> bool {
+    if let Some((n, d)) = bound.as_small() {
+        (len as i128) * (d as i128) >= (n as i128) * (r as i128)
+    } else {
+        len >= threshold(bound, r)
     }
 }
 
@@ -386,7 +427,7 @@ impl WidthSolver for FhwSearch {
         let rank = self.rank;
         let scatter = &self.scatter;
         let gate = move |bag: &VertexSet| match &thresholds {
-            Some(t) => bag.len() < t[rank] && scatter.lower_bound(bag) < t[1.min(rank)],
+            Some(t) => bag.len() < t[rank] && !scatter.at_least(bag, t[1.min(rank)]),
             None => true,
         };
         let mut prefix = Some(candgen::edge_union_bags(
@@ -397,16 +438,17 @@ impl WidthSolver for FhwSearch {
             &self.counters,
             gate,
         ));
-        let mut tail = solver::stream_subset_bags(state);
-        let mut seen: HashSet<VertexSet> = HashSet::new();
+        let mut seen: Vec<VertexSet> = Vec::new();
+        let mut tail: Option<CandidateStream<'a>> = None;
         CandidateStream::new(std::iter::from_fn(move || {
             // Stream the edge-union prefix first, remembering its bags so
             // the completing subset tail never re-streams one. The tail
-            // only starts once the prefix is dry, so `seen` is complete
-            // when first consulted.
+            // is only built once the prefix is dry — `seen` is complete
+            // then, and becomes the tail's precompiled skip list (no
+            // per-candidate dedup lookups).
             if let Some(p) = prefix.as_mut() {
                 if let Some(bag) = p.next() {
-                    seen.insert(bag.clone());
+                    seen.push(bag.clone());
                     return Some(Guess {
                         edges: Vec::new(),
                         extra: bag,
@@ -414,7 +456,10 @@ impl WidthSolver for FhwSearch {
                 }
                 prefix = None;
             }
-            tail.by_ref().find(|g| !seen.contains(&g.extra))
+            tail.get_or_insert_with(|| {
+                solver::stream_subset_bags_excluding(state, &std::mem::take(&mut seen))
+            })
+            .next()
         }))
     }
 
@@ -436,18 +481,25 @@ impl WidthSolver for FhwSearch {
         // Candidate streams order cheap bags first, so a cheap
         // decomposition tightens both gates early.
         if let Some(b) = bound {
-            let t = self.thresholds(b);
-            if bag.len() >= t[self.rank]
-                || self.scatter.lower_bound(bag) >= t[1.min(self.rank)]
+            // The scatter threshold `⌈b·1⌉` is division-free on the small
+            // rational path (`at_least_ratio` cross-multiplies instead of
+            // paying a 128-bit division per candidate).
+            if exceeds(b, self.rank, bag.len())
+                || match b.as_small() {
+                    Some((n, d)) if n > 0 && self.rank >= 1 => {
+                        self.scatter.at_least_ratio(bag, n, d)
+                    }
+                    _ => self.scatter.at_least(bag, threshold(b, 1.min(self.rank))),
+                }
                 // The O(edges) per-bag rank only sharpens the global gate
                 // when rank > 2: at rank <= 2 its r = 1 case is the
                 // scattered bound's independent-bag case.
-                || (self.rank > 2 && bag.len() >= t[cover::bag_rank(h, bag).min(self.rank)])
+                || (self.rank > 2 && exceeds(b, cover::bag_rank(h, bag).min(self.rank), bag.len()))
             {
                 return None;
             }
         }
-        let (weight, weights) = cover::rho_star_priced(h, bag, &self.cover_cache)?;
+        let (weight, weights) = cover::rho_star_priced_with(h, bag, &self.cover_cache, &self.pool)?;
         Some(Admission {
             split: bag.clone(),
             bag: bag.clone(),

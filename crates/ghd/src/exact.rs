@@ -301,7 +301,7 @@ impl WidthSolver for GhwSearch {
                 let scatter = &self.scatter;
                 let bound = self.cutoff;
                 let gate = move |bag: &VertexSet| match bound {
-                    Some(b) => bag.len().div_ceil(rank) < b && scatter.lower_bound(bag) < b,
+                    Some(b) => bag.len().div_ceil(rank) < b && !scatter.at_least(bag, b),
                     None => true,
                 };
                 CandidateStream::new(
@@ -335,7 +335,7 @@ impl WidthSolver for GhwSearch {
             }
             // Scattered-set bound: pairwise non-adjacent bag vertices each
             // force a whole cover edge of their own.
-            if self.scatter.lower_bound(bag) >= *b {
+            if self.scatter.at_least(bag, *b) {
                 return None;
             }
             // The O(edges) per-bag rank only sharpens the global gate when

@@ -8,6 +8,7 @@
 
 pub mod components;
 pub mod dual;
+pub mod fx;
 pub mod generators;
 #[allow(clippy::module_inception)]
 mod hypergraph;

@@ -5,31 +5,64 @@
 //! normalized (no trailing zero blocks) so equality and hashing are
 //! structural, which lets sets serve as memoization keys inside
 //! `det-k-decomp` and the elimination-order DP.
+//!
+//! Sets of up to [`INLINE_BLOCKS`]` * 64` vertices are stored inline —
+//! no heap allocation for construction, cloning or set algebra — and
+//! spill to a heap `Vec` only beyond that. The width searches clone and
+//! build sets in every candidate pull, so the inline representation is a
+//! large constant factor on instances that fit (the entire exact-search
+//! regime does). The two representations are kept canonical (a set that
+//! fits inline *is* inline), so equality, ordering and hashing can
+//! compare the logical block slice without cross-representation cases.
 
 use std::fmt;
 
+/// Number of 64-bit blocks stored inline before spilling to the heap.
+const INLINE_BLOCKS: usize = 2;
+
+/// Normalized block storage: `Inline` holds up to [`INLINE_BLOCKS`]
+/// blocks (unused slots kept zero), `Heap` always holds more than
+/// [`INLINE_BLOCKS`] blocks. Both are trimmed — the last block is
+/// nonzero.
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, data: [u64; INLINE_BLOCKS] },
+    Heap(Vec<u64>),
+}
+
 /// A set of vertex indices.
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct VertexSet {
-    blocks: Vec<u64>,
+    repr: Repr,
 }
 
 impl VertexSet {
     /// The empty set.
     pub fn new() -> Self {
-        VertexSet { blocks: Vec::new() }
+        VertexSet {
+            repr: Repr::Inline {
+                len: 0,
+                data: [0; INLINE_BLOCKS],
+            },
+        }
     }
 
     /// A set containing `0..n`, materialized block-wise: whole blocks are
     /// written as `u64::MAX` and the boundary block as a mask, instead of
     /// `n` repeated `insert` calls.
     pub fn full(n: usize) -> Self {
-        let mut blocks = vec![u64::MAX; n / 64];
+        let mut s = VertexSet::new();
+        let whole = n / 64;
+        s.grow_blocks(whole + usize::from(!n.is_multiple_of(64)));
+        let blocks = s.blocks_mut();
+        for b in &mut blocks[..whole] {
+            *b = u64::MAX;
+        }
         let rem = n % 64;
         if rem > 0 {
-            blocks.push((1u64 << rem) - 1);
+            blocks[whole] = (1u64 << rem) - 1;
         }
-        VertexSet { blocks }
+        s
     }
 
     /// Builds a set from an iterator of vertex indices (also available
@@ -44,31 +77,152 @@ impl VertexSet {
         s
     }
 
+    /// The logical blocks, trimmed of trailing zeros.
+    #[inline]
+    fn blocks(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline { len, data } => &data[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn blocks_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline { len, data } => &mut data[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn num_blocks(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// Extends the block storage with zeros to at least `n` blocks,
+    /// promoting to the heap representation when `n` outgrows the inline
+    /// buffer. Never shrinks.
+    fn grow_blocks(&mut self, n: usize) {
+        match &mut self.repr {
+            Repr::Inline { len, data } => {
+                if n <= INLINE_BLOCKS {
+                    // Slots beyond `len` are zero by invariant.
+                    *len = (*len).max(n as u8);
+                } else {
+                    let mut v = Vec::with_capacity(n);
+                    v.extend_from_slice(&data[..*len as usize]);
+                    v.resize(n, 0);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => {
+                if n > v.len() {
+                    v.resize(n, 0);
+                }
+            }
+        }
+    }
+
+    /// Drops trailing zero blocks and re-canonicalizes (a heap set that
+    /// now fits inline moves back, so representation stays a function of
+    /// the set's contents).
     fn trim(&mut self) {
-        while self.blocks.last() == Some(&0) {
-            self.blocks.pop();
+        match &mut self.repr {
+            Repr::Inline { len, data } => {
+                while *len > 0 && data[*len as usize - 1] == 0 {
+                    *len -= 1;
+                }
+            }
+            Repr::Heap(v) => {
+                while v.last() == Some(&0) {
+                    v.pop();
+                }
+            }
+        }
+        let demoted = match &self.repr {
+            Repr::Heap(v) if v.len() <= INLINE_BLOCKS => {
+                let mut data = [0; INLINE_BLOCKS];
+                data[..v.len()].copy_from_slice(v);
+                Some(Repr::Inline {
+                    len: v.len() as u8,
+                    data,
+                })
+            }
+            _ => None,
+        };
+        if let Some(inline) = demoted {
+            self.repr = inline;
         }
     }
 
     /// Inserts a vertex; returns true if it was not present.
     pub fn insert(&mut self, v: usize) -> bool {
         let (b, off) = (v / 64, v % 64);
-        if b >= self.blocks.len() {
-            self.blocks.resize(b + 1, 0);
+        if b >= self.num_blocks() {
+            self.grow_blocks(b + 1);
         }
-        let was = (self.blocks[b] >> off) & 1;
-        self.blocks[b] |= 1 << off;
+        let block = &mut self.blocks_mut()[b];
+        let was = (*block >> off) & 1;
+        *block |= 1 << off;
         was == 0
+    }
+
+    /// Inserts every vertex `block * 64 + i` for each set bit `i` of
+    /// `mask` — the bulk form of [`VertexSet::insert`] for callers that
+    /// already hold their vertices as block masks (one OR instead of a
+    /// per-bit loop; the subset streams build millions of bags this way).
+    #[inline]
+    pub fn insert_mask_block(&mut self, block: usize, mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        if block >= self.num_blocks() {
+            self.grow_blocks(block + 1);
+        }
+        self.blocks_mut()[block] |= mask;
+    }
+
+    /// The first two blocks as a pair when the whole set fits in them
+    /// (every vertex `< 128`), `None` otherwise — the extraction half of
+    /// [`VertexSet::from_two_blocks`].
+    #[inline]
+    pub fn two_blocks(&self) -> Option<(u64, u64)> {
+        let b = self.blocks();
+        match b.len() {
+            0 => Some((0, 0)),
+            1 => Some((b[0], 0)),
+            2 => Some((b[0], b[1])),
+            _ => None,
+        }
+    }
+
+    /// Builds a set directly from its first two 64-bit blocks (vertices
+    /// `0..128`). The tightest constructor on the subset-stream hot path:
+    /// callers accumulate a bag in two registers and materialize it with
+    /// no clone, no branches per member, no allocation.
+    #[inline]
+    pub fn from_two_blocks(b0: u64, b1: u64) -> Self {
+        let len = if b1 != 0 { 2 } else { u8::from(b0 != 0) };
+        VertexSet {
+            repr: Repr::Inline {
+                len,
+                data: [b0, b1],
+            },
+        }
     }
 
     /// Removes a vertex; returns true if it was present.
     pub fn remove(&mut self, v: usize) -> bool {
         let (b, off) = (v / 64, v % 64);
-        if b >= self.blocks.len() {
+        if b >= self.num_blocks() {
             return false;
         }
-        let was = (self.blocks[b] >> off) & 1;
-        self.blocks[b] &= !(1 << off);
+        let block = &mut self.blocks_mut()[b];
+        let was = (*block >> off) & 1;
+        *block &= !(1 << off);
         self.trim();
         was == 1
     }
@@ -77,22 +231,23 @@ impl VertexSet {
     #[inline]
     pub fn contains(&self, v: usize) -> bool {
         let (b, off) = (v / 64, v % 64);
-        b < self.blocks.len() && (self.blocks[b] >> off) & 1 == 1
+        let blocks = self.blocks();
+        b < blocks.len() && (blocks[b] >> off) & 1 == 1
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        self.blocks().iter().map(|b| b.count_ones() as usize).sum()
     }
 
     /// True iff empty.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.num_blocks() == 0
     }
 
     /// Iterates elements in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+        self.blocks().iter().enumerate().flat_map(|(i, &block)| {
             let mut b = block;
             std::iter::from_fn(move || {
                 if b == 0 {
@@ -111,31 +266,53 @@ impl VertexSet {
         self.iter().next()
     }
 
+    /// Smallest element of `self \ other` without materializing the
+    /// difference — the greedy scattered-set bound calls this once per
+    /// streamed candidate bag.
+    #[inline]
+    pub fn first_not_in(&self, other: &VertexSet) -> Option<usize> {
+        let o = other.blocks();
+        for (i, &b) in self.blocks().iter().enumerate() {
+            let rest = b & !o.get(i).copied().unwrap_or(0);
+            if rest != 0 {
+                return Some(i * 64 + rest.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
     /// In-place union.
     pub fn union_with(&mut self, other: &VertexSet) {
-        if other.blocks.len() > self.blocks.len() {
-            self.blocks.resize(other.blocks.len(), 0);
+        if other.num_blocks() > self.num_blocks() {
+            self.grow_blocks(other.num_blocks());
         }
-        for (i, &b) in other.blocks.iter().enumerate() {
-            self.blocks[i] |= b;
+        let blocks = self.blocks_mut();
+        for (i, &b) in other.blocks().iter().enumerate() {
+            blocks[i] |= b;
         }
     }
 
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &VertexSet) {
-        let n = self.blocks.len().min(other.blocks.len());
-        self.blocks.truncate(n);
+        let n = self.num_blocks().min(other.num_blocks());
+        let ob = other.blocks();
+        let blocks = self.blocks_mut();
         for i in 0..n {
-            self.blocks[i] &= other.blocks[i];
+            blocks[i] &= ob[i];
+        }
+        for b in &mut blocks[n..] {
+            *b = 0;
         }
         self.trim();
     }
 
     /// In-place difference (`self \ other`).
     pub fn difference_with(&mut self, other: &VertexSet) {
-        let n = self.blocks.len().min(other.blocks.len());
+        let n = self.num_blocks().min(other.num_blocks());
+        let ob = other.blocks();
+        let blocks = self.blocks_mut();
         for i in 0..n {
-            self.blocks[i] &= !other.blocks[i];
+            blocks[i] &= !ob[i];
         }
         self.trim();
     }
@@ -165,9 +342,9 @@ impl VertexSet {
     /// primitive behind the width searches' cover lower bounds.
     #[inline]
     pub fn intersection_len(&self, other: &VertexSet) -> usize {
-        self.blocks
+        self.blocks()
             .iter()
-            .zip(other.blocks.iter())
+            .zip(other.blocks().iter())
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
     }
@@ -175,21 +352,19 @@ impl VertexSet {
     /// True iff `self ⊆ other`.
     #[inline]
     pub fn is_subset(&self, other: &VertexSet) -> bool {
-        if self.blocks.len() > other.blocks.len() {
+        let (a, b) = (self.blocks(), other.blocks());
+        if a.len() > b.len() {
             return false;
         }
-        self.blocks
-            .iter()
-            .zip(other.blocks.iter())
-            .all(|(a, b)| a & !b == 0)
+        a.iter().zip(b.iter()).all(|(x, y)| x & !y == 0)
     }
 
     /// True iff the sets share no element.
     #[inline]
     pub fn is_disjoint(&self, other: &VertexSet) -> bool {
-        self.blocks
+        self.blocks()
             .iter()
-            .zip(other.blocks.iter())
+            .zip(other.blocks().iter())
             .all(|(a, b)| a & b == 0)
     }
 
@@ -201,12 +376,49 @@ impl VertexSet {
 
     /// Removes all elements.
     pub fn clear(&mut self) {
-        self.blocks.clear();
+        self.repr = Repr::Inline {
+            len: 0,
+            data: [0; INLINE_BLOCKS],
+        };
     }
 
     /// Collects into a sorted `Vec`.
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
+    }
+}
+
+impl Default for VertexSet {
+    fn default() -> Self {
+        VertexSet::new()
+    }
+}
+
+impl PartialEq for VertexSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.blocks() == other.blocks()
+    }
+}
+
+impl Eq for VertexSet {}
+
+impl std::hash::Hash for VertexSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the logical slice (length-prefixed, like `Vec`'s impl), so
+        // the hash is representation-independent.
+        self.blocks().hash(state);
+    }
+}
+
+impl PartialOrd for VertexSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VertexSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.blocks().cmp(other.blocks())
     }
 }
 
@@ -271,6 +483,24 @@ mod tests {
     }
 
     #[test]
+    fn heap_sets_demote_when_they_fit_inline() {
+        // Crossing the inline boundary in both directions preserves
+        // structural equality, ordering and hashing.
+        let mut a = VertexSet::from_iter([1, 300]);
+        assert!(matches!(a.repr, Repr::Heap(_)));
+        a.remove(300);
+        assert!(matches!(a.repr, Repr::Inline { .. }));
+        let mut b = VertexSet::from_iter([0, 500]);
+        b.intersect_with(&VertexSet::from_iter([0]));
+        assert_eq!(b, VertexSet::from_iter([0]));
+        assert!(matches!(b.repr, Repr::Inline { .. }));
+        let mut c = VertexSet::from_iter([700]);
+        c.clear();
+        assert_eq!(c, VertexSet::new());
+        assert!(c.is_empty());
+    }
+
+    #[test]
     fn set_algebra() {
         let a = VertexSet::from_iter([1, 2, 3, 64]);
         let b = VertexSet::from_iter([3, 64, 65]);
@@ -283,6 +513,19 @@ mod tests {
         assert!(a.intersection(&b).is_subset(&b));
         assert!(!a.is_subset(&b));
         assert!(VertexSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn set_algebra_across_the_inline_boundary() {
+        let small = VertexSet::from_iter([1, 2]);
+        let big = VertexSet::from_iter([2, 200]);
+        assert_eq!(small.union(&big).to_vec(), vec![1, 2, 200]);
+        assert_eq!(big.intersection(&small).to_vec(), vec![2]);
+        assert_eq!(big.difference(&small).to_vec(), vec![200]);
+        assert!(small.intersects(&big));
+        assert!(!small.is_subset(&big));
+        assert!(VertexSet::from_iter([2]).is_subset(&big));
+        assert_eq!(small.intersection_len(&big), 1);
     }
 
     #[test]
@@ -308,5 +551,8 @@ mod tests {
         let s = VertexSet::full(70);
         assert_eq!(s.len(), 70);
         assert!(s.contains(0) && s.contains(69) && !s.contains(70));
+        let big = VertexSet::full(200);
+        assert_eq!(big.len(), 200);
+        assert!(big.contains(199) && !big.contains(200));
     }
 }

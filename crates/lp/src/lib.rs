@@ -12,4 +12,4 @@
 
 mod simplex;
 
-pub use simplex::{Cmp, Constraint, LinearProgram, LpResult, Sense};
+pub use simplex::{Cmp, Constraint, LinearProgram, LpResult, LpStats, Sense, SimplexWorkspace};

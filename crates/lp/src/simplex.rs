@@ -1,4 +1,5 @@
-//! Exact two-phase primal simplex over big rationals.
+//! Exact two-phase primal simplex over rationals, with a reusable
+//! workspace and warm starts.
 //!
 //! All variables are implicitly non-negative, which matches every program in
 //! the paper: fractional edge covers (Definition 2.2), fractional
@@ -6,10 +7,17 @@
 //! Lemmas 3.5/3.6. Bland's rule guarantees termination without cycling, and
 //! exact [`Rational`] pivots make every optimum a certified rational value —
 //! crucial because widths such as `2 - 1/n` must be reproduced exactly.
+//!
+//! [`LinearProgram::solve`] is the one-shot entry point. The pricing hot
+//! paths go through [`SimplexWorkspace`] instead, which reuses the tableau
+//! buffers across solves and, for `<=`-only programs (the dual packing form
+//! of the covering LPs), can *warm-start* from the final basis of the
+//! previous solve — see the crate README for the contract.
 
 #![allow(clippy::needless_range_loop)]
 
 use arith::Rational;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Optimization direction.
@@ -50,6 +58,39 @@ pub struct LinearProgram {
     num_vars: usize,
     objective: Vec<Rational>,
     constraints: Vec<Constraint>,
+    /// Stable caller-chosen row identities (defaults to the row index).
+    /// Warm starts match the retained basis to the new rows by label, so
+    /// two programs over a shared row family (e.g. covering rows indexed
+    /// by global edge ids) stay aligned even when rows appear or vanish.
+    labels: Vec<u64>,
+    /// Recycled coefficient buffers from [`Self::reset`], handed back out
+    /// by [`Self::begin_row`] so the pricing hot path never reallocates
+    /// its constraint `Vec`s.
+    free_rows: Vec<Vec<(usize, Rational)>>,
+}
+
+/// Counters of the simplex engine, accumulated by a [`SimplexWorkspace`]
+/// across solves. `pivots` counts Bland iterations (phase 1 + phase 2);
+/// the Gaussian crash pivots that re-seat a warm basis are not iterations
+/// and are excluded, so a successful warm start shows up as a measurably
+/// smaller pivot count for the same optimum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Simplex (Bland) iterations performed.
+    pub pivots: u64,
+    /// Solves that started from a re-seated previous basis.
+    pub warm_starts: u64,
+    /// Solves that started from scratch (including warm-start fallbacks).
+    pub cold_solves: u64,
+}
+
+impl LpStats {
+    /// Accumulates another workspace's counters into this one.
+    pub fn merge(&mut self, other: &LpStats) {
+        self.pivots += other.pivots;
+        self.warm_starts += other.warm_starts;
+        self.cold_solves += other.cold_solves;
+    }
 }
 
 /// Outcome of solving a [`LinearProgram`].
@@ -113,12 +154,49 @@ impl LinearProgram {
             num_vars,
             objective: vec![Rational::zero(); num_vars],
             constraints: Vec::new(),
+            labels: Vec::new(),
+            free_rows: Vec::new(),
         }
+    }
+
+    /// Clears the program for in-place reuse with a new variable count,
+    /// keeping the sense and recycling every constraint's coefficient
+    /// buffer for the next round of [`Self::begin_row`] calls.
+    pub fn reset(&mut self, num_vars: usize) {
+        self.num_vars = num_vars;
+        self.objective.clear();
+        self.objective.resize(num_vars, Rational::zero());
+        self.labels.clear();
+        while let Some(mut c) = self.constraints.pop() {
+            c.coeffs.clear();
+            self.free_rows.push(c.coeffs);
+        }
+    }
+
+    /// Starts a labeled row backed by a recycled coefficient buffer and
+    /// returns it for the caller to fill. Coefficients must reference
+    /// variables below [`Self::num_vars`] (checked when the tableau is
+    /// built in debug builds).
+    pub fn begin_row(
+        &mut self,
+        label: u64,
+        cmp: Cmp,
+        rhs: Rational,
+    ) -> &mut Vec<(usize, Rational)> {
+        let coeffs = self.free_rows.pop().unwrap_or_default();
+        self.constraints.push(Constraint { coeffs, cmp, rhs });
+        self.labels.push(label);
+        &mut self.constraints.last_mut().expect("row just pushed").coeffs
     }
 
     /// Number of decision variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
     }
 
     /// Sets the objective coefficient of variable `var`.
@@ -127,8 +205,21 @@ impl LinearProgram {
     }
 
     /// Adds `sum coeffs * x (cmp) rhs`. Coefficients for the same variable
-    /// are accumulated.
+    /// are accumulated. The row is labeled by its index.
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, Rational)>, cmp: Cmp, rhs: Rational) {
+        let label = self.constraints.len() as u64;
+        self.add_constraint_labeled(label, coeffs, cmp, rhs);
+    }
+
+    /// As [`Self::add_constraint`], with a caller-chosen stable row label
+    /// for warm-start matching (e.g. a global edge id).
+    pub fn add_constraint_labeled(
+        &mut self,
+        label: u64,
+        coeffs: Vec<(usize, Rational)>,
+        cmp: Cmp,
+        rhs: Rational,
+    ) {
         for &(v, _) in &coeffs {
             assert!(
                 v < self.num_vars,
@@ -136,20 +227,176 @@ impl LinearProgram {
             );
         }
         self.constraints.push(Constraint { coeffs, cmp, rhs });
+        self.labels.push(label);
     }
 
     /// Solves the program by two-phase simplex with Bland's rule.
     pub fn solve(&self) -> LpResult {
-        Tableau::build(self).solve(self)
+        let mut tab = Tableau::default();
+        tab.build_into(self);
+        let mut pivots = 0u64;
+        tab.solve(self, &mut pivots)
+    }
+
+    /// True iff every row is `<=` with a non-negative right-hand side: the
+    /// all-slack basis is feasible, no artificial variables exist, and the
+    /// solve is single-phase — the precondition for warm starts.
+    fn is_slack_feasible(&self) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| c.cmp == Cmp::Le && !c.rhs.is_negative())
+    }
+}
+
+/// The retained outcome of a workspace's previous `<=`-only solve: which
+/// decision variable was basic in which (labeled) row.
+struct WarmBasis {
+    num_vars: usize,
+    /// `(row label, basic decision variable)`, in retained row order.
+    rows: Vec<(u64, usize)>,
+}
+
+/// A reusable simplex workspace: tableau buffers survive across solves
+/// (no per-solve row allocations once warmed up), and `<=`-only programs
+/// can re-seat the previous solve's basis instead of starting from slacks.
+///
+/// The workspace also retains the final reduced-cost row, from which
+/// [`Self::dual_values`] reads the optimal duals of `<=` rows — the bridge
+/// that lets covering problems be solved through their packing duals.
+#[derive(Default)]
+pub struct SimplexWorkspace {
+    tab: Tableau,
+    warm: Option<WarmBasis>,
+    /// Scratch: label -> row index of the program being crashed.
+    row_of: HashMap<u64, usize>,
+    stats: LpStats,
+}
+
+impl SimplexWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        SimplexWorkspace::default()
+    }
+
+    /// Accumulated counters of every solve through this workspace.
+    pub fn stats(&self) -> LpStats {
+        self.stats
+    }
+
+    /// Solves from scratch, reusing the workspace buffers.
+    pub fn solve(&mut self, lp: &LinearProgram) -> LpResult {
+        self.warm = None;
+        self.stats.cold_solves += 1;
+        self.tab.build_into(lp);
+        let res = self.tab.solve(lp, &mut self.stats.pivots);
+        self.retain(lp, &res);
+        res
+    }
+
+    /// Solves `lp`, warm-starting from the final basis of the previous
+    /// solve when possible.
+    ///
+    /// The warm path applies when the previous solve retained a basis (it
+    /// was `<=`-only and optimal), the variable space matches, and `lp` is
+    /// itself `<=`-only with non-negative right-hand sides. The retained
+    /// basic variables are re-seated into the new tableau by row label
+    /// (Gaussian crash pivots, not counted as simplex iterations); if the
+    /// crashed basis is primal infeasible — a right-hand side went
+    /// negative — the workspace falls back to a cold solve. Optimal values
+    /// are identical to a cold solve either way; the optimal *vertex* may
+    /// differ when the program has multiple optima.
+    pub fn solve_warm(&mut self, lp: &LinearProgram) -> LpResult {
+        let Some(warm) = self.warm.take() else {
+            return self.solve(lp);
+        };
+        if warm.num_vars != lp.num_vars || !lp.is_slack_feasible() {
+            return self.solve(lp);
+        }
+        self.tab.build_into(lp);
+        self.row_of.clear();
+        for (i, &label) in lp.labels.iter().enumerate() {
+            self.row_of.insert(label, i);
+        }
+        for &(label, var) in &warm.rows {
+            let Some(&row) = self.row_of.get(&label) else {
+                continue; // the labeled row vanished; its slack stays basic
+            };
+            if self.tab.basis[row] < self.tab.num_decision {
+                continue; // row already claimed by an earlier pair
+            }
+            if self.tab.rows[row][var].is_zero() {
+                continue; // singular re-seat; leave the slack basic
+            }
+            self.tab.crash_pivot(row, var);
+        }
+        let m = self.tab.rows.len();
+        let rhs_col = self.tab.num_cols;
+        let crashed_feasible = (0..m).all(|i| !self.tab.rows[i][rhs_col].is_negative());
+        if !crashed_feasible {
+            // Basis infeasibility: rebuild from slacks and solve cold.
+            self.stats.cold_solves += 1;
+            self.tab.build_into(lp);
+            let res = self.tab.solve(lp, &mut self.stats.pivots);
+            self.retain(lp, &res);
+            return res;
+        }
+        self.stats.warm_starts += 1;
+        let res = self.tab.solve(lp, &mut self.stats.pivots);
+        self.retain(lp, &res);
+        res
+    }
+
+    /// The optimal dual value of each constraint row of the last solve,
+    /// read off the final reduced-cost row. Valid for `<=`-only programs
+    /// solved to optimality: the dual of row `i` is the reduced cost of
+    /// its slack column, which for the *minimization form* of the program
+    /// is non-negative at the optimum. For a covering LP solved through
+    /// its packing dual (`max 1·y, Aᵀy <= 1`), these values are exactly
+    /// the optimal cover weights.
+    pub fn dual_values(&self) -> Vec<Rational> {
+        (0..self.tab.rows.len())
+            .map(|i| {
+                let col = self.tab.slack_col[i];
+                debug_assert!(col != usize::MAX, "dual_values on a slack-free row");
+                self.tab.obj_row[col].clone()
+            })
+            .collect()
+    }
+
+    /// Retains the final basis for the next warm start (only `<=`-only
+    /// optimal solves are retainable).
+    fn retain(&mut self, lp: &LinearProgram, res: &LpResult) {
+        self.warm = None;
+        if !matches!(res, LpResult::Optimal { .. }) || !lp.is_slack_feasible() {
+            return;
+        }
+        let rows = self
+            .tab
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b < self.tab.num_decision)
+            .map(|(i, &b)| (lp.labels[i], b))
+            .collect();
+        self.warm = Some(WarmBasis {
+            num_vars: lp.num_vars,
+            rows,
+        });
     }
 }
 
 /// Dense simplex tableau. Column layout: decision vars, then slack/surplus
 /// vars, then artificial vars; the last column is the right-hand side.
+/// Buffers are reused across `build_into` calls.
+#[derive(Default)]
 struct Tableau {
     rows: Vec<Vec<Rational>>,
     /// Basis variable of each row.
     basis: Vec<usize>,
+    /// Slack/surplus column of each row (`usize::MAX` for `=` rows).
+    slack_col: Vec<usize>,
+    /// Final reduced-cost row of the last `solve` (phase 2).
+    obj_row: Vec<Rational>,
     num_decision: usize,
     num_structural: usize,
     /// Column index where artificial variables start.
@@ -159,7 +406,8 @@ struct Tableau {
 }
 
 impl Tableau {
-    fn build(lp: &LinearProgram) -> Tableau {
+    /// (Re)builds the tableau for `lp` in place, reusing row buffers.
+    fn build_into(&mut self, lp: &LinearProgram) {
         let m = lp.constraints.len();
         let n = lp.num_vars;
 
@@ -181,8 +429,15 @@ impl Tableau {
 
         let num_structural = n + num_slack;
         let num_cols = num_structural + num_art;
-        let mut rows = vec![vec![Rational::zero(); num_cols + 1]; m];
-        let mut basis = vec![0usize; m];
+        self.rows.resize_with(m, Vec::new);
+        for row in &mut self.rows {
+            row.clear();
+            row.resize(num_cols + 1, Rational::zero());
+        }
+        self.basis.clear();
+        self.basis.resize(m, 0);
+        self.slack_col.clear();
+        self.slack_col.resize(m, usize::MAX);
         let mut slack_idx = n;
         let mut art_idx = num_structural;
 
@@ -190,39 +445,38 @@ impl Tableau {
             let rhs_neg = c.rhs.is_negative();
             let flip = rhs_neg;
             for (v, coeff) in &c.coeffs {
+                debug_assert!(*v < n, "constraint references unknown variable {v}");
                 let val = if flip { -coeff } else { coeff.clone() };
-                rows[i][*v] = &rows[i][*v] + &val;
+                self.rows[i][*v] = &self.rows[i][*v] + &val;
             }
-            rows[i][num_cols] = if flip { -&c.rhs } else { c.rhs.clone() };
+            self.rows[i][num_cols] = if flip { -&c.rhs } else { c.rhs.clone() };
             match effective_cmp(c.cmp, rhs_neg) {
                 Cmp::Le => {
-                    rows[i][slack_idx] = Rational::one();
-                    basis[i] = slack_idx;
+                    self.rows[i][slack_idx] = Rational::one();
+                    self.basis[i] = slack_idx;
+                    self.slack_col[i] = slack_idx;
                     slack_idx += 1;
                 }
                 Cmp::Ge => {
-                    rows[i][slack_idx] = -Rational::one();
+                    self.rows[i][slack_idx] = -Rational::one();
+                    self.slack_col[i] = slack_idx;
                     slack_idx += 1;
-                    rows[i][art_idx] = Rational::one();
-                    basis[i] = art_idx;
+                    self.rows[i][art_idx] = Rational::one();
+                    self.basis[i] = art_idx;
                     art_idx += 1;
                 }
                 Cmp::Eq => {
-                    rows[i][art_idx] = Rational::one();
-                    basis[i] = art_idx;
+                    self.rows[i][art_idx] = Rational::one();
+                    self.basis[i] = art_idx;
                     art_idx += 1;
                 }
             }
         }
 
-        Tableau {
-            rows,
-            basis,
-            num_decision: n,
-            num_structural,
-            art_start: num_structural,
-            num_cols,
-        }
+        self.num_decision = n;
+        self.num_structural = num_structural;
+        self.art_start = num_structural;
+        self.num_cols = num_cols;
     }
 
     /// Builds the reduced-cost row for objective `costs` (indexed over all
@@ -248,12 +502,13 @@ impl Tableau {
     /// Runs simplex iterations (minimization) until optimal or unbounded.
     /// `allowed_cols` restricts entering columns. Returns `None` on
     /// unboundedness; otherwise the final objective value (negated running
-    /// total, i.e. the true minimum).
+    /// total, i.e. the true minimum). `pivots` counts the iterations.
     fn iterate(
         &mut self,
         obj_row: &mut [Rational],
         obj_value: &mut Rational,
         allowed_cols: usize,
+        pivots: &mut u64,
     ) -> Option<()> {
         loop {
             // Bland's rule: the lowest-index column with a negative reduced cost.
@@ -281,8 +536,19 @@ impl Tableau {
             let Some((pivot_row, _)) = leaving else {
                 return None; // unbounded direction
             };
+            *pivots += 1;
             self.pivot(pivot_row, j, obj_row, obj_value);
         }
+    }
+
+    /// Re-seats `pivot_col` as the basic variable of `pivot_row` by plain
+    /// Gaussian elimination — no ratio test, no objective row. Used to
+    /// crash a retained basis into a freshly built tableau; the entry may
+    /// be negative (feasibility is checked afterwards on the RHS column).
+    fn crash_pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let mut dummy_row: [Rational; 0] = [];
+        let mut dummy_val = Rational::zero();
+        self.pivot(pivot_row, pivot_col, &mut dummy_row, &mut dummy_val);
     }
 
     fn pivot(
@@ -293,7 +559,7 @@ impl Tableau {
         obj_value: &mut Rational,
     ) {
         let pivot = self.rows[pivot_row][pivot_col].clone();
-        debug_assert!(pivot.is_positive());
+        debug_assert!(!pivot.is_zero());
         if pivot != Rational::one() {
             for j in 0..=self.num_cols {
                 if !self.rows[pivot_row][j].is_zero() {
@@ -313,7 +579,7 @@ impl Tableau {
                 }
             }
         }
-        if !obj_row[pivot_col].is_zero() {
+        if !obj_row.is_empty() && !obj_row[pivot_col].is_zero() {
             let factor = obj_row[pivot_col].clone();
             for j in 0..self.num_cols {
                 if !self.rows[pivot_row][j].is_zero() {
@@ -326,7 +592,10 @@ impl Tableau {
         self.basis[pivot_row] = pivot_col;
     }
 
-    fn solve(mut self, lp: &LinearProgram) -> LpResult {
+    /// Two-phase solve from the current basis (phase 1 runs only when the
+    /// built tableau needed artificial variables). The final reduced-cost
+    /// row is kept in `self.obj_row` for [`SimplexWorkspace::dual_values`].
+    fn solve(&mut self, lp: &LinearProgram, pivots: &mut u64) -> LpResult {
         // Phase 1: minimize the sum of artificial variables.
         if self.art_start < self.num_cols {
             let mut costs = vec![Rational::zero(); self.num_cols];
@@ -335,7 +604,7 @@ impl Tableau {
             }
             let (mut obj_row, mut obj_value) = self.reduce_objective(&costs);
             // Phase 1 is always bounded below by 0.
-            self.iterate(&mut obj_row, &mut obj_value, self.num_cols)
+            self.iterate(&mut obj_row, &mut obj_value, self.num_cols, pivots)
                 .expect("phase 1 cannot be unbounded");
             // Current phase-1 objective = -obj_value bookkeeping: obj_value
             // tracks -(c_B x_B); the attained minimum is -obj_value.
@@ -352,14 +621,12 @@ impl Tableau {
                 if let Some(j) = pivot_col {
                     // The artificial basic variable is at value 0, so pivoting
                     // on any nonzero entry keeps feasibility.
-                    let mut dummy_row = vec![Rational::zero(); self.num_cols];
-                    let mut dummy_val = Rational::zero();
                     if self.rows[i][j].is_negative() {
                         for col in 0..=self.num_cols {
                             self.rows[i][col] = -&self.rows[i][col];
                         }
                     }
-                    self.pivot(i, j, &mut dummy_row, &mut dummy_val);
+                    self.crash_pivot(i, j);
                 }
                 // If the whole row is zero on structural columns the
                 // constraint is redundant; leaving the artificial basic at
@@ -379,10 +646,11 @@ impl Tableau {
         // Artificial columns must stay at zero: bar them by leaving their
         // reduced costs non-negative and never selecting them (allowed_cols).
         let (mut obj_row, mut obj_value) = self.reduce_objective(&costs);
-        if self
-            .iterate(&mut obj_row, &mut obj_value, self.num_structural)
-            .is_none()
-        {
+        let bounded = self
+            .iterate(&mut obj_row, &mut obj_value, self.num_structural, pivots)
+            .is_some();
+        self.obj_row = obj_row;
+        if !bounded {
             return LpResult::Unbounded;
         }
 
@@ -591,5 +859,103 @@ mod tests {
             r(3, 1),
         );
         assert_eq!(lp.solve().value(), Some(&r(3, 2)));
+    }
+
+    /// The triangle's packing dual: max y0+y1+y2 with y_i + y_j <= 1 per
+    /// edge. Optimum 3/2; the duals (slack reduced costs) are the cover
+    /// weights 1/2 each.
+    fn triangle_packing() -> LinearProgram {
+        let mut lp = LinearProgram::maximize(3);
+        for v in 0..3 {
+            lp.set_objective(v, Rational::one());
+        }
+        for e in 0..3usize {
+            lp.add_constraint_labeled(
+                e as u64,
+                vec![(e, Rational::one()), ((e + 1) % 3, Rational::one())],
+                Cmp::Le,
+                Rational::one(),
+            );
+        }
+        lp
+    }
+
+    #[test]
+    fn workspace_matches_one_shot_solve() {
+        let mut ws = SimplexWorkspace::new();
+        let lp = triangle_packing();
+        assert_eq!(ws.solve(&lp), lp.solve());
+        assert_eq!(ws.stats().cold_solves, 1);
+        assert!(ws.stats().pivots > 0);
+    }
+
+    #[test]
+    fn dual_values_recover_the_cover() {
+        let mut ws = SimplexWorkspace::new();
+        let lp = triangle_packing();
+        let res = ws.solve(&lp);
+        assert_eq!(res.value(), Some(&r(3, 2)));
+        assert_eq!(ws.dual_values(), vec![r(1, 2), r(1, 2), r(1, 2)]);
+    }
+
+    #[test]
+    fn warm_resolve_of_the_same_program_needs_no_pivots() {
+        let mut ws = SimplexWorkspace::new();
+        let lp = triangle_packing();
+        let cold = ws.solve(&lp);
+        let cold_pivots = ws.stats().pivots;
+        let warm = ws.solve_warm(&lp);
+        assert_eq!(cold, warm);
+        assert_eq!(ws.stats().warm_starts, 1);
+        // Re-seating the optimal basis leaves no negative reduced cost.
+        assert_eq!(ws.stats().pivots, cold_pivots);
+    }
+
+    #[test]
+    fn warm_start_survives_row_changes_by_label() {
+        // Drop one packing row and add another; labels keep the retained
+        // basis aligned, and values match a cold solve.
+        let mut ws = SimplexWorkspace::new();
+        let lp = triangle_packing();
+        ws.solve(&lp);
+        let mut changed = LinearProgram::maximize(3);
+        for v in 0..3 {
+            changed.set_objective(v, Rational::one());
+        }
+        // Rows 0 and 2 survive; a tighter row replaces row 1.
+        changed.add_constraint_labeled(
+            0,
+            vec![(0, Rational::one()), (1, Rational::one())],
+            Cmp::Le,
+            Rational::one(),
+        );
+        changed.add_constraint_labeled(
+            7,
+            vec![(1, Rational::one()), (2, Rational::one())],
+            Cmp::Le,
+            r(1, 2),
+        );
+        changed.add_constraint_labeled(
+            2,
+            vec![(2, Rational::one()), (0, Rational::one())],
+            Cmp::Le,
+            Rational::one(),
+        );
+        let warm = ws.solve_warm(&changed);
+        assert_eq!(warm.value(), changed.solve().value());
+    }
+
+    #[test]
+    fn warm_start_falls_back_on_unwarmable_programs() {
+        let mut ws = SimplexWorkspace::new();
+        ws.solve(&triangle_packing());
+        // A Ge program cannot start from the slack basis: warm must fall
+        // back to the cold two-phase path and still be exact.
+        let mut ge = LinearProgram::minimize(1);
+        ge.set_objective(0, Rational::one());
+        ge.add_constraint(vec![(0, Rational::one())], Cmp::Ge, r(3, 1));
+        assert_eq!(ws.solve_warm(&ge).value(), Some(&r(3, 1)));
+        assert_eq!(ws.stats().warm_starts, 0);
+        assert_eq!(ws.stats().cold_solves, 2);
     }
 }

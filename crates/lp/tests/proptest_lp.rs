@@ -1,7 +1,7 @@
 //! Property-based tests for the exact simplex on random covering LPs.
 
 use arith::Rational;
-use lp::{Cmp, LinearProgram, LpResult};
+use lp::{Cmp, LinearProgram, LpResult, SimplexWorkspace};
 use proptest::prelude::*;
 
 /// A random covering instance: `m` sets over `n` elements (every element
@@ -135,4 +135,88 @@ proptest! {
             &factor * plain.value().unwrap()
         );
     }
+
+    /// The packing dual of a covering instance (`max 1·y, y(s) <= rhs_s`)
+    /// has the same optimum as the primal (strong duality), and the
+    /// workspace's slack reduced costs recover an optimal *cover* — the
+    /// read-off the engine's pricing path relies on.
+    #[test]
+    fn packing_dual_matches_covering_primal(inst in arb_cover()) {
+        let cover = build_lp(&inst).solve();
+        let packing = build_packing(&inst, &vec![Rational::one(); inst.sets.len()]);
+        let mut ws = SimplexWorkspace::new();
+        let packed = ws.solve(&packing);
+        prop_assert_eq!(cover.value(), packed.value());
+        // Recovered cover weights: feasible and of optimal total weight.
+        let weights = ws.dual_values();
+        for v in 0..inst.n {
+            let total: Rational = inst
+                .sets
+                .iter()
+                .enumerate()
+                .filter(|(_, set)| set.contains(&v))
+                .map(|(s, _)| weights[s].clone())
+                .sum();
+            prop_assert!(total >= Rational::one(), "element {} uncovered by duals", v);
+        }
+        let total: Rational = weights.iter().sum();
+        prop_assert_eq!(Some(&total), cover.value());
+    }
+
+    /// Warm-started solves over a perturbed-row sequence agree with fresh
+    /// cold solves on the optimal value, and every returned point is
+    /// feasible with a consistent objective.
+    #[test]
+    fn warm_and_cold_agree_over_perturbed_sequences(inst in arb_cover(), seed in any::<u64>()) {
+        let m = inst.sets.len();
+        let mut rhs = vec![Rational::one(); m];
+        let mut ws = SimplexWorkspace::new();
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for step in 0..5u64 {
+            if step > 0 {
+                // Perturb one row's capacity; keep it strictly positive.
+                let row = (next() % m as u64) as usize;
+                rhs[row] = arith::rat(1 + (next() % 3) as i64, 1 + (next() % 2) as i64);
+            }
+            let packing = build_packing(&inst, &rhs);
+            let warm = ws.solve_warm(&packing);
+            let cold = packing.solve();
+            prop_assert_eq!(warm.value(), cold.value(), "step {}", step);
+            let y = warm.solution().expect("packing LPs are bounded and feasible");
+            for (s, set) in inst.sets.iter().enumerate() {
+                let load: Rational = set.iter().map(|&v| y[v].clone()).sum();
+                prop_assert!(load <= rhs[s], "row {} overpacked at step {}", s, step);
+            }
+            let recomputed: Rational = y.iter().sum();
+            prop_assert_eq!(Some(&recomputed), warm.value());
+        }
+        // Re-seating a retained optimal basis never takes *more* pivots
+        // than the same sequence solved cold from scratch.
+        let mut cold_ws = SimplexWorkspace::new();
+        let packing = build_packing(&inst, &rhs);
+        cold_ws.solve(&packing);
+        let before = ws.stats().pivots;
+        ws.solve_warm(&packing);
+        prop_assert!(ws.stats().pivots - before <= cold_ws.stats().pivots);
+    }
+}
+
+/// The packing dual of `inst` with per-set capacities `rhs`: variables are
+/// elements, one `<=` row per set labeled by the set index.
+fn build_packing(inst: &CoverInstance, rhs: &[Rational]) -> LinearProgram {
+    let mut lp = LinearProgram::maximize(inst.n);
+    for v in 0..inst.n {
+        lp.set_objective(v, Rational::one());
+    }
+    for (s, set) in inst.sets.iter().enumerate() {
+        let coeffs: Vec<(usize, Rational)> = set.iter().map(|&v| (v, Rational::one())).collect();
+        lp.add_constraint_labeled(s as u64, coeffs, Cmp::Le, rhs[s].clone());
+    }
+    lp
 }

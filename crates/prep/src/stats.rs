@@ -48,6 +48,22 @@ pub struct SearchStats {
     /// `cand_generated - cand_filtered` is what the engine actually
     /// streamed from `candgen`.
     pub cand_filtered: usize,
+    /// States whose edge-union candidate prefix was skipped because the
+    /// per-state stream bound hit the adaptive cap (the state fell back to
+    /// subset streaming alone).
+    pub cand_cap_hits: usize,
+    /// Simplex (Bland) iterations across every `ρ*` LP solve. Each bag is
+    /// priced exactly once and the engine path solves it cold, so this is
+    /// a pure per-bag sum — identical at every thread count.
+    pub lp_pivots: u64,
+    /// `ρ*` LP solves that warm-started from a retained basis (only the
+    /// deterministic sequential pricers — heuristic upper bounds,
+    /// elimination orderings — warm-start; the parallel engine path never
+    /// does).
+    pub lp_warm_starts: u64,
+    /// `ρ*` LP solves performed from scratch (including warm-start
+    /// fallbacks after a basis infeasibility).
+    pub lp_cold_solves: u64,
     /// The heuristic upper bound that seeded the search's width ramp
     /// (`None` when no heuristic ran, e.g. the decision strategies).
     /// Merged across per-block searches as the maximum, matching how the
@@ -85,6 +101,10 @@ impl SearchStats {
         self.price_warm_hits += other.price_warm_hits;
         self.cand_generated += other.cand_generated;
         self.cand_filtered += other.cand_filtered;
+        self.cand_cap_hits += other.cand_cap_hits;
+        self.lp_pivots += other.lp_pivots;
+        self.lp_warm_starts += other.lp_warm_starts;
+        self.lp_cold_solves += other.lp_cold_solves;
         self.ub_width = match (self.ub_width.take(), other.ub_width.clone()) {
             (Some(a), Some(b)) => Some(a.max(b)),
             (a, b) => a.or(b),

@@ -1424,15 +1424,105 @@ impl<C: Ord + Clone + Send + Sync> Default for SearchContext<C> {
 /// are never materialized; small bags come first, which finds cheap covers
 /// early and tightens the engine's best-so-far prune.
 pub fn stream_subset_bags<'a>(state: SearchState<'a>) -> CandidateStream<'a> {
+    stream_subset_bags_excluding(state, &[])
+}
+
+/// The subset mask (over ascending positions of `free`) whose bag equals
+/// `conn ∪ S` — `None` when `bag` is not of that shape (it then never
+/// appears in the subset stream) or is `conn` itself (the empty subset is
+/// never streamed).
+fn subset_mask_of(bag: &VertexSet, conn: &VertexSet, free: &[usize]) -> Option<u64> {
+    if !conn.is_subset(bag) {
+        return None;
+    }
+    let mut mask = 0u64;
+    for v in bag.difference(conn).iter() {
+        let pos = free.binary_search(&v).ok()?;
+        mask |= 1u64 << pos;
+    }
+    if mask == 0 {
+        return None;
+    }
+    Some(mask)
+}
+
+/// [`stream_subset_bags`] minus the bags in `exclude` — the completing
+/// tail of the hybrid strategies, which must not re-stream a bag their
+/// edge-union prefix already produced. The exclusions are translated to
+/// subset masks and sorted into stream order (size class, then Gosper
+/// rank) up front, so each pull pays one integer comparison against the
+/// next pending skip instead of a per-candidate hash lookup.
+pub fn stream_subset_bags_excluding<'a>(
+    state: SearchState<'a>,
+    exclude: &[VertexSet],
+) -> CandidateStream<'a> {
     let free: Vec<usize> = state.comp.to_vec();
     let m = free.len();
     if m == 0 || m > MAX_SUBSET_SEARCH_VERTICES {
         return CandidateStream::empty();
     }
+    let mut skips: Vec<u64> = exclude
+        .iter()
+        .filter_map(|bag| subset_mask_of(bag, state.conn, &free))
+        .collect();
+    skips.sort_unstable_by_key(|&mk| (mk.count_ones(), mk));
+    skips.dedup();
+    let mut ptr = 0usize;
     let conn = state.conn.clone();
     let limit: u64 = 1u64 << m;
     let mut size = 1usize;
     let mut mask: u64 = 1;
+    // Two-block fast path: when the connector and every free vertex fit
+    // the inline representation (vertices `< 128` — the entire exact
+    // subset-search regime), each bag is accumulated in two registers and
+    // materialized with `from_two_blocks` — no clone, no per-member
+    // branches. This loop builds every tail candidate the engine streams.
+    if let (Some((c0, c1)), true) = (state.conn.two_blocks(), free.iter().all(|&v| v < 128)) {
+        let masks: Vec<(u64, u64)> = free
+            .iter()
+            .map(|&v| {
+                if v < 64 {
+                    (1u64 << v, 0)
+                } else {
+                    (0, 1u64 << (v - 64))
+                }
+            })
+            .collect();
+        return CandidateStream::new(std::iter::from_fn(move || {
+            while size <= m {
+                if mask < limit {
+                    let cur = mask;
+                    // Next mask of the same popcount (Gosper's hack; exits
+                    // the popcount class via `mask < limit`).
+                    let low = cur & cur.wrapping_neg();
+                    let ripple = cur + low;
+                    mask = (((ripple ^ cur) >> 2) / low) | ripple;
+                    if ptr < skips.len() && skips[ptr] == cur {
+                        ptr += 1;
+                        continue;
+                    }
+                    let (mut b0, mut b1) = (c0, c1);
+                    let mut bits = cur;
+                    while bits != 0 {
+                        let (m0, m1) = masks[bits.trailing_zeros() as usize];
+                        bits &= bits - 1;
+                        b0 |= m0;
+                        b1 |= m1;
+                    }
+                    return Some(Guess {
+                        edges: Vec::new(),
+                        extra: VertexSet::from_two_blocks(b0, b1),
+                    });
+                }
+                size += 1;
+                mask = (1u64 << size) - 1;
+            }
+            None
+        }));
+    }
+    // General path (vertices beyond the inline range): each free vertex as
+    // its (block, bit) pair, one OR per subset member.
+    let free_bits: Vec<(usize, u64)> = free.iter().map(|&v| (v / 64, 1u64 << (v % 64))).collect();
     CandidateStream::new(std::iter::from_fn(move || {
         while size <= m {
             if mask < limit {
@@ -1442,11 +1532,16 @@ pub fn stream_subset_bags<'a>(state: SearchState<'a>) -> CandidateStream<'a> {
                 let low = cur & cur.wrapping_neg();
                 let ripple = cur + low;
                 mask = (((ripple ^ cur) >> 2) / low) | ripple;
+                if ptr < skips.len() && skips[ptr] == cur {
+                    ptr += 1;
+                    continue;
+                }
                 let mut bag = conn.clone();
-                for (i, &v) in free.iter().enumerate() {
-                    if cur >> i & 1 == 1 {
-                        bag.insert(v);
-                    }
+                let mut bits = cur;
+                while bits != 0 {
+                    let (block, bit) = free_bits[bits.trailing_zeros() as usize];
+                    bits &= bits - 1;
+                    bag.insert_mask_block(block, bit);
                 }
                 return Some(Guess {
                     edges: Vec::new(),

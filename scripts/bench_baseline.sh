@@ -8,13 +8,13 @@
 #                                       small corpus prefix, written to a
 #                                       scratch file — proves the baseline
 #                                       bin still runs and still emits the
-#                                       hypertree-bench-baseline/v3 schema
+#                                       hypertree-bench-baseline/v4 schema
 #
 # Either mode fails hard when the emitted schema tag drifts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA='hypertree-bench-baseline/v3'
+SCHEMA='hypertree-bench-baseline/v4'
 
 if [[ "${1:-}" == "--smoke" ]]; then
   out="$(mktemp /tmp/bench_baseline_smoke.XXXXXX.json)"
@@ -53,6 +53,14 @@ fi
 # edge-union bags generated/filtered + the seeding heuristic width), and
 # ghw — now engine-driven — records a stats block of its own.
 for field in '"cand_gen":' '"cand_filtered":' '"ub_seed":' '"ghw_stats":'; do
+  if ! grep -q "$field" "$out"; then
+    echo "bench_baseline.sh: schema drift — no $field columns in $out" >&2
+    exit 1
+  fi
+done
+# v4: the stats blocks track the exact-simplex work counters (pivot count,
+# warm/cold solve split) and the adaptive candidate-stream cap hits.
+for field in '"lp_pivots":' '"lp_warm_starts":' '"lp_cold_solves":' '"cand_cap_hits":'; do
   if ! grep -q "$field" "$out"; then
     echo "bench_baseline.sh: schema drift — no $field columns in $out" >&2
     exit 1

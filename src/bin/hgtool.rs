@@ -5,7 +5,8 @@
 //! hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>
 //!                                     exact hw / ghw / fhw (small instances);
 //!                                     --stats adds engine + LP-cache +
-//!                                     candidate-generation counters,
+//!                                     candidate-generation + simplex
+//!                                     (pivot/warm-start) counters,
 //!                                     --no-prep bypasses the preprocessing
 //!                                     pipeline and its cross-call price cache
 //!                                     (also: HGTOOL_NO_PREP env var),
@@ -181,6 +182,14 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
                     .as_ref()
                     .map(|w| w.to_string())
                     .unwrap_or_else(|| "-".into()),
+            );
+        }
+        println!();
+        println!("engine     lp-pivots  warm-starts  cold-solves  cand-cap-hits");
+        for (name, t) in [("hw", &s.hw), ("ghw", &s.ghw), ("fhw", &s.fhw)] {
+            println!(
+                "{name:<10} {:>9} {:>12} {:>12} {:>14}",
+                t.lp_pivots, t.lp_warm_starts, t.lp_cold_solves, t.cand_cap_hits,
             );
         }
         if prep::reuse_enabled(opts.reuse_prices) {

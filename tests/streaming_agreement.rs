@@ -213,6 +213,30 @@ fn stats_are_thread_count_invariant_on_the_example_instances() {
             fhd::fhw_exact_with_stats(&h, None, EngineOptions::with_threads(4));
         assert_eq!(fhw_seq, fhw_par, "{name}: fhw result");
         assert_eq!(fhw_seq_stats, fhw_par_stats, "{name}: fhw stats");
+
+        // The full-struct equality above already covers these, but the
+        // simplex work counters are the ones a scheduling leak would
+        // corrupt first (a warm start on a pool path would make pivot
+        // counts order-dependent) — name them explicitly so a failure
+        // points at the counter, not just "stats differ".
+        for (engine, seq, par) in [
+            ("ghw", &ghw_seq_stats, &ghw_par_stats),
+            ("fhw", &fhw_seq_stats, &fhw_par_stats),
+        ] {
+            assert_eq!(seq.lp_pivots, par.lp_pivots, "{name}: {engine} lp_pivots");
+            assert_eq!(
+                seq.lp_warm_starts, par.lp_warm_starts,
+                "{name}: {engine} lp_warm_starts"
+            );
+            assert_eq!(
+                seq.lp_cold_solves, par.lp_cold_solves,
+                "{name}: {engine} lp_cold_solves"
+            );
+            assert_eq!(
+                seq.cand_cap_hits, par.cand_cap_hits,
+                "{name}: {engine} cand_cap_hits"
+            );
+        }
     }
 }
 
