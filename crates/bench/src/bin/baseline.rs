@@ -19,15 +19,20 @@
 //! ```
 //!
 //! `--smoke` is the CI mode: single iteration over a small corpus prefix,
-//! just enough to prove the bin and the `hypertree-bench-baseline/v4`
+//! just enough to prove the bin and the `hypertree-bench-baseline/v5`
 //! schema have not rotted (see `scripts/bench_baseline.sh --smoke`).
 //!
-//! v4 adds the exact-simplex work counters (`lp_pivots`,
+//! v4 added the exact-simplex work counters (`lp_pivots`,
 //! `lp_warm_starts`, `lp_cold_solves`) and the adaptive candidate-stream
-//! cap counter (`cand_cap_hits`) to each engine's stats object, so the
-//! baseline tracks LP effort — not just price-cache traffic — over time.
+//! cap counter (`cand_cap_hits`) to each engine's stats object. v5 adds
+//! the runtime counters (`result_cache_hits`, `inflight_dedup`,
+//! `pool_reuse`) and the `batch` block: the whole corpus through
+//! `solver::solve_batch` twice in one process — a cold pass that
+//! populates the cross-call result cache and a warm second pass answered
+//! from it — recording both wall-clocks and the per-instance hit counts.
 
 use hypertree_bench as workloads;
+use hypertree_core::hypergraph::Hypergraph;
 use hypertree_core::solver::{self, SearchStats};
 use hypertree_core::{fhd, ghd, hd};
 use std::fmt::Write as _;
@@ -64,7 +69,7 @@ fn main() {
     let iters = if smoke { 1 } else { 5 };
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"hypertree-bench-baseline/v4\",\n");
+    body.push_str("  \"schema\": \"hypertree-bench-baseline/v5\",\n");
     body.push_str("  \"command\": \"cargo run -p hypertree-bench --bin baseline --release\",\n");
     let _ = writeln!(body, "  \"profile\": \"{}\",", profile());
     body.push_str("  \"instances\": [\n");
@@ -77,7 +82,7 @@ fn main() {
         corpus.extend(workloads::large_corpus());
     }
     let total = corpus.len();
-    for (i, w) in corpus.into_iter().enumerate() {
+    for (i, w) in corpus.iter().enumerate() {
         let h = &w.hypergraph;
         eprintln!("[{}/{}] {}", i + 1, total, w.name);
         let _ = write!(
@@ -91,6 +96,7 @@ fn main() {
         // comparable across runs regardless of process history.
         let cold = solver::EngineOptions {
             reuse_prices: false,
+            reuse_results: false,
             ..Default::default()
         };
         let (hw, t_hw) = time_best(iters, || {
@@ -134,8 +140,14 @@ fn main() {
         // of the cold run, plus a warmed repeat through the
         // fingerprint-keyed registry. Rows beyond the fhw engines (the
         // large-corpus instances the v3 schema was added to track) fall
-        // back to the ghw search, which runs the same pipeline.
-        let warm = solver::EngineOptions::default();
+        // back to the ghw search, which runs the same pipeline. Result
+        // reuse stays off here — a result-cache hit would skip the rerun's
+        // pricing entirely and void the warm-lookup column (the result
+        // cache gets its own `batch` block below).
+        let warm = solver::EngineOptions {
+            reuse_results: false,
+            ..Default::default()
+        };
         let (prep_stats, rerun) = if fhw_in_range {
             let _ = fhd::fhw_exact_with_stats(h, None, warm);
             let (_, rerun) = fhd::fhw_exact_with_stats(h, None, warm);
@@ -161,9 +173,53 @@ fn main() {
         }
         body.push('\n');
     }
-    body.push_str("  ]\n}\n");
+    body.push_str("  ],\n");
+    // The batch block: the whole corpus through `solver::solve_batch`
+    // twice in one process, with the full runtime on (shared pool,
+    // price + result reuse). The cold pass populates the cross-call
+    // result cache; the warm pass must answer every instance from it.
+    // `ghw` is the one engine in exact range across the entire corpus,
+    // large instances included.
+    eprintln!("batch: cold pass ({total} instances)");
+    let batch_opts = solver::EngineOptions::default();
+    let hgs: Vec<Hypergraph> = corpus.iter().map(|w| w.hypergraph.clone()).collect();
+    let run_batch = || {
+        solver::solve_batch(&hgs, |_, h| {
+            let (r, s) = ghd::ghw_exact_with_stats(h, None, batch_opts);
+            (r.map(|(k, _)| k), s)
+        })
+    };
+    let t = Instant::now();
+    let cold_pass = run_batch();
+    let cold_us = t.elapsed().as_micros();
+    eprintln!("batch: warm pass");
+    let t = Instant::now();
+    let warm_pass = run_batch();
+    let warm_us = t.elapsed().as_micros();
+    let widths_consistent = cold_pass
+        .iter()
+        .zip(&warm_pass)
+        .all(|((a, _), (b, _))| a == b);
+    let _ = writeln!(body, "  \"batch\": {{");
+    let _ = writeln!(body, "    \"engine\": \"ghw\",");
+    let _ = writeln!(body, "    \"instances\": {total},");
+    let _ = writeln!(body, "    \"cold_us\": {cold_us},");
+    let _ = writeln!(body, "    \"warm_us\": {warm_us},");
+    let _ = writeln!(body, "    \"widths_consistent\": {widths_consistent},");
+    body.push_str("    \"warm_result_cache_hits\": [\n");
+    for (i, (w, (_, stats))) in corpus.iter().zip(&warm_pass).enumerate() {
+        let _ = write!(
+            body,
+            "      {{\"name\": \"{}\", \"result_cache_hits\": {}, \"inflight_dedup\": {}}}",
+            w.name, stats.result_cache_hits, stats.inflight_dedup
+        );
+        body.push_str(if i + 1 < total { ",\n" } else { "\n" });
+    }
+    body.push_str("    ]\n  }\n}\n");
     std::fs::write(&out_path, &body).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-    eprintln!("wrote {out_path}");
+    eprintln!(
+        "wrote {out_path} (batch cold {cold_us}us -> warm {warm_us}us, consistent: {widths_consistent})"
+    );
 }
 
 fn stats_json(s: &SearchStats) -> String {
@@ -171,13 +227,16 @@ fn stats_json(s: &SearchStats) -> String {
     // counters themselves are thread-count-invariant by design. v3 added
     // the candidate-generation discipline: edge-union bags generated and
     // filtered by candgen, plus the heuristic width that seeded the
-    // search's cutoff. v4 adds the simplex work counters (pivots,
-    // warm/cold solve split) and the adaptive stream-cap hit count.
+    // search's cutoff. v4 added the simplex work counters (pivots,
+    // warm/cold solve split) and the adaptive stream-cap hit count. v5
+    // adds the runtime counters (result-cache hits, in-flight dedup,
+    // pool reuse) — zero on the timed cold rows by construction.
     format!(
         "{{\"threads\": {}, \"states\": {}, \"memo_hits\": {}, \"streamed\": {}, \
          \"admitted\": {}, \"lp_hits\": {}, \"lp_misses\": {}, \
          \"cand_gen\": {}, \"cand_filtered\": {}, \"cand_cap_hits\": {}, \
          \"lp_pivots\": {}, \"lp_warm_starts\": {}, \"lp_cold_solves\": {}, \
+         \"result_cache_hits\": {}, \"inflight_dedup\": {}, \"pool_reuse\": {}, \
          \"ub_seed\": {}}}",
         solver::default_thread_count(),
         s.states,
@@ -192,6 +251,9 @@ fn stats_json(s: &SearchStats) -> String {
         s.lp_pivots,
         s.lp_warm_starts,
         s.lp_cold_solves,
+        s.result_cache_hits,
+        s.inflight_dedup,
+        s.pool_reuse,
         match &s.ub_width {
             Some(w) => format!("\"{w}\""),
             None => "null".into(),

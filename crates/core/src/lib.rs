@@ -38,6 +38,7 @@ pub use solver;
 
 use arith::Rational;
 use hypergraph::{properties, Hypergraph};
+use solver::SearchStats;
 
 /// Frequently used items in one import.
 pub mod prelude {
@@ -157,6 +158,36 @@ pub fn exact_widths_with_opts(
             fhw: fhw_stats,
         },
     ))
+}
+
+/// Batch variant of [`exact_widths_with_opts`]: solves every instance
+/// through [`solver::solve_batch`] — admission ordered by the
+/// `candgen` candidate-space estimate, one search at a time over the
+/// shared worker pool, whole-query answers deduplicated through the
+/// cross-call result registry (when `opts.reuse_results` is on, repeated
+/// instances in one batch report `result_cache_hits` instead of
+/// re-searching). Results come back in input order; a `None` entry means
+/// that instance exceeded the exact engines' limits or `max_hw`.
+pub fn exact_widths_batch(
+    instances: &[Hypergraph],
+    max_hw: usize,
+    opts: solver::EngineOptions,
+) -> Vec<Option<(ExactWidths, WidthStats)>> {
+    solver::solve_batch(instances, |_, h| {
+        let result = exact_widths_with_opts(h, max_hw, opts);
+        // solve_batch threads one SearchStats per item for schedulers that
+        // want it; the three per-engine records stay in WidthStats.
+        let merged = result.as_ref().map_or_else(SearchStats::default, |(_, s)| {
+            let mut total = s.hw.clone();
+            total.merge(&s.ghw);
+            total.merge(&s.fhw);
+            total
+        });
+        (result, merged)
+    })
+    .into_iter()
+    .map(|(r, _)| r)
+    .collect()
 }
 
 #[cfg(test)]

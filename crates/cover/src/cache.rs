@@ -129,8 +129,21 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     where
         K: Clone,
     {
+        self.claim_tracking_wait(key).0
+    }
+
+    /// As [`ShardedCache::claim`], also reporting whether the caller
+    /// parked on an in-flight `Pending` entry before resolving — i.e.
+    /// whether this lookup deduplicated against a computation that was
+    /// already running. The whole-query result cache surfaces this as the
+    /// `inflight_dedup` counter.
+    pub fn claim_tracking_wait(&self, key: &K) -> (Claim<V>, bool)
+    where
+        K: Clone,
+    {
         let shard = self.shard(key);
         let mut map = shard.map.lock().expect("cache poisoned");
+        let mut waited = false;
         loop {
             match map.get(key) {
                 Some(Slot::Done(v, gen)) => {
@@ -139,9 +152,10 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
                     if *gen < self.generation.load(Ordering::Relaxed) {
                         self.warm_hits.fetch_add(1, Ordering::Relaxed);
                     }
-                    return Claim::Hit(v);
+                    return (Claim::Hit(v), waited);
                 }
                 Some(Slot::Pending) => {
+                    waited = true;
                     shard.waiters.fetch_add(1, Ordering::Relaxed);
                     map = shard.resolved.wait(map).expect("cache poisoned");
                     shard.waiters.fetch_sub(1, Ordering::Relaxed);
@@ -149,7 +163,7 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
                 None => {
                     map.insert(key.clone(), Slot::Pending);
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    return Claim::Owner;
+                    return (Claim::Owner, waited);
                 }
             }
         }
@@ -285,6 +299,28 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     /// True iff nothing has been cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + crate::MemSize, V: Clone + crate::MemSize> ShardedCache<K, V> {
+    /// Approximate resident bytes of the whole table: per-entry key/value
+    /// estimates plus a flat per-entry map overhead, over the sharding
+    /// skeleton. Feeds the registry's shared LRU byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        // Hash-map bucket + slot-enum overhead per entry, beyond the
+        // key/value payloads themselves.
+        const ENTRY_OVERHEAD: usize = 48;
+        let mut total = SHARDS * std::mem::size_of::<Shard<K, V>>();
+        for shard in &self.shards {
+            let map = shard.map.lock().expect("cache poisoned");
+            for (k, slot) in map.iter() {
+                total += ENTRY_OVERHEAD + k.approx_bytes();
+                if let Slot::Done(v, _) = slot {
+                    total += v.approx_bytes();
+                }
+            }
+        }
+        total
     }
 }
 

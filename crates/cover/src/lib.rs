@@ -17,6 +17,7 @@
 pub mod cache;
 pub mod fractional;
 pub mod integral;
+pub mod mem;
 pub mod pricing;
 pub mod support;
 pub mod transversal;
@@ -30,6 +31,7 @@ pub use fractional::{
     ScatterBound,
 };
 pub use integral::{greedy_cover, integral_cover, integral_cover_bounded, rho, IntegralCover};
+pub use mem::MemSize;
 pub use pricing::{rho_star_priced_with, PricingContext, PricingPool};
 pub use support::{bound_support, furedi_bound};
 pub use transversal::{

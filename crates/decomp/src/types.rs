@@ -84,6 +84,18 @@ impl Node {
     }
 }
 
+impl cover::MemSize for Node {
+    fn approx_bytes(&self) -> usize {
+        self.bag.approx_bytes() + self.weights.approx_bytes()
+    }
+}
+
+impl cover::MemSize for Decomposition {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Decomposition>() + self.approx_bytes_inner()
+    }
+}
+
 /// A rooted decomposition tree. Node 0 is always the root.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Decomposition {
@@ -141,6 +153,19 @@ impl Decomposition {
     /// All nodes in id order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// Approximate resident bytes (for the result-cache byte budget).
+    fn approx_bytes_inner(&self) -> usize {
+        use cover::MemSize as _;
+        let tree: usize = self
+            .children
+            .iter()
+            .map(|c| std::mem::size_of::<Vec<usize>>() + c.capacity() * 8)
+            .sum();
+        self.nodes.iter().map(|n| n.approx_bytes()).sum::<usize>()
+            + self.parent.capacity() * 16
+            + tree
     }
 
     /// Parent of `u` (`None` for the root).

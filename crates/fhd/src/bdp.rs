@@ -46,6 +46,16 @@ pub enum FhdAnswer {
     Unknown,
 }
 
+impl cover::MemSize for FhdAnswer {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match self {
+                FhdAnswer::Yes(d) => cover::MemSize::approx_bytes(d.as_ref()),
+                FhdAnswer::No | FhdAnswer::Unknown => 0,
+            }
+    }
+}
+
 impl FhdAnswer {
     /// The witness, if any.
     pub fn decomposition(&self) -> Option<&Decomposition> {
@@ -84,25 +94,36 @@ pub fn check_fhd_bdp_with_stats(
     if h.has_isolated_vertices() || !k.is_positive() {
         return (FhdAnswer::No, SearchStats::default());
     }
-    // Decision profile (duplicate edges + twin vertices): `fhw` and the
-    // strictness trace are preserved exactly, and the lifted witness
-    // stays a valid FHD of `h` at the same width. The `No`/`Unknown`
-    // distinction travels around the generic wrapper in `verdict`.
-    let mut verdict = FhdAnswer::No;
-    let (result, stats) = prep::run_decision(h, opts.prep, |block| {
-        let (answer, s) = check_fhd_bdp_piece(block, k, params, opts);
-        match answer {
-            FhdAnswer::Yes(d) => (Some(((), *d)), s),
-            other => {
-                verdict = other;
-                (None, s)
+    let warm = solver::pool_is_warm();
+    let key = format!(
+        "k={:?};arity={};max_sub={};prep={};rp={}",
+        k, params.union_arity, params.max_subedges, opts.prep, opts.reuse_prices
+    );
+    let reuse = opts.reuse_results && !opts.speculate;
+    let (answer, mut stats) = prep::cached_query(h, "result-fhd-bdp", key, reuse, || {
+        // Decision profile (duplicate edges + twin vertices): `fhw` and
+        // the strictness trace are preserved exactly, and the lifted
+        // witness stays a valid FHD of `h` at the same width. The
+        // `No`/`Unknown` distinction travels around the generic wrapper
+        // in `verdict`.
+        let mut verdict = FhdAnswer::No;
+        let (result, stats) = prep::run_decision(h, opts.prep, |block| {
+            let (answer, s) = check_fhd_bdp_piece(block, k, params, opts);
+            match answer {
+                FhdAnswer::Yes(d) => (Some(((), *d)), s),
+                other => {
+                    verdict = other;
+                    (None, s)
+                }
             }
-        }
+        });
+        let answer = match result {
+            Some((_, d)) => FhdAnswer::Yes(Box::new(d)),
+            None => verdict,
+        };
+        (answer, stats)
     });
-    let answer = match result {
-        Some((_, d)) => FhdAnswer::Yes(Box::new(d)),
-        None => verdict,
-    };
+    stats.pool_reuse = usize::from(warm);
     (answer, stats)
 }
 
@@ -117,28 +138,29 @@ fn check_fhd_bdp_piece(
     let Some((aug, bounds)) = prepare(h, k, params) else {
         return (FhdAnswer::No, SearchStats::default());
     };
+    let aug = std::sync::Arc::new(aug);
     let hp = &aug.hypergraph;
     // The separator LP prices (`rho*(⋃S via S)`) are k-independent, so a
     // registry-backed session keyed on the *augmented* instance lets the
     // integer/PTAAS iteration loops reuse them across their repeated
     // checks.
     let session = prep::SessionCache::open(hp, "strict-sep-lp", opts.reuse_prices);
-    let strategy = StrictHd {
-        h: hp,
-        aug: &aug,
+    let truncated = aug.truncated;
+    let strategy = std::sync::Arc::new(StrictHd {
+        aug: std::sync::Arc::clone(&aug),
         k: k.clone(),
         support_bound: bounds.support,
         max_union: bounds.union,
         sep_cache: std::sync::Arc::clone(&session.cache),
         scope_cache: Mutex::new(None),
-    };
+    });
     let cx = SearchContext::with_options(opts);
     let result = cx.run(hp, &strategy);
     let mut stats = cx.stats();
     (stats.price_hits, stats.price_misses, stats.price_warm_hits) = session.deltas();
     let answer = match result {
         Some((_, d)) => FhdAnswer::Yes(Box::new(d)),
-        None if aug.truncated => FhdAnswer::Unknown,
+        None if truncated => FhdAnswer::Unknown,
         None => FhdAnswer::No,
     };
     (answer, stats)
@@ -203,9 +225,11 @@ type PricedSep = Option<(Rational, Vec<(usize, Rational)>)>;
 /// with the `⌊k·rank⌋` union prune applied to whole subtrees; admission
 /// enforces `rho*(H_λ) <= k` through a shared separator price cache whose
 /// entries double as the witness cover (one LP per separator, total).
-struct StrictHd<'a> {
-    h: &'a Hypergraph,
-    aug: &'a Augmented,
+struct StrictHd {
+    /// The augmented instance `H' = H ∪ h_{d,k}(H)` the search runs on.
+    /// Owned (shared with the caller) so the strategy is `'static` and can
+    /// ride pool jobs on the process-wide worker pool.
+    aug: std::sync::Arc<Augmented>,
     k: Rational,
     support_bound: usize,
     max_union: usize,
@@ -232,7 +256,12 @@ struct ScopedState {
     allowed: VertexSet,
 }
 
-impl StrictHd<'_> {
+impl StrictHd {
+    /// The augmented hypergraph the search runs on.
+    fn hg(&self) -> &Hypergraph {
+        &self.aug.hypergraph
+    }
+
     /// Usable separator edges (touching the component's closed neighborhood
     /// and inside the strictness span `allowed = comp ∪ (V(R) ∩ span)`),
     /// plus `allowed` itself; memoized per state.
@@ -245,17 +274,18 @@ impl StrictHd<'_> {
                 }
             }
         }
-        let neighborhood = self.h.union_of_edges(state.comp_edges.iter().copied());
-        let candidates: Vec<usize> = (0..self.h.num_edges())
-            .filter(|&e| self.h.edge(e).intersects(&neighborhood))
+        let hg = self.hg();
+        let neighborhood = hg.union_of_edges(state.comp_edges.iter().copied());
+        let candidates: Vec<usize> = (0..hg.num_edges())
+            .filter(|&e| hg.edge(e).intersects(&neighborhood))
             .collect();
-        let span = self.h.union_of_edges(candidates.iter().copied());
+        let span = hg.union_of_edges(candidates.iter().copied());
         let allowed = state.comp.union(&state.parent_split.intersection(&span));
         // Strictness prefilter: every separator edge must stay inside
         // comp ∪ V(R) (hoisted out of the subset enumeration).
         let usable: Vec<usize> = candidates
             .into_iter()
-            .filter(|&e| self.h.edge(e).is_subset(&allowed))
+            .filter(|&e| hg.edge(e).is_subset(&allowed))
             .collect();
         *self.scope_cache.lock().expect("scope cache poisoned") = Some(ScopedState {
             comp: state.comp.clone(),
@@ -277,7 +307,7 @@ impl StrictHd<'_> {
         }
         let rank = sep
             .iter()
-            .map(|&e| self.h.edge(e).len())
+            .map(|&e| self.hg().edge(e).len())
             .max()
             .expect("separator is non-empty");
         if Rational::from(vs.len()) > &self.k * &Rational::from(rank) {
@@ -285,7 +315,7 @@ impl StrictHd<'_> {
         }
         let (weight, weights) = self
             .sep_cache
-            .get_or_insert_with(&sep.to_vec(), || price_separator(self.h, sep, vs))?;
+            .get_or_insert_with(&sep.to_vec(), || price_separator(self.hg(), sep, vs))?;
         (weight <= self.k).then_some(weights)
     }
 }
@@ -325,7 +355,7 @@ fn push_to_originators(aug: &Augmented, cover: &[(usize, Rational)]) -> Vec<(usi
     weights
 }
 
-impl WidthSolver for StrictHd<'_> {
+impl WidthSolver for StrictHd {
     type Cost = Rational;
 
     fn is_decision(&self) -> bool {
@@ -346,7 +376,7 @@ impl WidthSolver for StrictHd<'_> {
     fn candidates<'a>(&'a self, _h: &'a Hypergraph, state: SearchState<'a>) -> CandidateStream<'a> {
         let (usable, _) = self.scoped(&state);
         CandidateStream::new(PrunedEdgeSubsets {
-            h: self.h,
+            h: self.hg(),
             usable,
             max_len: self.support_bound,
             max_union: self.max_union,
@@ -369,7 +399,7 @@ impl WidthSolver for StrictHd<'_> {
             return None;
         }
         let sep_cover = self.cover_ok(&guess.edges, vs)?;
-        let weights = push_to_originators(self.aug, &sep_cover);
+        let weights = push_to_originators(&self.aug, &sep_cover);
         let cost: Rational = weights.iter().map(|(_, w)| w.clone()).sum();
         Some(Admission {
             split: vs.clone(),

@@ -71,7 +71,17 @@ pub fn fhw_exact_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    prep::run_minimizer(h, opts.prep, |block| fhw_piece(block, cutoff.clone(), opts))
+    let warm = solver::pool_is_warm();
+    let key = format!(
+        "cutoff={cutoff:?};prep={};rp={}",
+        opts.prep, opts.reuse_prices
+    );
+    let reuse = opts.reuse_results && !opts.speculate;
+    let (result, mut stats) = prep::cached_query(h, "result-fhw", key, reuse, || {
+        prep::run_minimizer(h, opts.prep, |block| fhw_piece(block, cutoff.clone(), opts))
+    });
+    stats.pool_reuse = usize::from(warm);
+    (result, stats)
 }
 
 /// Computes the heuristic upper bound on `fhw(H)` (min-degree / min-fill
@@ -122,7 +132,12 @@ pub fn fhw_exact_subset_oracle(
         return None;
     }
     let session = prep::SessionCache::open(h, "fhw-rho-star", false);
-    let strategy = FhwSearch::new(h, cutoff, Arc::clone(&session.cache), BagMode::Subset);
+    let strategy = Arc::new(FhwSearch::new(
+        h,
+        cutoff,
+        Arc::clone(&session.cache),
+        BagMode::Subset,
+    ));
     let cx = SearchContext::with_options(EngineOptions::sequential());
     cx.run(h, &strategy)
 }
@@ -157,7 +172,12 @@ fn fhw_piece(
     // pre-candgen timings exactly.
     if h.num_vertices() < PREFIX_MIN_VERTICES {
         let session = prep::SessionCache::open(h, "fhw-rho-star", opts.reuse_prices);
-        let strategy = FhwSearch::new(h, cutoff, Arc::clone(&session.cache), BagMode::Subset);
+        let strategy = Arc::new(FhwSearch::new(
+            h,
+            cutoff,
+            Arc::clone(&session.cache),
+            BagMode::Subset,
+        ));
         let cx = SearchContext::with_options(opts);
         let result = cx.run(h, &strategy).map(|(w, d)| {
             debug_assert!(d.width() <= w);
@@ -221,7 +241,7 @@ fn fhw_piece(
             0
         };
         let session = prep::SessionCache::open(h, "fhw-rho-star", opts.reuse_prices);
-        let strategy = FhwSearch::new(
+        let strategy = Arc::new(FhwSearch::new(
             h,
             Some(eff),
             Arc::clone(&session.cache),
@@ -233,7 +253,7 @@ fn fhw_piece(
                 candgen::EdgeUnionConfig::with_budget(budget)
                     .with_per_state_cap(CANDGEN_STREAM_CAP),
             ),
-        );
+        ));
         let cx = SearchContext::with_options(opts);
         let result = cx.run(h, &strategy);
         let engine = cx.stats();

@@ -59,20 +59,30 @@ pub fn frac_decomp_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    // Decision profile: duplicate-edge and twin-vertex collapse only —
-    // the passes whose lifts preserve the weak special condition. The
-    // `c` bound is checked on the *reduced* instance, so acceptance is
-    // one-sided monotone: anything the unprepped algorithm accepts is
-    // still accepted (an FHD with a c-bounded part projects onto the
-    // collapsed instance), and everything accepted lifts to a valid
-    // width-(k+ε) witness of `h` — but collapsed twins need fewer `W_s`
-    // slots, so prep can accept where the raw algorithm's c-relative
-    // completeness gave up.
-    let (result, stats) = prep::run_decision(h, opts.prep, |block| {
-        let (d, s) = frac_decomp_piece(block, params, opts);
-        (d.map(|d| ((), d)), s)
+    let warm = solver::pool_is_warm();
+    let key = format!(
+        "k={:?};eps={:?};c={};prep={};rp={}",
+        params.k, params.eps, params.c, opts.prep, opts.reuse_prices
+    );
+    let reuse = opts.reuse_results && !opts.speculate;
+    let (result, mut stats) = prep::cached_query(h, "result-frac-decomp", key, reuse, || {
+        // Decision profile: duplicate-edge and twin-vertex collapse only —
+        // the passes whose lifts preserve the weak special condition. The
+        // `c` bound is checked on the *reduced* instance, so acceptance is
+        // one-sided monotone: anything the unprepped algorithm accepts is
+        // still accepted (an FHD with a c-bounded part projects onto the
+        // collapsed instance), and everything accepted lifts to a valid
+        // width-(k+ε) witness of `h` — but collapsed twins need fewer
+        // `W_s` slots, so prep can accept where the raw algorithm's
+        // c-relative completeness gave up.
+        let (result, stats) = prep::run_decision(h, opts.prep, |block| {
+            let (d, s) = frac_decomp_piece(block, params, opts);
+            (d.map(|d| ((), d)), s)
+        });
+        (result.map(|(_, d)| d), stats)
     });
-    (result.map(|(_, d)| d), stats)
+    stats.pool_reuse = usize::from(warm);
+    (result, stats)
 }
 
 /// Runs Algorithm 3 proper on an (already preprocessed) instance.
@@ -85,12 +95,12 @@ fn frac_decomp_piece(
     let l_max_big = budget.floor();
     let l_max = l_max_big.to_i64().unwrap_or(0).max(0) as usize;
     let session = prep::SessionCache::open(h, "frac-shadow-lp", opts.reuse_prices);
-    let strategy = FracDecomp {
+    let strategy = Arc::new(FracDecomp {
         budget,
         l_max,
         c: params.c,
         shadow: Arc::clone(&session.cache),
-    };
+    });
     let cx = SearchContext::with_options(opts);
     let result = cx.run(h, &strategy).map(|(_, d)| d);
     let mut stats = cx.stats();

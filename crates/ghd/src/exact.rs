@@ -57,10 +57,21 @@ pub fn ghw_exact_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    // The minimizer pipeline: GYO-style simplification, then biconnected
-    // blocks solved independently (candidate generation and the heuristic
-    // bound run per block), width = max, witness stitched and lifted.
-    prep::run_minimizer(h, opts.prep, |block| ghw_piece(block, cutoff, opts))
+    let warm = solver::pool_is_warm();
+    let key = format!(
+        "cutoff={cutoff:?};prep={};rp={}",
+        opts.prep, opts.reuse_prices
+    );
+    let reuse = opts.reuse_results && !opts.speculate;
+    let (result, mut stats) = prep::cached_query(h, "result-ghw", key, reuse, || {
+        // The minimizer pipeline: GYO-style simplification, then
+        // biconnected blocks solved independently (candidate generation
+        // and the heuristic bound run per block), width = max, witness
+        // stitched and lifted.
+        prep::run_minimizer(h, opts.prep, |block| ghw_piece(block, cutoff, opts))
+    });
+    stats.pool_reuse = usize::from(warm);
+    (result, stats)
 }
 
 /// Computes the heuristic upper bound on `ghw(H)` (min-degree / min-fill
@@ -107,7 +118,12 @@ pub fn ghw_exact_subset_oracle(
         return None;
     }
     let session = prep::SessionCache::open(h, "ghw-rho", false);
-    let strategy = GhwSearch::new(h, cutoff, Arc::clone(&session.cache), BagMode::Subset);
+    let strategy = Arc::new(GhwSearch::new(
+        h,
+        cutoff,
+        Arc::clone(&session.cache),
+        BagMode::Subset,
+    ));
     let cx = SearchContext::with_options(EngineOptions::sequential());
     cx.run(h, &strategy)
 }
@@ -167,12 +183,12 @@ fn ghw_piece(
         // Nothing beats width 1; the trivial search already failed.
         Some(None)
     } else if feasible {
-        let strategy = GhwSearch::new(
+        let strategy = Arc::new(GhwSearch::new(
             h,
             Some(eff),
             Arc::clone(&session.cache),
             BagMode::EdgeUnion(candgen::EdgeUnionConfig::with_budget(budget)),
-        );
+        ));
         let cx = SearchContext::with_options(opts);
         let result = cx.run(h, &strategy);
         let engine = cx.stats();

@@ -50,11 +50,18 @@ pub fn check_hd_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    let (result, stats) = prep::run_decision(h, opts.prep, |block| {
-        let (d, s) = check_hd_piece(block, k, opts);
-        (d.map(|d| ((), d)), s)
+    let warm = solver::pool_is_warm();
+    let key = format!("k={k};prep={};rp={}", opts.prep, opts.reuse_prices);
+    let reuse = opts.reuse_results && !opts.speculate;
+    let (result, mut stats) = prep::cached_query(h, "result-hw-check", key, reuse, || {
+        let (result, stats) = prep::run_decision(h, opts.prep, |block| {
+            let (d, s) = check_hd_piece(block, k, opts);
+            (d.map(|d| ((), d)), s)
+        });
+        (result.map(|(_, d)| d), stats)
     });
-    (result.map(|(_, d)| d), stats)
+    stats.pool_reuse = usize::from(warm);
+    (result, stats)
 }
 
 /// Runs `det-k-decomp` proper on an (already preprocessed) instance.
@@ -63,7 +70,7 @@ fn check_hd_piece(
     k: usize,
     opts: EngineOptions,
 ) -> (Option<Decomposition>, SearchStats) {
-    let strategy = DetK { k };
+    let strategy = std::sync::Arc::new(DetK { k });
     let cx = SearchContext::with_options(opts);
     let result = cx.run(h, &strategy).map(|(_, d)| d);
     (result, cx.stats())
@@ -87,20 +94,27 @@ pub fn hypertree_width_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
-    // The prep pipeline (which is `k`-independent) runs once around the
-    // whole iteration; every check searches the same reduced block and
-    // only the final witness is lifted.
-    prep::run_decision(h, opts.prep, |block| {
-        let mut total = SearchStats::default();
-        for k in 1..=max_k {
-            let (d, stats) = check_hd_piece(block, k, opts);
-            total.merge(&stats);
-            if let Some(d) = d {
-                return (Some((k, d)), total);
+    let warm = solver::pool_is_warm();
+    let key = format!("max_k={max_k};prep={};rp={}", opts.prep, opts.reuse_prices);
+    let reuse = opts.reuse_results && !opts.speculate;
+    let (result, mut stats) = prep::cached_query(h, "result-hw", key, reuse, || {
+        // The prep pipeline (which is `k`-independent) runs once around
+        // the whole iteration; every check searches the same reduced
+        // block and only the final witness is lifted.
+        prep::run_decision(h, opts.prep, |block| {
+            let mut total = SearchStats::default();
+            for k in 1..=max_k {
+                let (d, stats) = check_hd_piece(block, k, opts);
+                total.merge(&stats);
+                if let Some(d) = d {
+                    return (Some((k, d)), total);
+                }
             }
-        }
-        (None, total)
-    })
+            (None, total)
+        })
+    });
+    stats.pool_reuse = usize::from(warm);
+    (result, stats)
 }
 
 /// The `det-k-decomp` strategy: separators are edge sets `S` with

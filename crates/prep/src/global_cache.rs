@@ -1,4 +1,4 @@
-//! The process-lifetime, fingerprint-keyed cross-call price cache.
+//! The process-lifetime, fingerprint-keyed cross-call result registry.
 //!
 //! The per-search `ρ`/`ρ*` caches of PR 2 die with their search, so
 //! repeated searches on one instance (`hgtool widths` running three
@@ -7,113 +7,233 @@
 //! This registry keeps one [`cover::ShardedCache`] per
 //! `(hypergraph fingerprint, cache slot)` alive for the process lifetime,
 //! so a bag priced once is priced never again — across calls, strategies
-//! and thread counts.
+//! and thread counts. On top of the price slots, [`cached_query`] uses the
+//! same registry to cache *whole-query answers*: a
+//! `(instance, strategy, parameters)` triple maps to the full result —
+//! width, lifted witness and engine counters — so a repeated call skips
+//! the search entirely, and an identical call already in flight is
+//! deduplicated through the cache's `Pending` claim machinery (the second
+//! caller parks and adopts the first one's answer).
 //!
-//! Soundness: a price is only valid for the instance it was computed on,
-//! so the registry stores the full [`CanonicalForm`] next to the caches
-//! and compares it on every lookup. A fingerprint collision (or any
-//! mismatch) falls back to a fresh, unregistered session — never to wrong
-//! prices. Eviction is FIFO over fingerprints, capped at
-//! [`MAX_FINGERPRINTS`], which bounds memory across long test runs.
+//! Soundness: a cached value is only valid for the instance it was
+//! computed on, so the registry stores the full [`CanonicalForm`] next to
+//! the caches and compares it on every lookup. A fingerprint collision
+//! does not discard sharing anymore: each distinct canonical form behind
+//! one fingerprint gets its own *variant* (keyed by a secondary hash), so
+//! colliding instances still reuse their own caches across calls; only
+//! the astronomically unlikely double collision (same fingerprint *and*
+//! same secondary hash, different structure) falls back to a fresh
+//! private session — never to wrong prices.
 //!
-//! Determinism: widths and witnesses are unaffected by reuse (prices are
-//! exact values). The `price_*` counters of a session *are* affected —
-//! that is the point — so the engine determinism tests run with
-//! `reuse_prices` off and fresh caches instead.
+//! Memory: all slots of all variants share one byte budget
+//! ([`BUDGET_ENV`], default 64 MiB), estimated via [`cover::MemSize`] and
+//! enforced by least-recently-used eviction over `(fingerprint, variant)`
+//! keys at session-open time. Opening a session touches its key; slot
+//! checkouts mark the key dirty so the next sweep re-measures it.
+//!
+//! Determinism: widths and witnesses are unaffected by reuse (prices and
+//! results are exact values, and witnesses are revalidated by the test
+//! suites). The `price_*` counters and the runtime counters
+//! (`result_cache_hits`, `inflight_dedup`) of a session *are* affected —
+//! that is the point — so the engine determinism tests run with reuse off
+//! and compare [`SearchStats::engine_only`].
 
 use crate::fingerprint::{canonical_form, fingerprint_of_canon, CanonicalForm, Fingerprint};
-use cover::ShardedCache;
+use crate::stats::SearchStats;
+use cover::{Claim, MemSize, ShardedCache};
+use hypergraph::fx::FxHasher;
 use hypergraph::Hypergraph;
 use std::any::Any;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Maximum registered fingerprints before FIFO eviction.
-const MAX_FINGERPRINTS: usize = 64;
+/// Environment variable overriding the shared cache byte budget.
+pub const BUDGET_ENV: &str = "HGTOOL_CACHE_BYTES";
 
-/// One registered instance: its exact incidence structure (collision
-/// guard) and a slot map of type-erased shared caches.
-struct Entry {
+/// Default shared byte budget: price caches and the whole-query result
+/// cache together.
+const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
+
+/// One registered slot: the type-erased shared cache plus a sizer that
+/// re-measures it (the sizer captures a typed `Arc` clone, so the
+/// byte-budget sweep needs no type knowledge).
+struct SlotEntry {
+    cache: Arc<dyn Any + Send + Sync>,
+    sizer: Box<dyn Fn() -> usize + Send + Sync>,
+}
+
+/// One canonical form behind a fingerprint: the exact incidence structure
+/// (collision guard), its slot map, and the byte estimate as of the last
+/// sweep (stale while the variant is in the dirty set).
+struct Variant {
+    sec: u64,
     canon: CanonicalForm,
     num_vertices: usize,
-    slots: HashMap<&'static str, Arc<dyn Any + Send + Sync>>,
+    slots: HashMap<&'static str, SlotEntry>,
+    bytes: usize,
 }
 
-/// The process-lifetime registry. Obtain it through [`global`].
+/// The interior state: variants by fingerprint, the LRU order over
+/// `(fingerprint, secondary)` keys (least recent first), and the keys
+/// whose byte estimate went stale since the last sweep.
+#[derive(Default)]
+struct Registry {
+    entries: HashMap<u128, Vec<Variant>>,
+    order: Vec<(u128, u64)>,
+    dirty: HashSet<(u128, u64)>,
+}
+
+/// The process-lifetime registry. Obtain the shared one through
+/// [`global`]; tests build private instances with
+/// [`GlobalPriceCache::new`] (leaked to `'static`, since sessions borrow
+/// the registry for the process lifetime).
 pub struct GlobalPriceCache {
-    entries: Mutex<(HashMap<u128, Entry>, Vec<u128>)>,
+    inner: Mutex<Registry>,
+    budget: usize,
 }
 
-/// The process-wide registry instance.
+/// The process-wide registry instance, budgeted by [`BUDGET_ENV`].
 pub fn global() -> &'static GlobalPriceCache {
     static GLOBAL: OnceLock<GlobalPriceCache> = OnceLock::new();
-    GLOBAL.get_or_init(|| GlobalPriceCache {
-        entries: Mutex::new((HashMap::new(), Vec::new())),
+    GLOBAL.get_or_init(|| {
+        let budget = std::env::var(BUDGET_ENV)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_BUDGET_BYTES);
+        GlobalPriceCache::new(budget)
     })
 }
 
+/// The secondary hash separating canonical forms that collide on the
+/// primary fingerprint (FxHash over the same word stream the fingerprint
+/// reads, but with a different mixing function — independent enough that
+/// a double collision would need two simultaneous 64-bit+128-bit breaks).
+fn secondary_hash(num_vertices: usize, canon: &CanonicalForm) -> u64 {
+    let mut hasher = FxHasher::default();
+    num_vertices.hash(&mut hasher);
+    canon.hash(&mut hasher);
+    hasher.finish()
+}
+
 impl GlobalPriceCache {
-    /// Opens a price session for `h`: cached slots of the same instance
-    /// are shared (their generation advanced, so reuse shows up in
-    /// [`cover::ShardedCache::warm_hits`]); an unknown instance is
-    /// registered; a fingerprint collision yields a fresh unshared
-    /// session.
-    pub fn session(&self, h: &Hypergraph) -> PriceSession {
+    /// An empty registry with the given byte budget.
+    pub fn new(budget: usize) -> Self {
+        GlobalPriceCache {
+            inner: Mutex::new(Registry::default()),
+            budget,
+        }
+    }
+
+    /// Opens a session for `h`: cached slots of the same instance are
+    /// shared (their generation advanced, so reuse shows up in
+    /// [`cover::ShardedCache::warm_hits`]); an unknown instance (or a new
+    /// canonical form behind a colliding fingerprint) is registered as its
+    /// own variant. Opening touches the LRU key and runs the byte-budget
+    /// sweep, evicting least-recently-used variants (never the one just
+    /// opened) while the estimate exceeds the budget.
+    pub fn session(&'static self, h: &Hypergraph) -> PriceSession {
         let canon = canonical_form(h);
         let fp = fingerprint_of_canon(h.num_vertices(), &canon);
-        let mut guard = self.entries.lock().expect("price registry poisoned");
-        let (entries, order) = &mut *guard;
-        match entries.get(&fp.0) {
-            Some(entry) if entry.canon == canon && entry.num_vertices == h.num_vertices() => {
-                PriceSession { registry: Some(fp) }
+        let sec = secondary_hash(h.num_vertices(), &canon);
+        let mut reg = self.inner.lock().expect("price registry poisoned");
+        let variants = reg.entries.entry(fp.0).or_default();
+        match variants.iter().find(|v| v.sec == sec) {
+            Some(v) if v.canon == canon && v.num_vertices == h.num_vertices() => {}
+            // Double collision (fingerprint and secondary hash): never
+            // share. Unlike the old single-hash fallback this is per
+            // *structure*, not per call — merely fingerprint-colliding
+            // instances each keep their own shared variant above.
+            Some(_) => return PriceSession::fresh(),
+            None => variants.push(Variant {
+                sec,
+                canon,
+                num_vertices: h.num_vertices(),
+                slots: HashMap::new(),
+                bytes: 0,
+            }),
+        }
+        let key = (fp.0, sec);
+        if let Some(pos) = reg.order.iter().position(|&k| k == key) {
+            reg.order.remove(pos);
+        }
+        reg.order.push(key);
+        self.sweep(&mut reg, key);
+        PriceSession {
+            registry: Some((self, fp, sec)),
+        }
+    }
+
+    /// Re-measures dirty variants, then evicts from the LRU front while
+    /// the total estimate exceeds the budget (skipping `just_opened`).
+    fn sweep(&self, reg: &mut Registry, just_opened: (u128, u64)) {
+        for key in std::mem::take(&mut reg.dirty) {
+            if let Some(v) = variant_mut(&mut reg.entries, key) {
+                v.bytes = v.slots.values().map(|s| (s.sizer)()).sum();
             }
-            Some(_) => PriceSession::fresh(), // collision: never share
-            None => {
-                if order.len() >= MAX_FINGERPRINTS {
-                    let evict = order.remove(0);
-                    entries.remove(&evict);
+        }
+        let mut total: usize = reg
+            .order
+            .iter()
+            .filter_map(|&k| variant_ref(&reg.entries, k).map(|v| v.bytes))
+            .sum();
+        let mut i = 0;
+        while total > self.budget && i < reg.order.len() {
+            let key = reg.order[i];
+            if key == just_opened {
+                i += 1;
+                continue;
+            }
+            reg.order.remove(i);
+            if let Some(variants) = reg.entries.get_mut(&key.0) {
+                if let Some(pos) = variants.iter().position(|v| v.sec == key.1) {
+                    total -= variants[pos].bytes;
+                    variants.remove(pos);
                 }
-                entries.insert(
-                    fp.0,
-                    Entry {
-                        canon,
-                        num_vertices: h.num_vertices(),
-                        slots: HashMap::new(),
-                    },
-                );
-                order.push(fp.0);
-                PriceSession { registry: Some(fp) }
+                if variants.is_empty() {
+                    reg.entries.remove(&key.0);
+                }
             }
         }
     }
 
-    /// The registered shared cache for `(fingerprint, slot)`, created on
-    /// first use. `None` when the fingerprint was evicted meanwhile.
-    fn slot<K, V>(&self, fp: Fingerprint, name: &'static str) -> Option<Arc<ShardedCache<K, V>>>
+    /// The registered shared cache for `(fingerprint, variant, slot)`,
+    /// created on first use and marked dirty for the next sweep. `None`
+    /// when the variant was evicted meanwhile.
+    fn slot<K, V>(
+        &self,
+        fp: Fingerprint,
+        sec: u64,
+        name: &'static str,
+    ) -> Option<Arc<ShardedCache<K, V>>>
     where
-        K: Eq + Hash + Send + Sync + 'static,
-        V: Clone + Send + Sync + 'static,
+        K: Eq + Hash + MemSize + Send + Sync + 'static,
+        V: Clone + MemSize + Send + Sync + 'static,
     {
-        let mut guard = self.entries.lock().expect("price registry poisoned");
-        let (entries, _) = &mut *guard;
-        let entry = entries.get_mut(&fp.0)?;
-        let slot = entry
-            .slots
-            .entry(name)
-            .or_insert_with(|| Arc::new(ShardedCache::<K, V>::new()) as Arc<dyn Any + Send + Sync>);
-        let cache = Arc::clone(slot)
+        let mut guard = self.inner.lock().expect("price registry poisoned");
+        let reg = &mut *guard;
+        let variant = variant_mut(&mut reg.entries, (fp.0, sec))?;
+        let slot = variant.slots.entry(name).or_insert_with(|| {
+            let typed: Arc<ShardedCache<K, V>> = Arc::new(ShardedCache::new());
+            let measured = Arc::clone(&typed);
+            SlotEntry {
+                cache: typed,
+                sizer: Box::new(move || measured.approx_bytes()),
+            }
+        });
+        let cache = Arc::clone(&slot.cache)
             .downcast::<ShardedCache<K, V>>()
             .expect("slot name reused with a different cache type");
+        reg.dirty.insert((fp.0, sec));
         Some(cache)
     }
 
-    /// Registered fingerprints (diagnostics).
+    /// Registered variants, in LRU order length (diagnostics).
     pub fn len(&self) -> usize {
-        self.entries
+        self.inner
             .lock()
             .expect("price registry poisoned")
-            .1
+            .order
             .len()
     }
 
@@ -121,13 +241,34 @@ impl GlobalPriceCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The byte estimate as of the last sweep (diagnostics; dirty variants
+    /// report their stale measurement).
+    pub fn approx_bytes(&self) -> usize {
+        let reg = self.inner.lock().expect("price registry poisoned");
+        reg.order
+            .iter()
+            .filter_map(|&k| variant_ref(&reg.entries, k).map(|v| v.bytes))
+            .sum()
+    }
+}
+
+fn variant_ref(entries: &HashMap<u128, Vec<Variant>>, key: (u128, u64)) -> Option<&Variant> {
+    entries.get(&key.0)?.iter().find(|v| v.sec == key.1)
+}
+
+fn variant_mut(
+    entries: &mut HashMap<u128, Vec<Variant>>,
+    key: (u128, u64),
+) -> Option<&mut Variant> {
+    entries.get_mut(&key.0)?.iter_mut().find(|v| v.sec == key.1)
 }
 
 /// A per-search handle to the shared caches of one instance (or to fresh
-/// private caches when reuse is off / collided / evicted).
+/// private caches when reuse is off / double-collided / evicted).
 pub struct PriceSession {
-    /// `Some(fp)` when backed by the registry.
-    registry: Option<Fingerprint>,
+    /// `Some` when backed by a registry: the registry plus the variant key.
+    registry: Option<(&'static GlobalPriceCache, Fingerprint, u64)>,
 }
 
 impl PriceSession {
@@ -136,7 +277,7 @@ impl PriceSession {
         PriceSession { registry: None }
     }
 
-    /// True when backed by the process-lifetime registry.
+    /// True when backed by a process-lifetime registry.
     pub fn is_shared(&self) -> bool {
         self.registry.is_some()
     }
@@ -146,10 +287,12 @@ impl PriceSession {
     /// counted as warm), private otherwise.
     pub fn cache<K, V>(&self, slot: &'static str) -> Arc<ShardedCache<K, V>>
     where
-        K: Eq + Hash + Send + Sync + 'static,
-        V: Clone + Send + Sync + 'static,
+        K: Eq + Hash + MemSize + Send + Sync + 'static,
+        V: Clone + MemSize + Send + Sync + 'static,
     {
-        let shared = self.registry.and_then(|fp| global().slot::<K, V>(fp, slot));
+        let shared = self
+            .registry
+            .and_then(|(reg, fp, sec)| reg.slot::<K, V>(fp, sec, slot));
         match shared {
             Some(cache) => {
                 cache.advance_generation();
@@ -175,8 +318,8 @@ pub struct SessionCache<K, V> {
 
 impl<K, V> SessionCache<K, V>
 where
-    K: Eq + Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
+    K: Eq + Hash + MemSize + Send + Sync + 'static,
+    V: Clone + MemSize + Send + Sync + 'static,
 {
     /// Opens the `slot` cache for `h`: registry-backed when `reuse` asks
     /// for it (and `HGTOOL_NO_PREP` doesn't veto it), private otherwise —
@@ -213,10 +356,92 @@ where
     }
 }
 
+/// Routes one whole-query computation through the cross-call result
+/// cache: `(instance fingerprint, slot, key)` maps to the full answer —
+/// result (including the lifted witness) plus the engine counters of the
+/// run that computed it.
+///
+/// `slot` names the strategy (one result cache per strategy per
+/// instance); `key` encodes every parameter the answer depends on
+/// (cutoff, width bound, engine options that affect the result). With
+/// reuse off (or vetoed by `HGTOOL_NO_PREP`, or double-collided) `run`
+/// executes directly.
+///
+/// * A repeated identical query returns the stored answer with
+///   `result_cache_hits = 1` and never runs a search.
+/// * An identical query *in flight* parks on the entry's `Pending` claim
+///   and adopts the owner's answer (`inflight_dedup = 1` on top of the
+///   hit) — exactly one search runs however many threads ask.
+/// * If the owning computation panics, the claim is abandoned and one
+///   parked waiter re-runs (nobody deadlocks on a poisoned entry).
+pub fn cached_query<R>(
+    h: &Hypergraph,
+    slot: &'static str,
+    key: String,
+    reuse: bool,
+    run: impl FnOnce() -> (R, SearchStats),
+) -> (R, SearchStats)
+where
+    R: Clone + MemSize + Send + Sync + 'static,
+{
+    if !crate::reuse_enabled(reuse) {
+        return run();
+    }
+    let session = global().session(h);
+    if !session.is_shared() {
+        return run();
+    }
+    let cache: Arc<ShardedCache<String, (R, SearchStats)>> = session.cache(slot);
+    let (claim, waited) = cache.claim_tracking_wait(&key);
+    match claim {
+        Claim::Hit((result, mut stats)) => {
+            stats.result_cache_hits = 1;
+            stats.inflight_dedup = usize::from(waited);
+            (result, stats)
+        }
+        Claim::Owner => {
+            let guard = QueryGuard {
+                cache: &cache,
+                key: Some(&key),
+            };
+            let (result, stats) = run();
+            guard.disarm();
+            cache.complete(key, (result.clone(), stats.clone()));
+            (result, stats)
+        }
+    }
+}
+
+/// Abandons an owned result claim on unwind unless disarmed, so a
+/// panicking search cannot strand parked duplicate queries forever.
+struct QueryGuard<'c, R: Clone> {
+    cache: &'c ShardedCache<String, (R, SearchStats)>,
+    key: Option<&'c String>,
+}
+
+impl<R: Clone> QueryGuard<'_, R> {
+    fn disarm(mut self) {
+        self.key = None;
+    }
+}
+
+impl<R: Clone> Drop for QueryGuard<'_, R> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.cache.abandon(key);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hypergraph::generators;
+
+    /// A private registry leaked to `'static` (sessions borrow it).
+    fn private(budget: usize) -> &'static GlobalPriceCache {
+        Box::leak(Box::new(GlobalPriceCache::new(budget)))
+    }
 
     #[test]
     fn session_cache_reports_per_checkout_deltas() {
@@ -253,5 +478,127 @@ mod tests {
         let c2 = s2.cache::<u32, u32>("test-slot-b");
         assert_eq!(c2.get(&1), None);
         let _ = &h;
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_variant_under_byte_pressure() {
+        let reg = private(2_000);
+        let h1 = generators::path(3);
+        let h2 = generators::cycle(4);
+        let h3 = generators::star(4);
+        // Register h1 and h2 and give each a slot worth ~1.5k bytes (the
+        // sharding skeleton alone is most of it).
+        reg.session(&h1).cache::<u32, u32>("t").complete(1, 1);
+        reg.session(&h2).cache::<u32, u32>("t").complete(2, 2);
+        assert_eq!(reg.len(), 2);
+        // Touch h1 so h2 is the LRU victim, then open h3: the sweep must
+        // evict h2 (and possibly h1), never the just-opened h3.
+        let s1 = reg.session(&h1);
+        assert!(s1.is_shared());
+        let s3 = reg.session(&h3);
+        assert!(s3.is_shared());
+        let survivors = reg.len();
+        assert!(survivors <= 2, "budget forces eviction, kept {survivors}");
+        // h2 was evicted: a new session starts from an empty slot.
+        let c2 = reg.session(&h2).cache::<u32, u32>("t");
+        assert_eq!(c2.get(&2), None, "evicted variant lost its entries");
+    }
+
+    #[test]
+    fn sweep_never_evicts_the_just_opened_session() {
+        let reg = private(0); // everything is over budget
+        let h = generators::path(4);
+        reg.session(&h).cache::<u32, u32>("t").complete(1, 1);
+        // Reopening under a zero budget keeps the reopened variant alive
+        // for this session even though it exceeds the budget.
+        let s = reg.session(&h);
+        assert!(s.is_shared());
+        assert_eq!(s.cache::<u32, u32>("t").get(&1), Some(1));
+    }
+
+    #[test]
+    fn cached_query_replays_results_and_counts_hits() {
+        let h = generators::cycle(6);
+        let mut runs = 0;
+        let (v1, s1) = cached_query(&h, "test-result-slot", "k=2".into(), true, || {
+            runs += 1;
+            let stats = SearchStats {
+                states: 5,
+                ..SearchStats::default()
+            };
+            (41_u32, stats)
+        });
+        assert_eq!((v1, s1.result_cache_hits), (41, 0));
+        let (v2, s2) = cached_query(&h, "test-result-slot", "k=2".into(), true, || {
+            runs += 1;
+            (0_u32, SearchStats::default())
+        });
+        assert_eq!(runs, 1, "second identical query never ran");
+        assert_eq!(v2, 41);
+        assert_eq!(s2.result_cache_hits, 1);
+        assert_eq!(s2.states, 5, "stored engine counters replayed");
+        // A different key is a different query.
+        let (v3, _) = cached_query(&h, "test-result-slot", "k=3".into(), true, || {
+            runs += 1;
+            (7_u32, SearchStats::default())
+        });
+        assert_eq!((runs, v3), (2, 7));
+        // Reuse off bypasses the cache entirely.
+        let (v4, s4) = cached_query(&h, "test-result-slot", "k=2".into(), false, || {
+            runs += 1;
+            (13_u32, SearchStats::default())
+        });
+        assert_eq!((runs, v4, s4.result_cache_hits), (3, 13, 0));
+    }
+
+    #[test]
+    fn inflight_duplicate_queries_park_and_dedup() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let h = generators::cycle(7);
+        let started = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let owner = s.spawn(|| {
+                cached_query(&h, "test-dedup-slot", "q".into(), true, || {
+                    started.store(true, Ordering::SeqCst);
+                    // Hold the Pending claim long enough for the duplicate
+                    // query on the main thread to park on it.
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    let stats = SearchStats {
+                        states: 3,
+                        ..SearchStats::default()
+                    };
+                    (99_u32, stats)
+                })
+            });
+            while !started.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            let (v, stats) = cached_query::<u32>(&h, "test-dedup-slot", "q".into(), true, || {
+                unreachable!("the duplicate must adopt the in-flight answer")
+            });
+            let (vo, so) = owner.join().expect("owner completes");
+            assert_eq!((vo, so.result_cache_hits), (99, 0), "one search ran");
+            assert_eq!(v, 99, "waiter adopted the owner's answer");
+            assert_eq!(stats.result_cache_hits, 1);
+            assert_eq!(stats.inflight_dedup, 1, "the duplicate parked in flight");
+            assert_eq!(stats.states, 3, "owner's engine counters replayed");
+        });
+    }
+
+    #[test]
+    fn cached_query_abandons_on_panic() {
+        let h = generators::grid(2, 2);
+        let attempt = std::panic::catch_unwind(|| {
+            cached_query::<u32>(&h, "test-panic-slot", "x".into(), true, || {
+                panic!("search blew up")
+            })
+        });
+        assert!(attempt.is_err());
+        // The claim was abandoned, not left Pending: a retry runs and
+        // completes instead of parking forever.
+        let (v, _) = cached_query(&h, "test-panic-slot", "x".into(), true, || {
+            (3_u32, SearchStats::default())
+        });
+        assert_eq!(v, 3);
     }
 }

@@ -32,7 +32,7 @@ pub mod simplify;
 pub mod stats;
 
 pub use fingerprint::{fingerprint, Fingerprint};
-pub use global_cache::{global, GlobalPriceCache, PriceSession, SessionCache};
+pub use global_cache::{cached_query, global, GlobalPriceCache, PriceSession, SessionCache};
 pub use simplify::{Pass, Step};
 pub use stats::SearchStats;
 

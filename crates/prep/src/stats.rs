@@ -76,6 +76,18 @@ pub struct SearchStats {
     /// Biconnected blocks solved independently (0 with prep off; 1 when
     /// prep ran but the instance is a single block).
     pub prep_blocks: usize,
+    /// Whole-query answers served from the cross-call result cache (the
+    /// search itself never ran). Always 0 with result reuse off.
+    pub result_cache_hits: usize,
+    /// Whole-query requests that deduplicated against an identical search
+    /// already in flight in this process (this call parked and adopted the
+    /// other search's answer instead of running its own).
+    pub inflight_dedup: usize,
+    /// 1 when the shared worker pool was already spun up by an earlier
+    /// search when this call entered (pool threads were reused, not
+    /// spawned), 0 otherwise. Set by the strategy wrappers, never by the
+    /// engine — engine counters stay thread-count- and history-invariant.
+    pub pool_reuse: usize,
 }
 
 impl SearchStats {
@@ -112,6 +124,34 @@ impl SearchStats {
         self.prep_vertices_removed += other.prep_vertices_removed;
         self.prep_edges_removed += other.prep_edges_removed;
         self.prep_blocks += other.prep_blocks;
+        self.result_cache_hits += other.result_cache_hits;
+        self.inflight_dedup += other.inflight_dedup;
+        // A 0/1 process-state flag, not a count: merging per-block searches
+        // of one call keeps it a flag.
+        self.pool_reuse = self.pool_reuse.max(other.pool_reuse);
+    }
+
+    /// Zeroes the process-history-dependent runtime counters
+    /// (`result_cache_hits`, `inflight_dedup`, `pool_reuse`), leaving the
+    /// deterministic engine counters. The identity test suites compare
+    /// `stats.engine_only()` across cache-on/cache-off and thread-count
+    /// runs — the runtime counters are *expected* to differ there.
+    pub fn engine_only(&self) -> SearchStats {
+        SearchStats {
+            result_cache_hits: 0,
+            inflight_dedup: 0,
+            pool_reuse: 0,
+            ..self.clone()
+        }
+    }
+}
+
+impl cover::MemSize for SearchStats {
+    fn approx_bytes(&self) -> usize {
+        let heap = self.ub_width.as_ref().map_or(0, |w| {
+            cover::MemSize::approx_bytes(w).saturating_sub(std::mem::size_of::<Rational>())
+        });
+        std::mem::size_of::<Self>() + heap
     }
 }
 

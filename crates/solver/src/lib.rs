@@ -47,7 +47,7 @@ use decomp::{Decomposition, Node};
 use hypergraph::{components, Hypergraph, VertexSet};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
 
 /// Practical vertex limit for the subset-enumerating bag stream
 /// ([`stream_subset_bags`]): it proposes every bag `conn ⊆ B ⊆ conn ∪ C`,
@@ -136,17 +136,27 @@ pub struct EngineOptions {
     /// [`EngineOptions::with_threads`] leave it off so stats stay
     /// reproducible in tests.
     pub reuse_prices: bool,
+    /// Serve whole queries — width, lifted witness and engine stats — from
+    /// the process-lifetime result cache keyed by `(fingerprint, strategy,
+    /// cutoff)`, and dedup identical in-flight requests to one search. A
+    /// hit replays the original search's result and engine counters
+    /// byte-for-byte; only the runtime counters (`result_cache_hits`,
+    /// `inflight_dedup`, `pool_reuse`) reflect the current call. Off under
+    /// [`EngineOptions::sequential`] / [`EngineOptions::with_threads`] and
+    /// whenever `speculate` is on (speculative stats are not replayable).
+    pub reuse_results: bool,
 }
 
 impl Default for EngineOptions {
     /// Default scheduling: default thread count, no speculation,
-    /// preprocessing on, cross-call price reuse on.
+    /// preprocessing on, cross-call price and result reuse on.
     fn default() -> Self {
         EngineOptions {
             threads: None,
             speculate: false,
             prep: true,
             reuse_prices: true,
+            reuse_results: true,
         }
     }
 }
@@ -160,6 +170,7 @@ impl EngineOptions {
             speculate: false,
             prep: true,
             reuse_prices: false,
+            reuse_results: false,
         }
     }
 
@@ -172,6 +183,7 @@ impl EngineOptions {
             speculate: false,
             prep: true,
             reuse_prices: false,
+            reuse_results: false,
         }
     }
 
@@ -193,6 +205,20 @@ impl EngineOptions {
     /// [`EngineOptions::reuse_prices`]).
     pub fn with_price_reuse(mut self) -> Self {
         self.reuse_prices = true;
+        self
+    }
+
+    /// Enables the whole-query result cache (see
+    /// [`EngineOptions::reuse_results`]).
+    pub fn with_result_reuse(mut self) -> Self {
+        self.reuse_results = true;
+        self
+    }
+
+    /// Disables the whole-query result cache while keeping everything else
+    /// (the cache-on/cache-off identity checks of the runtime tests).
+    pub fn without_result_reuse(mut self) -> Self {
+        self.reuse_results = false;
         self
     }
 }
@@ -377,6 +403,9 @@ struct Plan<C> {
 /// price-cache and candidate-generation tallies on top.
 pub use prep::SearchStats;
 
+pub mod runtime;
+pub use runtime::{admission_estimate, solve_batch};
+
 #[derive(Default)]
 struct AtomicStats {
     streamed: AtomicUsize,
@@ -453,48 +482,95 @@ impl CancelScope {
 
 /// A queued unit of work: claims candidate slots from the batch it was
 /// advertised for. Receives the pool and the executing worker's index so
-/// nested rounds push to the right deque.
-type Job<'e> = Box<dyn FnOnce(&Pool<'e>, usize) + Send + 'e>;
+/// nested rounds push to the right deque. Jobs are `'static` — they hold
+/// only weak `Arc`s into their batch, never borrows of a search's stack.
+type Job = Box<dyn FnOnce(&'static SharedPool, usize) + Send>;
 
-/// The per-search worker pool: one deque per worker (including the calling
-/// thread, worker 0) with stealing. Spawn overhead is paid once per search
-/// — the workers persist across every state of the recursion and park on
-/// `wake` when all deques are empty.
-struct Pool<'e> {
-    queues: Vec<Mutex<VecDeque<Job<'e>>>>,
-    /// Sleep gate: `true` once the search is over. Pushers notify under
-    /// this lock so parked workers cannot miss a wakeup.
-    gate: Mutex<bool>,
+/// The deque index used by threads that are not pool workers (the thread
+/// that called [`SearchContext::run`]): their advertisements go to the
+/// shared injector deque instead of a worker-owned one.
+const EXTERNAL: usize = usize::MAX;
+
+/// The process-wide work-stealing pool shared by every concurrent search.
+///
+/// PR 3's pool was per-`run`: scoped threads spawned and joined around
+/// every search, which priced thread spawns into each of the thousands of
+/// small queries a batched workload runs. This pool is spawned lazily once
+/// ([`shared_pool`]), its [`MAX_THREADS`] workers park between searches,
+/// and any number of concurrent searches multiplex onto it — per-search
+/// [`Permits`] keep each search within its own [`EngineOptions::threads`]
+/// budget, so determinism per search is untouched.
+///
+/// One deque per worker plus one injector for external threads. Workers
+/// pop their own deque LIFO (hot working set), then the injector, then
+/// steal the *oldest* job of another worker (biggest pending subtrees
+/// first).
+struct SharedPool {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    injector: Mutex<VecDeque<Job>>,
+    /// Sleep gate: pushers notify under this lock so parked workers cannot
+    /// miss a wakeup. The pool never shuts down — idle workers just park.
+    gate: Mutex<()>,
     wake: Condvar,
 }
 
-impl<'e> Pool<'e> {
-    fn new(workers: usize) -> Self {
-        Pool {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            gate: Mutex::new(false),
-            wake: Condvar::new(),
-        }
-    }
+static POOL: OnceLock<SharedPool> = OnceLock::new();
+static POOL_START: Once = Once::new();
 
-    /// Queues a job on `worker`'s deque and wakes a parked worker.
-    fn push(&self, worker: usize, job: Job<'e>) {
-        self.queues[worker]
-            .lock()
-            .expect("pool queue poisoned")
-            .push_back(job);
+/// The lazily started process-wide pool. The first call constructs it and
+/// spawns its [`MAX_THREADS`] workers; every later call is a pointer read.
+fn shared_pool() -> &'static SharedPool {
+    let pool = POOL.get_or_init(|| SharedPool {
+        queues: (0..MAX_THREADS)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect(),
+        injector: Mutex::new(VecDeque::new()),
+        gate: Mutex::new(()),
+        wake: Condvar::new(),
+    });
+    POOL_START.call_once(|| {
+        for worker in 0..MAX_THREADS {
+            std::thread::Builder::new()
+                .name(format!("width-worker-{worker}"))
+                .spawn(move || pool.worker_loop(worker))
+                .expect("spawn pool worker");
+        }
+    });
+    pool
+}
+
+/// True when the shared pool is already running — i.e. a search starting
+/// now skips the pool spin-up entirely. Surfaced as the `pool_reuse`
+/// runtime counter by the strategy wrappers.
+pub fn pool_is_warm() -> bool {
+    POOL.get().is_some()
+}
+
+impl SharedPool {
+    /// Queues a job on `from`'s own deque (the injector for external
+    /// threads) and wakes a parked worker.
+    fn push(&self, from: usize, job: Job) {
+        let queue = self.queues.get(from).unwrap_or(&self.injector);
+        queue.lock().expect("pool queue poisoned").push_back(job);
         let _gate = self.gate.lock().expect("pool gate poisoned");
         self.wake.notify_all();
     }
 
-    /// Pops `me`'s newest job (LIFO keeps the working set hot), else steals
-    /// the *oldest* job of another worker (FIFO steals the biggest pending
-    /// subtrees first).
-    fn grab(&self, me: usize) -> Option<Job<'e>> {
+    /// Pops `me`'s newest job, else an injected job, else steals the
+    /// oldest job of another worker.
+    fn grab(&self, me: usize) -> Option<Job> {
         if let Some(job) = self.queues[me]
             .lock()
             .expect("pool queue poisoned")
             .pop_back()
+        {
+            return Some(job);
+        }
+        if let Some(job) = self
+            .injector
+            .lock()
+            .expect("pool queue poisoned")
+            .pop_front()
         {
             return Some(job);
         }
@@ -515,54 +591,79 @@ impl<'e> Pool<'e> {
     fn has_queued(&self) -> bool {
         self.queues
             .iter()
+            .chain(std::iter::once(&self.injector))
             .any(|q| !q.lock().expect("pool queue poisoned").is_empty())
     }
 
-    /// The spawned workers' loop: run jobs until the search shuts down.
-    fn worker_loop(&self, me: usize) {
+    /// The workers' loop: run jobs forever, parking whenever every deque is
+    /// empty. Stale advertisements of finished searches fail their weak
+    /// upgrade and drop in O(1).
+    fn worker_loop(&'static self, me: usize) {
         loop {
             if let Some(job) = self.grab(me) {
                 job(self, me);
                 continue;
             }
-            let mut shutdown = self.gate.lock().expect("pool gate poisoned");
-            if *shutdown {
-                return;
-            }
+            let guard = self.gate.lock().expect("pool gate poisoned");
             // Re-check under the gate: a push between our failed grab and
             // this lock already notified (notifications happen under the
             // gate), so waiting here cannot miss it.
             if self.has_queued() {
                 continue;
             }
-            shutdown = self.wake.wait(shutdown).expect("pool gate poisoned");
-            if *shutdown {
-                return;
-            }
+            drop(self.wake.wait(guard).expect("pool gate poisoned"));
         }
     }
+}
 
-    fn shutdown(&self) {
-        *self.gate.lock().expect("pool gate poisoned") = true;
-        self.wake.notify_all();
+/// Per-search worker-budget accounting on the shared pool: a search with
+/// `threads = t` hands out at most `t - 1` permits, so at most `t - 1`
+/// pool workers help it at any moment (the calling thread is the t-th).
+/// Acquisition is non-blocking — an advert popped with no permit left is a
+/// no-op and the batch owner evaluates the slot itself — so budgets cannot
+/// deadlock against each other, and each search sees at most its own
+/// configured parallelism whatever else shares the pool.
+struct Permits(AtomicUsize);
+
+impl Permits {
+    fn new(n: usize) -> Self {
+        Permits(AtomicUsize::new(n))
+    }
+
+    fn acquire(&self) -> bool {
+        let mut left = self.0.load(Ordering::Relaxed);
+        while left > 0 {
+            match self
+                .0
+                .compare_exchange_weak(left, left - 1, Ordering::Acquire, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(now) => left = now,
+            }
+        }
+        false
+    }
+
+    fn release(&self) {
+        self.0.fetch_add(1, Ordering::Release);
     }
 }
 
 /// Per-branch execution handle threaded through the recursion: where this
-/// branch runs (pool + deque index) and which cancellation scope governs
-/// it. Plain refs — cloned cheaply at scope boundaries only.
-struct Exec<'p, 'e> {
-    pool: Option<&'p Pool<'e>>,
+/// branch runs (shared pool + deque index) and which cancellation scope
+/// governs it.
+struct Exec {
+    pool: Option<&'static SharedPool>,
     worker: usize,
     cancel: Option<Arc<CancelScope>>,
 }
 
-impl<'p, 'e> Exec<'p, 'e> {
+impl Exec {
     /// No pool, no cancellation: the sequential engine.
     fn sequential() -> Self {
         Exec {
             pool: None,
-            worker: 0,
+            worker: EXTERNAL,
             cancel: None,
         }
     }
@@ -615,13 +716,12 @@ struct SpecState<C> {
 /// with the pool via `Arc`. Workers claim slots through `cursor` (so an
 /// advertisement popped after the batch is drained is a cheap no-op), write
 /// into `results`, and the owner parks on `done` until every claimed slot
-/// has finished. Owns clones of the state sets — jobs outlive the owner's
-/// stack frame only through this `Arc`, which is what keeps the whole pool
-/// free of `unsafe`.
-struct BatchCtx<'e, C, S> {
-    engine: &'e SearchContext<C>,
-    h: &'e Hypergraph,
-    strategy: &'e S,
+/// has finished. Owns a full [`Search`] handle plus clones of the state
+/// sets — jobs outlive the owner's stack frame only through this `Arc`,
+/// which is what keeps the whole pool free of `unsafe` even though the
+/// pool itself now outlives every search.
+struct BatchCtx<C, S> {
+    search: Search<C, S>,
     comp: VertexSet,
     conn: VertexSet,
     parent_split: VertexSet,
@@ -643,14 +743,14 @@ struct BatchCtx<'e, C, S> {
     done: Condvar,
 }
 
-impl<'e, C, S> BatchCtx<'e, C, S>
+impl<C, S> BatchCtx<C, S>
 where
-    C: Ord + Clone + Send + Sync,
-    S: WidthSolver<Cost = C>,
+    C: Ord + Clone + Send + Sync + 'static,
+    S: WidthSolver<Cost = C> + Send + Sync + 'static,
 {
     /// Claims and evaluates candidate slots until the batch is drained.
     /// Runs on the owner and on any worker that popped an advertisement.
-    fn work(&self, pool: &Pool<'e>, worker: usize) {
+    fn work(&self, pool: &'static SharedPool, worker: usize) {
         let cancel = match &self.spec {
             Some(spec) => Some(Arc::clone(&spec.scope)),
             None => self.inherited.clone(),
@@ -674,9 +774,7 @@ where
             let outcome = if exec.is_canceled() {
                 Err(Canceled)
             } else {
-                self.engine.evaluate_candidate(
-                    self.h,
-                    self.strategy,
+                self.search.evaluate_candidate(
                     state,
                     &self.guesses[slot],
                     self.bound.as_ref(),
@@ -731,15 +829,11 @@ where
     }
 }
 
-/// The shared search engine: memoized `(component, connector[, state key])`
-/// recursion with witness assembly. The memo is a concurrent
-/// [`ShardedCache`] with in-flight entry states — a state racing into
-/// multiple workers is evaluated by exactly one while the others park on
-/// it — and every search method takes `&self`, so worker threads recurse
-/// through one context concurrently. The cache's hit/miss counters double
-/// as the `memo_hits`/`states` stats (every miss becomes a computed state,
-/// computed exactly once).
-pub struct SearchContext<C> {
+/// The interior of a [`SearchContext`], shared with the pool through
+/// `Arc`s: the memo, the plan arena, the counters and the scheduling
+/// configuration. Everything a pool worker needs to keep evaluating a
+/// search after the submitting call frame has moved on.
+struct Core<C> {
     memo: ShardedCache<MemoKey, Option<(C, usize)>>,
     plans: Mutex<Vec<Plan<C>>>,
     stats: AtomicStats,
@@ -749,7 +843,48 @@ pub struct SearchContext<C> {
     speculate: bool,
 }
 
-impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
+/// The shared search engine: memoized `(component, connector[, state key])`
+/// recursion with witness assembly. The memo is a concurrent
+/// [`ShardedCache`] with in-flight entry states — a state racing into
+/// multiple workers is evaluated by exactly one while the others park on
+/// it — and every search method takes `&self`, so worker threads recurse
+/// through one context concurrently. The cache's hit/miss counters double
+/// as the `memo_hits`/`states` stats (every miss becomes a computed state,
+/// computed exactly once).
+///
+/// Parallel evaluation runs on the process-wide [`SharedPool`] (lazily
+/// started on the first parallel search, reused by every search after it),
+/// with per-search [`Permits`] capping how many pool workers help any one
+/// search at its configured `threads` budget.
+pub struct SearchContext<C> {
+    core: Arc<Core<C>>,
+}
+
+/// One in-flight search: the engine core plus owned handles to the
+/// hypergraph and strategy. `Clone` is four `Arc` bumps — every pool job
+/// carries one of these (via its batch), which is what lets jobs be
+/// `'static` on the shared pool without a single borrow of the submitting
+/// stack frame.
+struct Search<C, S> {
+    core: Arc<Core<C>>,
+    h: Arc<Hypergraph>,
+    strategy: Arc<S>,
+    /// Helper budget for this search (see [`Permits`]).
+    permits: Arc<Permits>,
+}
+
+impl<C, S> Clone for Search<C, S> {
+    fn clone(&self) -> Self {
+        Search {
+            core: Arc::clone(&self.core),
+            h: Arc::clone(&self.h),
+            strategy: Arc::clone(&self.strategy),
+            permits: Arc::clone(&self.permits),
+        }
+    }
+}
+
+impl<C: Ord + Clone + Send + Sync + 'static> SearchContext<C> {
     /// A context with the default parallelism ([`default_thread_count`])
     /// and no speculation.
     pub fn new() -> Self {
@@ -773,28 +908,30 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
             None => default_thread_count(),
         };
         SearchContext {
-            memo: ShardedCache::new(),
-            plans: Mutex::new(Vec::new()),
-            stats: AtomicStats::default(),
-            threads,
-            speculate: opts.speculate,
+            core: Arc::new(Core {
+                memo: ShardedCache::new(),
+                plans: Mutex::new(Vec::new()),
+                stats: AtomicStats::default(),
+                threads,
+                speculate: opts.speculate,
+            }),
         }
     }
 
     /// The resolved worker-thread budget of this context.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.core.threads
     }
 
     /// Snapshot of the engine counters (the `price_*` fields are zero here;
     /// strategy wrappers merge their cache counters on top).
     pub fn stats(&self) -> SearchStats {
-        let (memo_hits, states) = self.memo.counters();
+        let (memo_hits, states) = self.core.memo.counters();
         SearchStats {
             states,
             memo_hits,
-            streamed: self.stats.streamed.load(Ordering::Relaxed),
-            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            streamed: self.core.stats.streamed.load(Ordering::Relaxed),
+            admitted: self.core.stats.admitted.load(Ordering::Relaxed),
             ..SearchStats::default()
         }
     }
@@ -802,42 +939,40 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
     /// Decomposes the whole hypergraph with `strategy`; returns the achieved
     /// cost (maximum over nodes) and the witness.
     ///
-    /// With `threads > 1` this spawns the search's worker pool (scoped
-    /// threads living for the whole search), runs the root state on the
-    /// calling thread as worker 0, and joins the pool before returning.
-    pub fn run<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
-    ) -> Option<(C, Decomposition)> {
+    /// With `threads > 1` a parallel-capable search advertises its rounds
+    /// on the process-wide [`SharedPool`] (started lazily on first use,
+    /// then shared by every search in the process) while the calling
+    /// thread works the rounds itself; [`Permits`] cap the helpers at
+    /// `threads - 1` so results and stats match a dedicated `threads`-wide
+    /// pool exactly.
+    pub fn run<S>(&self, h: &Hypergraph, strategy: &Arc<S>) -> Option<(C, Decomposition)>
+    where
+        S: WidthSolver<Cost = C> + Send + Sync + 'static,
+    {
         if h.num_vertices() == 0 {
             return None;
         }
         let root = h.all_vertices();
         let empty = VertexSet::new();
-        // Decision strategies without speculation never push a job, so
-        // spawning (and immediately parking) a pool for them is pure
-        // overhead.
-        let wants_pool = self.threads > 1 && (!strategy.is_decision() || self.speculate);
-        let solved = if !wants_pool {
-            self.solve_inner(h, strategy, &root, &empty, &empty, &Exec::sequential())
-        } else {
-            let pool = Pool::new(self.threads);
-            std::thread::scope(|scope| {
-                for worker in 1..self.threads {
-                    let pool = &pool;
-                    scope.spawn(move || pool.worker_loop(worker));
-                }
-                let exec = Exec {
-                    pool: Some(&pool),
-                    worker: 0,
-                    cancel: None,
-                };
-                let out = self.solve_inner(h, strategy, &root, &empty, &empty, &exec);
-                pool.shutdown();
-                out
-            })
+        let search = Search {
+            core: Arc::clone(&self.core),
+            h: Arc::new(h.clone()),
+            strategy: Arc::clone(strategy),
+            permits: Arc::new(Permits::new(self.core.threads.saturating_sub(1))),
         };
+        // Decision strategies without speculation never push a job, so
+        // routing them through the pool is pure overhead.
+        let wants_pool = self.core.threads > 1 && (!strategy.is_decision() || self.core.speculate);
+        let exec = if wants_pool {
+            Exec {
+                pool: Some(shared_pool()),
+                worker: EXTERNAL,
+                cancel: None,
+            }
+        } else {
+            Exec::sequential()
+        };
+        let solved = search.solve_inner(&root, &empty, &empty, &exec);
         let entry = solved.expect("the root branch has no cancellation scope");
         let (cost, plan) = entry?;
         let d = self.assemble(&root, plan);
@@ -849,34 +984,66 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
     /// whose apex bag contains `conn`, or `None` if none exists under the
     /// cutoff. Standalone entry point — [`SearchContext::run`] drives the
     /// same recursion through the worker pool.
-    pub fn solve<S: WidthSolver<Cost = C>>(
+    pub fn solve<S>(
         &self,
         h: &Hypergraph,
-        strategy: &S,
+        strategy: &Arc<S>,
         comp: &VertexSet,
         conn: &VertexSet,
         parent_split: &VertexSet,
-    ) -> Option<(C, usize)> {
-        self.solve_inner(h, strategy, comp, conn, parent_split, &Exec::sequential())
+    ) -> Option<(C, usize)>
+    where
+        S: WidthSolver<Cost = C> + Send + Sync + 'static,
+    {
+        let search = Search {
+            core: Arc::clone(&self.core),
+            h: Arc::new(h.clone()),
+            strategy: Arc::clone(strategy),
+            permits: Arc::new(Permits::new(0)),
+        };
+        search
+            .solve_inner(comp, conn, parent_split, &Exec::sequential())
             .expect("the sequential engine has no cancellation scope")
     }
 
+    /// Materializes the witness decomposition rooted at `plan`. The root bag
+    /// is used as-is; below, bags are clipped to `component ∪ parent bag`
+    /// (the witness-tree construction every strategy shares).
+    fn assemble(&self, root_comp: &VertexSet, plan: usize) -> Decomposition {
+        let plans = self.core.plans.lock().expect("plan arena poisoned");
+        let p = &plans[plan];
+        let root_bag = p.bag.intersection(root_comp);
+        let mut d = Decomposition::new(Node {
+            bag: root_bag.clone(),
+            weights: p.weights.clone(),
+        });
+        for (sub, child) in &p.children {
+            attach(&plans, &mut d, 0, &root_bag, *child, sub);
+        }
+        d
+    }
+}
+
+impl<C, S> Search<C, S>
+where
+    C: Ord + Clone + Send + Sync + 'static,
+    S: WidthSolver<Cost = C> + Send + Sync + 'static,
+{
     /// The memoized recursion step: claim the state's memo entry (parking
     /// through another worker's in-flight evaluation), evaluating it only
     /// as the claim owner.
-    fn solve_inner<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
+    fn solve_inner(
+        &self,
         comp: &VertexSet,
         conn: &VertexSet,
         parent_split: &VertexSet,
-        exec: &Exec<'_, 'e>,
+        exec: &Exec,
     ) -> Result<Option<(C, usize)>, Canceled> {
         if exec.is_canceled() {
             return Err(Canceled);
         }
-        if strategy.has_state_key() {
+        let h = self.h.as_ref();
+        if self.strategy.has_state_key() {
             // The memo key needs the derived state, so build it up front.
             let comp_edges = h.edges_intersecting(comp);
             let state = SearchState {
@@ -888,11 +1055,11 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
             let key = MemoKey {
                 comp: comp.clone(),
                 conn: conn.clone(),
-                skey: strategy.state_key(h, state),
+                skey: self.strategy.state_key(h, state),
             };
-            match self.memo.claim(&key) {
+            match self.core.memo.claim(&key) {
                 Claim::Hit(hit) => Ok(hit),
-                Claim::Owner => self.compute_claimed(h, strategy, state, key, exec),
+                Claim::Owner => self.compute_claimed(state, key, exec),
             }
         } else {
             // Fast path: claim on `(comp, conn)` alone — a memo hit costs
@@ -902,7 +1069,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
                 conn: conn.clone(),
                 skey: None,
             };
-            match self.memo.claim(&key) {
+            match self.core.memo.claim(&key) {
                 Claim::Hit(hit) => Ok(hit),
                 Claim::Owner => {
                     let comp_edges = h.edges_intersecting(comp);
@@ -912,7 +1079,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
                         comp_edges: &comp_edges,
                         parent_split,
                     };
-                    self.compute_claimed(h, strategy, state, key, exec)
+                    self.compute_claimed(state, key, exec)
                 }
             }
         }
@@ -921,13 +1088,11 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
     /// Evaluates a state this branch owns the memo claim for, completing
     /// the entry with the result — or abandoning the claim on cancellation
     /// and unwind, so parked waiters re-claim instead of hanging.
-    fn compute_claimed<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
+    fn compute_claimed(
+        &self,
         state: SearchState<'_>,
         key: MemoKey,
-        exec: &Exec<'_, 'e>,
+        exec: &Exec,
     ) -> Result<Option<(C, usize)>, Canceled> {
         struct Release<'r, C: Clone> {
             memo: &'r ShardedCache<MemoKey, Option<(C, usize)>>,
@@ -941,59 +1106,55 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
             }
         }
         let mut release = Release {
-            memo: &self.memo,
+            memo: &self.core.memo,
             key: Some(key),
         };
-        let best = self.evaluate_state(h, strategy, state, exec)?;
+        let best = self.evaluate_state(state, exec)?;
         let entry = best.map(|(cost, plan)| {
-            let mut plans = self.plans.lock().expect("plan arena poisoned");
+            let mut plans = self.core.plans.lock().expect("plan arena poisoned");
             plans.push(plan);
             (cost, plans.len() - 1)
         });
         let key = release.key.take().expect("claim released exactly once");
-        self.memo.complete(key, entry.clone());
+        self.core.memo.complete(key, entry.clone());
         Ok(entry)
     }
 
     /// Dispatches a freshly claimed state to its evaluation mode.
-    fn evaluate_state<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
+    fn evaluate_state(
+        &self,
         state: SearchState<'_>,
-        exec: &Exec<'_, 'e>,
+        exec: &Exec,
     ) -> Result<Option<(C, Plan<C>)>, Canceled> {
-        let stream = strategy.candidates(h, state);
-        if strategy.is_decision() {
-            if self.speculate && exec.pool.is_some() {
-                self.evaluate_speculative(h, strategy, state, stream, exec)
+        let stream = self.strategy.candidates(&self.h, state);
+        if self.strategy.is_decision() {
+            if self.core.speculate && exec.pool.is_some() {
+                self.evaluate_speculative(state, stream, exec)
             } else {
-                self.evaluate_sequential(h, strategy, state, stream, exec)
+                self.evaluate_sequential(state, stream, exec)
             }
         } else {
-            self.evaluate_rounds(h, strategy, state, stream, exec)
+            self.evaluate_rounds(state, stream, exec)
         }
     }
 
     /// The sequential decision loop: pull, evaluate, return the first
     /// fully decomposing candidate.
-    fn evaluate_sequential<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
+    fn evaluate_sequential(
+        &self,
         state: SearchState<'_>,
         stream: CandidateStream<'_>,
-        exec: &Exec<'_, 'e>,
+        exec: &Exec,
     ) -> Result<Option<(C, Plan<C>)>, Canceled> {
-        let cutoff = strategy.cutoff();
-        let mut streamed = Tally::new(&self.stats.streamed);
+        let cutoff = self.strategy.cutoff();
+        let mut streamed = Tally::new(&self.core.stats.streamed);
         for guess in stream {
             if exec.is_canceled() {
                 return Err(Canceled);
             }
             streamed.add(1);
             if let Evaluated::Solved(found) =
-                self.evaluate_candidate(h, strategy, state, &guess, cutoff.as_ref(), exec)?
+                self.evaluate_candidate(state, &guess, cutoff.as_ref(), exec)?
             {
                 return Ok(Some(found));
             }
@@ -1026,16 +1187,14 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
     ///   round priced at least two candidates. Rounds the gates reject
     ///   wholesale are microsecond scans; dispatching them would cost more
     ///   than the scan itself.
-    fn evaluate_rounds<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
+    fn evaluate_rounds(
+        &self,
         state: SearchState<'_>,
         mut stream: CandidateStream<'_>,
-        exec: &Exec<'_, 'e>,
+        exec: &Exec,
     ) -> Result<Option<(C, Plan<C>)>, Canceled> {
-        let cutoff = strategy.cutoff();
-        let mut streamed = Tally::new(&self.stats.streamed);
+        let cutoff = self.strategy.cutoff();
+        let mut streamed = Tally::new(&self.core.stats.streamed);
         let mut best: Option<(C, Plan<C>)> = None;
         let mut fan_out = false;
         let mut improving = true;
@@ -1063,7 +1222,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
                 };
                 streamed.add(1);
                 let bound = tighter(cutoff.as_ref(), best.as_ref().map(|(c, _)| c));
-                let evaluated = self.evaluate_candidate(h, strategy, state, &guess, bound, exec)?;
+                let evaluated = self.evaluate_candidate(state, &guess, bound, exec)?;
                 improving = best.is_none();
                 if let Evaluated::Solved(found) = evaluated {
                     let improves = match &best {
@@ -1088,7 +1247,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
             }
             streamed.add(batch.len());
             let bound = tighter(cutoff.as_ref(), best.as_ref().map(|(c, _)| c)).cloned();
-            let results = self.evaluate_batch(h, strategy, state, batch, bound, fan_out, exec)?;
+            let results = self.evaluate_batch(state, batch, bound, fan_out, exec)?;
             // Results arrive in slot (= stream) order, so a strict `<`
             // keeps the earliest candidate among equal costs — the same
             // witness the sequential engine picks.
@@ -1116,16 +1275,13 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
     /// Evaluates one round of candidates: across the pool when the round
     /// policy asks for it (the owner claims slots too, then parks until
     /// thieves finish theirs), inline otherwise.
-    #[allow(clippy::too_many_arguments)]
-    fn evaluate_batch<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
+    fn evaluate_batch(
+        &self,
         state: SearchState<'_>,
         guesses: Vec<Guess>,
         bound: Option<C>,
         fan_out: bool,
-        exec: &Exec<'_, 'e>,
+        exec: &Exec,
     ) -> Result<RoundOutcome<C>, Canceled> {
         let pool = match exec.pool {
             Some(pool) if fan_out && guesses.len() > 1 => pool,
@@ -1136,8 +1292,6 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
                         return Err(Canceled);
                     }
                     out.push(Some(self.evaluate_candidate(
-                        h,
-                        strategy,
                         state,
                         guess,
                         bound.as_ref(),
@@ -1149,9 +1303,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
         };
         let slots = guesses.len();
         let ctx = Arc::new(BatchCtx {
-            engine: self,
-            h,
-            strategy,
+            search: self.clone(),
             comp: state.comp.clone(),
             conn: state.conn.clone(),
             parent_split: state.parent_split.clone(),
@@ -1178,23 +1330,21 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
     /// across the pool under a fresh cancellation scope; the first witness
     /// (ties broken toward the lowest slot) cancels its siblings, which
     /// abandon their in-flight memo claims mid-descent.
-    fn evaluate_speculative<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
+    fn evaluate_speculative(
+        &self,
         state: SearchState<'_>,
         mut stream: CandidateStream<'_>,
-        exec: &Exec<'_, 'e>,
+        exec: &Exec,
     ) -> Result<Option<(C, Plan<C>)>, Canceled> {
         let pool = exec.pool.expect("speculation requires a pool");
-        let cutoff = strategy.cutoff();
-        let mut streamed = Tally::new(&self.stats.streamed);
+        let cutoff = self.strategy.cutoff();
+        let mut streamed = Tally::new(&self.core.stats.streamed);
         loop {
             if exec.is_canceled() {
                 return Err(Canceled);
             }
-            let mut batch = Vec::with_capacity(self.threads);
-            while batch.len() < self.threads {
+            let mut batch = Vec::with_capacity(self.core.threads);
+            while batch.len() < self.core.threads {
                 let Some(guess) = stream.next() else { break };
                 batch.push(guess);
             }
@@ -1204,7 +1354,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
             streamed.add(batch.len());
             if batch.len() == 1 {
                 if let Evaluated::Solved(found) =
-                    self.evaluate_candidate(h, strategy, state, &batch[0], cutoff.as_ref(), exec)?
+                    self.evaluate_candidate(state, &batch[0], cutoff.as_ref(), exec)?
                 {
                     return Ok(Some(found));
                 }
@@ -1216,9 +1366,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
                 parent: exec.cancel.clone(),
             });
             let ctx = Arc::new(BatchCtx {
-                engine: self,
-                h,
-                strategy,
+                search: self.clone(),
                 comp: state.comp.clone(),
                 conn: state.conn.clone(),
                 parent_split: state.parent_split.clone(),
@@ -1253,25 +1401,28 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
     /// Advertises a batch to the pool (one job per slot a helper could
     /// take), works it on the calling thread, and parks until stolen slots
     /// finish.
-    fn offer_and_work<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        pool: &Pool<'e>,
-        worker: usize,
-        ctx: &Arc<BatchCtx<'e, C, S>>,
-    ) {
-        let helpers = (ctx.guesses.len() - 1).min(self.threads - 1);
+    fn offer_and_work(&self, pool: &'static SharedPool, worker: usize, ctx: &Arc<BatchCtx<C, S>>) {
+        let helpers = (ctx.guesses.len() - 1).min(self.core.threads - 1);
         for _ in 0..helpers {
             // Weak adverts: a queued job never extends the round's life.
             // Once the owner returns from wait() and drops its Arc, stale
             // adverts still sitting in a deque fail to upgrade and are
             // no-ops — the round's guesses and results free immediately
-            // instead of lingering until some worker pops them.
+            // instead of lingering until some worker pops them. A helper
+            // additionally needs one of the search's permits: the pool is
+            // shared, and the permits are what cap this search's active
+            // workers at its own `threads` budget (the batch owner claims
+            // any slot no helper takes, so a skipped advert costs nothing
+            // but parallelism).
             let advert = Arc::downgrade(ctx);
             pool.push(
                 worker,
                 Box::new(move |pool, me| {
                     if let Some(ctx) = advert.upgrade() {
-                        ctx.work(pool, me);
+                        if ctx.search.permits.acquire() {
+                            ctx.work(pool, me);
+                            ctx.search.permits.release();
+                        }
                     }
                 }),
             );
@@ -1282,22 +1433,21 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
 
     /// Admits one guess and, if it survives the structural checks, solves
     /// all sub-components; returns the candidate's achieved cost and plan.
-    fn evaluate_candidate<'e, S: WidthSolver<Cost = C>>(
-        &'e self,
-        h: &'e Hypergraph,
-        strategy: &'e S,
+    fn evaluate_candidate(
+        &self,
         state: SearchState<'_>,
         guess: &Guess,
         bound: Option<&C>,
-        exec: &Exec<'_, 'e>,
+        exec: &Exec,
     ) -> Result<Evaluated<C>, Canceled> {
+        let h = self.h.as_ref();
         // Admission runs first — it derives the separator geometry and
         // prices it, rejecting structurally or cost-wise hopeless guesses
         // without the engine ever materializing them.
-        let Some(admission) = strategy.admit(h, state, guess, bound) else {
+        let Some(admission) = self.strategy.admit(h, state, guess, bound) else {
             return Ok(Evaluated::Rejected);
         };
-        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        self.core.stats.admitted.fetch_add(1, Ordering::Relaxed);
         // Progress: the separator must eat into the component.
         if !admission.split.intersects(state.comp) {
             return Ok(Evaluated::Admitted);
@@ -1340,7 +1490,7 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
             let span = h.union_of_edges(sub_edges.iter().copied());
             let sub_conn = admission.split.intersection(&span);
             let Some((child_cost, child_plan)) =
-                self.solve_inner(h, strategy, sub, &sub_conn, &admission.split, exec)?
+                self.solve_inner(sub, &sub_conn, &admission.split, exec)?
             else {
                 return Ok(Evaluated::Admitted);
             };
@@ -1356,23 +1506,6 @@ impl<C: Ord + Clone + Send + Sync> SearchContext<C> {
                 cost: total,
             },
         )))
-    }
-
-    /// Materializes the witness decomposition rooted at `plan`. The root bag
-    /// is used as-is; below, bags are clipped to `component ∪ parent bag`
-    /// (the witness-tree construction every strategy shares).
-    fn assemble(&self, root_comp: &VertexSet, plan: usize) -> Decomposition {
-        let plans = self.plans.lock().expect("plan arena poisoned");
-        let p = &plans[plan];
-        let root_bag = p.bag.intersection(root_comp);
-        let mut d = Decomposition::new(Node {
-            bag: root_bag.clone(),
-            weights: p.weights.clone(),
-        });
-        for (sub, child) in &p.children {
-            attach(&plans, &mut d, 0, &root_bag, *child, sub);
-        }
-        d
     }
 }
 
@@ -1409,7 +1542,7 @@ fn tighter<'a, C: Ord>(cutoff: Option<&'a C>, best: Option<&'a C>) -> Option<&'a
     }
 }
 
-impl<C: Ord + Clone + Send + Sync> Default for SearchContext<C> {
+impl<C: Ord + Clone + Send + Sync + 'static> Default for SearchContext<C> {
     fn default() -> Self {
         Self::new()
     }
@@ -1700,7 +1833,7 @@ mod tests {
     fn acyclic_instances_decompose_with_single_edges() {
         let h = path(5);
         let cx = SearchContext::new();
-        let (cost, d) = cx.run(&h, &SingleEdge).expect("paths have hw 1");
+        let (cost, d) = cx.run(&h, &Arc::new(SingleEdge)).expect("paths have hw 1");
         assert_eq!(cost, 1);
         assert_eq!(decomp::validate_hd(&h, &d), Ok(()), "{}", d.render(&h));
         assert!(cx.stats().states > 0);
@@ -1710,7 +1843,7 @@ mod tests {
     fn cyclic_instances_fail_with_single_edges() {
         let h = triangle();
         let cx = SearchContext::new();
-        assert!(cx.run(&h, &SingleEdge).is_none());
+        assert!(cx.run(&h, &Arc::new(SingleEdge)).is_none());
     }
 
     #[test]
@@ -1719,9 +1852,9 @@ mod tests {
         // fresh state; re-solving the same hypergraph reuses the memo.
         let h = Hypergraph::from_edges(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
         let cx = SearchContext::new();
-        cx.run(&h, &SingleEdge).expect("stars have hw 1");
+        cx.run(&h, &Arc::new(SingleEdge)).expect("stars have hw 1");
         let states = cx.stats().states;
-        cx.run(&h, &SingleEdge).expect("second run");
+        cx.run(&h, &Arc::new(SingleEdge)).expect("second run");
         assert_eq!(cx.stats().states, states, "second run is all memo hits");
         assert!(cx.stats().memo_hits > 0);
     }
@@ -1732,7 +1865,7 @@ mod tests {
         // guesses must be pulled than the full per-state edge count.
         let h = path(6);
         let cx = SearchContext::new();
-        cx.run(&h, &SingleEdge).expect("paths have hw 1");
+        cx.run(&h, &Arc::new(SingleEdge)).expect("paths have hw 1");
         let stats = cx.stats();
         assert!(
             stats.streamed <= stats.states * 3,
@@ -1747,19 +1880,19 @@ mod tests {
         for n in 3..7 {
             let h = path(n);
             let seq = SearchContext::with_threads(1)
-                .run(&h, &SmallestEdge)
+                .run(&h, &Arc::new(SmallestEdge))
                 .map(|(c, _)| c);
             let par = SearchContext::with_threads(4)
-                .run(&h, &SmallestEdge)
+                .run(&h, &Arc::new(SmallestEdge))
                 .map(|(c, _)| c);
             assert_eq!(seq, par, "path({n})");
         }
         let h = triangle();
         let seq = SearchContext::with_threads(1)
-            .run(&h, &SmallestEdge)
+            .run(&h, &Arc::new(SmallestEdge))
             .map(|(c, _)| c);
         let par = SearchContext::with_threads(4)
-            .run(&h, &SmallestEdge)
+            .run(&h, &Arc::new(SmallestEdge))
             .map(|(c, _)| c);
         assert_eq!(seq, par, "triangle");
     }
@@ -1772,10 +1905,10 @@ mod tests {
         for n in [4usize, 6, 9] {
             let h = path(n);
             let seq = SearchContext::with_threads(1);
-            let baseline = seq.run(&h, &SmallestEdge);
+            let baseline = seq.run(&h, &Arc::new(SmallestEdge));
             for threads in [2usize, 4, 8] {
                 let par = SearchContext::with_threads(threads);
-                let result = par.run(&h, &SmallestEdge);
+                let result = par.run(&h, &Arc::new(SmallestEdge));
                 assert_eq!(baseline, result, "path({n}) at {threads} threads");
                 assert_eq!(
                     seq.stats(),
@@ -1793,10 +1926,10 @@ mod tests {
         for n in 3..8 {
             let h = path(n);
             let seq = SearchContext::with_threads(1)
-                .run(&h, &SingleEdge)
+                .run(&h, &Arc::new(SingleEdge))
                 .map(|(c, _)| c);
             let cx = SearchContext::with_options(EngineOptions::with_threads(4).speculative());
-            let spec = cx.run(&h, &SingleEdge);
+            let spec = cx.run(&h, &Arc::new(SingleEdge));
             assert_eq!(seq, spec.as_ref().map(|(c, _)| *c), "path({n})");
             if let Some((_, d)) = spec {
                 assert_eq!(decomp::validate_hd(&h, &d), Ok(()), "{}", d.render(&h));
@@ -1804,7 +1937,10 @@ mod tests {
         }
         let h = triangle();
         let cx = SearchContext::with_options(EngineOptions::with_threads(4).speculative());
-        assert!(cx.run(&h, &SingleEdge).is_none(), "no width-1 HD exists");
+        assert!(
+            cx.run(&h, &Arc::new(SingleEdge)).is_none(),
+            "no width-1 HD exists"
+        );
     }
 
     #[test]
@@ -1871,6 +2007,8 @@ mod tests {
     #[test]
     fn empty_hypergraph_refused() {
         let h = Hypergraph::from_edges(0, vec![]);
-        assert!(SearchContext::new().run(&h, &SingleEdge).is_none());
+        assert!(SearchContext::new()
+            .run(&h, &Arc::new(SingleEdge))
+            .is_none());
     }
 }

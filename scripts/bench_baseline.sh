@@ -8,13 +8,13 @@
 #                                       small corpus prefix, written to a
 #                                       scratch file — proves the baseline
 #                                       bin still runs and still emits the
-#                                       hypertree-bench-baseline/v4 schema
+#                                       hypertree-bench-baseline/v5 schema
 #
 # Either mode fails hard when the emitted schema tag drifts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA='hypertree-bench-baseline/v4'
+SCHEMA='hypertree-bench-baseline/v5'
 
 if [[ "${1:-}" == "--smoke" ]]; then
   out="$(mktemp /tmp/bench_baseline_smoke.XXXXXX.json)"
@@ -66,6 +66,24 @@ for field in '"lp_pivots":' '"lp_warm_starts":' '"lp_cold_solves":' '"cand_cap_h
     exit 1
   fi
 done
+# v5: the stats blocks carry the runtime counters, and the file ends with
+# the batch block — the corpus through solve_batch cold then warm, with
+# per-instance result-cache hit counts.
+for field in '"result_cache_hits":' '"inflight_dedup":' '"pool_reuse":' \
+             '"batch":' '"cold_us":' '"warm_us":' '"warm_result_cache_hits":'; do
+  if ! grep -q "$field" "$out"; then
+    echo "bench_baseline.sh: schema drift — no $field columns in $out" >&2
+    exit 1
+  fi
+done
+# The warm batch pass must be answered from the result cache on every
+# instance: a zero hit count in the batch rows (six-space indent — the
+# timed instance rows report cold zeros by construction) means the
+# runtime cache broke.
+if grep -q '^      {"name": .*"result_cache_hits": 0[,}]' "$out"; then
+  echo "bench_baseline.sh: batch warm pass missed the result cache" >&2
+  exit 1
+fi
 
 echo "$out validated against $SCHEMA:"
 head -5 "$out"

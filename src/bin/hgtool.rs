@@ -2,13 +2,20 @@
 //!
 //! ```text
 //! hgtool structure <file>             structural profile (BIP/BMIP/BDP/VC)
-//! hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>
+//! hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>...
 //!                                     exact hw / ghw / fhw (small instances);
+//!                                     several files (or a `*` glob in the
+//!                                     file name) run as one batch through
+//!                                     the shared runtime — admission ordered
+//!                                     by candidate-space estimates, repeated
+//!                                     instances answered from the result
+//!                                     cache;
 //!                                     --stats adds engine + LP-cache +
 //!                                     candidate-generation + simplex
-//!                                     (pivot/warm-start) counters,
+//!                                     (pivot/warm-start) + runtime
+//!                                     (result-cache/dedup/pool) counters,
 //!                                     --no-prep bypasses the preprocessing
-//!                                     pipeline and its cross-call price cache
+//!                                     pipeline and its cross-call caches
 //!                                     (also: HGTOOL_NO_PREP env var),
 //!                                     --heuristic-only prints the candgen
 //!                                     upper bounds + witnesses without any
@@ -44,7 +51,7 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  hgtool structure <file>");
-            eprintln!("  hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>");
+            eprintln!("  hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>...");
             eprintln!("  hgtool prep <file>");
             eprintln!("  hgtool check <hd|ghd|fhd> <k> <file>");
             eprintln!("  hgtool reduce <n> <m> [seed]");
@@ -56,22 +63,31 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     match args {
         [cmd, file] if cmd == "structure" => structure(&load(file)?),
-        [cmd, rest @ .., file] if cmd == "widths" => {
+        [cmd, rest @ ..] if cmd == "widths" => {
             let mut stats = false;
             let mut no_prep = false;
             let mut heuristic_only = false;
-            for flag in rest {
-                match flag.as_str() {
+            let mut files: Vec<String> = Vec::new();
+            for arg in rest {
+                match arg.as_str() {
                     "--stats" => stats = true,
                     "--no-prep" => no_prep = true,
                     "--heuristic-only" => heuristic_only = true,
-                    other => return Err(format!("unknown widths flag {other}")),
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown widths flag {other}"))
+                    }
+                    file => files.extend(expand_glob(file)?),
                 }
             }
-            if heuristic_only {
-                heuristic_widths(&load(file)?, no_prep)
-            } else {
-                widths(&load(file)?, stats, no_prep)
+            match files.as_slice() {
+                [] => Err("widths needs at least one file".into()),
+                [file] if heuristic_only => heuristic_widths(&load(file)?, no_prep),
+                [file] => widths(&load(file)?, stats, no_prep),
+                many if heuristic_only => Err(format!(
+                    "--heuristic-only takes one file, got {}",
+                    many.len()
+                )),
+                many => widths_batch(many, stats, no_prep),
             }
         }
         [cmd, file] if cmd == "prep" => prep_trace(&load(file)?),
@@ -80,6 +96,67 @@ fn run(args: &[String]) -> Result<(), String> {
         [cmd, n, m, seed] if cmd == "reduce" => reduce(n, m, seed),
         _ => Err("unknown or incomplete command".into()),
     }
+}
+
+/// Expands a `*` glob in the file-name component (for shells that hand the
+/// pattern through unexpanded); a plain path passes through untouched.
+fn expand_glob(pattern: &str) -> Result<Vec<String>, String> {
+    if !pattern.contains('*') || pattern == "-" {
+        return Ok(vec![pattern.to_string()]);
+    }
+    let path = std::path::Path::new(pattern);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    if dir.to_str().is_none_or(|d| d.contains('*')) {
+        return Err(format!(
+            "{pattern}: globs are only supported in the file name"
+        ));
+    }
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("{pattern}: bad glob"))?;
+    let mut out: Vec<String> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let fname = entry.file_name();
+        let Some(fname) = fname.to_str() else {
+            continue;
+        };
+        if glob_match(name, fname) && entry.path().is_file() {
+            out.push(entry.path().display().to_string());
+        }
+    }
+    out.sort();
+    if out.is_empty() {
+        return Err(format!("{pattern}: no matching files"));
+    }
+    Ok(out)
+}
+
+/// `*`-only glob match (greedy left-to-right).
+fn glob_match(pattern: &str, name: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    if parts.len() == 1 {
+        return pattern == name;
+    }
+    if !name.starts_with(parts[0]) {
+        return false;
+    }
+    let mut rest = &name[parts[0].len()..];
+    for part in &parts[1..parts.len() - 1] {
+        if part.is_empty() {
+            continue;
+        }
+        match rest.find(part) {
+            Some(pos) => rest = &rest[pos + part.len()..],
+            None => return false,
+        }
+    }
+    rest.ends_with(parts[parts.len() - 1])
 }
 
 fn load(path: &str) -> Result<Hypergraph, String> {
@@ -192,18 +269,73 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
                 t.lp_pivots, t.lp_warm_starts, t.lp_cold_solves, t.cand_cap_hits,
             );
         }
+        println!();
+        println!("engine     result-cache-hits  inflight-dedup  pool-warm");
+        for (name, t) in [("hw", &s.hw), ("ghw", &s.ghw), ("fhw", &s.fhw)] {
+            println!(
+                "{name:<10} {:>17} {:>14} {:>9}",
+                t.result_cache_hits, t.inflight_dedup, t.pool_reuse,
+            );
+        }
         if prep::reuse_enabled(opts.reuse_prices) {
             // The cross-call demonstration: the fhw search above populated
             // the fingerprint-keyed global cache, so a repeated search
             // prices nothing (its lookups come back warm) — the rerun
             // costs a pricing-free engine pass, a fraction of the first
-            // search.
-            let (_, rerun) = fhd::fhw_exact_with_stats(h, None, opts);
+            // search. Result reuse is disabled for the rerun: a
+            // result-cache hit would skip the search (and its pricing)
+            // entirely, making the warm-lookup line vacuous.
+            let mut rerun_opts = opts;
+            rerun_opts.reuse_results = false;
+            let (_, rerun) = fhd::fhw_exact_with_stats(h, None, rerun_opts);
             println!(
                 "cross-call price cache: re-running fhw served {} of {} lookups from earlier calls",
                 rerun.price_warm_hits,
                 rerun.price_hits + rerun.price_misses,
             );
+        }
+    }
+    Ok(())
+}
+
+/// `hgtool widths` over several files: one batched [`hypertree::exact_widths_batch`]
+/// invocation through the shared runtime. Admission is ordered by the
+/// candidate-space estimate, every search multiplexes the one worker pool,
+/// and repeated instances resolve from the cross-call result cache.
+fn widths_batch(files: &[String], stats: bool, no_prep: bool) -> Result<(), String> {
+    let mut opts = EngineOptions::default();
+    if no_prep {
+        opts = opts.without_prep();
+        opts.reuse_prices = false;
+        opts.reuse_results = false;
+    }
+    let mut instances = Vec::with_capacity(files.len());
+    for f in files {
+        instances.push(load(f)?);
+    }
+    let results = hypertree::exact_widths_batch(&instances, 8, opts);
+    let name_width = files.iter().map(|f| f.len()).max().unwrap_or(0);
+    for (file, result) in files.iter().zip(&results) {
+        match result {
+            Some((w, s)) => {
+                let mut line = format!(
+                    "{file:<name_width$}  hw={} ghw={} fhw={}",
+                    w.hw, w.ghw, w.fhw
+                );
+                if stats {
+                    let hits =
+                        s.hw.result_cache_hits + s.ghw.result_cache_hits + s.fhw.result_cache_hits;
+                    let dedup = s.hw.inflight_dedup + s.ghw.inflight_dedup + s.fhw.inflight_dedup;
+                    let warm = s.hw.pool_reuse.max(s.ghw.pool_reuse).max(s.fhw.pool_reuse);
+                    let states = s.hw.states + s.ghw.states + s.fhw.states;
+                    line.push_str(&format!(
+                        "   states={states} result-cache-hits={hits} \
+                         inflight-dedup={dedup} pool-warm={warm}"
+                    ));
+                }
+                println!("{line}");
+            }
+            None => println!("{file:<name_width$}  n/a (out of exact range)"),
         }
     }
     Ok(())

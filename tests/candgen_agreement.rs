@@ -40,6 +40,7 @@ fn opts() -> EngineOptions {
         speculate: false,
         prep: true,
         reuse_prices: false,
+        reuse_results: false,
     }
 }
 
@@ -177,7 +178,13 @@ fn candidate_counters_are_reported_and_thread_invariant() {
     let (r1, s1) = ghd::ghw_exact_with_stats(&h, None, EngineOptions::with_threads(1));
     let (r4, s4) = ghd::ghw_exact_with_stats(&h, None, EngineOptions::with_threads(4));
     assert_eq!(r1.map(|(w, _)| w), r4.as_ref().map(|(w, _)| *w));
-    assert_eq!(s1, s4, "candgen counters drift across thread counts");
+    // `engine_only` strips `pool_reuse`, which legitimately differs: the
+    // 1-thread run never touches the shared pool.
+    assert_eq!(
+        s1.engine_only(),
+        s4.engine_only(),
+        "candgen counters drift across thread counts"
+    );
     assert!(s1.cand_generated > 0, "edge-union generator ran");
     assert_eq!(s1.ub_width, Some(Rational::from(2usize)));
 }

@@ -45,6 +45,7 @@ fn with_prep() -> EngineOptions {
         speculate: false,
         prep: true,
         reuse_prices: false,
+        reuse_results: false,
     }
 }
 

@@ -1,0 +1,274 @@
+//! Agreement suite for the search runtime's cross-call result cache: a
+//! cached replay must be indistinguishable from a cold search. On random
+//! small hypergraphs, every strategy's width must be identical with the
+//! result cache on and off, the replayed engine counters must be
+//! byte-identical to a cold run's (`SearchStats::engine_only`), and the
+//! cached witness must still re-validate on the instance it was stored
+//! for.
+//!
+//! Runs in the `HGTOOL_THREADS={1,4}` CI matrix alongside the other
+//! agreement suites — cached answers inherit the engine's thread-count
+//! determinism because the stored counters came from one deterministic
+//! run.
+
+use hypertree::arith::Rational;
+use hypertree::decomp::validate;
+use hypertree::hypergraph::{generators, Hypergraph};
+use hypertree::solver::EngineOptions;
+use hypertree::{fhd, ghd, hd};
+use proptest::prelude::*;
+
+/// Random small hypergraphs, the same families as the other agreement
+/// suites.
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (3usize..8, 0u64..400).prop_map(|(n, seed)| match seed % 6 {
+        0 => generators::random_bip(n + 3, n, 2, 3, seed),
+        1 => generators::random_bounded_degree(n + 3, n, 3, 3, seed),
+        2 => generators::random_acyclic(n, 3, seed),
+        3 => generators::triangle_chain(n.min(4)),
+        4 => generators::cq_chain(n, 3, 1),
+        _ => generators::cycle(n),
+    })
+}
+
+/// `HGTOOL_NO_PREP` vetoes the whole cross-call subsystem (registry and
+/// result cache included), making every cache-hit assertion vacuous.
+fn prep_disabled() -> bool {
+    std::env::var_os("HGTOOL_NO_PREP").is_some()
+}
+
+/// Result reuse off, fresh price caches: a fully cold, deterministic
+/// search — the reference run.
+fn cold() -> EngineOptions {
+    EngineOptions {
+        threads: None,
+        speculate: false,
+        prep: true,
+        reuse_prices: false,
+        reuse_results: false,
+    }
+}
+
+/// Same engine configuration with the cross-call result cache on. The
+/// price caches stay per-search so the stored engine counters are the
+/// deterministic cold ones.
+fn warm() -> EngineOptions {
+    EngineOptions {
+        reuse_results: true,
+        ..cold()
+    }
+}
+
+/// Shared per-strategy scaffold: a cold reference run, a warm run that
+/// populates (or re-hits) the result cache, then the warm replay under
+/// test. Returns the cold answer/stats and the replayed answer/stats
+/// after asserting the replay was a cache hit with byte-identical engine
+/// counters.
+fn cold_then_cached<R: PartialEq + std::fmt::Debug>(
+    mut solve: impl FnMut(EngineOptions) -> (R, hypertree::solver::SearchStats),
+) -> Result<(R, R), TestCaseError> {
+    let (cold_r, cold_s) = solve(cold());
+    let (first_r, _) = solve(warm());
+    let (warm_r, warm_s) = solve(warm());
+    prop_assert_eq!(
+        warm_s.result_cache_hits,
+        1,
+        "repeated warm query must be a result-cache hit"
+    );
+    prop_assert_eq!(&first_r, &warm_r, "populate and replay answers agree");
+    prop_assert_eq!(
+        warm_s.engine_only(),
+        cold_s.engine_only(),
+        "replayed engine counters must be byte-identical to a cold search"
+    );
+    Ok((cold_r, warm_r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn hw_cached_equals_cold(h in arb_hypergraph()) {
+        if prep_disabled() { return Ok(()); }
+        let (cold_r, warm_r) =
+            cold_then_cached(|o| hd::hypertree_width_with_stats(&h, 6, o))?;
+        prop_assert_eq!(
+            cold_r.as_ref().map(|(w, _)| *w),
+            warm_r.as_ref().map(|(w, _)| *w),
+            "hw drifted under the result cache on {:?}", h
+        );
+        if let Some((w, d)) = warm_r {
+            prop_assert_eq!(validate::validate_hd(&h, &d), Ok(()), "cached hw witness");
+            prop_assert!(d.width() <= Rational::from(w));
+        }
+    }
+
+    #[test]
+    fn ghw_cached_equals_cold(h in arb_hypergraph()) {
+        if prep_disabled() { return Ok(()); }
+        let (cold_r, warm_r) =
+            cold_then_cached(|o| ghd::ghw_exact_with_stats(&h, None, o))?;
+        prop_assert_eq!(
+            cold_r.as_ref().map(|(w, _)| *w),
+            warm_r.as_ref().map(|(w, _)| *w),
+            "ghw drifted under the result cache on {:?}", h
+        );
+        if let Some((w, d)) = warm_r {
+            prop_assert_eq!(validate::validate_ghd(&h, &d), Ok(()), "cached ghw witness");
+            prop_assert!(d.width() <= Rational::from(w));
+        }
+    }
+
+    #[test]
+    fn fhw_cached_equals_cold(h in arb_hypergraph()) {
+        if prep_disabled() { return Ok(()); }
+        let (cold_r, warm_r) =
+            cold_then_cached(|o| fhd::fhw_exact_with_stats(&h, None, o))?;
+        prop_assert_eq!(
+            cold_r.as_ref().map(|(w, _)| w.clone()),
+            warm_r.as_ref().map(|(w, _)| w.clone()),
+            "fhw drifted under the result cache on {:?}", h
+        );
+        if let Some((w, d)) = warm_r {
+            prop_assert_eq!(validate::validate_fhd(&h, &d), Ok(()), "cached fhw witness");
+            prop_assert!(d.width() <= w);
+        }
+    }
+
+    #[test]
+    fn frac_decomp_cached_equals_cold(h in arb_hypergraph()) {
+        if prep_disabled() { return Ok(()); }
+        let params = fhd::FracDecompParams {
+            k: Rational::from(2usize),
+            eps: Rational::from_frac(1, 2),
+            c: 2,
+        };
+        let (cold_r, warm_r) =
+            cold_then_cached(|o| fhd::frac_decomp_with_stats(&h, &params, o))?;
+        prop_assert_eq!(
+            cold_r.is_some(),
+            warm_r.is_some(),
+            "frac-decomp acceptance drifted under the result cache on {:?}", h
+        );
+        if let Some(d) = warm_r {
+            prop_assert_eq!(validate::validate_fhd(&h, &d), Ok(()), "cached frac witness");
+            prop_assert!(d.width() <= Rational::from_frac(5, 2));
+        }
+    }
+}
+
+/// The fifth strategy, kept as a fixed small corpus (the BDP check is the
+/// most expensive): cached strict-HD answers agree with cold ones and
+/// cached `Yes` witnesses re-validate.
+#[test]
+fn strict_hd_cached_equals_cold() {
+    use hypertree::fhd::FhdAnswer;
+    if prep_disabled() {
+        return;
+    }
+    for h in [
+        generators::cycle(3),
+        generators::cycle(4),
+        generators::path(4),
+        generators::triangle_chain(2),
+    ] {
+        for k in [Rational::from_frac(3, 2), Rational::from(2usize)] {
+            let solve = |o| fhd::check_fhd_bdp_with_stats(&h, &k, fhd::HdkParams::default(), o);
+            let (cold_r, cold_s) = solve(cold());
+            let (_, _) = solve(warm());
+            let (warm_r, warm_s) = solve(warm());
+            assert_eq!(
+                warm_s.result_cache_hits, 1,
+                "repeated warm strict-HD query must be a result-cache hit"
+            );
+            assert_eq!(
+                warm_s.engine_only(),
+                cold_s.engine_only(),
+                "replayed strict-HD engine counters at k={k} on {h:?}"
+            );
+            assert_eq!(
+                cold_r.is_yes(),
+                warm_r.is_yes(),
+                "strict-HD answer drifted under the result cache at k={k} on {h:?}"
+            );
+            if let FhdAnswer::Yes(d) = &warm_r {
+                assert_eq!(
+                    validate::validate_fhd(&h, d),
+                    Ok(()),
+                    "cached strict-HD witness at k={k} on {h:?}"
+                );
+                assert!(d.width() <= k);
+            }
+        }
+    }
+}
+
+/// Two threads submit the same process-fresh instance concurrently with
+/// result reuse on: exactly one search runs, the other adopts its answer
+/// (either parked on the in-flight `Pending` claim or served from the
+/// completed entry), and both report identical engine counters.
+#[test]
+fn concurrent_identical_queries_run_one_search() {
+    if prep_disabled() {
+        return;
+    }
+    // An instance no other suite in this binary searches, so its result
+    // slot is guaranteed empty when the race starts.
+    let h = generators::random_bip(14, 10, 2, 3, 987_654);
+    let barrier = std::sync::Barrier::new(2);
+    let run = || {
+        barrier.wait();
+        fhd::fhw_exact_with_stats(&h, None, warm())
+    };
+    let ((ra, sa), (rb, sb)) = std::thread::scope(|s| {
+        let t = s.spawn(run);
+        let b = run();
+        (t.join().expect("racing search completes"), b)
+    });
+    assert_eq!(
+        sa.result_cache_hits + sb.result_cache_hits,
+        1,
+        "exactly one of two concurrent identical queries runs the search"
+    );
+    assert!(sa.inflight_dedup + sb.inflight_dedup <= 1);
+    assert_eq!(
+        ra.as_ref().map(|(w, _)| w.clone()),
+        rb.as_ref().map(|(w, _)| w.clone()),
+        "both sides see the same width"
+    );
+    assert_eq!(
+        sa.engine_only(),
+        sb.engine_only(),
+        "the adopter replays the owner's engine counters"
+    );
+    let (_, d) = ra.expect("small instance decomposes");
+    assert_eq!(validate::validate_fhd(&h, &d), Ok(()));
+}
+
+/// The batch front end: a second identical `solve_batch` pass in the same
+/// process is answered from the result cache on every instance, with
+/// identical widths.
+#[test]
+fn solve_batch_warm_pass_hits_every_instance() {
+    if prep_disabled() {
+        return;
+    }
+    let instances = vec![
+        generators::cycle(9),
+        generators::path(7),
+        generators::cq_chain(6, 2, 1),
+    ];
+    let solve = |_: usize, h: &Hypergraph| {
+        let (r, s) = ghd::ghw_exact_with_stats(h, None, warm());
+        (r.map(|(w, _)| w), s)
+    };
+    let cold_pass = hypertree::solver::solve_batch(&instances, solve);
+    let warm_pass = hypertree::solver::solve_batch(&instances, solve);
+    for (i, ((cr, _), (wr, ws))) in cold_pass.iter().zip(&warm_pass).enumerate() {
+        assert_eq!(cr, wr, "batch width drifted on instance {i}");
+        assert_eq!(
+            ws.result_cache_hits, 1,
+            "warm batch pass missed the result cache on instance {i}"
+        );
+    }
+}
