@@ -19,7 +19,7 @@
 //! ```
 //!
 //! `--smoke` is the CI mode: single iteration over a small corpus prefix,
-//! just enough to prove the bin and the `hypertree-bench-baseline/v5`
+//! just enough to prove the bin and the `hypertree-bench-baseline/v6`
 //! schema have not rotted (see `scripts/bench_baseline.sh --smoke`).
 //!
 //! v4 added the exact-simplex work counters (`lp_pivots`,
@@ -30,6 +30,12 @@
 //! `solver::solve_batch` twice in one process — a cold pass that
 //! populates the cross-call result cache and a warm second pass answered
 //! from it — recording both wall-clocks and the per-instance hit counts.
+//! v6 adds the `portfolio` block: the corpus plus the vendored
+//! HyperBench-style instances raced through `solver::portfolio` (all
+//! three measures per instance), recording each race's winner,
+//! time-to-first-bound, time-to-exact and cancelled-loser count, plus a
+//! corpus-wide flag that the portfolio widths matched the plain
+//! single-backend path.
 
 use hypertree_bench as workloads;
 use hypertree_core::hypergraph::Hypergraph;
@@ -69,7 +75,7 @@ fn main() {
     let iters = if smoke { 1 } else { 5 };
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"hypertree-bench-baseline/v5\",\n");
+    body.push_str("  \"schema\": \"hypertree-bench-baseline/v6\",\n");
     body.push_str("  \"command\": \"cargo run -p hypertree-bench --bin baseline --release\",\n");
     let _ = writeln!(body, "  \"profile\": \"{}\",", profile());
     body.push_str("  \"instances\": [\n");
@@ -215,10 +221,59 @@ fn main() {
         );
         body.push_str(if i + 1 < total { ",\n" } else { "\n" });
     }
-    body.push_str("    ]\n  }\n}\n");
+    body.push_str("    ]\n  },\n");
+    // The portfolio block (v6): every instance of the corpus plus the
+    // vendored HyperBench-style set races its full backend registries —
+    // first exact answer wins, losers cancelled — and the block records
+    // who won each measure, how fast the first bound and the exact answer
+    // arrived, and that the portfolio widths matched the plain path.
+    let mut port_corpus = corpus;
+    port_corpus.extend(workloads::vendored_corpus());
+    let port_total = port_corpus.len();
+    eprintln!("portfolio: racing {port_total} instances");
+    let popts = hypertree_core::solver::portfolio::PortfolioOptions::default();
+    let mut widths_match = true;
+    let _ = writeln!(body, "  \"portfolio\": {{");
+    let _ = writeln!(body, "    \"instances\": {port_total},");
+    body.push_str("    \"races\": [\n");
+    for (i, w) in port_corpus.iter().enumerate() {
+        let h = &w.hypergraph;
+        let plain = hypertree_core::exact_widths_with_opts(h, 6, batch_opts).map(|(w, _)| w);
+        let raced = hypertree_core::exact_widths_portfolio(h, 6, batch_opts, &popts);
+        widths_match &= plain == raced.as_ref().map(|(w, _, _)| w.clone());
+        let _ = write!(body, "      {{\"name\": \"{}\"", w.name);
+        match &raced {
+            Some((_, _, races)) => {
+                for (measure, r) in [("hw", &races.hw), ("ghw", &races.ghw), ("fhw", &races.fhw)] {
+                    let _ = write!(
+                        body,
+                        ", \"{measure}\": {{\"winner\": {}, \"first_bound_us\": {}, \
+                         \"exact_us\": {}, \"losers_canceled\": {}}}",
+                        r.winner
+                            .map(|id| format!("\"{id}\""))
+                            .unwrap_or_else(|| "null".into()),
+                        r.time_to_first_bound
+                            .map(|d| d.as_micros().to_string())
+                            .unwrap_or_else(|| "null".into()),
+                        r.time_to_exact
+                            .map(|d| d.as_micros().to_string())
+                            .unwrap_or_else(|| "null".into()),
+                        r.canceled,
+                    );
+                }
+            }
+            None => body.push_str(", \"unresolved\": true"),
+        }
+        body.push('}');
+        body.push_str(if i + 1 < port_total { ",\n" } else { "\n" });
+    }
+    body.push_str("    ],\n");
+    let _ = writeln!(body, "    \"widths_match_single_backend\": {widths_match}");
+    body.push_str("  }\n}\n");
     std::fs::write(&out_path, &body).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!(
-        "wrote {out_path} (batch cold {cold_us}us -> warm {warm_us}us, consistent: {widths_consistent})"
+        "wrote {out_path} (batch cold {cold_us}us -> warm {warm_us}us, consistent: {widths_consistent}; \
+         portfolio widths match: {widths_match})"
     );
 }
 

@@ -4,7 +4,7 @@
 //! `DESIGN.md`; every figure, table and quantitative claim of the paper maps
 //! to one of them.
 
-use hypertree_core::hypergraph::{generators, Hypergraph};
+use hypertree_core::hypergraph::{generators, parser, Hypergraph};
 use hypertree_core::reduction::{self, Cnf};
 
 /// A named workload instance.
@@ -56,6 +56,56 @@ pub fn large_corpus() -> Vec<Workload> {
         w("triangles(10)", generators::triangle_chain(10)),
         w("cycle(26)", generators::cycle(26)),
     ]
+}
+
+/// The vendored HyperBench-style corpus (`examples/data/corpus/`): small
+/// CQ/CSP-shaped instances with genuinely mixed portfolio winners, baked
+/// into the binary so offline CI can smoke-test `--portfolio` and the
+/// baseline's `portfolio` block without network access.
+pub fn vendored_corpus() -> Vec<Workload> {
+    let files: [(&str, &str); 8] = [
+        (
+            "cq_snowflake_q4",
+            include_str!("../../../examples/data/corpus/cq_snowflake_q4.hg"),
+        ),
+        (
+            "cq_chordal_ring_q8",
+            include_str!("../../../examples/data/corpus/cq_chordal_ring_q8.hg"),
+        ),
+        (
+            "cq_triangle_proj_q3",
+            include_str!("../../../examples/data/corpus/cq_triangle_proj_q3.hg"),
+        ),
+        (
+            "cq_double_diamond_q13",
+            include_str!("../../../examples/data/corpus/cq_double_diamond_q13.hg"),
+        ),
+        (
+            "csp_crossword_4x3",
+            include_str!("../../../examples/data/corpus/csp_crossword_4x3.hg"),
+        ),
+        (
+            "csp_wheel_6",
+            include_str!("../../../examples/data/corpus/csp_wheel_6.hg"),
+        ),
+        (
+            "csp_ternary_grid_9",
+            include_str!("../../../examples/data/corpus/csp_ternary_grid_9.hg"),
+        ),
+        (
+            "csp_rand_bin_10",
+            include_str!("../../../examples/data/corpus/csp_rand_bin_10.hg"),
+        ),
+    ];
+    files
+        .into_iter()
+        .map(|(name, text)| {
+            w(
+                name,
+                parser::parse(text).expect("vendored corpus instances parse"),
+            )
+        })
+        .collect()
 }
 
 fn w(name: &str, hypergraph: Hypergraph) -> Workload {

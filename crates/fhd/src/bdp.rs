@@ -96,7 +96,7 @@ pub fn check_fhd_bdp_with_stats(
     }
     let warm = solver::pool_is_warm();
     let key = format!(
-        "k={:?};arity={};max_sub={};prep={};rp={}",
+        "k={:?};arity={};max_sub={};prep={};rp={};backend=auto",
         k, params.union_arity, params.max_subedges, opts.prep, opts.reuse_prices
     );
     let reuse = opts.reuse_results && !opts.speculate;

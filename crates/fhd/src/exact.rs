@@ -73,7 +73,7 @@ pub fn fhw_exact_with_stats(
     }
     let warm = solver::pool_is_warm();
     let key = format!(
-        "cutoff={cutoff:?};prep={};rp={}",
+        "cutoff={cutoff:?};prep={};rp={};backend=auto",
         opts.prep, opts.reuse_prices
     );
     let reuse = opts.reuse_results && !opts.speculate;
@@ -82,6 +82,37 @@ pub fn fhw_exact_with_stats(
     });
     stats.pool_reuse = usize::from(warm);
     (result, stats)
+}
+
+/// Computes `fhw(H)` via the elimination-order DP alone (no engine
+/// search): every preprocessed block must fit
+/// [`ghd::elimination::MAX_EXACT_VERTICES`], else the whole call returns
+/// `None`. This is the portfolio's `elim` backend; on mid-size instances
+/// whose subset space stalls the engine, the DP's `n^2 · 2^n` schedule is
+/// the faster exact path.
+pub fn fhw_exact_elimination_with_stats(
+    h: &Hypergraph,
+    cutoff: Option<Rational>,
+    opts: EngineOptions,
+) -> (Option<(Rational, Decomposition)>, SearchStats) {
+    if h.has_isolated_vertices() {
+        return (None, SearchStats::default());
+    }
+    let key = format!(
+        "cutoff={cutoff:?};prep={};rp={};backend=elim",
+        opts.prep, opts.reuse_prices
+    );
+    let reuse = opts.reuse_results && !opts.speculate;
+    prep::cached_query(h, "result-fhw", key, reuse, || {
+        prep::run_minimizer(h, opts.prep, |block| {
+            if block.num_vertices() > ghd::elimination::MAX_EXACT_VERTICES {
+                return (None, SearchStats::default());
+            }
+            let mut stats = SearchStats::default();
+            let result = fhw_by_elimination(block, cutoff.clone(), &mut stats);
+            (result, stats)
+        })
+    })
 }
 
 /// Computes the heuristic upper bound on `fhw(H)` (min-degree / min-fill
@@ -204,6 +235,12 @@ fn fhw_piece(
         )
     });
     let ub = Rational::from(ub_int);
+    if let Some(sink) = prep::anytime::current_sink() {
+        // Anytime channel: the witnessed heuristic bound is this piece's
+        // first upper bound (`fhw <= ghw`, and integral weights are a
+        // valid fractional cover), streamed before the search starts.
+        sink.report_upper(ub.clone(), Some(&ub_witness));
+    }
     let seeded = cutoff.as_ref().is_none_or(|c| ub < *c);
     let eff = if seeded {
         ub.clone()
@@ -304,6 +341,11 @@ fn fhw_by_elimination(
     let searched = ghd::elimination::optimal_elimination(
         h,
         |bag| {
+            // The DP runs outside the engine's cancellation scopes, so it
+            // polls the ambient token itself on its hot path.
+            if prep::anytime::interrupted() {
+                prep::anytime::interrupt::raise();
+            }
             ctx.price_warm(h, bag)
                 .expect("no isolated vertices, so every bag is coverable")
                 .0

@@ -61,7 +61,7 @@ pub fn frac_decomp_with_stats(
     }
     let warm = solver::pool_is_warm();
     let key = format!(
-        "k={:?};eps={:?};c={};prep={};rp={}",
+        "k={:?};eps={:?};c={};prep={};rp={};backend=auto",
         params.k, params.eps, params.c, opts.prep, opts.reuse_prices
     );
     let reuse = opts.reuse_results && !opts.speculate;

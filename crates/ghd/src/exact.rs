@@ -59,7 +59,7 @@ pub fn ghw_exact_with_stats(
     }
     let warm = solver::pool_is_warm();
     let key = format!(
-        "cutoff={cutoff:?};prep={};rp={}",
+        "cutoff={cutoff:?};prep={};rp={};backend=auto",
         opts.prep, opts.reuse_prices
     );
     let reuse = opts.reuse_results && !opts.speculate;
@@ -72,6 +72,35 @@ pub fn ghw_exact_with_stats(
     });
     stats.pool_reuse = usize::from(warm);
     (result, stats)
+}
+
+/// The elimination-order DP as a standalone exact path (the `elim`
+/// portfolio backend): the same minimizer pipeline as
+/// [`ghw_exact_with_stats`] but every block answered by the DP directly —
+/// no heuristic seed, no engine search. Exact up to
+/// [`crate::elimination::MAX_EXACT_VERTICES`] vertices per reduced block;
+/// a larger block returns `None`.
+pub fn ghw_exact_elimination_with_stats(
+    h: &Hypergraph,
+    cutoff: Option<usize>,
+    opts: EngineOptions,
+) -> (Option<(usize, Decomposition)>, SearchStats) {
+    if h.has_isolated_vertices() {
+        return (None, SearchStats::default());
+    }
+    let key = format!(
+        "cutoff={cutoff:?};prep={};rp={};backend=elim",
+        opts.prep, opts.reuse_prices
+    );
+    let reuse = opts.reuse_results && !opts.speculate;
+    prep::cached_query(h, "result-ghw", key, reuse, || {
+        prep::run_minimizer(h, opts.prep, |block| {
+            if block.num_vertices() > crate::elimination::MAX_EXACT_VERTICES {
+                return (None, SearchStats::default());
+            }
+            (ghw_by_elimination(block, cutoff), SearchStats::default())
+        })
+    })
 }
 
 /// Computes the heuristic upper bound on `ghw(H)` (min-degree / min-fill
@@ -161,6 +190,13 @@ fn ghw_piece(
             edges.into_iter().map(|e| (e, Rational::one())).collect(),
         )
     });
+    // The heuristic bound is witness-backed: surface it on the anytime
+    // channel before the exact search starts (the ambient sink lifts the
+    // block-local witness to the original instance, or drops it on
+    // multi-block splits).
+    if let Some(sink) = prep::anytime::current_sink() {
+        sink.report_upper(Rational::from(ub), Some(&ub_witness));
+    }
     // The search only has to beat `eff`: a failure at a *seeded* cutoff
     // (`ub` tighter than the caller's) is the exact answer `ub`, certified
     // by the heuristic witness in hand.
@@ -225,6 +261,11 @@ fn ghw_by_elimination(h: &Hypergraph, cutoff: Option<usize>) -> Option<(usize, D
     let (width, order) = crate::elimination::optimal_elimination(
         h,
         |bag| {
+            // The DP never enters the engine, so poll the ambient anytime
+            // token here (no-op outside portfolio/deadline runs).
+            if prep::anytime::interrupted() {
+                prep::anytime::interrupt::raise();
+            }
             cover::integral_cover(h, bag)
                 .expect("no isolated vertices, so every bag is coverable")
                 .weight()

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod check;
 pub mod elimination;
 pub mod exact;

@@ -51,7 +51,10 @@ pub fn check_hd_with_stats(
         return (None, SearchStats::default());
     }
     let warm = solver::pool_is_warm();
-    let key = format!("k={k};prep={};rp={}", opts.prep, opts.reuse_prices);
+    let key = format!(
+        "k={k};prep={};rp={};backend=auto",
+        opts.prep, opts.reuse_prices
+    );
     let reuse = opts.reuse_results && !opts.speculate;
     let (result, mut stats) = prep::cached_query(h, "result-hw-check", key, reuse, || {
         let (result, stats) = prep::run_decision(h, opts.prep, |block| {
@@ -95,7 +98,10 @@ pub fn hypertree_width_with_stats(
         return (None, SearchStats::default());
     }
     let warm = solver::pool_is_warm();
-    let key = format!("max_k={max_k};prep={};rp={}", opts.prep, opts.reuse_prices);
+    let key = format!(
+        "max_k={max_k};prep={};rp={};backend=auto",
+        opts.prep, opts.reuse_prices
+    );
     let reuse = opts.reuse_results && !opts.speculate;
     let (result, mut stats) = prep::cached_query(h, "result-hw", key, reuse, || {
         // The prep pipeline (which is `k`-independent) runs once around
@@ -108,6 +114,13 @@ pub fn hypertree_width_with_stats(
                 total.merge(&stats);
                 if let Some(d) = d {
                     return (Some((k, d)), total);
+                }
+                if let Some(sink) = prep::anytime::current_sink() {
+                    // Anytime channel: a failed complete check at `k`
+                    // certifies `hw > k` (the decision profile preserves
+                    // `hw` exactly, so the block bound is the instance
+                    // bound).
+                    sink.report_lower(Rational::from(k + 1));
                 }
             }
             (None, total)

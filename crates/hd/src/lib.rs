@@ -6,6 +6,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 mod detk;
 
 pub use detk::{check_hd, check_hd_with_stats, hypertree_width, hypertree_width_with_stats};

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anytime;
 pub mod blocks;
 pub mod fingerprint;
 pub mod global_cache;
@@ -36,8 +37,10 @@ pub use global_cache::{cached_query, global, GlobalPriceCache, PriceSession, Ses
 pub use simplify::{Pass, Step};
 pub use stats::SearchStats;
 
+use arith::Rational;
 use decomp::Decomposition;
 use hypergraph::Hypergraph;
+use std::sync::Arc;
 
 /// Which pipeline a strategy runs, determined by what its width notion and
 /// witness conditions tolerate (see the safety matrix in [`simplify`]).
@@ -172,9 +175,24 @@ pub fn run_decision<T>(
     if !enabled(opt_in) {
         return solve(h);
     }
-    let prepared = prepare(h, Profile::Decision);
+    let prepared = Arc::new(prepare(h, Profile::Decision));
     let block = &prepared.blocks[0];
-    let (result, mut stats) = solve(&block.hypergraph);
+    // Anytime bounds reported inside `solve` carry *block-local*
+    // witnesses; re-install the ambient sink with this run's lift so they
+    // surface in original-instance terms (the decision profile always
+    // produces exactly one block, so every witness lifts directly).
+    let (result, mut stats) = match anytime::current() {
+        Some(ctl) => {
+            let lifting = Arc::clone(&prepared);
+            let sink = ctl.sink.with_lift(move |d| lifting.lift(vec![d.clone()]));
+            let ctl = anytime::RunCtl {
+                cancel: ctl.cancel,
+                sink,
+            };
+            anytime::with_ctl(ctl, || solve(&block.hypergraph))
+        }
+        None => solve(&block.hypergraph),
+    };
     stats.prep_vertices_removed = prepared.stats.vertices_removed;
     stats.prep_edges_removed = prepared.stats.edges_removed;
     stats.prep_blocks = prepared.stats.blocks;
@@ -188,7 +206,7 @@ pub fn run_decision<T>(
 /// back to `h`. Any block failing (`None`, e.g. too large for the exact
 /// engines or cut off) fails the whole call, with the merged stats of the
 /// blocks solved so far.
-pub fn run_minimizer<C: PartialOrd>(
+pub fn run_minimizer<C: PartialOrd + Clone + Into<Rational>>(
     h: &Hypergraph,
     opt_in: bool,
     mut solve: impl FnMut(&Hypergraph) -> (Option<(C, Decomposition)>, SearchStats),
@@ -196,21 +214,48 @@ pub fn run_minimizer<C: PartialOrd>(
     if !enabled(opt_in) {
         return solve(h);
     }
-    let prepared = prepare(h, Profile::Minimizer);
+    let prepared = Arc::new(prepare(h, Profile::Minimizer));
     let mut stats = SearchStats {
         prep_vertices_removed: prepared.stats.vertices_removed,
         prep_edges_removed: prepared.stats.edges_removed,
         prep_blocks: prepared.stats.blocks,
         ..SearchStats::default()
     };
+    let ctl = anytime::current();
+    let single_block = prepared.blocks.len() == 1;
     let mut parts = Vec::with_capacity(prepared.blocks.len());
     let mut best: Option<C> = None;
     for block in &prepared.blocks {
-        let (result, s) = solve(&block.hypergraph);
+        let (result, s) = match &ctl {
+            // Single block: block witnesses certify the instance after a
+            // lift, so upper bounds flow through. Multi-block: a block
+            // width only bounds the instance from *below* (instance
+            // width = max over blocks) — forward lower bounds, drop
+            // block-local uppers.
+            Some(ctl) => {
+                let sink = if single_block {
+                    let lifting = Arc::clone(&prepared);
+                    ctl.sink.with_lift(move |d| lifting.lift(vec![d.clone()]))
+                } else {
+                    ctl.sink.lower_only()
+                };
+                let ctl = anytime::RunCtl {
+                    cancel: ctl.cancel.clone(),
+                    sink,
+                };
+                anytime::with_ctl(ctl, || solve(&block.hypergraph))
+            }
+            None => solve(&block.hypergraph),
+        };
         stats.merge(&s);
         let Some((w, d)) = result else {
             return (None, stats);
         };
+        if let Some(ctl) = &ctl {
+            // A solved block's exact width is a certified instance lower
+            // bound under the max-recombination rule.
+            ctl.sink.report_lower(w.clone().into());
+        }
         if best.as_ref().is_none_or(|b| w > *b) {
             best = Some(w);
         }

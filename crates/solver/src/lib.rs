@@ -403,6 +403,8 @@ struct Plan<C> {
 /// price-cache and candidate-generation tallies on top.
 pub use prep::SearchStats;
 
+pub mod backend;
+pub mod portfolio;
 pub mod runtime;
 pub use runtime::{admission_estimate, solve_batch};
 
@@ -457,16 +459,32 @@ struct Canceled;
 
 /// A cooperative cancellation scope: one flag per speculative round,
 /// chained to the enclosing scope so an ancestor's cancellation reaches
-/// nested speculation. Checked between candidates and before every child
-/// descent — cancellation is prompt but never preempts a running LP.
+/// nested speculation, and optionally anchored to an *external*
+/// [`prep::anytime::CancelToken`] at the root (the portfolio runner's
+/// loser-cancellation and deadline channel). Checked between candidates
+/// and before every child descent — cancellation is prompt but never
+/// preempts a running LP.
 struct CancelScope {
     flag: AtomicBool,
     parent: Option<Arc<CancelScope>>,
+    external: Option<prep::anytime::CancelToken>,
 }
 
 impl CancelScope {
+    /// A root scope observing an ambient [`prep::anytime::CancelToken`].
+    fn anchored(token: prep::anytime::CancelToken) -> Self {
+        CancelScope {
+            flag: AtomicBool::new(false),
+            parent: None,
+            external: Some(token),
+        }
+    }
+
     fn is_canceled(&self) -> bool {
         if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.external.as_ref().is_some_and(|t| t.is_canceled()) {
             return true;
         }
         match &self.parent {
@@ -963,17 +981,28 @@ impl<C: Ord + Clone + Send + Sync + 'static> SearchContext<C> {
         // Decision strategies without speculation never push a job, so
         // routing them through the pool is pure overhead.
         let wants_pool = self.core.threads > 1 && (!strategy.is_decision() || self.core.speculate);
-        let exec = if wants_pool {
-            Exec {
-                pool: Some(shared_pool()),
-                worker: EXTERNAL,
-                cancel: None,
-            }
-        } else {
-            Exec::sequential()
+        // An ambient anytime control (portfolio racing, deadlines) anchors
+        // the root scope to its token: every speculative descendant scope
+        // chains back here, so external cancellation reaches pool-side
+        // work through the ordinary scope walk.
+        let ambient = prep::anytime::current_cancel();
+        let cancel = ambient
+            .as_ref()
+            .map(|token| Arc::new(CancelScope::anchored(token.clone())));
+        let exec = Exec {
+            pool: wants_pool.then(shared_pool),
+            worker: EXTERNAL,
+            cancel,
         };
         let solved = search.solve_inner(&root, &empty, &empty, &exec);
-        let entry = solved.expect("the root branch has no cancellation scope");
+        let entry = match solved {
+            Ok(entry) => entry,
+            // Only the ambient token can cancel the root branch; there is
+            // no caller to hand `Canceled` back to, so unwind — the cache
+            // claim guards abandon their entries on the way out and the
+            // portfolio runner catches the payload at its thread boundary.
+            Err(Canceled) => prep::anytime::interrupt::raise(),
+        };
         let (cost, plan) = entry?;
         let d = self.assemble(&root, plan);
         Some((cost, d))
@@ -1364,6 +1393,7 @@ where
             let scope = Arc::new(CancelScope {
                 flag: AtomicBool::new(false),
                 parent: exec.cancel.clone(),
+                external: None,
             });
             let ctx = Arc::new(BatchCtx {
                 search: self.clone(),

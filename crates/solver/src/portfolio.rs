@@ -1,0 +1,392 @@
+//! The portfolio runner: race several [`Backend`]s per request, first
+//! exact answer wins, losers are cancelled through the engine's
+//! `CancelScope` chains, and best-so-far anytime bounds are what you get
+//! when everything times out.
+//!
+//! No single width algorithm dominates on real corpora (the HyperBench
+//! observation): the edge-union engine wins on large sparse instances,
+//! the elimination DP on small dense ones, the subset oracle on tiny
+//! ones, and a heuristic upper bound is often all a caller needs
+//! quickly. [`race`] runs 2–4 eligible backends concurrently — each on
+//! its own thread, all multiplexing the shared worker pool underneath —
+//! under one merged [`BoundSink`], with:
+//!
+//! * **admission**: only [`Backend::eligible`] members race (vertex
+//!   gates, `candgen::stream_size_bound` candidate-space admission), at
+//!   most [`PortfolioOptions::max_backends`] of them;
+//! * **deadlines**: a global deadline ([`DEADLINE_ENV`], milliseconds)
+//!   and per-backend knobs (`HGTOOL_DEADLINE_<ID>_MS`, or programmatic
+//!   [`PortfolioOptions::backend_deadlines`]) armed on each backend's
+//!   [`CancelToken`] — deadline expiry *is* cancellation;
+//! * **loser cancellation**: the first backend to return a resolved
+//!   outcome cancels every sibling token; the engine roots observe the
+//!   token through their anchored cancellation scopes, unwind, and
+//!   abandon their result-cache claims on the way out. [`race`] joins
+//!   every backend thread before returning, so no portfolio work — pool
+//!   rounds included — survives the race;
+//! * **anytime reporting**: all backends feed one monotone sink, so the
+//!   caller observes the tightest bounds any member achieved; on an
+//!   exact win the sink closes at `lb == ub == width`.
+
+use crate::backend::{execute, Backend, BackendId, Bounds, Outcome, WidthRequest};
+use hypergraph::Hypergraph;
+use prep::anytime::{self, interrupt, BoundEvent, BoundSink, CancelToken, RunCtl};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable: global portfolio deadline in milliseconds.
+pub const DEADLINE_ENV: &str = "HGTOOL_DEADLINE_MS";
+
+/// How many eligible backends one race admits by default.
+const DEFAULT_MAX_BACKENDS: usize = 4;
+
+/// Tuning knobs of one portfolio race.
+#[derive(Clone, Debug)]
+pub struct PortfolioOptions {
+    /// Global deadline for the whole race (all backends).
+    pub deadline: Option<Duration>,
+    /// Per-backend deadlines by [`BackendId`]; backends not listed fall
+    /// back to their `HGTOOL_DEADLINE_<ID>_MS` env knob, then to no
+    /// per-backend deadline.
+    pub backend_deadlines: Vec<(BackendId, Duration)>,
+    /// At most this many eligible backends race (the rest are dropped in
+    /// registry order). Clamped to at least 1.
+    pub max_backends: usize,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> Self {
+        PortfolioOptions {
+            deadline: None,
+            backend_deadlines: Vec::new(),
+            max_backends: DEFAULT_MAX_BACKENDS,
+        }
+    }
+}
+
+impl PortfolioOptions {
+    /// Options with the global deadline taken from [`DEADLINE_ENV`]
+    /// (milliseconds; absent or unparsable means no deadline).
+    pub fn from_env() -> Self {
+        PortfolioOptions {
+            deadline: env_millis(DEADLINE_ENV),
+            ..PortfolioOptions::default()
+        }
+    }
+
+    /// The effective deadline for one backend: the programmatic entry,
+    /// else its `HGTOOL_DEADLINE_<ID>_MS` env knob (id upper-cased,
+    /// `-` → `_`).
+    fn backend_deadline(&self, id: BackendId) -> Option<Duration> {
+        if let Some((_, d)) = self.backend_deadlines.iter().find(|(b, _)| *b == id) {
+            return Some(*d);
+        }
+        let knob = format!("HGTOOL_DEADLINE_{}_MS", id.to_uppercase().replace('-', "_"));
+        env_millis(&knob)
+    }
+}
+
+fn env_millis(var: &str) -> Option<Duration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+/// What one [`race`] produced.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// The winning outcome (first resolved answer), or an unresolved
+    /// outcome carrying the best witness the sink saw when everything
+    /// timed out or gave up.
+    pub outcome: Outcome,
+    /// The winner's id; `None` when no backend resolved the request.
+    pub winner: Option<BackendId>,
+    /// The backends admitted to the race, in registry order.
+    pub raced: Vec<BackendId>,
+    /// How many backends were cancelled (unwound losers).
+    pub canceled: usize,
+    /// Best-so-far bounds at the end of the race.
+    pub bounds: Bounds,
+    /// The accepted bound-report sequence of the merged sink.
+    pub trace: Vec<BoundEvent>,
+    /// Time from race start to the first accepted bound.
+    pub time_to_first_bound: Option<Duration>,
+    /// Time from race start to the winning exact answer.
+    pub time_to_exact: Option<Duration>,
+}
+
+/// Races `backends` on `h`: eligible members run concurrently (each
+/// backend's root on its own thread; their searches multiplex the shared
+/// worker pool), the first resolved answer cancels the rest, and every
+/// backend thread is joined before this returns. If the caller itself
+/// runs under an ambient [`RunCtl`], the race chains to it: the caller's
+/// cancellation reaches every member, and the merged bounds forward to
+/// the caller's sink.
+pub fn race(
+    h: &Hypergraph,
+    req: &WidthRequest,
+    backends: &[Box<dyn Backend>],
+    opts: &PortfolioOptions,
+) -> RaceReport {
+    assert!(
+        !backends.is_empty(),
+        "a portfolio needs at least one backend"
+    );
+    let mut admitted: Vec<&dyn Backend> = backends
+        .iter()
+        .map(|b| b.as_ref())
+        .filter(|b| b.eligible(h, req))
+        .collect();
+    if admitted.is_empty() {
+        // Nothing self-selected (registries normally lead with an
+        // always-eligible engine): fall back to the first backend so the
+        // request still gets a definitive attempt.
+        admitted.push(backends[0].as_ref());
+    }
+    admitted.truncate(opts.max_backends.max(1));
+    let raced: Vec<BackendId> = admitted.iter().map(|b| b.id()).collect();
+
+    let sink = BoundSink::new();
+    if let Some(outer) = anytime::current_sink() {
+        sink.attach(outer);
+    }
+    let root = match anytime::current_cancel() {
+        Some(t) => t.child_with_deadline(opts.deadline),
+        None => match opts.deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        },
+    };
+    let tokens: Vec<CancelToken> = admitted
+        .iter()
+        .map(|b| root.child_with_deadline(opts.backend_deadline(b.id())))
+        .collect();
+
+    let start = Instant::now();
+    // First resolved answer wins; the mutex is the tiebreak.
+    let winner: Mutex<Option<(usize, Outcome, Duration)>> = Mutex::new(None);
+    let mut canceled = 0usize;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = admitted
+            .iter()
+            .enumerate()
+            .map(|(i, backend)| {
+                let ctl = RunCtl {
+                    cancel: tokens[i].clone(),
+                    sink: sink.clone(),
+                };
+                let winner = &winner;
+                let tokens = &tokens;
+                scope.spawn(move || {
+                    let outcome = execute(*backend, h, req, &ctl);
+                    if outcome.resolved {
+                        let mut w = winner.lock().expect("portfolio winner poisoned");
+                        if w.is_none() {
+                            *w = Some((i, outcome, start.elapsed()));
+                            drop(w);
+                            for (j, t) in tokens.iter().enumerate() {
+                                if j != i {
+                                    t.cancel();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                if interrupt::is_interrupt(payload.as_ref()) {
+                    canceled += 1;
+                } else {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    });
+
+    let won = winner.into_inner().expect("portfolio winner poisoned");
+    let bounds = sink.snapshot();
+    let trace = sink.trace();
+    let time_to_first_bound = sink.time_to_first_bound();
+    match won {
+        Some((i, outcome, elapsed)) => RaceReport {
+            winner: Some(raced[i]),
+            outcome,
+            raced,
+            canceled,
+            bounds,
+            trace,
+            time_to_first_bound,
+            time_to_exact: Some(elapsed),
+        },
+        None => RaceReport {
+            outcome: Outcome {
+                width: None,
+                witness: bounds.witness.clone(),
+                resolved: false,
+                stats: crate::SearchStats::default(),
+                provenance: "portfolio",
+            },
+            winner: None,
+            raced,
+            canceled,
+            bounds,
+            trace,
+            time_to_first_bound,
+            time_to_exact: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::RunCtl;
+    use crate::EngineOptions;
+    use arith::Rational;
+    use decomp::{Decomposition, Node};
+    use hypergraph::{generators, VertexSet};
+
+    fn trivial_witness() -> Decomposition {
+        let mut bag = VertexSet::new();
+        bag.insert(0);
+        Decomposition::new(Node {
+            bag,
+            weights: Vec::new(),
+        })
+    }
+
+    fn request() -> WidthRequest {
+        WidthRequest {
+            measure: crate::backend::Measure::Ghw { cutoff: None },
+            opts: EngineOptions::default(),
+        }
+    }
+
+    /// Resolves instantly with width `2`.
+    struct Fast;
+    impl Backend for Fast {
+        fn id(&self) -> BackendId {
+            "fast"
+        }
+        fn run(&self, _h: &Hypergraph, _req: &WidthRequest, ctl: &RunCtl) -> Outcome {
+            ctl.sink.report_lower(Rational::one());
+            Outcome::exact(
+                self.id(),
+                Rational::from(2usize),
+                trivial_witness(),
+                crate::SearchStats::default(),
+            )
+        }
+    }
+
+    /// Spins until cancelled (a deliberately-slow backend); raises the
+    /// interrupt unwind like the engine root would.
+    struct Slow;
+    impl Backend for Slow {
+        fn id(&self) -> BackendId {
+            "slow"
+        }
+        fn run(&self, _h: &Hypergraph, _req: &WidthRequest, ctl: &RunCtl) -> Outcome {
+            let gave_up = Instant::now() + Duration::from_secs(30);
+            while !ctl.cancel.is_canceled() {
+                assert!(Instant::now() < gave_up, "slow backend was never cancelled");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            interrupt::raise()
+        }
+    }
+
+    /// Ineligible everywhere.
+    struct Picky;
+    impl Backend for Picky {
+        fn id(&self) -> BackendId {
+            "picky"
+        }
+        fn eligible(&self, _h: &Hypergraph, _req: &WidthRequest) -> bool {
+            false
+        }
+        fn run(&self, _h: &Hypergraph, _req: &WidthRequest, _ctl: &RunCtl) -> Outcome {
+            unreachable!("ineligible backend must not run")
+        }
+    }
+
+    #[test]
+    fn fast_exact_answer_cancels_the_slow_loser() {
+        let h = generators::cycle(4);
+        let backends: Vec<Box<dyn Backend>> = vec![Box::new(Slow), Box::new(Fast)];
+        let started = Instant::now();
+        let report = race(&h, &request(), &backends, &PortfolioOptions::default());
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the racer returned long before the slow backend's horizon"
+        );
+        assert_eq!(report.winner, Some("fast"));
+        assert_eq!(report.outcome.width, Some(Rational::from(2usize)));
+        assert!(report.outcome.witness.is_some());
+        assert_eq!(report.canceled, 1, "the slow loser was cancelled");
+        assert_eq!(report.raced, vec!["slow", "fast"]);
+        // The exact win closed the bounds.
+        assert_eq!(report.bounds.lower, report.bounds.upper);
+        assert!(report.time_to_exact.is_some());
+        assert!(report.time_to_first_bound.is_some());
+    }
+
+    #[test]
+    fn per_backend_deadline_cancels_a_stuck_member() {
+        let h = generators::cycle(4);
+        let backends: Vec<Box<dyn Backend>> = vec![Box::new(Slow)];
+        let opts = PortfolioOptions {
+            backend_deadlines: vec![("slow", Duration::from_millis(20))],
+            ..PortfolioOptions::default()
+        };
+        let report = race(&h, &request(), &backends, &opts);
+        assert_eq!(report.winner, None);
+        assert!(!report.outcome.resolved);
+        assert_eq!(report.canceled, 1, "deadline expiry is cancellation");
+    }
+
+    #[test]
+    fn global_deadline_reports_best_so_far_bounds() {
+        let h = generators::cycle(4);
+        /// Reports a witnessed upper bound, then hangs until cancelled.
+        struct Bounder;
+        impl Backend for Bounder {
+            fn id(&self) -> BackendId {
+                "bounder"
+            }
+            fn run(&self, _h: &Hypergraph, _req: &WidthRequest, ctl: &RunCtl) -> Outcome {
+                ctl.sink
+                    .report_upper(Rational::from(3usize), Some(&trivial_witness()));
+                while !ctl.cancel.is_canceled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                interrupt::raise()
+            }
+        }
+        let backends: Vec<Box<dyn Backend>> = vec![Box::new(Bounder)];
+        let opts = PortfolioOptions {
+            deadline: Some(Duration::from_millis(25)),
+            ..PortfolioOptions::default()
+        };
+        let report = race(&h, &request(), &backends, &opts);
+        assert_eq!(report.winner, None);
+        assert_eq!(report.bounds.upper, Some(Rational::from(3usize)));
+        assert!(
+            report.outcome.witness.is_some(),
+            "the timeout answer carries the best witness seen"
+        );
+    }
+
+    #[test]
+    fn ineligible_backends_are_not_raced() {
+        let h = generators::cycle(4);
+        let backends: Vec<Box<dyn Backend>> = vec![Box::new(Picky), Box::new(Fast)];
+        let report = race(&h, &request(), &backends, &PortfolioOptions::default());
+        assert_eq!(report.raced, vec!["fast"]);
+        assert_eq!(report.winner, Some("fast"));
+    }
+}

@@ -8,13 +8,13 @@
 #                                       small corpus prefix, written to a
 #                                       scratch file — proves the baseline
 #                                       bin still runs and still emits the
-#                                       hypertree-bench-baseline/v5 schema
+#                                       hypertree-bench-baseline/v6 schema
 #
 # Either mode fails hard when the emitted schema tag drifts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA='hypertree-bench-baseline/v5'
+SCHEMA='hypertree-bench-baseline/v6'
 
 if [[ "${1:-}" == "--smoke" ]]; then
   out="$(mktemp /tmp/bench_baseline_smoke.XXXXXX.json)"
@@ -82,6 +82,22 @@ done
 # runtime cache broke.
 if grep -q '^      {"name": .*"result_cache_hits": 0[,}]' "$out"; then
   echo "bench_baseline.sh: batch warm pass missed the result cache" >&2
+  exit 1
+fi
+
+# v6: the file ends with the portfolio block — every instance (corpus +
+# vendored HyperBench-style set) raced through solver::portfolio, with
+# per-race winner/timing columns and the corpus-wide agreement flag.
+for field in '"portfolio":' '"winner":' '"first_bound_us":' '"exact_us":' \
+             '"losers_canceled":' '"widths_match_single_backend":'; do
+  if ! grep -q "$field" "$out"; then
+    echo "bench_baseline.sh: schema drift — no $field columns in $out" >&2
+    exit 1
+  fi
+done
+# The portfolio must agree with the plain single-backend path everywhere.
+if ! grep -q '"widths_match_single_backend": true' "$out"; then
+  echo "bench_baseline.sh: portfolio widths diverged from the single-backend path" >&2
   exit 1
 fi
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hgtool structure <file>             structural profile (BIP/BMIP/BDP/VC)
-//! hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>...
+//! hgtool widths [--stats] [--no-prep] [--heuristic-only] [--portfolio] <file>...
 //!                                     exact hw / ghw / fhw (small instances);
 //!                                     several files (or a `*` glob in the
 //!                                     file name) run as one batch through
@@ -19,7 +19,13 @@
 //!                                     (also: HGTOOL_NO_PREP env var),
 //!                                     --heuristic-only prints the candgen
 //!                                     upper bounds + witnesses without any
-//!                                     exact search (any instance size)
+//!                                     exact search (any instance size),
+//!                                     --portfolio races each width's
+//!                                     backend registry (engine / elim DP /
+//!                                     subset oracle / seed-refine), first
+//!                                     exact answer wins, losers cancelled;
+//!                                     honors HGTOOL_DEADLINE_MS and
+//!                                     per-backend HGTOOL_DEADLINE_<ID>_MS
 //! hgtool prep <file>                  print the width-preserving reduction
 //!                                     trace, blocks and fingerprints
 //! hgtool check <hd|ghd|fhd> <k> <file>   decide width <= k, print witness
@@ -51,7 +57,9 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  hgtool structure <file>");
-            eprintln!("  hgtool widths [--stats] [--no-prep] [--heuristic-only] <file>...");
+            eprintln!(
+                "  hgtool widths [--stats] [--no-prep] [--heuristic-only] [--portfolio] <file>..."
+            );
             eprintln!("  hgtool prep <file>");
             eprintln!("  hgtool check <hd|ghd|fhd> <k> <file>");
             eprintln!("  hgtool reduce <n> <m> [seed]");
@@ -67,26 +75,33 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut stats = false;
             let mut no_prep = false;
             let mut heuristic_only = false;
+            let mut portfolio = false;
             let mut files: Vec<String> = Vec::new();
             for arg in rest {
                 match arg.as_str() {
                     "--stats" => stats = true,
                     "--no-prep" => no_prep = true,
                     "--heuristic-only" => heuristic_only = true,
+                    "--portfolio" => portfolio = true,
                     other if other.starts_with("--") => {
                         return Err(format!("unknown widths flag {other}"))
                     }
                     file => files.extend(expand_glob(file)?),
                 }
             }
+            if heuristic_only && portfolio {
+                return Err("--heuristic-only and --portfolio are mutually exclusive".into());
+            }
             match files.as_slice() {
                 [] => Err("widths needs at least one file".into()),
                 [file] if heuristic_only => heuristic_widths(&load(file)?, no_prep),
+                [file] if portfolio => widths_portfolio(&load(file)?, stats, no_prep),
                 [file] => widths(&load(file)?, stats, no_prep),
                 many if heuristic_only => Err(format!(
                     "--heuristic-only takes one file, got {}",
                     many.len()
                 )),
+                many if portfolio => widths_portfolio_batch(many, stats, no_prep),
                 many => widths_batch(many, stats, no_prep),
             }
         }
@@ -293,6 +308,135 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
                 rerun.price_warm_hits,
                 rerun.price_hits + rerun.price_misses,
             );
+        }
+    }
+    Ok(())
+}
+
+/// `hgtool widths --portfolio`: each width measure races its backend
+/// registry — first exact answer wins, losers are cancelled through the
+/// engine's cancellation scopes — and the winner column names who won.
+/// `HGTOOL_DEADLINE_MS` (global) and `HGTOOL_DEADLINE_<ID>_MS`
+/// (per-backend) arm the race deadlines; on a total timeout the best
+/// witnessed bounds any member achieved are printed instead.
+fn widths_portfolio(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
+    use hypertree::solver::backend::{Measure, WidthRequest};
+    use hypertree::solver::portfolio::{race, PortfolioOptions, RaceReport};
+    let mut opts = EngineOptions::default();
+    if no_prep {
+        opts = opts.without_prep();
+        opts.reuse_prices = false;
+    }
+    let popts = PortfolioOptions::from_env();
+    // Per-measure races rather than `exact_widths_portfolio`: like the
+    // plain path, each width degrades to `n/a` (or its best bounds)
+    // independently instead of failing the whole command.
+    let races: Vec<(&str, RaceReport)> = [
+        ("hw", Measure::Hw { max_k: 8 }),
+        ("ghw", Measure::Ghw { cutoff: None }),
+        ("fhw", Measure::Fhw { cutoff: None }),
+    ]
+    .into_iter()
+    .map(|(name, measure)| {
+        let backends = hypertree::backends_for(&measure);
+        let req = WidthRequest { measure, opts };
+        (name, race(h, &req, &backends, &popts))
+    })
+    .collect();
+    for (name, r) in &races {
+        let answer = match (&r.outcome.width, r.winner) {
+            (Some(w), _) => w.to_string(),
+            (None, Some(_)) => "no (cutoff certified)".into(),
+            (None, None) => {
+                let lb = r
+                    .bounds
+                    .lower
+                    .as_ref()
+                    .map_or_else(|| "?".into(), |w| w.to_string());
+                match &r.bounds.upper {
+                    Some(ub) => format!("in [{lb}, {ub}] (race unresolved)"),
+                    None => format!(">= {lb} (race unresolved)"),
+                }
+            }
+        };
+        println!("{name:<3} = {answer}   winner={}", r.winner.unwrap_or("-"));
+    }
+    if stats {
+        println!();
+        println!(
+            "race   winner       raced                               canceled  first-bound  exact"
+        );
+        for (name, r) in &races {
+            println!(
+                "{name:<6} {:<12} {:<35} {:>8}  {:>11}  {:>5}",
+                r.winner.unwrap_or("-"),
+                r.raced.join(","),
+                r.canceled,
+                fmt_micros(r.time_to_first_bound),
+                fmt_micros(r.time_to_exact),
+            );
+        }
+        println!();
+        for (name, r) in &races {
+            let trace: Vec<String> = r
+                .trace
+                .iter()
+                .map(|e| match e {
+                    hypertree::solver::backend::BoundEvent::Lower(w) => format!("lb>={w}"),
+                    hypertree::solver::backend::BoundEvent::Upper(w) => format!("ub<={w}"),
+                })
+                .collect();
+            println!("{name} bound trace: {}", trace.join(" -> "));
+        }
+    }
+    Ok(())
+}
+
+/// Formats an optional race duration in microseconds.
+fn fmt_micros(d: Option<std::time::Duration>) -> String {
+    d.map(|d| format!("{}us", d.as_micros()))
+        .unwrap_or_else(|| "-".into())
+}
+
+/// `hgtool widths --portfolio` over several files: the batch runs through
+/// the shared runtime ([`hypertree::exact_widths_portfolio_batch`]) and
+/// every instance's three measures race their registries; the winners
+/// column names who won each race.
+fn widths_portfolio_batch(files: &[String], stats: bool, no_prep: bool) -> Result<(), String> {
+    use hypertree::solver::portfolio::PortfolioOptions;
+    let mut opts = EngineOptions::default();
+    if no_prep {
+        opts = opts.without_prep();
+        opts.reuse_prices = false;
+        opts.reuse_results = false;
+    }
+    let popts = PortfolioOptions::from_env();
+    let mut instances = Vec::with_capacity(files.len());
+    for f in files {
+        instances.push(load(f)?);
+    }
+    let results = hypertree::exact_widths_portfolio_batch(&instances, 8, opts, &popts);
+    let name_width = files.iter().map(|f| f.len()).max().unwrap_or(0);
+    for (file, result) in files.iter().zip(&results) {
+        match result {
+            Some((w, s, races)) => {
+                let mut line = format!(
+                    "{file:<name_width$}  hw={} ghw={} fhw={}  winners hw:{} ghw:{} fhw:{}",
+                    w.hw,
+                    w.ghw,
+                    w.fhw,
+                    races.hw.winner.unwrap_or("-"),
+                    races.ghw.winner.unwrap_or("-"),
+                    races.fhw.winner.unwrap_or("-"),
+                );
+                if stats {
+                    let canceled = races.hw.canceled + races.ghw.canceled + races.fhw.canceled;
+                    let states = s.hw.states + s.ghw.states + s.fhw.states;
+                    line.push_str(&format!("   states={states} losers-canceled={canceled}"));
+                }
+                println!("{line}");
+            }
+            None => println!("{file:<name_width$}  n/a (a race ended unresolved)"),
         }
     }
     Ok(())
