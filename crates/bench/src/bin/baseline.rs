@@ -19,7 +19,7 @@
 //! ```
 //!
 //! `--smoke` is the CI mode: single iteration over a small corpus prefix,
-//! just enough to prove the bin and the `hypertree-bench-baseline/v6`
+//! just enough to prove the bin and the `hypertree-bench-baseline/v7`
 //! schema have not rotted (see `scripts/bench_baseline.sh --smoke`).
 //!
 //! v4 added the exact-simplex work counters (`lp_pivots`,
@@ -35,7 +35,11 @@
 //! three measures per instance), recording each race's winner,
 //! time-to-first-bound, time-to-exact and cancelled-loser count, plus a
 //! corpus-wide flag that the portfolio widths matched the plain
-//! single-backend path.
+//! single-backend path. v7 adds the per-instance `phases` block: one
+//! extra ghw run per row with span tracing enabled (only for that run —
+//! the timed rows stay untraced), aggregated to per-phase *self* times
+//! (prep / candgen / engine search / pricing), so the baseline tracks
+//! where the solve wall-clock actually goes.
 
 use hypertree_bench as workloads;
 use hypertree_core::hypergraph::Hypergraph;
@@ -75,7 +79,7 @@ fn main() {
     let iters = if smoke { 1 } else { 5 };
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"hypertree-bench-baseline/v6\",\n");
+    body.push_str("  \"schema\": \"hypertree-bench-baseline/v7\",\n");
     body.push_str("  \"command\": \"cargo run -p hypertree-bench --bin baseline --release\",\n");
     let _ = writeln!(body, "  \"profile\": \"{}\",", profile());
     body.push_str("  \"instances\": [\n");
@@ -172,6 +176,29 @@ fn main() {
             prep_stats.prep_blocks,
             rerun.price_warm_hits,
             rerun.price_hits + rerun.price_misses,
+        );
+        // v7: the per-phase self-time breakdown of one traced ghw run.
+        // Tracing arms only around this run, so the timed rows above stay
+        // unpolluted; self times partition the solve wall-clock with no
+        // double counting (a phase excludes its sub-phases).
+        obs::trace::set_enabled(true);
+        obs::trace::drain();
+        let _ = ghd::ghw_exact_with_stats(h, None, cold);
+        let spans = obs::trace::drain();
+        obs::trace::set_enabled(false);
+        let totals = obs::trace::phase_totals(&spans);
+        let phase = |k: &str| totals.get(k).map(|&(_, s)| s).unwrap_or(0);
+        let all: u64 = totals.values().map(|&(_, s)| s).sum();
+        let _ = write!(
+            body,
+            ", \"phases\": {{\"engine\": \"ghw\", \"prep_us\": {}, \"candgen_us\": {}, \
+             \"search_us\": {}, \"pricing_us\": {}, \"total_self_us\": {}, \"spans\": {}}}",
+            phase("prep"),
+            phase("candgen"),
+            phase("state"),
+            phase("price"),
+            all,
+            spans.len(),
         );
         body.push('}');
         if i + 1 < total {

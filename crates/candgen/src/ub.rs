@@ -182,6 +182,12 @@ pub fn upper_bound<C: Ord + Clone>(
     mut price: impl FnMut(&VertexSet) -> PricedBag<C>,
 ) -> (C, Decomposition) {
     assert!(h.num_vertices() > 0, "empty hypergraph");
+    let _span = obs::span!(
+        "candgen",
+        stage = "upper_bound",
+        vertices = h.num_vertices(),
+        edges = h.num_edges()
+    );
     let full_effort = h.num_vertices() >= FULL_EFFORT_VERTICES;
     let heuristics: &[OrderHeuristic] = if full_effort {
         &[OrderHeuristic::MinDegree, OrderHeuristic::MinFill]

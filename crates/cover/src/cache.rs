@@ -368,6 +368,9 @@ pub type RhoStarCache = ShardedCache<VertexSet, PricedRhoStar>;
 /// `ρ(bag)` with its minimum cover, through the shared cache.
 pub fn rho_priced(h: &Hypergraph, bag: &VertexSet, cache: &RhoCache) -> PricedRho {
     cache.get_or_insert_with(bag, || {
+        // The span covers only the miss path: a cache hit does no
+        // pricing work worth a record.
+        let _span = obs::span!("price", kind = "rho", bag = bag.len());
         crate::integral_cover(h, bag).map(|c: IntegralCover| (c.weight(), c.edges))
     })
 }
@@ -375,6 +378,7 @@ pub fn rho_priced(h: &Hypergraph, bag: &VertexSet, cache: &RhoCache) -> PricedRh
 /// `ρ*(bag)` with its sparse optimal weights, through the shared cache.
 pub fn rho_star_priced(h: &Hypergraph, bag: &VertexSet, cache: &RhoStarCache) -> PricedRhoStar {
     cache.get_or_insert_with(bag, || {
+        let _span = obs::span!("price", kind = "rho_star", bag = bag.len());
         crate::fractional_cover(h, bag).map(|c: FractionalCover| {
             let weights: Vec<(usize, Rational)> = c
                 .weights

@@ -82,6 +82,7 @@ impl PricingContext {
     }
 
     fn price_impl(&mut self, h: &Hypergraph, target: &VertexSet, warm: bool) -> PricedRhoStar {
+        let _span = obs::span!("price", kind = "rho_star", warm = warm, bag = target.len());
         if target.is_empty() {
             return Some((Rational::zero(), Vec::new()));
         }

@@ -57,6 +57,13 @@ pub fn ghw_exact_with_stats(
     if h.has_isolated_vertices() {
         return (None, SearchStats::default());
     }
+    let _span = obs::span!(
+        "solve",
+        measure = "ghw",
+        vertices = h.num_vertices(),
+        edges = h.num_edges()
+    );
+    let started = std::time::Instant::now();
     let warm = solver::pool_is_warm();
     let key = format!(
         "cutoff={cutoff:?};prep={};rp={};backend=auto",
@@ -71,7 +78,26 @@ pub fn ghw_exact_with_stats(
         prep::run_minimizer(h, opts.prep, |block| ghw_piece(block, cutoff, opts))
     });
     stats.pool_reuse = usize::from(warm);
+    solve_metrics::latency().observe_us(started.elapsed().as_micros() as u64);
     (result, stats)
+}
+
+/// Process-lifetime solve metrics, observational only.
+mod solve_metrics {
+    use obs::metrics::{histogram_with, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    /// `hgtool_solve_latency_seconds{strategy="ghw"}`.
+    pub(super) fn latency() -> &'static Arc<Histogram> {
+        static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+        H.get_or_init(|| {
+            histogram_with(
+                "hgtool_solve_latency_seconds",
+                "End-to-end exact width-solve latency by strategy",
+                &[("strategy", "ghw")],
+            )
+        })
+    }
 }
 
 /// The elimination-order DP as a standalone exact path (the `elim`

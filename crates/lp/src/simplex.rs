@@ -287,9 +287,11 @@ impl SimplexWorkspace {
     pub fn solve(&mut self, lp: &LinearProgram) -> LpResult {
         self.warm = None;
         self.stats.cold_solves += 1;
+        let before = self.stats.pivots;
         self.tab.build_into(lp);
         let res = self.tab.solve(lp, &mut self.stats.pivots);
         self.retain(lp, &res);
+        lp_metrics::record(false, self.stats.pivots - before);
         res
     }
 
@@ -335,14 +337,18 @@ impl SimplexWorkspace {
         if !crashed_feasible {
             // Basis infeasibility: rebuild from slacks and solve cold.
             self.stats.cold_solves += 1;
+            let before = self.stats.pivots;
             self.tab.build_into(lp);
             let res = self.tab.solve(lp, &mut self.stats.pivots);
             self.retain(lp, &res);
+            lp_metrics::record(false, self.stats.pivots - before);
             return res;
         }
         self.stats.warm_starts += 1;
+        let before = self.stats.pivots;
         let res = self.tab.solve(lp, &mut self.stats.pivots);
         self.retain(lp, &res);
+        lp_metrics::record(true, self.stats.pivots - before);
         res
     }
 
@@ -666,6 +672,49 @@ impl Tableau {
             Sense::Maximize => -min_value,
         };
         LpResult::Optimal { value, solution }
+    }
+}
+
+/// Process-lifetime LP work counters, mirroring [`LpStats`] into the
+/// `obs` metrics registry (the `hgtool metrics` LP rows). Strictly
+/// observational — nothing in the solver ever reads them back.
+mod lp_metrics {
+    use obs::metrics::{counter, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    struct Handles {
+        pivots: Arc<Counter>,
+        warm_starts: Arc<Counter>,
+        cold_solves: Arc<Counter>,
+    }
+
+    fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| Handles {
+            pivots: counter(
+                "hgtool_lp_pivots_total",
+                "Exact simplex Bland pivots (phase 1 + phase 2) across the process",
+            ),
+            warm_starts: counter(
+                "hgtool_lp_warm_starts_total",
+                "LP solves warm-started from a retained basis",
+            ),
+            cold_solves: counter(
+                "hgtool_lp_cold_solves_total",
+                "LP solves built from scratch (including failed warm crashes)",
+            ),
+        })
+    }
+
+    /// Records one finished solve and its pivot count.
+    pub(super) fn record(warm: bool, pivots: u64) {
+        let h = handles();
+        h.pivots.add(pivots);
+        if warm {
+            h.warm_starts.inc();
+        } else {
+            h.cold_solves.inc();
+        }
     }
 }
 

@@ -1,0 +1,290 @@
+//! A minimal JSON parser for validating the trace JSONL stream and the
+//! bench baseline (the workspace is offline and carries no serde; the
+//! emitters hand-write JSON, so the validators hand-read it).
+//!
+//! Supports the full JSON grammar except `\uXXXX` surrogate pairs
+//! (decoded escapes outside the BMP are rejected), which the emitters
+//! in this workspace never produce.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (kept as f64; the traces emit only u64s well
+    /// inside f64's exact-integer range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (sorted keys; duplicate keys keep the last value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key`, when this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parse error: byte offset and message.
+#[derive(Debug, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+/// Parses `text` as a single JSON value (trailing whitespace allowed,
+/// anything else after the value is an error).
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing content"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, msg: &str) -> ParseError {
+    ParseError {
+        at,
+        msg: msg.to_string(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected '{}'", c as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => Err(err(*pos, "expected a value")),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, ParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected '{lit}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| err(start, "bad number"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| err(*pos, "surrogate \\u escape unsupported"))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => return Err(err(*pos, "raw control character in string")),
+            Some(_) => {
+                // Copy one UTF-8 scalar (the input is a &str, so the
+                // encoding is already valid).
+                let s = &bytes[*pos..];
+                let ch_len = std::str::from_utf8(s)
+                    .map_err(|_| err(*pos, "invalid utf-8"))?
+                    .chars()
+                    .next()
+                    .map(|c| c.len_utf8())
+                    .unwrap_or(1);
+                out.push_str(std::str::from_utf8(&s[..ch_len]).expect("validated"));
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    expect(bytes, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    expect(bytes, pos, b'{')?;
+    let mut out = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        out.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_grammar() {
+        let v = parse(r#"{"a": [1, -2.5, true, null, "x\n\"y\""], "b": {"c": 1e3}}"#)
+            .expect("valid json");
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_num),
+            Some(1000.0)
+        );
+        let Some(Json::Arr(items)) = v.get("a") else {
+            panic!("a is an array");
+        };
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[1], Json::Num(-2.5));
+        assert_eq!(items[4], Json::Str("x\n\"y\"".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn roundtrips_the_trace_escapes() {
+        let v = parse(r#"{"s": "tab\tnl\nuA"}"#).expect("valid");
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("tab\tnl\nuA"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Process-lifetime metrics: counters, gauges and histograms behind a
+//! lazy registry, snapshotted in Prometheus text exposition format.
+//!
+//! Metrics are always on (unlike tracing): every instrument is a bare
+//! atomic the hot paths touch directly, and call sites cache their
+//! handle in a `OnceLock` so registration happens once per process.
+//! Nothing ever reads a metric on a search path — the registry is
+//! strictly write-only until [`render_prometheus`] snapshots it.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter (`*_total` in the exposition).
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (occupancies, in-use
+/// permit counts).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram bucket upper bounds, in seconds (solve latencies span
+/// microseconds to minutes).
+const LATENCY_BUCKETS_S: [f64; 11] = [
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+];
+
+/// A fixed-bucket latency histogram (observations in microseconds,
+/// exposed in seconds).
+pub struct Histogram {
+    /// Per-bucket (non-cumulative) observation counts; the last slot
+    /// is the `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..=LATENCY_BUCKETS_S.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation of `us` microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let seconds = us as f64 / 1e6;
+        let slot = LATENCY_BUCKETS_S
+            .iter()
+            .position(|&le| seconds <= le)
+            .unwrap_or(LATENCY_BUCKETS_S.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    labels: Vec<(&'static str, String)>,
+    handle: Handle,
+}
+
+fn registry() -> &'static Mutex<Vec<Entry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn register(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&'static str, &str)],
+    make: impl FnOnce() -> Handle,
+) -> Handle {
+    let labels: Vec<(&'static str, String)> =
+        labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    if let Some(existing) = reg.iter().find(|e| e.name == name && e.labels == labels) {
+        return match &existing.handle {
+            Handle::Counter(c) => Handle::Counter(Arc::clone(c)),
+            Handle::Gauge(g) => Handle::Gauge(Arc::clone(g)),
+            Handle::Histogram(h) => Handle::Histogram(Arc::clone(h)),
+        };
+    }
+    let handle = make();
+    let clone = match &handle {
+        Handle::Counter(c) => Handle::Counter(Arc::clone(c)),
+        Handle::Gauge(g) => Handle::Gauge(Arc::clone(g)),
+        Handle::Histogram(h) => Handle::Histogram(Arc::clone(h)),
+    };
+    reg.push(Entry {
+        name,
+        help,
+        labels,
+        handle,
+    });
+    clone
+}
+
+/// Registers (or fetches) the unlabeled counter `name`.
+pub fn counter(name: &'static str, help: &'static str) -> Arc<Counter> {
+    match register(name, help, &[], || Handle::Counter(Arc::default())) {
+        Handle::Counter(c) => c,
+        _ => unreachable!("metric {name} registered with another type"),
+    }
+}
+
+/// Registers (or fetches) the counter `name` with the given labels.
+pub fn counter_with(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&'static str, &str)],
+) -> Arc<Counter> {
+    match register(name, help, labels, || Handle::Counter(Arc::default())) {
+        Handle::Counter(c) => c,
+        _ => unreachable!("metric {name} registered with another type"),
+    }
+}
+
+/// Registers (or fetches) the unlabeled gauge `name`.
+pub fn gauge(name: &'static str, help: &'static str) -> Arc<Gauge> {
+    match register(name, help, &[], || Handle::Gauge(Arc::default())) {
+        Handle::Gauge(g) => g,
+        _ => unreachable!("metric {name} registered with another type"),
+    }
+}
+
+/// Registers (or fetches) the histogram `name` with the given labels.
+pub fn histogram_with(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&'static str, &str)],
+) -> Arc<Histogram> {
+    match register(name, help, labels, || Handle::Histogram(Arc::default())) {
+        Handle::Histogram(h) => h,
+        _ => unreachable!("metric {name} registered with another type"),
+    }
+}
+
+fn label_set(labels: &[(&'static str, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Formats a float the exposition-format way (no exponent for the
+/// magnitudes we emit; integral values keep a trailing `.0`-free form).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Snapshots every registered metric in Prometheus text exposition
+/// format (the `hgtool metrics` output and the future `hgtool serve`
+/// endpoint body). Includes the tracing subsystem's own
+/// `hgtool_spans_dropped_total`.
+pub fn render_prometheus() -> String {
+    let mut out = String::new();
+    let reg = registry().lock().expect("metrics registry poisoned");
+    // Group consecutive same-name entries under one HELP/TYPE header,
+    // preserving registration order (stable within a run).
+    let mut seen: Vec<&'static str> = Vec::new();
+    for e in reg.iter() {
+        if seen.contains(&e.name) {
+            continue;
+        }
+        seen.push(e.name);
+        out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+        out.push_str(&format!("# TYPE {} {}\n", e.name, e.handle.kind()));
+        for m in reg.iter().filter(|m| m.name == e.name) {
+            match &m.handle {
+                Handle::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        label_set(&m.labels, None),
+                        c.get()
+                    ));
+                }
+                Handle::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        label_set(&m.labels, None),
+                        g.get()
+                    ));
+                }
+                Handle::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, le) in LATENCY_BUCKETS_S.iter().enumerate() {
+                        cumulative += h.buckets[i].load(Ordering::Relaxed);
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            m.name,
+                            label_set(&m.labels, Some(("le", fmt_f64(*le)))),
+                            cumulative
+                        ));
+                    }
+                    cumulative += h.buckets[LATENCY_BUCKETS_S.len()].load(Ordering::Relaxed);
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        label_set(&m.labels, Some(("le", "+Inf".to_string()))),
+                        cumulative
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        label_set(&m.labels, None),
+                        h.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        label_set(&m.labels, None),
+                        cumulative
+                    ));
+                }
+            }
+        }
+    }
+    // The tracing subsystem's one metric, emitted directly so the
+    // collector never has to depend on the registry.
+    out.push_str("# HELP hgtool_spans_dropped_total Trace spans dropped at the collector cap\n");
+    out.push_str("# TYPE hgtool_spans_dropped_total counter\n");
+    out.push_str(&format!(
+        "hgtool_spans_dropped_total {}\n",
+        crate::trace::dropped()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_name_and_labels() {
+        let a = counter("test_obs_shared_total", "test counter");
+        let b = counter("test_obs_shared_total", "test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same name resolves to the same atomic");
+        let l1 = counter_with("test_obs_lbl_total", "labeled", &[("k", "a")]);
+        let l2 = counter_with("test_obs_lbl_total", "labeled", &[("k", "b")]);
+        l1.inc();
+        assert_eq!((l1.get(), l2.get()), (1, 0), "label sets are distinct");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        counter("test_obs_render_total", "a counter").add(7);
+        gauge("test_obs_render_bytes", "a gauge").set(42);
+        let h = histogram_with(
+            "test_obs_render_seconds",
+            "a histogram",
+            &[("strategy", "ghw")],
+        );
+        h.observe_us(250); // 0.00025s -> le=0.0005 bucket
+        h.observe_us(2_000_000); // 2s -> le=5 bucket
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE test_obs_render_total counter"));
+        assert!(text.contains("test_obs_render_total 7"));
+        assert!(text.contains("# TYPE test_obs_render_bytes gauge"));
+        assert!(text.contains("test_obs_render_bytes 42"));
+        assert!(text.contains("test_obs_render_seconds_bucket{strategy=\"ghw\",le=\"0.0005\"} 1"));
+        assert!(text.contains("test_obs_render_seconds_bucket{strategy=\"ghw\",le=\"+Inf\"} 2"));
+        assert!(text.contains("test_obs_render_seconds_count{strategy=\"ghw\"} 2"));
+        assert!(text.contains("test_obs_render_seconds_sum{strategy=\"ghw\"} 2.00025"));
+        assert!(text.contains("hgtool_spans_dropped_total"));
+        // Exposition format: every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+        }
+    }
+}

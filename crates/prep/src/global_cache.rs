@@ -391,6 +391,7 @@ where
     if !session.is_shared() {
         return run();
     }
+    let span = obs::span!("result_cache", slot = slot);
     let cache: Arc<ShardedCache<String, (R, SearchStats)>> = session.cache(slot);
     // Anytime-bounds plumbing (only when an ambient control is
     // installed): if an identical query is already in flight, attach our
@@ -402,13 +403,25 @@ where
         .as_ref()
         .map(|sink| inflight_bounds::attach_waiter(h, slot, &key, sink));
     let (claim, waited) = cache.claim_tracking_wait(&key);
-    match claim {
+    let answer = match claim {
         Claim::Hit((result, mut stats)) => {
             stats.result_cache_hits = 1;
             stats.inflight_dedup = usize::from(waited);
+            cache_metrics::handles().hits.inc();
+            if waited {
+                cache_metrics::handles().inflight_dedup.inc();
+            }
+            if let Some(span) = span.as_ref() {
+                span.record("hit", true);
+                span.record("deduped", waited);
+            }
             (result, stats)
         }
         Claim::Owner => {
+            cache_metrics::handles().misses.inc();
+            if let Some(span) = span.as_ref() {
+                span.record("hit", false);
+            }
             let guard = QueryGuard {
                 cache: &cache,
                 key: Some(&key),
@@ -425,6 +438,56 @@ where
             cache.complete(key, (result.clone(), stats.clone()));
             (result, stats)
         }
+    };
+    // Occupancy gauges follow every routed query (byte accounting is the
+    // registry's LRU estimate — the same number its sweep budgets by).
+    let reg = global();
+    cache_metrics::handles()
+        .bytes
+        .set(reg.approx_bytes() as i64);
+    cache_metrics::handles().variants.set(reg.len() as i64);
+    answer
+}
+
+/// Process-lifetime counters and occupancy gauges of the cross-call
+/// registry, mirrored into the `obs` metrics registry. Observational
+/// only — cache behavior never depends on them.
+mod cache_metrics {
+    use obs::metrics::{counter, gauge, Counter, Gauge};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct Handles {
+        pub hits: Arc<Counter>,
+        pub misses: Arc<Counter>,
+        pub inflight_dedup: Arc<Counter>,
+        pub bytes: Arc<Gauge>,
+        pub variants: Arc<Gauge>,
+    }
+
+    pub(super) fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| Handles {
+            hits: counter(
+                "hgtool_result_cache_hits_total",
+                "Whole-query answers served from the cross-call result cache",
+            ),
+            misses: counter(
+                "hgtool_result_cache_misses_total",
+                "Whole-query searches that ran because no cached answer existed",
+            ),
+            inflight_dedup: counter(
+                "hgtool_inflight_dedup_total",
+                "Duplicate queries that parked on an in-flight identical search",
+            ),
+            bytes: gauge(
+                "hgtool_result_cache_bytes",
+                "Approximate byte occupancy of the cross-call price+result registry",
+            ),
+            variants: gauge(
+                "hgtool_result_cache_variants",
+                "Instance variants resident in the cross-call registry",
+            ),
+        })
     }
 }
 

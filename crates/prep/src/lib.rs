@@ -72,6 +72,14 @@ impl Profile {
     fn split_blocks(self) -> bool {
         matches!(self, Profile::Minimizer)
     }
+
+    /// Short display name (trace span fields).
+    fn name(self) -> &'static str {
+        match self {
+            Profile::Minimizer => "minimizer",
+            Profile::Decision => "decision",
+        }
+    }
 }
 
 /// True when preprocessing should run: the per-call opt-in (the
@@ -272,6 +280,12 @@ pub fn run_minimizer<C: PartialOrd + Clone + Into<Rational>>(
 /// `h` must have no isolated vertices (the solvers reject those upstream).
 /// There is always at least one block.
 pub fn prepare(h: &Hypergraph, profile: Profile) -> Prepared {
+    let span = obs::span!(
+        "prep",
+        profile = profile.name(),
+        vertices = h.num_vertices(),
+        edges = h.num_edges()
+    );
     let simplified = simplify::simplify(h, profile.passes());
     let stats = PrepStats {
         vertices_removed: simplified.vertices_removed(h),
@@ -336,6 +350,9 @@ pub fn prepare(h: &Hypergraph, profile: Profile) -> Prepared {
         }]
     };
 
+    if let Some(span) = span.as_ref() {
+        span.record("blocks", blocks.len());
+    }
     Prepared {
         steps: simplified.steps,
         stats: PrepStats {

@@ -103,6 +103,27 @@ impl SearchStats {
     /// Accumulates another search's counters into this one (used when one
     /// logical call runs several searches: the det-k `k`-iteration, the
     /// per-block searches of the preprocessing pipeline).
+    ///
+    /// # Merge rule
+    ///
+    /// Each field merges by exactly one of three rules, chosen by what the
+    /// field *means* across sub-searches:
+    ///
+    /// * **Sum** — work counters (`states`, `memo_hits`, `streamed`,
+    ///   `admitted`, the price/candgen/LP tallies, the prep reduction
+    ///   counts, `result_cache_hits`, `inflight_dedup`): the work of a
+    ///   whole call is the work of its parts, so they add.
+    /// * **Max** — `ub_width`: per-block heuristic seeds recombine exactly
+    ///   like the block widths themselves do (a decomposition of the whole
+    ///   instance is as wide as its widest block), so the merged seed is
+    ///   the maximum, with `None` treated as "no seed ran", not zero.
+    ///   Summing here would fabricate a bound no heuristic ever produced.
+    /// * **Max-as-OR** — `pool_reuse`: a 0/1 process-state flag; merging
+    ///   the per-block searches of one call must keep it a flag (the pool
+    ///   was either warm when the call entered or it was not).
+    ///
+    /// The exhaustive `merge_rule_per_field` test pins every field to its
+    /// class — adding a field without choosing its rule breaks the test.
     pub fn merge(&mut self, other: &SearchStats) {
         self.states += other.states;
         self.memo_hits += other.memo_hits;
@@ -181,5 +202,97 @@ mod tests {
         let mut c = SearchStats::default();
         c.merge(&b);
         assert_eq!(c.ub_width, Some(Rational::from_frac(3, 2)));
+    }
+
+    /// Pins every field to its documented merge class: counters sum,
+    /// `ub_width` maxes (block widths recombine as the maximum), and
+    /// `pool_reuse` stays a 0/1 flag. The exhaustive struct literal (no
+    /// `..Default::default()`) forces this test to be revisited whenever a
+    /// field is added without choosing its rule.
+    #[test]
+    fn merge_rule_per_field() {
+        let mut a = SearchStats {
+            states: 1,
+            memo_hits: 2,
+            streamed: 3,
+            admitted: 4,
+            price_hits: 5,
+            price_misses: 6,
+            price_warm_hits: 7,
+            cand_generated: 8,
+            cand_filtered: 9,
+            cand_cap_hits: 10,
+            lp_pivots: 11,
+            lp_warm_starts: 12,
+            lp_cold_solves: 13,
+            ub_width: Some(Rational::from_frac(5, 2)),
+            prep_vertices_removed: 14,
+            prep_edges_removed: 15,
+            prep_blocks: 16,
+            result_cache_hits: 17,
+            inflight_dedup: 18,
+            pool_reuse: 0,
+        };
+        let b = SearchStats {
+            states: 100,
+            memo_hits: 100,
+            streamed: 100,
+            admitted: 100,
+            price_hits: 100,
+            price_misses: 100,
+            price_warm_hits: 100,
+            cand_generated: 100,
+            cand_filtered: 100,
+            cand_cap_hits: 100,
+            lp_pivots: 100,
+            lp_warm_starts: 100,
+            lp_cold_solves: 100,
+            ub_width: Some(Rational::from_int(2)),
+            prep_vertices_removed: 100,
+            prep_edges_removed: 100,
+            prep_blocks: 100,
+            result_cache_hits: 100,
+            inflight_dedup: 100,
+            pool_reuse: 1,
+        };
+        a.merge(&b);
+        let expected = SearchStats {
+            // Summed work counters.
+            states: 101,
+            memo_hits: 102,
+            streamed: 103,
+            admitted: 104,
+            price_hits: 105,
+            price_misses: 106,
+            price_warm_hits: 107,
+            cand_generated: 108,
+            cand_filtered: 109,
+            cand_cap_hits: 110,
+            lp_pivots: 111,
+            lp_warm_starts: 112,
+            lp_cold_solves: 113,
+            // Maxed: 5/2 > 2, NOT 5/2 + 2.
+            ub_width: Some(Rational::from_frac(5, 2)),
+            prep_vertices_removed: 114,
+            prep_edges_removed: 115,
+            prep_blocks: 116,
+            result_cache_hits: 117,
+            inflight_dedup: 118,
+            // Flag: maxed, not summed.
+            pool_reuse: 1,
+        };
+        assert_eq!(a, expected);
+        // `None` means "no seed ran", not zero: it never wins the max and
+        // never blanks an existing seed.
+        let mut none_side = SearchStats::default();
+        none_side.merge(&expected);
+        assert_eq!(none_side.ub_width, Some(Rational::from_frac(5, 2)));
+        let mut seeded = expected.clone();
+        seeded.merge(&SearchStats::default());
+        assert_eq!(seeded.ub_width, Some(Rational::from_frac(5, 2)));
+        // Merging is associative-compatible with the flag rule: a third
+        // merge keeps pool_reuse a flag.
+        seeded.merge(&expected);
+        assert_eq!(seeded.pool_reuse, 1);
     }
 }

@@ -547,6 +547,7 @@ fn shared_pool() -> &'static SharedPool {
         wake: Condvar::new(),
     });
     POOL_START.call_once(|| {
+        pool_metrics::handles().threads.set(MAX_THREADS as i64);
         for worker in 0..MAX_THREADS {
             std::thread::Builder::new()
                 .name(format!("width-worker-{worker}"))
@@ -619,6 +620,7 @@ impl SharedPool {
     fn worker_loop(&'static self, me: usize) {
         loop {
             if let Some(job) = self.grab(me) {
+                pool_metrics::handles().jobs.inc();
                 job(self, me);
                 continue;
             }
@@ -655,7 +657,10 @@ impl Permits {
                 .0
                 .compare_exchange_weak(left, left - 1, Ordering::Acquire, Ordering::Relaxed)
             {
-                Ok(_) => return true,
+                Ok(_) => {
+                    pool_metrics::handles().permits_in_use.add(1);
+                    return true;
+                }
                 Err(now) => left = now,
             }
         }
@@ -663,7 +668,42 @@ impl Permits {
     }
 
     fn release(&self) {
+        pool_metrics::handles().permits_in_use.sub(1);
         self.0.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Process-lifetime pool metrics, mirrored into the `obs` registry.
+/// Observational only: scheduling never reads them.
+mod pool_metrics {
+    use obs::metrics::{counter, gauge, Counter, Gauge};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) struct Handles {
+        /// Worker permits currently held across every in-flight search.
+        pub permits_in_use: Arc<Gauge>,
+        /// Worker threads of the shared pool (0 until the pool starts).
+        pub threads: Arc<Gauge>,
+        /// Jobs the pool workers have executed.
+        pub jobs: Arc<Counter>,
+    }
+
+    pub(super) fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| Handles {
+            permits_in_use: gauge(
+                "hgtool_pool_permits_in_use",
+                "Shared-pool worker permits currently held by in-flight searches",
+            ),
+            threads: gauge(
+                "hgtool_pool_threads",
+                "Worker threads of the process-wide search pool (0 until first parallel search)",
+            ),
+            jobs: counter(
+                "hgtool_pool_jobs_total",
+                "Jobs executed by the shared pool workers",
+            ),
+        })
     }
 }
 
@@ -1138,6 +1178,9 @@ where
             memo: &self.core.memo,
             key: Some(key),
         };
+        // Observational only: the engine never reads the trace back, so
+        // scheduling and counters are identical with tracing on or off.
+        let _span = obs::span!("state", comp = state.comp.len(), conn = state.conn.len());
         let best = self.evaluate_state(state, exec)?;
         let entry = best.map(|(cost, plan)| {
             let mut plans = self.core.plans.lock().expect("plan arena poisoned");

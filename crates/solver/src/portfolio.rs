@@ -146,6 +146,7 @@ pub fn race(
     }
     admitted.truncate(opts.max_backends.max(1));
     let raced: Vec<BackendId> = admitted.iter().map(|b| b.id()).collect();
+    let race_span = obs::span!("race", measure = req.measure.name(), backends = raced.len());
 
     let sink = BoundSink::new();
     if let Some(outer) = anytime::current_sink() {
@@ -180,12 +181,22 @@ pub fn race(
                 let winner = &winner;
                 let tokens = &tokens;
                 scope.spawn(move || {
+                    // A cancelled loser unwinds out of `execute`; the span
+                    // guard still closes (Drop runs during unwinds), it just
+                    // never gets its `resolved`/`won` fields.
+                    let span = obs::span!("backend", id = backend.id());
                     let outcome = execute(*backend, h, req, &ctl);
+                    if let Some(span) = span.as_ref() {
+                        span.record("resolved", outcome.resolved);
+                    }
                     if outcome.resolved {
                         let mut w = winner.lock().expect("portfolio winner poisoned");
                         if w.is_none() {
                             *w = Some((i, outcome, start.elapsed()));
                             drop(w);
+                            if let Some(span) = span.as_ref() {
+                                span.record("won", true);
+                            }
                             for (j, t) in tokens.iter().enumerate() {
                                 if j != i {
                                     t.cancel();
@@ -208,9 +219,16 @@ pub fn race(
     });
 
     let won = winner.into_inner().expect("portfolio winner poisoned");
+    if let Some(span) = race_span.as_ref() {
+        span.record("canceled", canceled);
+        span.record("won", won.is_some());
+    }
     let bounds = sink.snapshot();
     let trace = sink.trace();
     let time_to_first_bound = sink.time_to_first_bound();
+    if let (Some(span), Some(d)) = (race_span.as_ref(), time_to_first_bound) {
+        span.record("first_bound_us", d.as_micros() as u64);
+    }
     match won {
         Some((i, outcome, elapsed)) => RaceReport {
             winner: Some(raced[i]),

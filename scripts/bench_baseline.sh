@@ -8,13 +8,13 @@
 #                                       small corpus prefix, written to a
 #                                       scratch file — proves the baseline
 #                                       bin still runs and still emits the
-#                                       hypertree-bench-baseline/v6 schema
+#                                       hypertree-bench-baseline/v7 schema
 #
 # Either mode fails hard when the emitted schema tag drifts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA='hypertree-bench-baseline/v6'
+SCHEMA='hypertree-bench-baseline/v7'
 
 if [[ "${1:-}" == "--smoke" ]]; then
   out="$(mktemp /tmp/bench_baseline_smoke.XXXXXX.json)"
@@ -98,6 +98,22 @@ done
 # The portfolio must agree with the plain single-backend path everywhere.
 if ! grep -q '"widths_match_single_backend": true' "$out"; then
   echo "bench_baseline.sh: portfolio widths diverged from the single-backend path" >&2
+  exit 1
+fi
+
+# v7: every instance row carries the phases block — per-phase self times
+# of one traced ghw run (span layer of crates/obs).
+for field in '"phases":' '"prep_us":' '"candgen_us":' '"search_us":' \
+             '"pricing_us":' '"total_self_us":' '"spans":'; do
+  if ! grep -q "$field" "$out"; then
+    echo "bench_baseline.sh: schema drift — no $field columns in $out" >&2
+    exit 1
+  fi
+done
+# The traced runs must actually record spans: a phases block claiming
+# zero spans means the span layer went dark.
+if grep -q '"spans": 0}' "$out"; then
+  echo "bench_baseline.sh: a phases block recorded zero spans" >&2
   exit 1
 fi
 

@@ -25,7 +25,16 @@
 //!                                     subset oracle / seed-refine), first
 //!                                     exact answer wins, losers cancelled;
 //!                                     honors HGTOOL_DEADLINE_MS and
-//!                                     per-backend HGTOOL_DEADLINE_<ID>_MS
+//!                                     per-backend HGTOOL_DEADLINE_<ID>_MS;
+//!                                     --trace prints the span tree + phase
+//!                                     totals, --trace-json <file> writes
+//!                                     the hgtool-trace/v1 JSONL stream,
+//!                                     --trace-folded <file> writes
+//!                                     flamegraph folded stacks (tracing
+//!                                     also arms via HGTOOL_TRACE=1)
+//! hgtool metrics <file>...            run the batch twice (cold + warm)
+//!                                     and print the process metrics
+//!                                     registry in Prometheus text format
 //! hgtool prep <file>                  print the width-preserving reduction
 //!                                     trace, blocks and fingerprints
 //! hgtool check <hd|ghd|fhd> <k> <file>   decide width <= k, print witness
@@ -58,8 +67,10 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  hgtool structure <file>");
             eprintln!(
-                "  hgtool widths [--stats] [--no-prep] [--heuristic-only] [--portfolio] <file>..."
+                "  hgtool widths [--stats] [--no-prep] [--heuristic-only] [--portfolio] \
+                 [--trace] [--trace-json <file>] [--trace-folded <file>] <file>..."
             );
+            eprintln!("  hgtool metrics <file>...");
             eprintln!("  hgtool prep <file>");
             eprintln!("  hgtool check <hd|ghd|fhd> <k> <file>");
             eprintln!("  hgtool reduce <n> <m> [seed]");
@@ -76,34 +87,88 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut no_prep = false;
             let mut heuristic_only = false;
             let mut portfolio = false;
+            let mut trace = TraceOpts::default();
             let mut files: Vec<String> = Vec::new();
-            for arg in rest {
-                match arg.as_str() {
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
                     "--stats" => stats = true,
                     "--no-prep" => no_prep = true,
                     "--heuristic-only" => heuristic_only = true,
                     "--portfolio" => portfolio = true,
+                    "--trace" => trace.tree = true,
+                    "--trace-json" => {
+                        i += 1;
+                        let path = rest.get(i).ok_or("--trace-json needs a file")?;
+                        trace.json = Some(path.clone());
+                    }
+                    "--trace-folded" => {
+                        i += 1;
+                        let path = rest.get(i).ok_or("--trace-folded needs a file")?;
+                        trace.folded = Some(path.clone());
+                    }
                     other if other.starts_with("--") => {
                         return Err(format!("unknown widths flag {other}"))
                     }
                     file => files.extend(expand_glob(file)?),
                 }
+                i += 1;
             }
             if heuristic_only && portfolio {
                 return Err("--heuristic-only and --portfolio are mutually exclusive".into());
             }
-            match files.as_slice() {
-                [] => Err("widths needs at least one file".into()),
-                [file] if heuristic_only => heuristic_widths(&load(file)?, no_prep),
-                [file] if portfolio => widths_portfolio(&load(file)?, stats, no_prep),
-                [file] => widths(&load(file)?, stats, no_prep),
-                many if heuristic_only => Err(format!(
-                    "--heuristic-only takes one file, got {}",
-                    many.len()
-                )),
-                many if portfolio => widths_portfolio_batch(many, stats, no_prep),
-                many => widths_batch(many, stats, no_prep),
+            // A trace sink arms collection; --stats arms it too so the
+            // phase-time columns have spans to aggregate. Tracing is
+            // observational only — widths, witnesses and counters are
+            // byte-identical either way (the determinism tests pin this).
+            if trace.active() || stats {
+                obs::trace::set_enabled(true);
             }
+            if obs::trace::enabled() {
+                // Start from a clean buffer: drop spans of any earlier
+                // in-process work so the sinks describe this command only.
+                obs::trace::drain();
+            }
+            let records = match files.as_slice() {
+                [] => return Err("widths needs at least one file".into()),
+                [file] if heuristic_only => {
+                    heuristic_widths(&load(file)?, no_prep)?;
+                    drain_if_tracing()
+                }
+                [file] if portfolio => {
+                    widths_portfolio(&load(file)?, stats, no_prep)?;
+                    drain_if_tracing()
+                }
+                [file] => widths(&load(file)?, stats, no_prep)?,
+                many if heuristic_only => {
+                    return Err(format!(
+                        "--heuristic-only takes one file, got {}",
+                        many.len()
+                    ))
+                }
+                many if portfolio => {
+                    widths_portfolio_batch(many, stats, no_prep)?;
+                    drain_if_tracing()
+                }
+                many => {
+                    widths_batch(many, stats, no_prep)?;
+                    drain_if_tracing()
+                }
+            };
+            emit_trace(&trace, &records)
+        }
+        [cmd, rest @ ..] if cmd == "metrics" => {
+            let mut files: Vec<String> = Vec::new();
+            for arg in rest {
+                if arg.starts_with("--") {
+                    return Err(format!("unknown metrics flag {arg}"));
+                }
+                files.extend(expand_glob(arg)?);
+            }
+            if files.is_empty() {
+                return Err("metrics needs at least one file".into());
+            }
+            metrics_cmd(&files)
         }
         [cmd, file] if cmd == "prep" => prep_trace(&load(file)?),
         [cmd, method, k, file] if cmd == "check" => check(method, k, &load(file)?),
@@ -111,6 +176,92 @@ fn run(args: &[String]) -> Result<(), String> {
         [cmd, n, m, seed] if cmd == "reduce" => reduce(n, m, seed),
         _ => Err("unknown or incomplete command".into()),
     }
+}
+
+/// Which trace sinks `hgtool widths` should render after the command.
+#[derive(Default)]
+struct TraceOpts {
+    /// `--trace`: human-readable span tree + phase totals on stdout.
+    tree: bool,
+    /// `--trace-json <file>`: the `hgtool-trace/v1` JSONL stream.
+    json: Option<String>,
+    /// `--trace-folded <file>`: flamegraph folded stacks.
+    folded: Option<String>,
+}
+
+impl TraceOpts {
+    fn active(&self) -> bool {
+        self.tree || self.json.is_some() || self.folded.is_some()
+    }
+}
+
+/// Collects the spans recorded so far (empty when tracing is off).
+fn drain_if_tracing() -> Vec<obs::trace::SpanRecord> {
+    if obs::trace::enabled() {
+        obs::trace::drain()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Renders the requested trace sinks over the command's span records.
+fn emit_trace(topts: &TraceOpts, records: &[obs::trace::SpanRecord]) -> Result<(), String> {
+    if topts.tree {
+        println!();
+        print!("{}", obs::trace::render_tree(records));
+        println!();
+        println!("phase totals (self time, no double counting):");
+        for (name, (count, self_us)) in obs::trace::phase_totals(records) {
+            println!("  {name:<14} {count:>7} spans  {self_us:>12}us");
+        }
+    }
+    if let Some(path) = &topts.json {
+        std::fs::write(path, obs::trace::render_jsonl(records))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "trace: wrote {} spans to {path} (hgtool-trace/v1)",
+            records.len()
+        );
+    }
+    if let Some(path) = &topts.folded {
+        std::fs::write(path, obs::trace::render_folded(records))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace: wrote folded stacks to {path}");
+    }
+    Ok(())
+}
+
+/// `hgtool metrics`: run the batch twice — a cold pass, then a warm pass
+/// whose lookups come back from the result cache — and print the
+/// process-lifetime metrics registry in Prometheus text exposition format.
+/// Two passes make the cache/pool gauges meaningfully nonzero: hit
+/// counters, byte occupancy, and the pool-thread gauge all reflect real
+/// traffic rather than an idle registry.
+fn metrics_cmd(files: &[String]) -> Result<(), String> {
+    let mut instances = Vec::with_capacity(files.len());
+    for f in files {
+        instances.push(load(f)?);
+    }
+    // At least two workers, so the shared pool actually spins up and the
+    // pool gauges describe real traffic even on a single-core host. The
+    // engine's counters are thread-count-invariant, so this changes no
+    // reported number besides the pool metrics themselves.
+    let opts = EngineOptions {
+        threads: Some(hypertree::solver::default_thread_count().max(2)),
+        ..EngineOptions::default()
+    };
+    for pass in ["cold", "warm"] {
+        let results = hypertree::solver::solve_batch(&instances, |_, h| {
+            ghd::ghw_exact_with_stats(h, None, opts)
+        });
+        let solved = results.iter().filter(|(r, _)| r.is_some()).count();
+        eprintln!(
+            "metrics: {pass} pass solved {solved}/{} instances",
+            results.len()
+        );
+    }
+    print!("{}", obs::metrics::render_prometheus());
+    Ok(())
 }
 
 /// Expands a `*` glob in the file-name component (for shells that hand the
@@ -208,7 +359,11 @@ fn structure(h: &Hypergraph) -> Result<(), String> {
     Ok(())
 }
 
-fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
+fn widths(
+    h: &Hypergraph,
+    stats: bool,
+    no_prep: bool,
+) -> Result<Vec<obs::trace::SpanRecord>, String> {
     let mut opts = EngineOptions::default();
     if no_prep {
         // An honest A/B baseline: disable the whole prep subsystem,
@@ -219,10 +374,15 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
     // Per-width calls rather than `exact_widths_with_opts`: the candgen
     // edge-union engine reaches instance sizes where the fhw subset/DP
     // engines no longer answer, so each width degrades to `n/a`
-    // independently instead of failing the whole command.
+    // independently instead of failing the whole command. Draining the
+    // span buffer between the calls attributes each span batch to its
+    // measure for the phase-time columns.
     let (hw, hw_stats) = hd::hypertree_width_with_stats(h, 8, opts);
+    let hw_spans = drain_if_tracing();
     let (ghw, ghw_stats) = ghd::ghw_exact_with_stats(h, None, opts);
+    let ghw_spans = drain_if_tracing();
     let (fhw, fhw_stats) = fhd::fhw_exact_with_stats(h, None, opts);
+    let fhw_spans = drain_if_tracing();
     if hw.is_none() && ghw.is_none() && fhw.is_none() {
         return Err("instance too large for the exact engines \
                     (try --heuristic-only for witness-backed bounds)"
@@ -292,6 +452,26 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
                 t.result_cache_hits, t.inflight_dedup, t.pool_reuse,
             );
         }
+        if obs::trace::enabled() {
+            // Phase times are span *self* times (a phase excludes its
+            // sub-phases), so the columns partition each measure's solve
+            // wall-clock instead of double counting nested work.
+            println!();
+            println!("engine       prep-us  candgen-us   search-us  pricing-us   all-phases-us");
+            for (name, spans) in [("hw", &hw_spans), ("ghw", &ghw_spans), ("fhw", &fhw_spans)] {
+                let totals = obs::trace::phase_totals(spans);
+                let get = |k: &str| totals.get(k).map(|&(_, s)| s).unwrap_or(0);
+                let all: u64 = totals.values().map(|&(_, s)| s).sum();
+                println!(
+                    "{name:<10} {:>9} {:>11} {:>11} {:>11} {:>15}",
+                    get("prep"),
+                    get("candgen"),
+                    get("state"),
+                    get("price"),
+                    all,
+                );
+            }
+        }
         if prep::reuse_enabled(opts.reuse_prices) {
             // The cross-call demonstration: the fhw search above populated
             // the fingerprint-keyed global cache, so a repeated search
@@ -310,7 +490,12 @@ fn widths(h: &Hypergraph, stats: bool, no_prep: bool) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    let mut records = hw_spans;
+    records.extend(ghw_spans);
+    records.extend(fhw_spans);
+    // Spans of the --stats rerun (if any) belong to the command too.
+    records.extend(drain_if_tracing());
+    Ok(records)
 }
 
 /// `hgtool widths --portfolio`: each width measure races its backend

@@ -1,0 +1,236 @@
+//! The observability determinism contract: tracing is a pure observer.
+//!
+//! Two guarantees, both load-bearing for `crates/obs`:
+//!
+//! * **No feedback** — widths, witnesses and the deterministic engine
+//!   counters are byte-identical with tracing on or off, at every thread
+//!   count. The span layer never steers search scheduling, admission or
+//!   pricing; it only records what happened.
+//! * **Honest machine output** — the `--trace-json` JSONL stream follows
+//!   the documented `hgtool-trace/v1` schema line by line (validated here
+//!   with the crate's own dependency-free JSON parser over the vendored
+//!   corpus), and the folded-stack sink emits well-formed
+//!   `stack self_us` lines.
+//!
+//! The tests serialize on a local mutex: the trace flag and the span
+//! collector are process-global, so toggling them from concurrently
+//! running tests would interleave spans across tests.
+
+use hypertree::hypergraph::{parser, Hypergraph};
+use hypertree::solver::EngineOptions;
+use hypertree::{fhd, ghd, hd};
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that toggle the process-global trace flag.
+fn trace_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn corpus() -> Vec<(String, Hypergraph)> {
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir("examples/data/corpus")
+        .expect("vendored corpus present")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hg"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let h = parser::parse(&text).expect("parsable corpus file");
+        out.push((path.display().to_string(), h));
+    }
+    assert!(!out.is_empty(), "corpus is non-empty");
+    out
+}
+
+/// Options that make repeated runs self-contained: no cross-call price or
+/// result reuse, so every run does identical work regardless of process
+/// history, and the engine counters compare exactly.
+fn fresh_opts(threads: usize) -> EngineOptions {
+    EngineOptions {
+        threads: Some(threads),
+        reuse_prices: false,
+        reuse_results: false,
+        ..EngineOptions::default()
+    }
+}
+
+/// One full solve sweep over the corpus, rendered to a comparison string:
+/// widths, witness shapes and the deterministic engine counters of all
+/// three measures per instance.
+fn solve_fingerprint(instances: &[(String, Hypergraph)], threads: usize) -> String {
+    let mut out = String::new();
+    for (name, h) in instances {
+        let opts = fresh_opts(threads);
+        let (hw, hw_stats) = hd::hypertree_width_with_stats(h, 6, opts);
+        let (ghw, ghw_stats) = ghd::ghw_exact_with_stats(h, None, opts);
+        let (fhw, fhw_stats) = fhd::fhw_exact_with_stats(h, None, opts);
+        let witness = |d: Option<&hypertree::decomp::Decomposition>| match d {
+            Some(d) => d.render(h),
+            None => "-".into(),
+        };
+        out.push_str(&format!(
+            "{name}\nhw={:?} {:?}\n{}\nghw={:?} {:?}\n{}\nfhw={:?} {:?}\n{}\n",
+            hw.as_ref().map(|(k, _)| *k),
+            hw_stats.engine_only(),
+            witness(hw.as_ref().map(|(_, d)| d)),
+            ghw.as_ref().map(|(k, _)| *k),
+            ghw_stats.engine_only(),
+            witness(ghw.as_ref().map(|(_, d)| d)),
+            fhw.as_ref().map(|(w, _)| w.clone()),
+            fhw_stats.engine_only(),
+            witness(fhw.as_ref().map(|(_, d)| d)),
+        ));
+    }
+    out
+}
+
+/// Tracing on vs off, at 1, 4 and 8 threads: the nine sweeps produce one
+/// byte-identical fingerprint. This is the no-feedback guarantee — span
+/// collection must not perturb widths, witnesses or counters.
+#[test]
+fn tracing_never_changes_widths_witnesses_or_counters() {
+    let _guard = trace_lock();
+    let instances = corpus();
+    let mut fingerprints = Vec::new();
+    for threads in [1, 4, 8] {
+        for on in [false, true] {
+            obs::trace::set_enabled(on);
+            fingerprints.push((threads, on, solve_fingerprint(&instances, threads)));
+            // Discard whatever the traced sweeps recorded; this test is
+            // about the solves, not the spans.
+            obs::trace::drain();
+        }
+    }
+    obs::trace::set_enabled(false);
+    let (_, _, baseline) = &fingerprints[0];
+    for (threads, on, fp) in &fingerprints {
+        assert_eq!(
+            fp, baseline,
+            "solve fingerprint diverged at threads={threads} tracing={on}"
+        );
+    }
+}
+
+/// With tracing off, the span layer is a no-op: a full solve sweep records
+/// nothing (and therefore allocates nothing in the collector).
+#[test]
+fn disabled_tracing_records_no_spans() {
+    let _guard = trace_lock();
+    obs::trace::set_enabled(false);
+    obs::trace::drain();
+    let instances = corpus();
+    solve_fingerprint(&instances[..2.min(instances.len())], 1);
+    assert!(obs::trace::drain().is_empty());
+}
+
+/// The `hgtool-trace/v1` JSONL stream over the vendored corpus: every line
+/// parses, the meta line is exact, every span line carries the documented
+/// fields with the documented types, parents precede their children, and
+/// the whole solve-pipeline span taxonomy shows up.
+#[test]
+fn jsonl_stream_follows_the_documented_schema() {
+    let _guard = trace_lock();
+    let instances = corpus();
+    obs::trace::set_enabled(true);
+    obs::trace::drain();
+    // Default options (result reuse on): the runtime admission path runs,
+    // so its `result_cache` spans are part of the stream.
+    let opts = EngineOptions {
+        threads: Some(1),
+        ..EngineOptions::default()
+    };
+    for (_, h) in &instances {
+        ghd::ghw_exact_with_stats(h, None, opts);
+        fhd::fhw_exact_with_stats(h, None, opts);
+    }
+    let records = obs::trace::drain();
+    obs::trace::set_enabled(false);
+    assert!(!records.is_empty(), "a traced sweep records spans");
+
+    let jsonl = obs::trace::render_jsonl(&records);
+    let mut lines = jsonl.lines();
+
+    // Line 1: the meta object.
+    let meta = obs::json::parse(lines.next().expect("meta line")).expect("meta parses");
+    assert_eq!(meta.get("type").and_then(|v| v.as_str()), Some("meta"));
+    assert_eq!(
+        meta.get("schema").and_then(|v| v.as_str()),
+        Some("hgtool-trace/v1")
+    );
+    assert_eq!(
+        meta.get("clock").and_then(|v| v.as_str()),
+        Some("monotonic-us")
+    );
+    assert_eq!(
+        meta.get("spans").and_then(|v| v.as_num()),
+        Some(records.len() as f64)
+    );
+
+    // Every further line: one span object.
+    let mut seen_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut seen_names: BTreeSet<String> = BTreeSet::new();
+    let mut span_lines = 0usize;
+    for line in lines {
+        let span = obs::json::parse(line).unwrap_or_else(|e| panic!("bad span line {line}: {e}"));
+        assert_eq!(span.get("type").and_then(|v| v.as_str()), Some("span"));
+        let id = span.get("id").and_then(|v| v.as_num()).expect("numeric id") as u64;
+        let num = |key: &str| {
+            span.get(key)
+                .and_then(|v| v.as_num())
+                .unwrap_or_else(|| panic!("span {id}: numeric {key}"))
+        };
+        num("thread");
+        num("start_us");
+        num("dur_us");
+        let depth = num("depth") as u64;
+        match span.get("parent").expect("parent present") {
+            obs::json::Json::Null => assert_eq!(depth, 0, "span {id}: parentless means depth 0"),
+            parent => {
+                let parent = parent.as_num().expect("numeric parent") as u64;
+                assert!(
+                    seen_ids.contains(&parent),
+                    "span {id}: parent {parent} precedes it in thread order"
+                );
+                assert!(depth > 0);
+            }
+        }
+        let name = span
+            .get("name")
+            .and_then(|v| v.as_str())
+            .expect("string name");
+        assert!(
+            matches!(
+                span.get("fields").expect("fields present"),
+                obs::json::Json::Obj(_)
+            ),
+            "span {id}: fields is an object"
+        );
+        seen_ids.insert(id);
+        seen_names.insert(name.to_string());
+        span_lines += 1;
+    }
+    assert_eq!(span_lines, records.len(), "one line per span");
+    assert_eq!(seen_ids.len(), records.len(), "span ids are unique");
+
+    // The whole pipeline is covered: prep passes, candidate generation,
+    // engine state evaluation, pricing, runtime admission, solve roots.
+    for required in ["solve", "result_cache", "prep", "candgen", "state", "price"] {
+        assert!(
+            seen_names.contains(required),
+            "span taxonomy is missing {required:?} (saw {seen_names:?})"
+        );
+    }
+
+    // The folded sink over the same records: `stack self_us` per line,
+    // stacks rooted at a thread frame.
+    let folded = obs::trace::render_folded(&records);
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("folded line has a weight");
+        assert!(stack.starts_with("thread-"), "stack is thread-rooted");
+        weight.parse::<u64>().expect("folded weight is integral");
+    }
+}
