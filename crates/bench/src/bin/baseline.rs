@@ -19,7 +19,7 @@
 //! ```
 //!
 //! `--smoke` is the CI mode: single iteration over a small corpus prefix,
-//! just enough to prove the bin and the `hypertree-bench-baseline/v7`
+//! just enough to prove the bin and the `hypertree-bench-baseline/v8`
 //! schema have not rotted (see `scripts/bench_baseline.sh --smoke`).
 //!
 //! v4 added the exact-simplex work counters (`lp_pivots`,
@@ -39,7 +39,12 @@
 //! extra ghw run per row with span tracing enabled (only for that run —
 //! the timed rows stay untraced), aggregated to per-phase *self* times
 //! (prep / candgen / engine search / pricing), so the baseline tracks
-//! where the solve wall-clock actually goes.
+//! where the solve wall-clock actually goes. v8 adds the `serve` block —
+//! the served-QPS track: an in-process `hgtool serve` daemon on an
+//! ephemeral port, driven closed-loop by the loadgen over the vendored
+//! corpus, recording throughput, server-side latency quantiles (straight
+//! from the daemon's live request-latency histogram), error/deadline
+//! counters and the result-cache hit ratio of served responses.
 
 use hypertree_bench as workloads;
 use hypertree_core::hypergraph::Hypergraph;
@@ -79,7 +84,7 @@ fn main() {
     let iters = if smoke { 1 } else { 5 };
     let mut body = String::new();
     body.push_str("{\n");
-    body.push_str("  \"schema\": \"hypertree-bench-baseline/v7\",\n");
+    body.push_str("  \"schema\": \"hypertree-bench-baseline/v8\",\n");
     body.push_str("  \"command\": \"cargo run -p hypertree-bench --bin baseline --release\",\n");
     let _ = writeln!(body, "  \"profile\": \"{}\",", profile());
     body.push_str("  \"instances\": [\n");
@@ -296,11 +301,79 @@ fn main() {
     }
     body.push_str("    ],\n");
     let _ = writeln!(body, "    \"widths_match_single_backend\": {widths_match}");
+    body.push_str("  },\n");
+    // The serve block (v8): the served-QPS track. An in-process daemon
+    // on an ephemeral port, the loadgen driving it closed-loop over the
+    // vendored corpus; quantiles come from the daemon's own live
+    // request-latency histogram (the same numbers GET /metrics renders),
+    // with the loadgen's client-side view alongside for transport cost.
+    let duration = if smoke {
+        std::time::Duration::from_millis(400)
+    } else {
+        std::time::Duration::from_secs(2)
+    };
+    eprintln!("serve: loadgen for {}ms", duration.as_millis());
+    let server = serve::Server::start(serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..serve::ServeConfig::from_env()
+    })
+    .expect("bind ephemeral serve port");
+    while !server.ready() {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let instances: Vec<(String, String)> = workloads::vendored_corpus()
+        .into_iter()
+        .map(|w| (w.name, w.hypergraph.to_string()))
+        .collect();
+    let lopts = serve::LoadgenOptions {
+        connections: 4,
+        duration,
+        batch_every: 16,
+        ..serve::LoadgenOptions::default()
+    };
+    let report =
+        serve::loadgen::run(&server.addr().to_string(), &instances, &lopts).expect("loadgen run");
+    let m = serve::metrics::handles();
+    let snap = m
+        .latency(serve::metrics::Endpoint::Solve)
+        .expect("solve latency histogram")
+        .snapshot();
+    let q = |p: f64| snap.quantile_us(p).unwrap_or(0);
+    server.drain();
+    let _ = writeln!(body, "  \"serve\": {{");
+    let _ = writeln!(body, "    \"connections\": {},", report.connections);
+    let _ = writeln!(body, "    \"duration_us\": {},", report.elapsed.as_micros());
+    let _ = writeln!(body, "    \"requests\": {},", report.requests);
+    let _ = writeln!(body, "    \"ok\": {},", report.ok);
+    let _ = writeln!(body, "    \"errors\": {},", report.errors);
+    let _ = writeln!(
+        body,
+        "    \"deadline_expired\": {},",
+        report.deadline_expired
+    );
+    let _ = writeln!(body, "    \"cancelled\": {},", m.cancelled.get());
+    let _ = writeln!(body, "    \"qps\": {:.1},", report.qps);
+    let _ = writeln!(body, "    \"p50_us\": {},", q(0.50));
+    let _ = writeln!(body, "    \"p95_us\": {},", q(0.95));
+    let _ = writeln!(body, "    \"p99_us\": {},", q(0.99));
+    let _ = writeln!(body, "    \"latency_count\": {},", snap.count);
+    let _ = writeln!(
+        body,
+        "    \"client_p50_us\": {}, \"client_p95_us\": {}, \"client_p99_us\": {},",
+        report.p50_us, report.p95_us, report.p99_us
+    );
+    let _ = writeln!(
+        body,
+        "    \"cache_hit_ratio\": {:.4}",
+        report.cache_hit_ratio()
+    );
     body.push_str("  }\n}\n");
     std::fs::write(&out_path, &body).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!(
         "wrote {out_path} (batch cold {cold_us}us -> warm {warm_us}us, consistent: {widths_consistent}; \
-         portfolio widths match: {widths_match})"
+         portfolio widths match: {widths_match}; serve {:.0} qps, p95 {}us)",
+        report.qps,
+        q(0.95)
     );
 }
 

@@ -140,17 +140,20 @@ pub fn hypertree_width_with_stats(
 
 /// Process-lifetime solve metrics, observational only.
 mod solve_metrics {
-    use obs::metrics::{histogram_with, Histogram};
+    use obs::metrics::{histogram_with_buckets, Histogram, DEFAULT_LATENCY_BUCKETS_S};
     use std::sync::{Arc, OnceLock};
 
     /// `hgtool_solve_latency_seconds{strategy="hw"}`.
     pub(super) fn latency() -> &'static Arc<Histogram> {
         static H: OnceLock<Arc<Histogram>> = OnceLock::new();
         H.get_or_init(|| {
-            histogram_with(
+            // Explicit bucket config: the µs-scale default grid,
+            // spelled out here so re-tuning is a one-line change.
+            histogram_with_buckets(
                 "hgtool_solve_latency_seconds",
                 "End-to-end exact width-solve latency by strategy",
                 &[("strategy", "hw")],
+                &DEFAULT_LATENCY_BUCKETS_S,
             )
         })
     }

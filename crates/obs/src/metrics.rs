@@ -58,15 +58,23 @@ impl Gauge {
     }
 }
 
-/// Histogram bucket upper bounds, in seconds (solve latencies span
-/// microseconds to minutes).
-const LATENCY_BUCKETS_S: [f64; 11] = [
-    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+/// Default histogram bucket upper bounds, in seconds. Tuned to the
+/// µs-scale solves the toy and vendored corpora produce (the paper's
+/// hard/easy frontier means real latencies still span microseconds to
+/// minutes, so the top end keeps multi-second buckets). Call sites
+/// that know their latency profile pass their own bounds through
+/// [`histogram_with_buckets`].
+pub const DEFAULT_LATENCY_BUCKETS_S: [f64; 17] = [
+    0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 5.0, 30.0,
 ];
 
 /// A fixed-bucket latency histogram (observations in microseconds,
-/// exposed in seconds).
+/// exposed in seconds). Bucket bounds are chosen at registration and
+/// immutable afterwards.
 pub struct Histogram {
+    /// Bucket upper bounds in seconds, strictly increasing.
+    bounds: Vec<f64>,
     /// Per-bucket (non-cumulative) observation counts; the last slot
     /// is the `+Inf` overflow bucket.
     buckets: Vec<AtomicU64>,
@@ -76,24 +84,39 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram {
-            buckets: (0..=LATENCY_BUCKETS_S.len())
-                .map(|_| AtomicU64::new(0))
-                .collect(),
-            sum_us: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-        }
+        Histogram::with_bounds(&DEFAULT_LATENCY_BUCKETS_S)
     }
 }
 
 impl Histogram {
+    /// Builds a histogram with the given bucket upper bounds (seconds,
+    /// strictly increasing). A `+Inf` overflow bucket is implicit.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket upper bounds in seconds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
     /// Records one observation of `us` microseconds.
     pub fn observe_us(&self, us: u64) {
         let seconds = us as f64 / 1e6;
-        let slot = LATENCY_BUCKETS_S
+        let slot = self
+            .bounds
             .iter()
             .position(|&le| seconds <= le)
-            .unwrap_or(LATENCY_BUCKETS_S.len());
+            .unwrap_or(self.bounds.len());
         self.buckets[slot].fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -102,6 +125,74 @@ impl Histogram {
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy of the bucket state
+    /// (individual loads are relaxed; under concurrent writers the
+    /// snapshot may straddle an observation, which quantile readers
+    /// tolerate).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.buckets.len());
+        let mut running = 0u64;
+        for b in &self.buckets {
+            running += b.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            cumulative,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time histogram state: cumulative bucket counts (the last
+/// entry is the `+Inf` bucket, equal to the total count).
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds in seconds (without the implicit `+Inf`).
+    pub bounds: Vec<f64>,
+    /// Cumulative counts per bucket; `cumulative.len() == bounds.len() + 1`.
+    pub cumulative: Vec<u64>,
+    /// Sum of observations in microseconds.
+    pub sum_us: u64,
+    /// Total observation count.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (0 < q <= 1) in microseconds by
+    /// linear interpolation inside the bucket that crosses the rank —
+    /// the same estimator Prometheus' `histogram_quantile` uses.
+    /// Observations in the `+Inf` bucket clamp to the highest finite
+    /// bound. Returns `None` on an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = *self.cumulative.last()?;
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * total as f64;
+        let mut prev_cum = 0u64;
+        for (i, &cum) in self.cumulative.iter().enumerate() {
+            if (cum as f64) >= rank && cum > prev_cum {
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // +Inf bucket: clamp to the highest finite bound.
+                    return Some((self.bounds.last().copied().unwrap_or(0.0) * 1e6) as u64);
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = (rank - prev_cum as f64) / (cum - prev_cum) as f64;
+                return Some(((lo + (hi - lo) * frac) * 1e6) as u64);
+            }
+            prev_cum = cum;
+        }
+        None
     }
 }
 
@@ -192,13 +283,30 @@ pub fn gauge(name: &'static str, help: &'static str) -> Arc<Gauge> {
     }
 }
 
-/// Registers (or fetches) the histogram `name` with the given labels.
+/// Registers (or fetches) the histogram `name` with the given labels
+/// and the default µs-scale bucket bounds
+/// ([`DEFAULT_LATENCY_BUCKETS_S`]).
 pub fn histogram_with(
     name: &'static str,
     help: &'static str,
     labels: &[(&'static str, &str)],
 ) -> Arc<Histogram> {
-    match register(name, help, labels, || Handle::Histogram(Arc::default())) {
+    histogram_with_buckets(name, help, labels, &DEFAULT_LATENCY_BUCKETS_S)
+}
+
+/// Registers (or fetches) the histogram `name` with explicit bucket
+/// upper bounds in seconds. First registration of a (name, labels)
+/// pair wins: later calls return the existing handle with its
+/// original bounds.
+pub fn histogram_with_buckets(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&'static str, &str)],
+    bounds: &[f64],
+) -> Arc<Histogram> {
+    match register(name, help, labels, || {
+        Handle::Histogram(Arc::new(Histogram::with_bounds(bounds)))
+    }) {
         Handle::Histogram(h) => h,
         _ => unreachable!("metric {name} registered with another type"),
     }
@@ -227,8 +335,8 @@ fn fmt_f64(v: f64) -> String {
 }
 
 /// Snapshots every registered metric in Prometheus text exposition
-/// format (the `hgtool metrics` output and the future `hgtool serve`
-/// endpoint body). Includes the tracing subsystem's own
+/// format (the `hgtool metrics` output and the `hgtool serve`
+/// `GET /metrics` endpoint body). Includes the tracing subsystem's own
 /// `hgtool_spans_dropped_total`.
 pub fn render_prometheus() -> String {
     let mut out = String::new();
@@ -262,34 +370,32 @@ pub fn render_prometheus() -> String {
                     ));
                 }
                 Handle::Histogram(h) => {
-                    let mut cumulative = 0u64;
-                    for (i, le) in LATENCY_BUCKETS_S.iter().enumerate() {
-                        cumulative += h.buckets[i].load(Ordering::Relaxed);
+                    let snap = h.snapshot();
+                    for (i, le) in snap.bounds.iter().enumerate() {
                         out.push_str(&format!(
                             "{}_bucket{} {}\n",
                             m.name,
                             label_set(&m.labels, Some(("le", fmt_f64(*le)))),
-                            cumulative
+                            snap.cumulative[i]
                         ));
                     }
-                    cumulative += h.buckets[LATENCY_BUCKETS_S.len()].load(Ordering::Relaxed);
                     out.push_str(&format!(
                         "{}_bucket{} {}\n",
                         m.name,
                         label_set(&m.labels, Some(("le", "+Inf".to_string()))),
-                        cumulative
+                        snap.cumulative.last().copied().unwrap_or(0)
                     ));
                     out.push_str(&format!(
                         "{}_sum{} {}\n",
                         m.name,
                         label_set(&m.labels, None),
-                        h.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+                        snap.sum_us as f64 / 1e6
                     ));
                     out.push_str(&format!(
                         "{}_count{} {}\n",
                         m.name,
                         label_set(&m.labels, None),
-                        cumulative
+                        snap.count
                     ));
                 }
             }
@@ -332,14 +438,14 @@ mod tests {
             "a histogram",
             &[("strategy", "ghw")],
         );
-        h.observe_us(250); // 0.00025s -> le=0.0005 bucket
+        h.observe_us(250); // 0.00025s -> le=0.00025 bucket
         h.observe_us(2_000_000); // 2s -> le=5 bucket
         let text = render_prometheus();
         assert!(text.contains("# TYPE test_obs_render_total counter"));
         assert!(text.contains("test_obs_render_total 7"));
         assert!(text.contains("# TYPE test_obs_render_bytes gauge"));
         assert!(text.contains("test_obs_render_bytes 42"));
-        assert!(text.contains("test_obs_render_seconds_bucket{strategy=\"ghw\",le=\"0.0005\"} 1"));
+        assert!(text.contains("test_obs_render_seconds_bucket{strategy=\"ghw\",le=\"0.00025\"} 1"));
         assert!(text.contains("test_obs_render_seconds_bucket{strategy=\"ghw\",le=\"+Inf\"} 2"));
         assert!(text.contains("test_obs_render_seconds_count{strategy=\"ghw\"} 2"));
         assert!(text.contains("test_obs_render_seconds_sum{strategy=\"ghw\"} 2.00025"));
@@ -353,5 +459,52 @@ mod tests {
                 "unparseable value in {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn custom_buckets_render_their_own_bounds() {
+        let h = histogram_with_buckets(
+            "test_obs_custom_seconds",
+            "custom buckets",
+            &[],
+            &[0.001, 1.0],
+        );
+        h.observe_us(500);
+        h.observe_us(10_000_000);
+        let text = render_prometheus();
+        assert!(text.contains("test_obs_custom_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("test_obs_custom_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("test_obs_custom_seconds_bucket{le=\"+Inf\"} 2"));
+        // Re-registration keeps the original bounds (first wins).
+        let again = histogram_with("test_obs_custom_seconds", "custom buckets", &[]);
+        assert_eq!(again.bounds(), &[0.001, 1.0]);
+        assert_eq!(again.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_quantiles_interpolate_within_buckets() {
+        let h = Histogram::with_bounds(&[0.0001, 0.001, 0.01]);
+        for _ in 0..50 {
+            h.observe_us(50); // first bucket
+        }
+        for _ in 0..50 {
+            h.observe_us(5_000); // third bucket
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        // p50 lands exactly at the top of the first bucket.
+        assert_eq!(snap.quantile_us(0.5), Some(100));
+        // p99 interpolates inside the (0.001, 0.01] bucket.
+        let p99 = snap.quantile_us(0.99).unwrap();
+        assert!((1_000..=10_000).contains(&p99), "p99 = {p99}");
+        // +Inf-only mass clamps to the top finite bound.
+        let inf = Histogram::with_bounds(&[0.0001]);
+        inf.observe_us(1_000_000);
+        assert_eq!(inf.snapshot().quantile_us(0.5), Some(100));
+        // Empty histogram has no quantiles.
+        assert_eq!(
+            Histogram::with_bounds(&[0.1]).snapshot().quantile_us(0.5),
+            None
+        );
     }
 }

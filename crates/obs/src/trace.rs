@@ -31,16 +31,50 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Environment variable that turns span collection on for a process.
 pub const ENV: &str = "HGTOOL_TRACE";
 
+/// Environment variable bounding the spans recorded under one root
+/// scope (see [`span_cap`]).
+pub const SPAN_CAP_ENV: &str = "HGTOOL_TRACE_SPAN_CAP";
+
 /// Collector capacity: beyond this many buffered spans, new records
 /// are dropped (and counted) rather than growing without bound.
 pub const MAX_RECORDS: usize = 1 << 20;
+
+/// Default per-root-scope span cap (see [`span_cap`]).
+pub const DEFAULT_SPAN_CAP: usize = 1 << 16;
+
+fn span_cap_cell() -> &'static AtomicUsize {
+    static CAP: OnceLock<AtomicUsize> = OnceLock::new();
+    CAP.get_or_init(|| {
+        let cap = std::env::var(SPAN_CAP_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_SPAN_CAP);
+        AtomicUsize::new(cap)
+    })
+}
+
+/// The per-root-scope span cap: at most this many spans are recorded
+/// under one root span on a thread (one served request, one CLI
+/// solve). Spans past the cap are not recorded — the cut falls on the
+/// deepest scopes, so roots and phase structure survive — and each is
+/// counted in [`dropped`]. Initialized from `HGTOOL_TRACE_SPAN_CAP`
+/// (default [`DEFAULT_SPAN_CAP`]).
+pub fn span_cap() -> usize {
+    span_cap_cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the per-root-scope span cap (`n` must be nonzero).
+pub fn set_span_cap(n: usize) {
+    span_cap_cell().store(n.max(1), Ordering::Relaxed);
+}
 
 fn flag() -> &'static AtomicBool {
     static FLAG: OnceLock<AtomicBool> = OnceLock::new();
@@ -239,10 +273,19 @@ impl SpanGuard {
     /// Opens a span on the calling thread. Prefer the [`crate::span!`]
     /// macro, which checks [`enabled`] first.
     pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
-        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         let start_us = now_us();
-        BUF.with(|b| {
+        let id = BUF.with(|b| {
             let mut b = b.borrow_mut();
+            // Per-root-scope cap: once this root has produced its
+            // budget of spans, stop recording deeper scopes (the
+            // shallow structure already merged or still on the stack
+            // survives) and count the cut. Guard id 0 is the "not
+            // recorded" sentinel — real ids start at 1.
+            if b.done.len() + b.stack.len() >= span_cap() {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            }
+            let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
             let parent = b.stack.last().map(|s| s.id);
             let depth = b.stack.len();
             b.stack.push(OpenSpan {
@@ -253,6 +296,7 @@ impl SpanGuard {
                 start_us,
                 fields,
             });
+            id
         });
         SpanGuard { id }
     }
@@ -442,13 +486,29 @@ fn render_node(
 /// process epoch; `fields` holds the span's typed key/values (numbers,
 /// booleans or strings).
 pub fn render_jsonl(records: &[SpanRecord]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
+    let mut out = format!(
         "{{\"type\":\"meta\",\"schema\":\"hgtool-trace/v1\",\"clock\":\"monotonic-us\",\
          \"spans\":{},\"dropped\":{}}}\n",
         records.len(),
         dropped()
-    ));
+    );
+    out.push_str(&render_span_lines(records));
+    out
+}
+
+/// The meta header for a *streaming* JSONL sink (`hgtool serve
+/// --trace-json`), where the final span count is unknown at open time:
+/// same schema tag, `"streaming":true` instead of a `spans` count.
+pub fn render_jsonl_stream_meta() -> String {
+    "{\"type\":\"meta\",\"schema\":\"hgtool-trace/v1\",\"clock\":\"monotonic-us\",\
+     \"streaming\":true}\n"
+        .to_string()
+}
+
+/// Renders only the span lines of the JSONL schema (no meta header) —
+/// the building block streaming sinks append per drained batch.
+pub fn render_span_lines(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
     for r in records {
         let fields: Vec<String> = r
             .fields
@@ -604,6 +664,35 @@ mod tests {
         });
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].name, "doomed");
+    }
+
+    #[test]
+    fn span_cap_drops_deep_spans_and_counts_them() {
+        let records = with_clean_trace(|| {
+            let before_cap = span_cap();
+            let before_dropped = dropped();
+            set_span_cap(3);
+            {
+                let _root = crate::span!("solve");
+                let _a = crate::span!("prep");
+                let _b = crate::span!("candgen");
+                // Past the cap: not recorded, counted as dropped.
+                let _c = crate::span!("state");
+                let _d = crate::span!("price");
+            }
+            set_span_cap(before_cap);
+            let records = drain();
+            assert_eq!(
+                dropped() - before_dropped,
+                2,
+                "two spans past the cap are counted"
+            );
+            records
+        });
+        let names: Vec<_> = records.iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"solve"), "the root survives the cap");
+        assert!(!names.contains(&"price"), "deep leaves are cut");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! A minimal HTTP/1.1 request parser and response writer — just the
+//! subset the service needs (request line, headers, `Content-Length`
+//! bodies, keep-alive, `Expect: 100-continue`), with hard caps on
+//! header-block and body sizes so a misbehaving client cannot grow
+//! memory without bound.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request-line + header block.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path component only (no query handling — the API is JSON-body).
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the (lowercased) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why [`read_request`] did not produce a request.
+#[derive(Debug)]
+pub enum RecvError {
+    /// Clean EOF before any byte of a new request (keep-alive end).
+    Closed,
+    /// The read timed out with no bytes of a new request yet — the
+    /// connection is idle; the caller may poll its drain flag and call
+    /// again.
+    Idle,
+    /// Malformed request line or headers.
+    BadRequest(String),
+    /// Header block over [`MAX_HEADER_BYTES`] or body over the
+    /// caller's cap.
+    TooLarge,
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `stream`. Honors the stream's read timeout:
+/// a timeout before any byte arrives returns [`RecvError::Idle`] (so
+/// connection loops can poll their drain flag between requests); a
+/// timeout mid-request keeps waiting a bounded number of rounds, then
+/// gives up. `Expect: 100-continue` is answered inline before the body
+/// is read.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RecvError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let mut stalls = 0usize;
+    // Header block first.
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(RecvError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::BadRequest("eof mid-headers".into()))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if buf.is_empty() {
+                    return Err(RecvError::Idle);
+                }
+                stalls += 1;
+                if stalls > 40 {
+                    return Err(RecvError::BadRequest("header read stalled".into()));
+                }
+            }
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RecvError::BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RecvError::BadRequest("no request target".into()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RecvError::BadRequest(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    let content_length = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| RecvError::BadRequest("bad content-length".into()))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(RecvError::TooLarge);
+    }
+    if req
+        .header("expect")
+        .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+    {
+        stream
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(RecvError::Io)?;
+    }
+    // Body: what trailed the header block, plus the rest of
+    // content-length off the wire.
+    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
+    let mut stalls = 0usize;
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(RecvError::BadRequest("eof mid-body".into())),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > 40 {
+                    return Err(RecvError::BadRequest("body read stalled".into()));
+                }
+            }
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request { body, ..req })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response to write back.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Echoed as the `X-Request-Id` header when set.
+    pub request_id: Option<String>,
+    /// Ask the client to close after this exchange (and close our
+    /// side): error paths and draining set this.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            request_id: None,
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            request_id: None,
+            close: false,
+        }
+    }
+
+    /// A JSON error body `{"error": msg}` (connection kept open —
+    /// protocol-level failures set `close` separately).
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response::json(status, format!("{{\"error\":{}}}\n", json_escape(msg)))
+    }
+}
+
+/// The reason-phrase for the status codes the service emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp` as an HTTP/1.1 message.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    if let Some(id) = &resp.request_id {
+        head.push_str(&format!("X-Request-Id: {id}\r\n"));
+    }
+    head.push_str(if resp.close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Escapes `s` as a JSON string literal (used by the hand-assembled
+/// response bodies; requests parse through `obs::json`).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

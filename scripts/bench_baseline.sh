@@ -8,13 +8,13 @@
 #                                       small corpus prefix, written to a
 #                                       scratch file — proves the baseline
 #                                       bin still runs and still emits the
-#                                       hypertree-bench-baseline/v7 schema
+#                                       hypertree-bench-baseline/v8 schema
 #
 # Either mode fails hard when the emitted schema tag drifts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA='hypertree-bench-baseline/v7'
+SCHEMA='hypertree-bench-baseline/v8'
 
 if [[ "${1:-}" == "--smoke" ]]; then
   out="$(mktemp /tmp/bench_baseline_smoke.XXXXXX.json)"
@@ -114,6 +114,29 @@ done
 # zero spans means the span layer went dark.
 if grep -q '"spans": 0}' "$out"; then
   echo "bench_baseline.sh: a phases block recorded zero spans" >&2
+  exit 1
+fi
+
+# v8: the file ends with the serve block — the served-QPS track: an
+# in-process daemon driven closed-loop by the loadgen, with server-side
+# latency quantiles from the live request-latency histogram.
+for field in '"serve":' '"qps":' '"p50_us":' '"p95_us":' '"p99_us":' \
+             '"deadline_expired":' '"cancelled":' '"latency_count":' \
+             '"cache_hit_ratio":'; do
+  if ! grep -q "$field" "$out"; then
+    echo "bench_baseline.sh: schema drift — no $field columns in $out" >&2
+    exit 1
+  fi
+done
+# The served track must have processed traffic: zero requests means the
+# daemon or the loadgen died silently.
+if grep -q '"requests": 0,' "$out"; then
+  echo "bench_baseline.sh: serve block recorded zero requests" >&2
+  exit 1
+fi
+# Every served response must have been a success in this closed harness.
+if ! grep -q '"errors": 0,' "$out"; then
+  echo "bench_baseline.sh: serve block recorded transport/HTTP errors" >&2
   exit 1
 fi
 

@@ -41,6 +41,23 @@
 //! hgtool reduce <n> <m> [seed]        build the Thm 3.2 reduction for a
 //!                                     random planted 3SAT instance and
 //!                                     validate the Table 1 witness
+//! hgtool serve [--addr <host:port>] [--trace-json <file>]
+//!                                     width-as-a-service HTTP daemon:
+//!                                     POST /solve and /solve/batch, live
+//!                                     GET /metrics, /healthz, /readyz,
+//!                                     /version, POST /admin/drain;
+//!                                     honors HGTOOL_SLOW_REQUEST_MS,
+//!                                     HGTOOL_TRACE_SAMPLE,
+//!                                     HGTOOL_MAX_BODY_BYTES,
+//!                                     HGTOOL_DRAIN_GRACE_MS; SIGTERM or
+//!                                     /admin/drain shut down gracefully
+//! hgtool loadgen [--addr <a>] [--connections N] [--duration-ms N]
+//!                [--max-requests N] [--measure w] [--portfolio]
+//!                [--deadline-ms N] [--batch-every N] [--json] [<file>...]
+//!                                     closed-loop load generator against a
+//!                                     running hgtool serve; replays the
+//!                                     vendored bench corpus by default, or
+//!                                     the given HyperBench files
 //! ```
 //!
 //! Files use the HyperBench syntax: `edge(v1,v2,...), ...`; `-` reads stdin.
@@ -74,6 +91,12 @@ fn main() -> ExitCode {
             eprintln!("  hgtool prep <file>");
             eprintln!("  hgtool check <hd|ghd|fhd> <k> <file>");
             eprintln!("  hgtool reduce <n> <m> [seed]");
+            eprintln!("  hgtool serve [--addr <host:port>] [--trace-json <file>]");
+            eprintln!(
+                "  hgtool loadgen [--addr <host:port>] [--connections <n>] [--duration-ms <n>] \
+                 [--max-requests <n>] [--measure <widths|hw|ghw|fhw>] [--portfolio] \
+                 [--deadline-ms <n>] [--batch-every <n>] [--json] [<file>...]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -174,6 +197,8 @@ fn run(args: &[String]) -> Result<(), String> {
         [cmd, method, k, file] if cmd == "check" => check(method, k, &load(file)?),
         [cmd, n, m] if cmd == "reduce" => reduce(n, m, "0"),
         [cmd, n, m, seed] if cmd == "reduce" => reduce(n, m, seed),
+        [cmd, rest @ ..] if cmd == "serve" => serve_cmd(rest),
+        [cmd, rest @ ..] if cmd == "loadgen" => loadgen_cmd(rest),
         _ => Err("unknown or incomplete command".into()),
     }
 }
@@ -336,6 +361,148 @@ fn load(path: &str) -> Result<Hypergraph, String> {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
     };
     parser::parse(&text).map_err(|e| e.to_string())
+}
+
+/// `hgtool serve`: run the width-as-a-service daemon in the foreground
+/// until SIGTERM/SIGINT or `POST /admin/drain`.
+fn serve_cmd(rest: &[String]) -> Result<(), String> {
+    let mut config = serve::ServeConfig::from_env();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" => {
+                i += 1;
+                config.addr = rest.get(i).ok_or("--addr needs host:port")?.clone();
+            }
+            "--trace-json" => {
+                i += 1;
+                let path = rest.get(i).ok_or("--trace-json needs a file")?;
+                config.trace_json = Some(path.clone());
+            }
+            other => return Err(format!("unknown serve flag {other}")),
+        }
+        i += 1;
+    }
+    let server = serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "serve: listening on http://{} ({}); POST /solve, GET /metrics, \
+         POST /admin/drain to stop",
+        server.addr(),
+        serve::API_SCHEMA
+    );
+    server.run_until_drained();
+    eprintln!("serve: drained");
+    Ok(())
+}
+
+/// `hgtool loadgen`: drive a running daemon closed-loop and report
+/// client-side throughput and latency quantiles.
+fn loadgen_cmd(rest: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut opts = serve::LoadgenOptions::default();
+    let mut as_json = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let take = |name: &str| -> Result<String, String> {
+            rest.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match rest[i].as_str() {
+            "--addr" => {
+                addr = take("--addr")?;
+                i += 1;
+            }
+            "--connections" => {
+                opts.connections = take("--connections")?
+                    .parse()
+                    .map_err(|_| "--connections needs a number")?;
+                i += 1;
+            }
+            "--duration-ms" => {
+                let ms: u64 = take("--duration-ms")?
+                    .parse()
+                    .map_err(|_| "--duration-ms needs a number")?;
+                opts.duration = std::time::Duration::from_millis(ms);
+                i += 1;
+            }
+            "--max-requests" => {
+                opts.max_requests = Some(
+                    take("--max-requests")?
+                        .parse()
+                        .map_err(|_| "--max-requests needs a number")?,
+                );
+                i += 1;
+            }
+            "--measure" => {
+                opts.measure = take("--measure")?;
+                i += 1;
+            }
+            "--portfolio" => opts.portfolio = true,
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs a number")?,
+                );
+                i += 1;
+            }
+            "--batch-every" => {
+                opts.batch_every = take("--batch-every")?
+                    .parse()
+                    .map_err(|_| "--batch-every needs a number")?;
+                i += 1;
+            }
+            "--json" => as_json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown loadgen flag {other}"))
+            }
+            file => files.extend(expand_glob(file)?),
+        }
+        i += 1;
+    }
+    // Files on the command line name the workload; with none, replay
+    // the vendored bench corpus (compiled in, so no paths needed).
+    let mut instances: Vec<(String, String)> = Vec::new();
+    for f in &files {
+        instances.push((f.clone(), load(f)?.to_string()));
+    }
+    if instances.is_empty() {
+        instances = hypertree_bench::vendored_corpus()
+            .into_iter()
+            .map(|w| (w.name, w.hypergraph.to_string()))
+            .collect();
+    }
+    let report = serve::loadgen::run(&addr, &instances, &opts)
+        .map_err(|e| format!("loadgen: {addr}: {e}"))?;
+    if as_json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "loadgen: {} connections, {} instances, {:.2}s",
+            report.connections,
+            instances.len(),
+            report.elapsed.as_secs_f64()
+        );
+        println!(
+            "  requests {}  ok {}  errors {}  deadline-expired {}  cached {} ({:.1}%)",
+            report.requests,
+            report.ok,
+            report.errors,
+            report.deadline_expired,
+            report.cached_responses,
+            report.cache_hit_ratio() * 100.0
+        );
+        println!(
+            "  qps {:.1}  latency p50 {}us  p95 {}us  p99 {}us",
+            report.qps, report.p50_us, report.p95_us, report.p99_us
+        );
+    }
+    if report.requests > 0 && report.ok == 0 {
+        return Err("loadgen: every request failed".into());
+    }
+    Ok(())
 }
 
 fn structure(h: &Hypergraph) -> Result<(), String> {
